@@ -1,0 +1,55 @@
+// Shared helpers for the experiment binaries. Each bench_* executable
+// regenerates one table or figure of the paper; the workload scale can be
+// adjusted with MGC_SCALE (1.0 reproduces the default shapes in seconds to
+// minutes; smaller values give a quick smoke pass).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "dacapo/harness.h"
+#include "dacapo/suite.h"
+#include "runtime/vm_config.h"
+#include "support/env.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/units.h"
+
+namespace mgc::bench {
+
+inline void banner(const std::string& what, const std::string& paper_ref) {
+  std::cout << "\n================================================================\n"
+            << what << "\n(reproduces " << paper_ref
+            << " of Carpen-Amarie et al., PMAM'15)\n"
+            << "scale=" << env::scale() << " threads=" << env::threads()
+            << " [paper sizes scaled 1GB -> 1MiB]\n"
+            << "================================================================\n";
+}
+
+// The paper's baseline: ParallelOld, ~16 GB heap, ~5.6 GB young, TLAB on.
+inline VmConfig paper_baseline(GcKind gc) { return VmConfig::baseline(gc); }
+
+// A VmConfig with explicit paper-unit sizes (e.g. heap_gb=64, young_gb=12).
+inline VmConfig config_gb(GcKind gc, double heap_gb, double young_gb) {
+  VmConfig cfg = VmConfig::baseline(gc);
+  cfg.heap_bytes = static_cast<std::size_t>(heap_gb * 1024) * scale::MB;
+  cfg.young_bytes = static_cast<std::size_t>(young_gb * 1024) * scale::MB;
+  return cfg;
+}
+
+inline VmConfig config_mb(GcKind gc, std::size_t heap_mb,
+                          std::size_t young_mb) {
+  VmConfig cfg = VmConfig::baseline(gc);
+  cfg.heap_bytes = heap_mb * scale::MB;
+  cfg.young_bytes = young_mb * scale::MB;
+  return cfg;
+}
+
+inline int repeat_count(int base) {
+  const double s = env::scale();
+  const int n = static_cast<int>(base * (s >= 1.0 ? 1.0 : s) + 0.5);
+  return n < 2 ? 2 : n;
+}
+
+}  // namespace mgc::bench

@@ -1,0 +1,47 @@
+// Figure 1: GC pause durations over the execution of the xalan benchmark,
+// for all six collectors, (a) with a forced full GC between iterations and
+// (b) without. Prints one gnuplot-ready series per collector per mode.
+#include "bench_common.h"
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+  bench::banner("Figure 1: GC pause time for xalan, with and without a "
+                "system GC between iterations",
+                "Figure 1(a,b)");
+
+  for (const bool system_gc : {true, false}) {
+    std::cout << "\n--- Figure 1(" << (system_gc ? "a) System GC" : "b) No System GC")
+              << " ---\n";
+    Table summary(std::string("xalan pause summary, system GC ") +
+                  (system_gc ? "on" : "off"));
+    summary.header({"GC", "pauses", "full", "max pause (ms)", "avg pause (ms)",
+                    "total exec (s)"});
+    for (GcKind gc : all_gc_kinds()) {
+      HarnessOptions opts;
+      opts.iterations = 10;
+      opts.system_gc_between_iterations = system_gc;
+      const HarnessResult res =
+          run_benchmark(bench::paper_baseline(gc), "xalan", opts);
+
+      std::vector<SeriesPoint> pts;
+      for (const PauseEvent& e : res.pause_events) {
+        pts.push_back({ns_to_s(e.start_ns - res.vm_origin_ns),
+                       e.duration_ms()});
+      }
+      print_series(std::cout,
+                   std::string(gc_name(gc)) + (system_gc ? "/sysgc" : "/nosysgc"),
+                   pts);
+      summary.row({gc_name(gc), std::to_string(res.pauses.pauses),
+                   std::to_string(res.pauses.full_pauses),
+                   Table::num(res.pauses.max_s * 1e3),
+                   Table::num(res.pauses.avg_s * 1e3),
+                   Table::num(res.total_s, 3)});
+    }
+    summary.print(std::cout);
+  }
+  std::cout << "Expected shape: with the forced full collections G1 shows the\n"
+               "longest pauses and execution time (its full GC is serial);\n"
+               "without them G1 pauses all but vanish and Serial is worst.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2: per-iteration execution time of xalan (iterations 4-10, after
+// warm-up) for all six collectors, with and without the forced system GC.
+#include "bench_common.h"
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+  bench::banner("Figure 2: execution time for xalan per iteration",
+                "Figure 2(a,b)");
+
+  for (const bool system_gc : {true, false}) {
+    std::cout << "\n--- Figure 2(" << (system_gc ? "a) System GC" : "b) No System GC")
+              << ") ---\n";
+    Table t("xalan per-iteration wall time (ms), iterations 4..10");
+    std::vector<std::string> head = {"GC"};
+    for (int i = 4; i <= 10; ++i) head.push_back("it" + std::to_string(i));
+    head.push_back("final rank");
+    t.header(head);
+
+    std::vector<std::pair<double, std::string>> finals;
+    std::vector<std::vector<std::string>> rows;
+    for (GcKind gc : all_gc_kinds()) {
+      HarnessOptions opts;
+      opts.iterations = 10;
+      opts.system_gc_between_iterations = system_gc;
+      const HarnessResult res =
+          run_benchmark(bench::paper_baseline(gc), "xalan", opts);
+      std::vector<std::string> row = {gc_name(gc)};
+      for (std::size_t i = 3; i < res.iteration_s.size(); ++i) {
+        row.push_back(Table::num(res.iteration_s[i] * 1e3, 1));
+      }
+      finals.emplace_back(res.final_iteration_s, gc_name(gc));
+      rows.push_back(row);
+    }
+    std::sort(finals.begin(), finals.end());
+    for (auto& row : rows) {
+      int rank = 1;
+      for (const auto& [dur, name] : finals) {
+        if (name == row.front()) break;
+        ++rank;
+      }
+      row.push_back("#" + std::to_string(rank));
+      t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "fastest final iteration: " << finals.front().second
+              << ", slowest: " << finals.back().second << "\n";
+  }
+  std::cout << "Expected shape: with system GC, ParallelOld has the best final\n"
+               "iteration and G1 the worst (Parallel second worst: serial full\n"
+               "GC); without system GC all collectors converge.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3: GC ranking. An experiment is a (benchmark, heap size, young
+// size) triple; for each experiment the collector with the shortest total
+// execution time "wins". The chart reports the percentage of experiments
+// each collector won, with the system GC enabled (a) and disabled (b).
+#include "bench_common.h"
+
+#include <map>
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+  bench::banner("Figure 3: GC ranking by number of experiments won",
+                "Figure 3(a,b) / §3.5");
+
+  struct Geometry {
+    double heap_gb;
+    double young_gb;
+  };
+  const Geometry grid[] = {
+      {16, 5.6}, {16, 8}, {32, 5.6}, {32, 16}, {64, 12}, {64, 32},
+  };
+
+  for (const bool system_gc : {true, false}) {
+    std::map<std::string, int> wins;
+    for (GcKind gc : all_gc_kinds()) wins[gc_name(gc)] = 0;
+    int experiments = 0;
+
+    for (const std::string& name : stable_subset()) {
+      for (const Geometry& g : grid) {
+        double best = 0.0;
+        std::string best_gc;
+        for (GcKind gc : all_gc_kinds()) {
+          HarnessOptions opts;
+          opts.iterations = 6;
+          opts.system_gc_between_iterations = system_gc;
+          const HarnessResult res =
+              run_benchmark(bench::config_gb(gc, g.heap_gb, g.young_gb), name,
+                            opts);
+          if (best_gc.empty() || res.total_s < best) {
+            best = res.total_s;
+            best_gc = gc_name(gc);
+          }
+        }
+        ++wins[best_gc];
+        ++experiments;
+      }
+    }
+
+    std::cout << "\n--- Figure 3(" << (system_gc ? "a) System GC" : "b) No System GC")
+              << ") ---\n";
+    Table t("share of " + std::to_string(experiments) +
+            " experiments won (benchmark x heap x young)");
+    t.header({"GC", "experiments won (%)", "wins"});
+    // Print sorted descending like the paper's bars.
+    std::vector<std::pair<int, std::string>> order;
+    for (const auto& [name, w] : wins) order.emplace_back(w, name);
+    std::sort(order.rbegin(), order.rend());
+    for (const auto& [w, name] : order) {
+      t.row({name, Table::num(100.0 * w / experiments, 1),
+             std::to_string(w)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "Expected shape: with system GC enabled G1 wins nothing (its\n"
+               "forced full collections are serial and slow); ParallelOld is\n"
+               "consistently near the top in both modes.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// §4.1 + Figure 4: server-side GC pauses of the Cassandra-like store under
+// the YCSB load. First the ParallelOld narrative (default vs stress
+// configuration), then the Figure 4 pause timelines for CMS and G1 under
+// the stress configuration.
+#include "cassandra_common.h"
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::bench;
+  banner("Figure 4 + §4.1: GC pauses on the Cassandra-like server",
+         "Figure 4 / §4.1");
+
+  const std::uint64_t records = cassandra_records();
+  const std::uint64_t ops = cassandra_operations();
+  std::cout << "records=" << records << " (1KB rows), operations=" << ops
+            << ", 50% read / 50% update\n";
+
+  Table summary("server-side pause summary");
+  summary.header({"GC", "config", "pauses", "full", "max pause (ms)",
+                  "avg pause (ms)", "total paused (ms)", "flushes"});
+
+  // ParallelOld: default configuration (§4.1 first experiment) ...
+  {
+    const CassandraRun r = run_cassandra_ycsb(GcKind::kParallelOld,
+                                              /*stress=*/false, records, ops);
+    summary.row({"ParallelOldGC", "default", std::to_string(r.pauses.pauses),
+                 std::to_string(r.pauses.full_pauses),
+                 Table::num(r.pauses.max_s * 1e3),
+                 Table::num(r.pauses.avg_s * 1e3),
+                 Table::num(r.pauses.total_s * 1e3), std::to_string(r.flushes)});
+  }
+
+  // ... and the three main collectors under the stress configuration.
+  for (GcKind gc : main_gc_kinds()) {
+    const CassandraRun r =
+        run_cassandra_ycsb(gc, /*stress=*/true, records, ops);
+    summary.row({gc_name(gc), "stress", std::to_string(r.pauses.pauses),
+                 std::to_string(r.pauses.full_pauses),
+                 Table::num(r.pauses.max_s * 1e3),
+                 Table::num(r.pauses.avg_s * 1e3),
+                 Table::num(r.pauses.total_s * 1e3), std::to_string(r.flushes)});
+    if (gc == GcKind::kCms || gc == GcKind::kG1) {
+      // Figure 4's scatter: pause duration vs elapsed time.
+      std::vector<SeriesPoint> pts;
+      for (const PauseEvent& e : r.pause_events) {
+        pts.push_back({ns_to_s(e.start_ns - r.origin_ns), e.duration_ms()});
+      }
+      print_series(std::cout, std::string("fig4/") + gc_name(gc), pts);
+    }
+  }
+  summary.print(std::cout);
+  std::cout << "Expected shape: under stress, ParallelOld's full collections\n"
+               "dwarf every other pause in the study (the paper saw minutes);\n"
+               "CMS and G1 stay an order of magnitude lower but still far\n"
+               "above their DaCapo-scale pauses.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Ablation microbenchmarks (google-benchmark): the mechanisms behind the
+// paper's observations — TLAB vs shared-eden allocation, write-barrier
+// cost, work-stealing deque throughput, zipfian sampling, and the
+// round-trip cost of a stop-the-world operation.
+#include <benchmark/benchmark.h>
+
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/rng.h"
+#include "support/units.h"
+#include "support/ws_deque.h"
+
+namespace {
+
+using namespace mgc;
+
+VmConfig micro_config(GcKind gc, bool tlab) {
+  VmConfig cfg;
+  cfg.gc = gc;
+  cfg.heap_bytes = 64 * MiB;
+  cfg.young_bytes = 16 * MiB;
+  cfg.tlab_enabled = tlab;
+  cfg.gc_threads = 4;
+  return cfg;
+}
+
+void BM_AllocTlabOn(benchmark::State& state) {
+  Vm vm(micro_config(GcKind::kParallelOld, true));
+  Vm::MutatorScope scope(vm, "bench");
+  Mutator& m = scope.mutator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.alloc(2, 6));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AllocTlabOn);
+
+void BM_AllocTlabOff(benchmark::State& state) {
+  Vm vm(micro_config(GcKind::kParallelOld, false));
+  Vm::MutatorScope scope(vm, "bench");
+  Mutator& m = scope.mutator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.alloc(2, 6));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AllocTlabOff);
+
+// Multi-threaded allocation: the TLAB's raison d'être. Each iteration
+// performs a fixed batch of allocations on N mutator threads.
+void BM_AllocContention(benchmark::State& state) {
+  const bool tlab = state.range(0) != 0;
+  const int threads = static_cast<int>(state.range(1));
+  Vm vm(micro_config(GcKind::kParallelOld, tlab));
+  constexpr int kBatch = 20000;
+  for (auto _ : state) {
+    vm.run_mutators(threads, [&](Mutator& m, int) {
+      for (int i = 0; i < kBatch / threads; ++i) {
+        benchmark::DoNotOptimize(m.alloc(1, 4));
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_AllocContention)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8});
+
+void BM_WriteBarrierCard(benchmark::State& state) {
+  Vm vm(micro_config(GcKind::kParallelOld, true));
+  Vm::MutatorScope scope(vm, "bench");
+  Mutator& m = scope.mutator();
+  Local a(m, m.alloc(1, 0));
+  Local b(m, m.alloc(1, 0));
+  for (auto _ : state) {
+    m.set_ref(a.get(), 0, b.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteBarrierCard);
+
+void BM_WriteBarrierG1(benchmark::State& state) {
+  VmConfig cfg = micro_config(GcKind::kG1, true);
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "bench");
+  Mutator& m = scope.mutator();
+  Local a(m, m.alloc(1, 0));
+  Local b(m, m.alloc(1, 0));
+  for (auto _ : state) {
+    m.set_ref(a.get(), 0, b.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WriteBarrierG1);
+
+void BM_WsDequePushPop(benchmark::State& state) {
+  WsDeque<void*> dq;
+  int x = 0;
+  for (auto _ : state) {
+    dq.push(&x);
+    benchmark::DoNotOptimize(dq.pop());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WsDequePushPop);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  Rng rng(42);
+  ScrambledZipfian zipf(1000000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfianSample);
+
+// Round-trip of a stop-the-world operation with idle mutators: the floor
+// under every pause the study measures.
+void BM_SafepointRoundTrip(benchmark::State& state) {
+  Vm vm(micro_config(GcKind::kParallelOld, true));
+  Vm::MutatorScope scope(vm, "bench");
+  Mutator& m = scope.mutator();
+  for (auto _ : state) {
+    m.system_gc();
+  }
+}
+BENCHMARK(BM_SafepointRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

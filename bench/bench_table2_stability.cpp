@@ -1,0 +1,60 @@
+// Table 2: benchmark-stability selection. Every DaCapo benchmark runs R
+// times (10 iterations each, system GC between iterations, baseline
+// ParallelOld configuration); the relative standard deviation of the final
+// iteration and of the total execution time decides the stable subset
+// (<= 5% in at least one metric). Crashing benchmarks are reported as such.
+#include "bench_common.h"
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+  bench::banner("Table 2: relative standard deviation of total execution "
+                "time and final iteration",
+                "Table 2 / §3.2");
+
+  const int runs = bench::repeat_count(10);
+  const VmConfig cfg = bench::paper_baseline(GcKind::kParallelOld);
+
+  Table t("RSD over " + std::to_string(runs) +
+          " runs x 10 iterations (baseline config, system GC on)");
+  t.header({"Benchmark", "Final iteration (%)", "Total execution time (%)",
+            "Status"});  // RSDs over process CPU time (see EXPERIMENTS.md)
+
+  std::vector<std::string> selected;
+  for (const std::string& name : all_benchmarks()) {
+    std::vector<double> finals;
+    std::vector<double> totals;
+    bool crashed = false;
+    for (int r = 0; r < runs; ++r) {
+      HarnessOptions opts;
+      opts.iterations = 10;
+      opts.system_gc_between_iterations = true;
+      opts.seed = 42 + static_cast<std::uint64_t>(r) * 1000003;
+      const HarnessResult res = run_benchmark(cfg, name, opts);
+      if (res.crashed) {
+        crashed = true;
+        break;
+      }
+      finals.push_back(res.final_iteration_cpu_s);
+      totals.push_back(res.total_cpu_s);
+    }
+    if (crashed) {
+      t.row({name, "-", "-", "crashed (excluded)"});
+      continue;
+    }
+    const double rsd_final = rsd_percent_of(finals);
+    const double rsd_total = rsd_percent_of(totals);
+    const bool stable = rsd_final <= 5.0 || rsd_total <= 5.0;
+    if (stable) selected.push_back(name);
+    t.row({name, Table::num(rsd_final, 1), Table::num(rsd_total, 1),
+           stable ? "selected" : "excluded (>5% both)"});
+  }
+  t.print(std::cout);
+
+  std::cout << "Selected subset:";
+  for (const auto& n : selected) std::cout << ' ' << n;
+  std::cout << "\nPaper's subset:  ";
+  for (const auto& n : stable_subset()) std::cout << ' ' << n;
+  std::cout << "\n";
+  return 0;
+}

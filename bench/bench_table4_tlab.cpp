@@ -1,0 +1,55 @@
+// Table 4: TLAB influence. For every (stable benchmark, GC) pair the
+// benchmark runs with TLABs enabled and disabled; if the difference in
+// total execution time exceeds a 5% deviation of the average, the TLAB
+// "helped" (+) or "hurt" (-), otherwise it is indifferent (=) — the exact
+// decision rule of §3.4.
+#include "bench_common.h"
+
+int main() {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+  bench::banner("Table 4: TLAB influence over all GCs and the stable subset",
+                "Table 4 / §3.4");
+
+  const int runs = bench::repeat_count(3);
+
+  Table t("TLAB influence (+ helps, - hurts, = indifferent at 5% deviation)");
+  std::vector<std::string> head = {"Benchmark"};
+  for (GcKind gc : all_gc_kinds()) head.push_back(gc_name(gc));
+  t.header(head);
+
+  for (const std::string& name : stable_subset()) {
+    std::vector<std::string> row = {name};
+    for (GcKind gc : all_gc_kinds()) {
+      double with_tlab = 0.0;
+      double without_tlab = 0.0;
+      std::vector<double> all;
+      for (int r = 0; r < runs; ++r) {
+        for (const bool tlab : {true, false}) {
+          VmConfig cfg = bench::paper_baseline(gc);
+          cfg.tlab_enabled = tlab;
+          HarnessOptions opts;
+          opts.iterations = 6;
+          opts.system_gc_between_iterations = true;
+          opts.seed = 42 + static_cast<std::uint64_t>(r) * 7;
+          const HarnessResult res = run_benchmark(cfg, name, opts);
+          (tlab ? with_tlab : without_tlab) += res.total_s;
+          all.push_back(res.total_s);
+        }
+      }
+      with_tlab /= runs;
+      without_tlab /= runs;
+      const double deviation = 0.05 * mean_of(all);
+      std::string verdict = "=";
+      if (without_tlab > with_tlab + deviation) verdict = "+";
+      if (with_tlab > without_tlab + deviation) verdict = "-";
+      row.push_back(verdict);
+    }
+    t.row(row);
+  }
+  t.print(std::cout);
+  std::cout << "Expected shape: mostly '=' — the TLAB rarely moves total time\n"
+               "beyond the 5% band — with scattered '-' entries where TLAB\n"
+               "waste raises GC frequency (the paper saw e.g. G1/pmd, G1/xalan).\n";
+  return 0;
+}

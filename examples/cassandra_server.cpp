@@ -1,0 +1,68 @@
+// Example: the client-server experiment in miniature. Boot the
+// Cassandra-like store under a chosen collector, run a YCSB-style load +
+// transaction phase, and print how server GC pauses surfaced as client
+// latency.
+//
+//   $ ./build/examples/cassandra_server [GC] [default|stress] [records] [ops]
+//   $ ./build/examples/cassandra_server CMS stress 8000 40000
+#include <cstdlib>
+#include <iostream>
+
+#include "kvstore/server.h"
+#include "support/env.h"
+#include "support/table.h"
+#include "support/units.h"
+#include "ycsb/latency_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace mgc;
+
+  const GcKind gc = argc > 1 ? gc_kind_from_name(argv[1]) : GcKind::kCms;
+  const bool stress = argc > 2 && std::string(argv[2]) == "stress";
+  const std::uint64_t records = argc > 3 ? std::strtoull(argv[3], nullptr, 10)
+                                         : 8000;
+  const std::uint64_t ops = argc > 4 ? std::strtoull(argv[4], nullptr, 10)
+                                     : 40000;
+
+  VmConfig cfg = VmConfig::baseline(gc);
+  cfg.heap_bytes = 64ULL * 1024 * scale::MB;  // the paper's 64 GB, scaled
+  cfg.young_bytes = 12ULL * 1024 * scale::MB;
+  Vm vm(cfg);
+
+  kv::StoreConfig scfg = stress
+                             ? kv::StoreConfig::stress_config(cfg.heap_bytes)
+                             : kv::StoreConfig::default_config(cfg.heap_bytes);
+  kv::Store store(vm, scfg);
+  kv::Server server(vm, store, /*workers=*/4);
+
+  ycsb::WorkloadSpec spec = ycsb::WorkloadSpec::paper_custom(records, ops, 4);
+  ycsb::Client client(server, spec, env::seed());
+
+  std::cout << "server up: " << cfg.describe() << ", "
+            << (stress ? "stress" : "default") << " store config\n"
+            << "loading " << records << " rows...\n";
+  const ycsb::PhaseResult load = client.load();
+  std::cout << "load: " << load.duration_s() << " s ("
+            << load.throughput_ops_s() << " ops/s)\nrunning " << ops
+            << " transactions (50% read / 50% update)...\n";
+  const ycsb::PhaseResult run = client.run();
+  std::cout << "run: " << run.duration_s() << " s ("
+            << run.throughput_ops_s() << " ops/s), flushes="
+            << store.flush_count() << "\n";
+
+  const auto pauses = vm.gc_log().snapshot();
+  const PauseSummary sum = vm.gc_log().summarize();
+  std::cout << "server pauses: " << sum.pauses << " (" << sum.full_pauses
+            << " full), max " << sum.max_s * 1e3 << " ms, total "
+            << sum.total_s * 1e3 << " ms\n";
+
+  for (kv::OpType op : {kv::OpType::kRead, kv::OpType::kUpdate}) {
+    const auto st = ycsb::compute_latency_stats(run.samples, op, pauses);
+    const char* name = op == kv::OpType::kRead ? "READ" : "UPDATE";
+    std::cout << name << ": avg " << st.avg_ms << " ms, max " << st.max_ms
+              << " ms; spikes >4x avg: " << st.bands[2].pct_reqs
+              << "% of requests, " << st.bands[2].pct_gcs
+              << "% of those overlapped a GC pause\n";
+  }
+  return 0;
+}

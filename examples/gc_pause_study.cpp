@@ -1,0 +1,61 @@
+// Example: run any DaCapo-like benchmark under any collector and print its
+// pause profile — a miniature of the paper's §3 methodology.
+//
+//   $ ./build/examples/gc_pause_study [benchmark] [GC] [heap_paper_GB] [young_paper_GB]
+//   $ ./build/examples/gc_pause_study xalan G1 16 5.6
+#include <cstdlib>
+#include <iostream>
+
+#include "dacapo/harness.h"
+#include "dacapo/suite.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace mgc;
+  using namespace mgc::dacapo;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "xalan";
+  const GcKind gc = argc > 2 ? gc_kind_from_name(argv[2]) : GcKind::kParallelOld;
+  const double heap_gb = argc > 3 ? std::atof(argv[3]) : 16.0;
+  const double young_gb = argc > 4 ? std::atof(argv[4]) : 5.6;
+
+  VmConfig cfg = VmConfig::baseline(gc);
+  cfg.heap_bytes = static_cast<std::size_t>(heap_gb * 1024) * scale::MB;
+  cfg.young_bytes = static_cast<std::size_t>(young_gb * 1024) * scale::MB;
+
+  std::cout << "running " << benchmark << " under " << cfg.describe()
+            << " (paper-scale " << heap_gb << "GB/" << young_gb << "GB)\n";
+
+  HarnessOptions opts;
+  opts.iterations = 10;
+  opts.system_gc_between_iterations = true;
+  const HarnessResult res = run_benchmark(cfg, benchmark, opts);
+  if (res.crashed) {
+    std::cout << benchmark << " crashed (the paper excluded it too)\n";
+    return 1;
+  }
+
+  Table iters("iteration wall times");
+  iters.header({"iteration", "wall (ms)", "cpu (ms)"});
+  for (std::size_t i = 0; i < res.iteration_s.size(); ++i) {
+    iters.row({std::to_string(i + 1), Table::num(res.iteration_s[i] * 1e3, 2),
+               Table::num(res.iteration_cpu_s[i] * 1e3, 2)});
+  }
+  iters.print(std::cout);
+
+  Table pauses("pause events");
+  pauses.header({"t (s)", "kind", "cause", "ms", "heap before->after KiB"});
+  for (const PauseEvent& e : res.pause_events) {
+    pauses.row({Table::num(ns_to_s(e.start_ns - res.vm_origin_ns), 3),
+                pause_kind_name(e.kind), gc_cause_name(e.cause),
+                Table::num(e.duration_ms(), 3),
+                std::to_string(e.used_before / 1024) + "->" +
+                    std::to_string(e.used_after / 1024)});
+  }
+  pauses.print(std::cout);
+
+  std::cout << "total " << res.total_s << " s, " << res.pauses.pauses
+            << " pauses, max pause " << res.pauses.max_s * 1e3 << " ms\n";
+  return 0;
+}

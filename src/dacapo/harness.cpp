@@ -1,0 +1,56 @@
+#include "dacapo/harness.h"
+
+#include <algorithm>
+
+#include "support/clock.h"
+#include "support/env.h"
+
+namespace mgc::dacapo {
+
+int harness_threads(const BenchmarkInfo& info, const HarnessOptions& opts) {
+  if (opts.threads > 0) return opts.threads;
+  if (info.default_threads > 0) return info.default_threads;
+  return std::min(env::threads(), 8);
+}
+
+HarnessResult run_benchmark(const VmConfig& cfg, const std::string& name,
+                            const HarnessOptions& opts) {
+  HarnessResult res;
+  res.benchmark = name;
+  auto bench = make_benchmark(name);
+  const BenchmarkInfo& info = bench->info();
+  const int threads = harness_threads(info, opts);
+
+  Vm vm(cfg);
+  res.vm_origin_ns = vm.gc_log().origin_ns();
+  try {
+    bench->setup(vm, opts.seed);
+    for (int it = 0; it < opts.iterations; ++it) {
+      Stopwatch sw;
+      const std::int64_t cpu0 = process_cpu_ns();
+      // DaCapo performs a system GC between every two iterations; its cost
+      // is part of the measured iteration (this is what makes G1's serial
+      // full collections visible in the paper's Figure 2(a)).
+      if (opts.system_gc_between_iterations && it > 0) {
+        Vm::MutatorScope scope(vm, "harness");
+        scope.mutator().system_gc();
+      }
+      bench->run_iteration(vm, threads, opts.seed + static_cast<std::uint64_t>(it) * 7919);
+      res.iteration_cpu_s.push_back(ns_to_s(process_cpu_ns() - cpu0));
+      res.iteration_s.push_back(sw.elapsed_s());
+    }
+  } catch (const BenchmarkCrash&) {
+    res.crashed = true;
+  }
+  if (!res.iteration_s.empty()) {
+    res.final_iteration_s = res.iteration_s.back();
+    res.final_iteration_cpu_s = res.iteration_cpu_s.back();
+    for (double d : res.iteration_s) res.total_s += d;
+    for (double d : res.iteration_cpu_s) res.total_cpu_s += d;
+  }
+  res.pauses = vm.gc_log().summarize();
+  res.pause_events = vm.gc_log().snapshot();
+  return res;
+}
+
+}  // namespace mgc::dacapo

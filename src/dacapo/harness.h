@@ -1,0 +1,45 @@
+// The DaCapo-style harness: N iterations on a fresh VM, all but the last
+// being warm-up rounds, with an optional forced full collection ("system
+// GC") between iterations — the axis the paper's experiments pivot on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dacapo/workload.h"
+#include "runtime/gc_log.h"
+#include "runtime/vm_config.h"
+
+namespace mgc::dacapo {
+
+struct HarnessOptions {
+  int iterations = 10;
+  bool system_gc_between_iterations = true;  // the DaCapo default
+  int threads = 0;      // 0 = benchmark default (hw threads for most)
+  std::uint64_t seed = 42;
+};
+
+struct HarnessResult {
+  std::string benchmark;
+  bool crashed = false;
+  std::vector<double> iteration_s;  // wall time per iteration
+  double total_s = 0.0;             // sum of all iterations
+  double final_iteration_s = 0.0;   // the actual (non-warm-up) run
+  // Process-CPU-time mirrors of the above (see process_cpu_ns()).
+  std::vector<double> iteration_cpu_s;
+  double total_cpu_s = 0.0;
+  double final_iteration_cpu_s = 0.0;
+  PauseSummary pauses;
+  std::vector<PauseEvent> pause_events;
+  std::int64_t vm_origin_ns = 0;  // for relative pause timelines
+};
+
+// Runs `name` under a fresh VM configured by `cfg`.
+HarnessResult run_benchmark(const VmConfig& cfg, const std::string& name,
+                            const HarnessOptions& opts);
+
+// Effective thread count for a benchmark (respects MGC_THREADS, caps at 8).
+int harness_threads(const BenchmarkInfo& info, const HarnessOptions& opts);
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,51 @@
+// avrora: microcontroller-simulator model. A single external thread but
+// internally multi-threaded: simulated nodes exchange event messages.
+// The most unstable benchmark in the paper (its iteration times varied so
+// much it was excluded from the stable subset immediately).
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Avrora final : public KernelBase {
+ public:
+  Avrora() {
+    info_.name = "avrora";
+    info_.default_threads = 4;  // internal simulation threads
+    info_.jitter = 0.50;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t events =
+        iteration_count(seed, jitter, env::scaled(15000));
+    vm.run_mutators(threads, [&, seed, events](Mutator& m, int idx) {
+      Rng rng(seed * 97 + static_cast<std::uint64_t>(idx));
+      Local queue(m, managed::list::create(m));
+      for (std::uint64_t e = 0; e < events; ++e) {
+        // Fire an event: message + timestamped envelope.
+        Local msg(m, managed::blob::create_zeroed(m, 40));
+        managed::blob::mutable_data(msg.get())[0] = static_cast<char>(e);
+        Local envelope(m, m.alloc(1, 2));
+        envelope->set_field(0, e);
+        m.set_ref(envelope.get(), 0, msg.get());
+        managed::list::push(m, queue, envelope);
+        // Drain bursts to keep the queue bounded — the burst size is what
+        // varies wildly between runs.
+        if (managed::list::size(queue.get()) >
+            jittered(rng, jitter, 64)) {
+          managed::list::clear(m, queue.get());
+        }
+        cpu_work(jittered(rng, jitter, 200));
+        if (e % 256 == 0) m.poll();
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_avrora() { return std::make_unique<Avrora>(); }
+
+}  // namespace mgc::dacapo

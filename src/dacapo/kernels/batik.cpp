@@ -1,0 +1,48 @@
+// batik: SVG rasterizer model. Mostly single-threaded with a small memory
+// footprint — at the paper's baseline heap it performs NO collections at
+// all when the forced system GC is disabled (§3.3), which is exactly the
+// property used to study GC-free execution. Allocation per iteration is
+// kept well under one eden.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Batik final : public KernelBase {
+ public:
+  Batik() {
+    info_.name = "batik";
+    info_.default_threads = 1;
+    info_.jitter = 0.12;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    vm.run_mutators(threads, [&, seed](Mutator& m, int idx) {
+      Rng rng(seed * 101 + static_cast<std::uint64_t>(idx));
+      // Parse the SVG: a small scene graph (~364 nodes, ~30 KB).
+      Local scene(m, build_tree(m, rng, /*depth=*/5, /*fanout=*/3,
+                                /*payload_words=*/6));
+      // Rasterize into a framebuffer, one pass per "tile".
+      Local framebuffer(m, managed::blob::create_zeroed(m, 48 * 1024));
+      const std::uint64_t tiles = iteration_count(seed, jitter, 200);
+      char* fb = managed::blob::mutable_data(framebuffer.get());
+      for (std::uint64_t tile = 0; tile < tiles; ++tile) {
+        const std::uint64_t paint = tree_checksum(scene.get());
+        fb[tile % (48 * 1024)] = static_cast<char>(paint);
+        // A couple of temporary paint objects per tile — deliberately few.
+        Local grad(m, m.alloc(0, 8));
+        grad->set_field(0, paint);
+        cpu_work(30000);
+        m.poll();
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_batik() { return std::make_unique<Batik>(); }
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,48 @@
+#include "dacapo/kernels/common.h"
+
+namespace mgc::dacapo {
+
+std::uint64_t cpu_work(std::uint64_t units) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < units; ++i) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= i;
+  }
+  // Returned (and typically ignored) so the loop cannot be optimized away.
+  return h;
+}
+
+std::uint64_t jittered(Rng& rng, double jitter, std::uint64_t base) {
+  const double factor = 1.0 + jitter * (2.0 * rng.unit() - 1.0);
+  const auto v = static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+  return v == 0 ? 1 : v;
+}
+
+Obj* build_tree(Mutator& m, Rng& rng, int depth, int fanout,
+                int payload_words) {
+  Local node(m, m.alloc(static_cast<std::uint16_t>(fanout),
+                        static_cast<std::size_t>(payload_words)));
+  for (int i = 0; i < payload_words; ++i) {
+    node->set_field(static_cast<std::size_t>(i), rng.next());
+  }
+  if (depth > 0) {
+    for (int c = 0; c < fanout; ++c) {
+      Obj* child = build_tree(m, rng, depth - 1, fanout, payload_words);
+      m.set_ref(node.get(), static_cast<std::size_t>(c), child);
+    }
+  }
+  return node.get();
+}
+
+std::uint64_t tree_checksum(Obj* root) {
+  if (root == nullptr) return 0;
+  std::uint64_t h = root->payload_words() > 0 ? root->field(0) : 1;
+  const std::size_t n = root->num_refs();
+  for (std::size_t i = 0; i < n; ++i) {
+    h = h * 31 + tree_checksum(root->ref(i));
+  }
+  return h;
+}
+
+}  // namespace mgc::dacapo

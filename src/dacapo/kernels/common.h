@@ -1,0 +1,60 @@
+// Shared building blocks for the DaCapo-like kernels: tree/graph builders,
+// bounded traversals, CPU work, and the per-iteration jitter that gives
+// each benchmark its stability profile (paper Table 2).
+#pragma once
+
+#include "dacapo/workload.h"
+#include "runtime/managed.h"
+#include "support/env.h"
+#include "support/rng.h"
+
+namespace mgc::dacapo {
+
+class KernelBase : public Benchmark {
+ public:
+  const BenchmarkInfo& info() const override { return info_; }
+
+ protected:
+  BenchmarkInfo info_;
+};
+
+// Pure-CPU work unit (hash mixing); keeps kernels from being purely
+// allocation-bound, like real applications.
+std::uint64_t cpu_work(std::uint64_t units);
+
+// Multiplies a base count by the benchmark's jitter for this iteration:
+// uniform in [1 - j, 1 + j]. This is what makes avrora-like benchmarks
+// unstable and pmd-like ones stable.
+std::uint64_t jittered(Rng& rng, double jitter, std::uint64_t base);
+
+// One jitter draw per *iteration*, shared by every worker thread (so the
+// draws do not average out across threads and the instability the paper
+// measured survives).
+inline std::uint64_t iteration_count(std::uint64_t seed, double jitter,
+                                     std::uint64_t base) {
+  Rng rng(seed ^ 0xd1b54a32d192ed03ULL);
+  return jittered(rng, jitter, base);
+}
+
+// Builds a tree of managed nodes: each node has `fanout` children slots
+// plus `payload_words` of data. Returns the root. Allocation-safe (uses
+// Locals internally).
+Obj* build_tree(Mutator& m, Rng& rng, int depth, int fanout,
+                int payload_words);
+
+// Walks the tree without allocating; returns a checksum (and implicitly
+// touches every node, like a transform/analysis pass would).
+std::uint64_t tree_checksum(Obj* root);
+
+// Number of nodes in a full tree.
+constexpr std::uint64_t tree_nodes(int depth, int fanout) {
+  std::uint64_t n = 0;
+  std::uint64_t level = 1;
+  for (int d = 0; d <= depth; ++d) {
+    n += level;
+    level *= static_cast<std::uint64_t>(fanout);
+  }
+  return n;
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,39 @@
+// eclipse, tradebeans, tradesoap: the paper reports these three DaCapo
+// benchmarks crashed on every test (§3.2) and excludes them. We model that
+// faithfully: the kernels abort with BenchmarkCrash before doing any work,
+// so the harness and the Table 2 stability experiment see the same
+// behaviour the authors saw.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Crasher final : public KernelBase {
+ public:
+  explicit Crasher(const std::string& name) {
+    info_.name = name;
+    info_.crashes = true;
+    info_.jitter = 0.0;
+  }
+
+  void run_iteration(Vm& /*vm*/, int /*threads*/,
+                     std::uint64_t /*seed*/) override {
+    throw BenchmarkCrash(info_.name +
+                         ": crashes on every run (paper §3.2, excluded)");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_eclipse() {
+  return std::make_unique<Crasher>("eclipse");
+}
+std::unique_ptr<Benchmark> make_tradebeans() {
+  return std::make_unique<Crasher>("tradebeans");
+}
+std::unique_ptr<Benchmark> make_tradesoap() {
+  return std::make_unique<Crasher>("tradesoap");
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,44 @@
+// fop: print formatter model. Strictly single-threaded; builds a document
+// layout tree and formats it. One of the unstable benchmarks excluded by
+// the paper's Table 2 selection (high run-to-run variance).
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Fop final : public KernelBase {
+ public:
+  Fop() {
+    info_.name = "fop";
+    info_.default_threads = 1;
+    info_.jitter = 0.50;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    vm.run_mutators(threads, [&, seed](Mutator& m, int idx) {
+      Rng rng(seed * 67 + static_cast<std::uint64_t>(idx));
+      const std::uint64_t pages = iteration_count(seed, jitter, env::scaled(30));
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        Local layout(m, build_tree(m, rng, /*depth=*/6, /*fanout=*/3,
+                                   /*payload_words=*/4));
+        // Formatting pass: line boxes.
+        Local lines(m, managed::list::create(m));
+        for (int l = 0; l < 200; ++l) {
+          Local line(m, managed::blob::create_zeroed(m, 48));
+          managed::list::push(m, lines, line);
+        }
+        (void)tree_checksum(layout.get());
+        cpu_work(jittered(rng, jitter, 4000));
+        m.poll();
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_fop() { return std::make_unique<Fop>(); }
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,57 @@
+// jython: interpreter model. One worker per hardware thread executes
+// "function calls": each allocates a frame plus boxed locals; a rolling
+// window of recent frames survives a while (medium lifetimes) before being
+// dropped — interpreter-style allocation behaviour.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Jython final : public KernelBase {
+ public:
+  Jython() {
+    info_.name = "jython";
+    info_.default_threads = 0;
+    info_.jitter = 0.04;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t calls = iteration_count(seed, jitter, env::scaled(12000));
+    vm.run_mutators(threads, [&, seed, calls](Mutator& m, int idx) {
+      Rng rng(seed * 257 + static_cast<std::uint64_t>(idx));
+      // Rolling window of live frames (chained via ref 0).
+      constexpr int kWindow = 64;
+      Local window_head(m);
+      int window_len = 0;
+      for (std::uint64_t c = 0; c < calls; ++c) {
+        Local frame(m, m.alloc(6, 6));
+        frame->set_field(0, c);
+        // Boxed locals.
+        for (int l = 1; l <= 3; ++l) {
+          Local boxed(m, m.alloc(0, 2));
+          boxed->set_field(0, rng.next());
+          m.set_ref(frame.get(), static_cast<std::size_t>(l), boxed.get());
+        }
+        m.set_ref(frame.get(), 0, window_head.get());
+        window_head.set(frame.get());
+        if (++window_len > kWindow) {
+          // Drop the tail: walk to the end and cut (keeps the window hot).
+          Obj* cur = window_head.get();
+          for (int i = 0; i < kWindow - 1; ++i) cur = cur->ref(0);
+          m.set_ref(cur, 0, nullptr);
+          window_len = kWindow;
+        }
+        cpu_work(80);
+        if (c % 256 == 0) m.poll();
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_jython() { return std::make_unique<Jython>(); }
+
+}  // namespace mgc::dacapo

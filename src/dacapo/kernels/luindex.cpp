@@ -1,0 +1,61 @@
+// luindex: index-builder model. Mostly single-threaded (one worker plus a
+// helper, per the paper's §2.1): each iteration builds a fresh inverted
+// index from documents — postings accumulate and survive the whole
+// iteration (promotion pressure), then the index is dropped.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Luindex final : public KernelBase {
+ public:
+  Luindex() {
+    info_.name = "luindex";
+    info_.default_threads = 2;
+    info_.jitter = 0.03;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    vm.run_mutators(threads, [&, seed, threads](Mutator& m, int idx) {
+      Rng rng(seed * 41 + static_cast<std::uint64_t>(idx));
+      // Per-thread index segment: term -> posting chain. Like Lucene,
+      // the segment is sealed and a fresh one started every kSegmentDocs
+      // documents, which bounds the live set.
+      constexpr std::uint64_t kSegmentDocs = 300;
+      Local index(m, managed::hash_map::create(m, 512));
+      const std::uint64_t docs =
+          iteration_count(seed, jitter, env::scaled(8000)) /
+              static_cast<std::uint64_t>(threads) +
+          1;
+      for (std::uint64_t d = 0; d < docs; ++d) {
+        if (d > 0 && d % kSegmentDocs == 0) {
+          index.set(managed::hash_map::create(m, 512));
+        }
+        Local doc(m, managed::blob::create_zeroed(m, 200));
+        managed::blob::mutable_data(doc.get())[0] = static_cast<char>(d);
+        // Tokenize into ~18 terms; append postings to the index.
+        for (int t = 0; t < 18; ++t) {
+          const std::uint64_t term = rng.below(4000);
+          Local posting(m, m.alloc(2, 1));
+          posting->set_field(0, d);
+          Obj* chain = managed::hash_map::get(index.get(), term);
+          if (chain != nullptr) m.set_ref(posting.get(), 0, chain);
+          managed::hash_map::put(m, index, term, posting);
+        }
+        cpu_work(2500);
+        if (d % 64 == 0) m.poll();
+      }
+      // Index dropped here: a burst of old-generation garbage per iteration.
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_luindex() {
+  return std::make_unique<Luindex>();
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,71 @@
+// lusearch: search model. One client thread per hardware thread fires
+// queries against a small shared read-only index; result sets are
+// short-lived. Excluded by Table 2 (unstable).
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Lusearch final : public KernelBase {
+ public:
+  Lusearch() {
+    info_.name = "lusearch";
+    info_.default_threads = 0;
+    info_.jitter = 0.35;
+  }
+
+  void setup(Vm& vm, std::uint64_t seed) override {
+    index_root_ = vm.create_global_root();
+    Vm::MutatorScope scope(vm, "lusearch-setup");
+    Mutator& m = scope.mutator();
+    Rng rng(seed);
+    Local index(m, managed::hash_map::create(m, 1024));
+    for (std::uint64_t term = 0; term < 2000; ++term) {
+      Local postings(m, managed::blob::create_zeroed(m, 64));
+      managed::blob::mutable_data(postings.get())[0] =
+          static_cast<char>(rng.next());
+      managed::hash_map::put(m, index, term, postings);
+    }
+    vm.set_global_root(index_root_, index.get());
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::size_t root = index_root_;
+    const std::uint64_t queries =
+        iteration_count(seed, jitter, env::scaled(6000));
+    vm.run_mutators(threads, [&, seed, queries](Mutator& m, int idx) {
+      Rng rng(seed * 71 + static_cast<std::uint64_t>(idx));
+      for (std::uint64_t q = 0; q < queries; ++q) {
+        // A query touches ~4 terms and materializes a hit list.
+        Local hits(m, managed::list::create(m));
+        for (int t = 0; t < 4; ++t) {
+          Obj* postings =
+              managed::hash_map::get(vm.global_root(root), rng.below(2000));
+          Local hit(m, m.alloc(1, 4));
+          hit->set_field(0, postings != nullptr
+                                ? static_cast<word_t>(
+                                      managed::blob::data(postings)[0])
+                                : 0);
+          managed::list::push(m, hits, hit);
+        }
+        Local rendered(m, managed::blob::create_zeroed(m, 180));
+        (void)rendered;
+        cpu_work(120);
+        if (q % 256 == 0) m.poll();
+      }
+    });
+  }
+
+ private:
+  std::size_t index_root_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_lusearch() {
+  return std::make_unique<Lusearch>();
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,67 @@
+// pmd: static-analysis model. A single client thread drives one worker per
+// hardware thread; each worker parses "source files" into deep ASTs,
+// analyzes them (full traversals producing report objects) and drops them.
+// The most stable benchmark in the paper's Table 2.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Pmd final : public KernelBase {
+ public:
+  Pmd() {
+    info_.name = "pmd";
+    info_.default_threads = 0;
+    info_.jitter = 0.02;
+  }
+
+  void setup(Vm& vm, std::uint64_t /*seed*/) override {
+    // Shared rule set: small, long-lived.
+    rules_root_ = vm.create_global_root();
+    Vm::MutatorScope scope(vm, "pmd-setup");
+    Mutator& m = scope.mutator();
+    Local rules(m, managed::ref_array::create(m, 64));
+    for (int i = 0; i < 64; ++i) {
+      Local rule(m, m.alloc(0, 6));
+      rule->set_field(0, static_cast<word_t>(i));
+      managed::ref_array::set(m, rules.get(), static_cast<std::size_t>(i),
+                              rule.get());
+    }
+    vm.set_global_root(rules_root_, rules.get());
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t files = iteration_count(seed, jitter, env::scaled(60));
+    vm.run_mutators(threads, [&, seed, files](Mutator& m, int idx) {
+      Rng rng(seed * 13 + static_cast<std::uint64_t>(idx));
+      for (std::uint64_t f = 0; f < files; ++f) {
+        // Parse: a deep AST (~1093 nodes).
+        Local ast(m, build_tree(m, rng, /*depth=*/6, /*fanout=*/3,
+                                /*payload_words=*/6));
+        // Analyze: run every rule as a traversal emitting violations.
+        Local report(m, managed::list::create(m));
+        for (int rule = 0; rule < 16; ++rule) {
+          const std::uint64_t hits = tree_checksum(ast.get()) % 7;
+          for (std::uint64_t v = 0; v <= hits; ++v) {
+            Local violation(m, m.alloc(1, 3));
+            violation->set_field(0, static_cast<word_t>(rule));
+            managed::list::push(m, report, violation);
+          }
+        }
+        cpu_work(1000);
+        m.poll();
+      }
+    });
+  }
+
+ private:
+  std::size_t rules_root_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_pmd() { return std::make_unique<Pmd>(); }
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,25 @@
+// Internal: per-kernel factory functions, one per DaCapo benchmark.
+#pragma once
+
+#include <memory>
+
+#include "dacapo/workload.h"
+
+namespace mgc::dacapo {
+
+std::unique_ptr<Benchmark> make_avrora();
+std::unique_ptr<Benchmark> make_batik();
+std::unique_ptr<Benchmark> make_eclipse();
+std::unique_ptr<Benchmark> make_fop();
+std::unique_ptr<Benchmark> make_h2();
+std::unique_ptr<Benchmark> make_jython();
+std::unique_ptr<Benchmark> make_luindex();
+std::unique_ptr<Benchmark> make_lusearch();
+std::unique_ptr<Benchmark> make_pmd();
+std::unique_ptr<Benchmark> make_sunflow();
+std::unique_ptr<Benchmark> make_tomcat();
+std::unique_ptr<Benchmark> make_tradebeans();
+std::unique_ptr<Benchmark> make_tradesoap();
+std::unique_ptr<Benchmark> make_xalan();
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,47 @@
+// sunflow: ray-tracer model. One render thread per hardware thread; each
+// traces ray bundles, allocating per-ray scratch vectors (short-lived) and
+// doing real CPU work. Excluded by Table 2 (unstable).
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Sunflow final : public KernelBase {
+ public:
+  Sunflow() {
+    info_.name = "sunflow";
+    info_.default_threads = 0;
+    info_.jitter = 0.35;
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t bundles =
+        iteration_count(seed, jitter, env::scaled(1200));
+    vm.run_mutators(threads, [&, seed, bundles](Mutator& m, int idx) {
+      Rng rng(seed * 29 + static_cast<std::uint64_t>(idx));
+      for (std::uint64_t b = 0; b < bundles; ++b) {
+        for (int ray = 0; ray < 16; ++ray) {
+          Local origin(m, m.alloc(0, 3));
+          Local dir(m, m.alloc(0, 3));
+          Local hit(m, m.alloc(2, 4));
+          origin->set_field(0, rng.next());
+          dir->set_field(0, rng.next());
+          m.set_ref(hit.get(), 0, origin.get());
+          m.set_ref(hit.get(), 1, dir.get());
+          hit->set_field(0, cpu_work(90));
+        }
+        if (b % 32 == 0) m.poll();
+      }
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_sunflow() {
+  return std::make_unique<Sunflow>();
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,84 @@
+// tomcat: servlet container model. A long-lived session store; each
+// iteration serves a batch of requests on one client thread per hardware
+// thread: parse the request (temporary buffers), look up / mutate the
+// session, render a response — mostly short-lived objects over a modest
+// resident set.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Tomcat final : public KernelBase {
+ public:
+  Tomcat() {
+    info_.name = "tomcat";
+    info_.default_threads = 0;
+    info_.jitter = 0.03;
+  }
+
+  void setup(Vm& vm, std::uint64_t seed) override {
+    sessions_ = env::scaled(1000);
+    store_root_ = vm.create_global_root();
+    Vm::MutatorScope scope(vm, "tomcat-setup");
+    Mutator& m = scope.mutator();
+    Local store(m, managed::hash_map::create(m, 512));
+    vm.set_global_root(store_root_, store.get());
+    Rng rng(seed);
+    for (std::uint64_t s = 0; s < sessions_; ++s) {
+      Local session(m, m.alloc(1, 8));
+      session->set_field(0, s);
+      Local attrs(m, managed::blob::create_zeroed(m, 96));
+      m.set_ref(session.get(), 0, attrs.get());
+      managed::hash_map::put(m, store, s, session);
+    }
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t sessions = sessions_;
+    const std::size_t root = store_root_;
+    std::mutex store_mu;
+    vm.run_mutators(threads, [&, seed, threads](Mutator& m, int idx) {
+      Rng rng(seed * 17 + static_cast<std::uint64_t>(idx));
+      const std::uint64_t reqs =
+          iteration_count(seed, jitter, env::scaled(12000)) /
+              static_cast<std::uint64_t>(threads) +
+          1;
+      for (std::uint64_t r = 0; r < reqs; ++r) {
+        // Parse: request line + headers.
+        Local request(m, managed::blob::create_zeroed(m, 160));
+        managed::blob::mutable_data(request.get())[0] = static_cast<char>(r);
+        Local headers(m, m.alloc(4, 4));
+        for (int h = 0; h < 4; ++h) {
+          Local header(m, managed::blob::create_zeroed(m, 32));
+          m.set_ref(headers.get(), static_cast<std::size_t>(h), header.get());
+        }
+        // Session lookup; occasionally replace session attributes.
+        const std::uint64_t sid = rng.below(sessions);
+        Obj* session = managed::hash_map::get(vm.global_root(root), sid);
+        if (session != nullptr && rng.chance(0.1)) {
+          Local sess(m, session);
+          Local attrs(m, managed::blob::create_zeroed(m, 96));
+          GuardedLock<std::mutex> g(m, store_mu);
+          m.set_ref(sess.get(), 0, attrs.get());
+        }
+        // Render the response.
+        Local response(m, managed::blob::create_zeroed(m, 256));
+        managed::blob::mutable_data(response.get())[1] = static_cast<char>(sid);
+        cpu_work(800);
+        if (r % 256 == 0) m.poll();
+      }
+    });
+  }
+
+ private:
+  std::size_t store_root_ = 0;
+  std::uint64_t sessions_ = 1000;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_tomcat() { return std::make_unique<Tomcat>(); }
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,70 @@
+// xalan: XSLT processor model. Multi-threaded (one client thread per
+// hardware thread); each thread repeatedly builds an XML-like document
+// tree, runs a transform pass over it (touching every node and emitting
+// output fragments), then drops everything — a high-allocation-rate,
+// short-lived-object workload.
+#include "dacapo/kernels/common.h"
+#include "dacapo/kernels/registry.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class Xalan final : public KernelBase {
+ public:
+  Xalan() {
+    info_.name = "xalan";
+    info_.default_threads = 0;  // one per hw thread
+    info_.jitter = 0.08;
+  }
+
+  void setup(Vm& vm, std::uint64_t seed) override {
+    // Parsed stylesheets and cached source documents survive the whole
+    // run (~5 MB scaled = ~5 GB in paper units): this retained set is what
+    // every forced full collection has to trace and slide, making the
+    // full-GC cost differences of Figures 1(a)/2(a) visible.
+    cache_root_ = vm.create_global_root();
+    Vm::MutatorScope scope(vm, "xalan-setup");
+    Mutator& m = scope.mutator();
+    Rng rng(seed);
+    Local cache(m, managed::ref_array::create(m, 12));
+    for (int i = 0; i < 12; ++i) {
+      Local doc(m, build_tree(m, rng, /*depth=*/6, /*fanout=*/4,
+                              /*payload_words=*/4));
+      managed::ref_array::set(m, cache.get(), static_cast<std::size_t>(i),
+                              doc.get());
+    }
+    vm.set_global_root(cache_root_, cache.get());
+  }
+
+  void run_iteration(Vm& vm, int threads, std::uint64_t seed) override {
+    const double jitter = info_.jitter;
+    const std::uint64_t docs = iteration_count(seed, jitter, env::scaled(100));
+    vm.run_mutators(threads, [&, seed, docs](Mutator& m, int idx) {
+      Rng rng(seed * 31 + static_cast<std::uint64_t>(idx));
+      for (std::uint64_t d = 0; d < docs; ++d) {
+        // Parse: build the document tree (~1365 nodes).
+        Local doc(m, build_tree(m, rng, /*depth=*/5, /*fanout=*/4,
+                                /*payload_words=*/4));
+        // Transform: touch every node, emit output fragments.
+        Local out(m, managed::list::create(m));
+        const std::uint64_t check = tree_checksum(doc.get());
+        for (int frag = 0; frag < 300; ++frag) {
+          Local piece(m, m.alloc(0, 4));
+          piece->set_field(0, check ^ static_cast<word_t>(frag));
+          managed::list::push(m, out, piece);
+        }
+        cpu_work(2000);
+        m.poll();
+      }
+    });
+  }
+
+ private:
+  std::size_t cache_root_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_xalan() { return std::make_unique<Xalan>(); }
+
+}  // namespace mgc::dacapo

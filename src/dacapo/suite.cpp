@@ -1,0 +1,49 @@
+#include "dacapo/suite.h"
+
+#include "dacapo/kernels/registry.h"
+#include "support/check.h"
+
+namespace mgc::dacapo {
+
+const std::vector<std::string>& all_benchmarks() {
+  static const std::vector<std::string> kAll = {
+      "avrora", "batik",   "eclipse",    "fop",       "h2",
+      "jython", "luindex", "lusearch",   "pmd",       "sunflow",
+      "tomcat", "tradebeans", "tradesoap", "xalan",
+  };
+  return kAll;
+}
+
+const std::vector<std::string>& stable_subset() {
+  // Table 2 of the paper.
+  static const std::vector<std::string> kStable = {
+      "h2", "tomcat", "xalan", "jython", "pmd", "luindex", "batik",
+  };
+  return kStable;
+}
+
+const std::vector<std::string>& crashing_benchmarks() {
+  static const std::vector<std::string> kCrash = {"eclipse", "tradebeans",
+                                                  "tradesoap"};
+  return kCrash;
+}
+
+std::unique_ptr<Benchmark> make_benchmark(const std::string& name) {
+  if (name == "avrora") return make_avrora();
+  if (name == "batik") return make_batik();
+  if (name == "eclipse") return make_eclipse();
+  if (name == "fop") return make_fop();
+  if (name == "h2") return make_h2();
+  if (name == "jython") return make_jython();
+  if (name == "luindex") return make_luindex();
+  if (name == "lusearch") return make_lusearch();
+  if (name == "pmd") return make_pmd();
+  if (name == "sunflow") return make_sunflow();
+  if (name == "tomcat") return make_tomcat();
+  if (name == "tradebeans") return make_tradebeans();
+  if (name == "tradesoap") return make_tradesoap();
+  if (name == "xalan") return make_xalan();
+  MGC_UNREACHABLE("unknown benchmark name");
+}
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,18 @@
+// Registry of the 14 DaCapo 2009 benchmarks the paper ran.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mgc::dacapo {
+
+// All 14 names, in the paper's §2.1 order.
+const std::vector<std::string>& all_benchmarks();
+
+// The 7-benchmark stable subset the paper selects in Table 2.
+const std::vector<std::string>& stable_subset();
+
+// The 3 benchmarks that crashed on every test (§3.2).
+const std::vector<std::string>& crashing_benchmarks();
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,54 @@
+// Benchmark interface for the DaCapo-like suite. Each kernel models the
+// memory behaviour (allocation rate, object lifetimes, footprint, thread
+// structure) of one DaCapo 2009 application, as characterized in §2.1 of
+// the paper. The kernels are synthetic: the paper uses DaCapo purely as a
+// GC load generator, so the axes that matter are the ones the collectors
+// see (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/vm.h"
+
+namespace mgc::dacapo {
+
+struct BenchmarkInfo {
+  std::string name;
+  // 0 = one client thread per hardware thread (the DaCapo default).
+  int default_threads = 0;
+  // eclipse / tradebeans / tradesoap crashed on every run in the paper.
+  bool crashes = false;
+  // Fraction of per-iteration work that is randomized. Drives the
+  // stability profile the paper measures in Table 2.
+  double jitter = 0.02;
+};
+
+// Thrown by the crashing benchmarks, mirroring the paper's §3.2.
+class BenchmarkCrash : public std::runtime_error {
+ public:
+  explicit BenchmarkCrash(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual const BenchmarkInfo& info() const = 0;
+
+  // Creates per-run long-lived state (global roots). Called once per run.
+  virtual void setup(Vm& vm, std::uint64_t seed) {
+    (void)vm;
+    (void)seed;
+  }
+
+  // Runs one iteration on `threads` mutator threads.
+  virtual void run_iteration(Vm& vm, int threads, std::uint64_t seed) = 0;
+};
+
+std::unique_ptr<Benchmark> make_benchmark(const std::string& name);
+
+}  // namespace mgc::dacapo

@@ -1,0 +1,96 @@
+#include "gc/classic_collector.h"
+
+#include "runtime/vm.h"
+
+namespace mgc {
+
+ClassicCollector::ClassicCollector(Vm& vm, const VmConfig& cfg,
+                                   bool free_list_old, int young_workers,
+                                   int full_workers)
+    : vm_(vm),
+      cfg_(cfg),
+      heap_(cfg, free_list_old),
+      young_workers_(young_workers),
+      full_workers_(full_workers) {}
+
+char* ClassicCollector::alloc_tlab(std::size_t bytes) {
+  return heap_.eden().par_alloc(bytes);
+}
+
+Obj* ClassicCollector::alloc_direct(std::size_t size_words,
+                                    std::uint16_t num_refs) {
+  const std::size_t bytes = words_to_bytes(size_words);
+  // Objects too large for the eden go straight to the old generation, as
+  // HotSpot does for humongous allocations in the classic collectors.
+  if (bytes > heap_.eden().capacity() / 2) {
+    char* p = heap_.old_alloc(bytes);
+    if (p == nullptr) return nullptr;
+    return Obj::init(p, size_words, num_refs);
+  }
+  char* p = heap_.eden().par_alloc(bytes);
+  if (p == nullptr) return nullptr;
+  return Obj::init(p, size_words, num_refs);
+}
+
+PauseOutcome ClassicCollector::collect_young(GcCause cause) {
+  ScavengeConfig sc;
+  sc.vm = &vm_;
+  sc.heap = &heap_;
+  sc.workers = young_workers_;
+  sc.pool = young_workers_ > 1 ? &vm_.workers() : nullptr;
+  sc.tenuring_threshold = cfg_.tenuring_threshold;
+  fill_scavenge_hooks(sc);
+  const ScavengeResult res = scavenge(sc);
+
+  PauseOutcome out;
+  if (res.promotion_failed) {
+    // HotSpot semantics: finish with a full collection in the same pause.
+    out = run_full(escalate_cause(GcCause::kPromotionFailure));
+    return out;
+  }
+  out.kind = PauseKind::kYoungGc;
+  out.cause = cause;
+  out.full = false;
+  return out;
+}
+
+PauseOutcome ClassicCollector::collect_full(GcCause cause) {
+  return run_full(cause);
+}
+
+PauseOutcome ClassicCollector::run_full(GcCause cause) {
+  before_full_compact();
+  FullCompactConfig fc;
+  fc.vm = &vm_;
+  fc.heap = &heap_;
+  fc.workers = full_compact_workers();
+  fc.pool = fc.workers > 1 ? &vm_.workers() : nullptr;
+  full_compact(fc);
+  PauseOutcome out;
+  out.kind = PauseKind::kFullGc;
+  out.cause = cause;
+  out.full = true;
+  return out;
+}
+
+HeapUsage ClassicCollector::usage() const {
+  HeapUsage u;
+  u.young_used = heap_.young_used();
+  u.young_capacity = heap_.young_capacity();
+  u.old_used = heap_.old_used();
+  u.old_capacity = heap_.old_capacity();
+  u.used = u.young_used + u.old_used;
+  u.capacity = u.young_capacity + u.old_capacity;
+  return u;
+}
+
+BarrierDescriptor ClassicCollector::barrier_descriptor() {
+  BarrierDescriptor bd;
+  bd.kind = BarrierDescriptor::Kind::kCardTable;
+  bd.card_table = &heap_.cards();
+  bd.old_base = heap_.old_base();
+  bd.old_end = heap_.old_end();
+  return bd;
+}
+
+}  // namespace mgc

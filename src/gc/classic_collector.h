@@ -1,0 +1,50 @@
+// Base class for the collectors using the classic generational heap
+// (Serial, ParNew, Parallel, ParallelOld, CMS). Subclasses choose the
+// parallelism of each phase; CMS adds the concurrent machinery on top.
+#pragma once
+
+#include "gc/classic_heap.h"
+#include "gc/full_compact.h"
+#include "gc/scavenge.h"
+#include "runtime/collector.h"
+#include "runtime/vm_config.h"
+
+namespace mgc {
+
+class ClassicCollector : public Collector {
+ public:
+  ClassicCollector(Vm& vm, const VmConfig& cfg, bool free_list_old,
+                   int young_workers, int full_workers);
+
+  // --- allocation ------------------------------------------------------------
+  char* alloc_tlab(std::size_t bytes) override;
+  Obj* alloc_direct(std::size_t size_words, std::uint16_t num_refs) override;
+
+  // --- collection ------------------------------------------------------------
+  PauseOutcome collect_young(GcCause cause) override;
+  PauseOutcome collect_full(GcCause cause) override;
+
+  HeapUsage usage() const override;
+  bool contains(const void* p) const override { return heap_.contains(p); }
+  BarrierDescriptor barrier_descriptor() override;
+
+  ClassicHeap& heap() { return heap_; }
+
+ protected:
+  // Hooks for CMS.
+  virtual void fill_scavenge_hooks(ScavengeConfig& sc) { (void)sc; }
+  virtual void before_full_compact() {}
+  virtual int full_compact_workers() const { return full_workers_; }
+  // Lets CMS rewrite a promotion failure into a concurrent mode failure.
+  virtual GcCause escalate_cause(GcCause cause) { return cause; }
+
+  PauseOutcome run_full(GcCause cause);
+
+  Vm& vm_;
+  VmConfig cfg_;
+  ClassicHeap heap_;
+  int young_workers_;
+  int full_workers_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,79 @@
+#include "gc/classic_heap.h"
+
+#include "support/check.h"
+
+namespace mgc {
+
+ClassicHeap::ClassicHeap(const VmConfig& cfg, bool free_list_old)
+    : free_list_old_(free_list_old), arena_(cfg.heap_bytes) {
+  const std::size_t survivor = cfg.survivor_bytes();
+  const std::size_t eden_sz = cfg.eden_bytes();
+  char* p = arena_.base();
+
+  eden_.initialize("eden", p, eden_sz);
+  p += eden_sz;
+  survivors_[0].initialize("survivor0", p, survivor);
+  p += survivor;
+  survivors_[1].initialize("survivor1", p, survivor);
+  p += survivor;
+
+  young_base_ = arena_.base();
+  young_end_ = p;
+
+  const auto old_sz = static_cast<std::size_t>(arena_.end() - p);
+  MGC_CHECK(old_sz >= 16 * KiB);
+  old_base_ = p;
+  old_end_ = arena_.end();
+
+  old_bot_.initialize(old_base_, old_sz);
+  if (free_list_old_) {
+    cms_old_.initialize("cms-old", p, old_sz, &old_bot_);
+    cms_bits_.initialize(old_base_, old_sz);
+    cms_old_.set_live_bitmap(&cms_bits_);
+  } else {
+    old_.initialize("old", p, old_sz);
+  }
+
+  cards_.initialize(arena_.base(), arena_.size());
+}
+
+char* ClassicHeap::old_alloc(std::size_t bytes) {
+  bytes = align_up(bytes, kObjAlignment);
+  if (free_list_old_) {
+    return cms_old_.alloc(bytes);
+  }
+  char* p = old_.par_alloc(bytes);
+  if (p != nullptr) old_bot_.record_block(p, p + bytes);
+  return p;
+}
+
+std::size_t ClassicHeap::old_used() const {
+  return free_list_old_ ? cms_old_.used() : old_.used();
+}
+
+std::size_t ClassicHeap::old_capacity() const {
+  return free_list_old_ ? cms_old_.capacity() : old_.capacity();
+}
+
+std::size_t ClassicHeap::old_free() const {
+  return old_capacity() - old_used();
+}
+
+std::size_t ClassicHeap::young_used() const {
+  return eden_.used() + survivors_[from_idx_].used();
+}
+
+std::size_t ClassicHeap::young_capacity() const {
+  return eden_.capacity() + survivors_[0].capacity() +
+         survivors_[1].capacity();
+}
+
+void ClassicHeap::walk_old(const std::function<void(Obj*)>& fn) const {
+  if (free_list_old_) {
+    cms_old_.walk(fn);
+  } else {
+    old_.walk(fn);
+  }
+}
+
+}  // namespace mgc

@@ -1,0 +1,88 @@
+// The classic generational heap layout shared by Serial, ParNew, Parallel,
+// ParallelOld and CMS:
+//
+//   [ eden | survivor0 | survivor1 | old generation ............ ]
+//
+// The old generation is a bump-compacted ContiguousSpace for the four
+// compacting collectors, or a FreeListSpace for CMS. A card table covers
+// the whole reservation; a block-offset table covers the old generation.
+#pragma once
+
+#include <memory>
+
+#include "heap/arena.h"
+#include "heap/block_offset_table.h"
+#include "heap/card_table.h"
+#include "heap/contiguous_space.h"
+#include "heap/free_list_space.h"
+#include "heap/mark_bitmap.h"
+#include "runtime/vm_config.h"
+
+namespace mgc {
+
+class ClassicHeap {
+ public:
+  ClassicHeap(const VmConfig& cfg, bool free_list_old);
+
+  bool free_list_old() const { return free_list_old_; }
+
+  ContiguousSpace& eden() { return eden_; }
+  ContiguousSpace& from_space() { return survivors_[from_idx_]; }
+  ContiguousSpace& to_space() { return survivors_[1 - from_idx_]; }
+  void swap_survivors() { from_idx_ = 1 - from_idx_; }
+
+  ContiguousSpace& old_space() { return old_; }
+  FreeListSpace& cms_old() { return cms_old_; }
+  MarkBitmap& cms_bits() { return cms_bits_; }
+
+  CardTable& cards() { return cards_; }
+  BlockOffsetTable& old_bot() { return old_bot_; }
+
+  char* heap_base() const { return arena_.base(); }
+  char* heap_end() const { return arena_.end(); }
+  char* young_base() const { return young_base_; }
+  char* young_end() const { return young_end_; }
+  char* old_base() const { return old_base_; }
+  char* old_end() const { return old_end_; }
+
+  bool in_young(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= young_base_ && c < young_end_;
+  }
+  bool in_old(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= old_base_ && c < old_end_;
+  }
+  bool contains(const void* p) const { return arena_.contains(p); }
+
+  // Thread-safe old-generation allocation (promotion / large objects).
+  // Records the block in the offset table. Returns nullptr when full.
+  char* old_alloc(std::size_t bytes);
+
+  std::size_t old_used() const;
+  std::size_t old_capacity() const;
+  std::size_t old_free() const;
+  std::size_t young_used() const;
+  std::size_t young_capacity() const;
+
+  // Walks every old-generation cell in address order (pause-time only).
+  void walk_old(const std::function<void(Obj*)>& fn) const;
+
+ private:
+  bool free_list_old_;
+  Arena arena_;
+  ContiguousSpace eden_;
+  ContiguousSpace survivors_[2];
+  int from_idx_ = 0;
+  ContiguousSpace old_;
+  FreeListSpace cms_old_;
+  MarkBitmap cms_bits_;
+  CardTable cards_;
+  BlockOffsetTable old_bot_;
+  char* young_base_ = nullptr;
+  char* young_end_ = nullptr;
+  char* old_base_ = nullptr;
+  char* old_end_ = nullptr;
+};
+
+}  // namespace mgc

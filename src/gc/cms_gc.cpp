@@ -1,0 +1,286 @@
+#include "gc/cms_gc.h"
+
+#include "runtime/vm.h"
+
+namespace mgc {
+namespace {
+constexpr std::size_t kMarkBatch = 128;
+constexpr std::size_t kSweepBatch = 256;
+}  // namespace
+
+CmsGc::CmsGc(Vm& vm, const VmConfig& cfg)
+    : ClassicCollector(vm, cfg, /*free_list_old=*/true,
+                       /*young_workers=*/cfg.effective_gc_threads(),
+                       /*full_workers=*/1) {
+  mod_union_.initialize(heap_.cards().num_cards());
+}
+
+CmsGc::~CmsGc() {
+  // stop_background() must already have run (Vm's destructor order).
+  MGC_CHECK(!bg_.joinable());
+}
+
+void CmsGc::start_background() {
+  bg_ = std::thread([this] { bg_main(); });
+}
+
+void CmsGc::stop_background() {
+  {
+    std::lock_guard<std::mutex> g(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_.joinable()) bg_.join();
+}
+
+void CmsGc::maybe_start_concurrent() {
+  if (cycle_active_.load(std::memory_order_acquire)) return;
+  if (heap_.cms_old().occupancy() < cfg_.cms_trigger_occupancy) return;
+  {
+    std::lock_guard<std::mutex> g(bg_mu_);
+    cycle_requested_ = true;
+  }
+  bg_cv_.notify_all();
+}
+
+void CmsGc::fill_scavenge_hooks(ScavengeConfig& sc) {
+  if (cycle_active_.load(std::memory_order_acquire)) {
+    sc.mod_union = &mod_union_;
+    sc.allocate_black = true;
+    sc.promoted_list = &promoted_;
+  }
+}
+
+void CmsGc::before_full_compact() {
+  // Inside a pause: abort any concurrent cycle; the compaction rebuilds the
+  // free-list space and drops all cycle state.
+  if (!cycle_active_.load(std::memory_order_relaxed)) return;
+  abort_cycle_.store(true, std::memory_order_release);
+  if (heap_.cms_old().sweep_in_progress()) heap_.cms_old().abort_sweep();
+  heap_.cms_old().set_allocate_black(false);
+  cycle_active_.store(false, std::memory_order_release);
+}
+
+GcCause CmsGc::escalate_cause(GcCause cause) {
+  if (cause == GcCause::kPromotionFailure &&
+      cycle_active_.load(std::memory_order_acquire)) {
+    cm_failures_.fetch_add(1, std::memory_order_acq_rel);
+    return GcCause::kConcurrentModeFailure;
+  }
+  return cause;
+}
+
+void CmsGc::mark_old_target(Obj* t) {
+  if (t != nullptr && heap_.in_old(t) && heap_.cms_bits().try_mark(t)) {
+    mark_stack_.push_back(t);
+  }
+}
+
+void CmsGc::scan_cell_refs(Obj* cell) {
+  const std::size_t n = cell->num_refs();
+  for (std::size_t i = 0; i < n; ++i) {
+    mark_old_target(cell->refs()[i].load(std::memory_order_acquire));
+  }
+}
+
+void CmsGc::scan_young_cells() {
+  auto scan_space = [&](ContiguousSpace& s) {
+    s.walk([&](Obj* cell) {
+      if (!cell->is_free_chunk()) scan_cell_refs(cell);
+    });
+  };
+  scan_space(heap_.eden());
+  scan_space(heap_.from_space());
+  scan_space(heap_.to_space());
+}
+
+PauseOutcome CmsGc::do_initial_mark() {
+  vm_.retire_all_tlabs();
+  heap_.cms_bits().clear_all();
+  mod_union_.clear();
+  promoted_.clear();
+  mark_stack_.clear();
+  abort_cycle_.store(false, std::memory_order_release);
+  heap_.cms_old().set_allocate_black(true);
+  cycle_active_.store(true, std::memory_order_release);
+
+  vm_.for_each_root_slot([&](Obj** slot) { mark_old_target(*slot); });
+  scan_young_cells();
+
+  PauseOutcome out;
+  out.kind = PauseKind::kInitialMark;
+  out.cause = GcCause::kOccupancyTrigger;
+  return out;
+}
+
+void CmsGc::drain_mark_stack() {
+  while (!mark_stack_.empty()) {
+    Obj* o = mark_stack_.back();
+    mark_stack_.pop_back();
+    scan_cell_refs(o);
+  }
+}
+
+
+void CmsGc::scan_card_for_marks(std::size_t card_idx) {
+  CardTable& cards = heap_.cards();
+  char* const card_base = cards.card_base(card_idx);
+  char* const card_end = cards.card_end(card_idx);
+  Obj* cell = heap_.old_bot().cell_covering(card_base);
+  while (cell->start() < card_end && cell->start() < heap_.old_end()) {
+    if (!cell->is_free_chunk() && cell->num_refs() > 0) {
+      char* const slots_begin = cell->start() + sizeof(ObjHeader);
+      std::size_t i0 = 0;
+      if (card_base > slots_begin) {
+        i0 = static_cast<std::size_t>(card_base - slots_begin + kWordSize - 1) /
+             kWordSize;
+      }
+      const std::size_t nrefs = cell->num_refs();
+      for (std::size_t i = i0; i < nrefs; ++i) {
+        char* const slot_addr = slots_begin + i * sizeof(RefSlot);
+        if (slot_addr >= card_end) break;
+        mark_old_target(cell->refs()[i].load(std::memory_order_acquire));
+      }
+    }
+    cell = cell->next_in_space();
+  }
+}
+
+bool CmsGc::concurrent_preclean() {
+  CardTable& cards = heap_.cards();
+  const std::size_t first = cards.index_of(heap_.old_base());
+  const std::size_t last = cards.index_of(heap_.old_end() - 1);
+  std::size_t batch = 0;
+  for (std::size_t idx = first; idx <= last; ++idx) {
+    if (++batch % 64 == 0) {
+      vm_.safepoints().poll();
+      if (abort_cycle_.load(std::memory_order_acquire)) return false;
+    }
+    if (cards.is_dirty(idx) && cards.try_preclean(idx)) {
+      scan_card_for_marks(idx);
+    }
+    // Keep the stack shallow while precleaning.
+    for (std::size_t i = 0; i < 64 && !mark_stack_.empty(); ++i) {
+      Obj* o = mark_stack_.back();
+      mark_stack_.pop_back();
+      scan_cell_refs(o);
+    }
+  }
+  return true;
+}
+
+PauseOutcome CmsGc::do_remark() {
+  vm_.retire_all_tlabs();
+  // 1. Roots and the whole young generation again.
+  vm_.for_each_root_slot([&](Obj** slot) { mark_old_target(*slot); });
+  scan_young_cells();
+  // 2. Objects promoted into the old generation during the cycle: they may
+  //    hold the only reference to an unmarked old object.
+  for (Obj* p : promoted_) scan_cell_refs(p);
+  promoted_.clear();
+  // 3. Cards dirtied by mutator stores during concurrent marking
+  //    (incremental-update barrier), plus cards a young collection cleaned
+  //    meanwhile (mod-union). Cards stay dirty for the generational
+  //    barrier's purposes; remark only reads them.
+  CardTable& cards = heap_.cards();
+  const std::size_t first = cards.index_of(heap_.old_base());
+  const std::size_t last = cards.index_of(heap_.old_end() - 1);
+  for (std::size_t idx = first; idx <= last; ++idx) {
+    // Precleaned cards were already scanned concurrently; only cards the
+    // mutator re-dirtied since (or that a young GC folded into the
+    // mod-union table) need a stop-the-world rescan.
+    if (!cards.is_dirty(idx) && !mod_union_.is_set(idx)) continue;
+    scan_card_for_marks(idx);
+  }
+  mod_union_.clear();
+  // 4. Complete the closure.
+  drain_mark_stack();
+
+  PauseOutcome out;
+  out.kind = PauseKind::kRemark;
+  out.cause = GcCause::kOccupancyTrigger;
+  return out;
+}
+
+void CmsGc::bg_main() {
+  SafepointCoordinator& sp = vm_.safepoints();
+  sp.register_thread();
+  while (true) {
+    {
+      SafepointCoordinator::BlockedScope blocked(sp);
+      std::unique_lock<std::mutex> l(bg_mu_);
+      bg_cv_.wait(l, [&] { return bg_stop_ || cycle_requested_; });
+      if (bg_stop_) break;
+      cycle_requested_ = false;
+    }
+    run_cycle();
+  }
+  sp.unregister_thread();
+}
+
+void CmsGc::run_cycle() {
+  auto aborted = [&] {
+    return abort_cycle_.load(std::memory_order_acquire) ||
+           [&] {
+             std::lock_guard<std::mutex> g(bg_mu_);
+             return bg_stop_;
+           }();
+  };
+
+  // Initial mark pause.
+  vm_.run_vm_op(GcCause::kOccupancyTrigger, /*caller_is_registered=*/true,
+                [this] { return do_initial_mark(); });
+
+  // Concurrent mark: trace the old generation while mutators run.
+  while (true) {
+    vm_.safepoints().poll();
+    if (aborted()) {
+      mark_stack_.clear();
+      return;
+    }
+    if (mark_stack_.empty()) break;
+    for (std::size_t i = 0; i < kMarkBatch && !mark_stack_.empty(); ++i) {
+      Obj* o = mark_stack_.back();
+      mark_stack_.pop_back();
+      scan_cell_refs(o);
+    }
+  }
+
+  // Concurrent precleaning (two passes: the second catches most of the
+  // cards dirtied during the first).
+  for (int pass = 0; pass < 2; ++pass) {
+    if (!concurrent_preclean()) {
+      mark_stack_.clear();
+      return;
+    }
+  }
+
+  // Remark pause.
+  vm_.run_vm_op(GcCause::kOccupancyTrigger, /*caller_is_registered=*/true,
+                [this] { return do_remark(); });
+  if (aborted()) {
+    mark_stack_.clear();
+    return;
+  }
+
+  // Concurrent sweep.
+  heap_.cms_old().begin_sweep();
+  while (true) {
+    vm_.safepoints().poll();
+    if (aborted()) {
+      if (heap_.cms_old().sweep_in_progress()) heap_.cms_old().abort_sweep();
+      return;
+    }
+    std::size_t reclaimed = 0;
+    if (!heap_.cms_old().sweep_step(kSweepBatch, &reclaimed)) {
+      heap_.cms_old().end_sweep();
+      break;
+    }
+  }
+
+  heap_.cms_old().set_allocate_black(false);
+  cycle_active_.store(false, std::memory_order_release);
+  cycles_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace mgc

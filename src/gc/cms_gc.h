@@ -1,0 +1,89 @@
+// ConcurrentMarkSweepGC: ParNew young collection over a free-list old
+// generation collected by a mostly-concurrent background cycle:
+//
+//   initial mark (STW)  — roots + young generation scanned for old targets
+//   concurrent mark     — background thread traces the old generation;
+//                         mutator stores dirty cards (incremental update)
+//   remark (STW)        — roots, young gen, objects promoted during the
+//                         cycle, and dirty/mod-union cards are rescanned;
+//                         the closure is completed
+//   concurrent sweep    — free lists rebuilt in address order
+//
+// A promotion failure while the cycle runs is a *concurrent mode failure*:
+// the cycle aborts and a single-threaded mark-sweep-compact runs in the
+// same pause (the long CMS pauses of the paper's Cassandra experiment).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gc/classic_collector.h"
+
+namespace mgc {
+
+class CmsGc final : public ClassicCollector {
+ public:
+  CmsGc(Vm& vm, const VmConfig& cfg);
+  ~CmsGc() override;
+
+  GcKind kind() const override { return GcKind::kCms; }
+
+  void start_background() override;
+  void stop_background() override;
+  void maybe_start_concurrent() override;
+
+  bool cycle_active() const {
+    return cycle_active_.load(std::memory_order_acquire);
+  }
+  std::uint64_t cycles_completed() const {
+    return cycles_.load(std::memory_order_acquire);
+  }
+  std::uint64_t concurrent_mode_failures() const {
+    return cm_failures_.load(std::memory_order_acquire);
+  }
+
+ protected:
+  void fill_scavenge_hooks(ScavengeConfig& sc) override;
+  void before_full_compact() override;
+  int full_compact_workers() const override { return 1; }  // serial MSC
+  GcCause escalate_cause(GcCause cause) override;
+
+ private:
+  void bg_main();
+  void run_cycle();
+
+  // Pause bodies (run on the VM thread).
+  PauseOutcome do_initial_mark();
+  PauseOutcome do_remark();
+
+  // Pushes t onto the mark stack if it is an unmarked old-gen object.
+  void mark_old_target(Obj* t);
+  void scan_cell_refs(Obj* cell);
+  void scan_young_cells();
+  void drain_mark_stack();
+  // Marks the old-gen targets of every reference slot on one card.
+  void scan_card_for_marks(std::size_t card_idx);
+  // Concurrent precleaning: scans dirty cards while mutators run so remark
+  // only has to revisit cards re-dirtied afterwards (HotSpot's
+  // CMSPrecleaningEnabled). Returns false if the cycle was aborted.
+  bool concurrent_preclean();
+
+  std::thread bg_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  bool cycle_requested_ = false;
+
+  std::atomic<bool> cycle_active_{false};
+  std::atomic<bool> abort_cycle_{false};
+  ModUnionTable mod_union_;
+  std::vector<Obj*> mark_stack_;
+  std::vector<Obj*> promoted_;
+
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> cm_failures_{0};
+};
+
+}  // namespace mgc

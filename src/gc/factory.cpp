@@ -1,0 +1,29 @@
+#include "gc/cms_gc.h"
+#include "gc/g1_gc.h"
+#include "gc/parallel_gc.h"
+#include "gc/parallel_old_gc.h"
+#include "gc/parnew_gc.h"
+#include "gc/serial_gc.h"
+#include "runtime/vm.h"
+
+namespace mgc {
+
+std::unique_ptr<Collector> make_collector(Vm& vm, const VmConfig& cfg) {
+  switch (cfg.gc) {
+    case GcKind::kSerial:
+      return std::make_unique<SerialGc>(vm, cfg);
+    case GcKind::kParNew:
+      return std::make_unique<ParNewGc>(vm, cfg);
+    case GcKind::kParallel:
+      return std::make_unique<ParallelGc>(vm, cfg);
+    case GcKind::kParallelOld:
+      return std::make_unique<ParallelOldGc>(vm, cfg);
+    case GcKind::kCms:
+      return std::make_unique<CmsGc>(vm, cfg);
+    case GcKind::kG1:
+      return std::make_unique<G1Gc>(vm, cfg);
+  }
+  MGC_UNREACHABLE("bad GcKind");
+}
+
+}  // namespace mgc

@@ -1,0 +1,178 @@
+#include "gc/full_compact.h"
+
+#include <cstring>
+
+#include "gc/marking.h"
+#include "gc/parallel_work.h"
+#include "runtime/vm.h"
+
+namespace mgc {
+namespace {
+
+// Bump allocator over an ordered list of destination ranges (old gen, then
+// eden, then the survivor spaces for pathological live sets).
+class DestinationCursor {
+ public:
+  void add_range(char* base, char* end) { ranges_.push_back({base, end}); }
+
+  char* alloc(std::size_t bytes) {
+    while (cur_ < ranges_.size()) {
+      Range& r = ranges_[cur_];
+      if (static_cast<std::size_t>(r.end - r.pos()) >= bytes) {
+        char* p = r.pos();
+        r.used += bytes;
+        return p;
+      }
+      ++cur_;
+    }
+    return nullptr;
+  }
+
+  // Final fill level of range i (== base when untouched).
+  char* level(std::size_t i) const {
+    return ranges_[i].base + ranges_[i].used;
+  }
+  std::size_t range_count() const { return ranges_.size(); }
+
+ private:
+  struct Range {
+    char* base;
+    char* end;
+    std::size_t used = 0;
+    char* pos() const { return base + used; }
+  };
+  std::vector<Range> ranges_;
+  std::size_t cur_ = 0;
+};
+
+}  // namespace
+
+FullCompactResult full_compact(const FullCompactConfig& cfg) {
+  MGC_CHECK(cfg.vm != nullptr && cfg.heap != nullptr);
+  Vm& vm = *cfg.vm;
+  ClassicHeap& heap = *cfg.heap;
+  vm.retire_all_tlabs();
+
+  // Phase 1: mark (parallel for ParallelOld).
+  const MarkStats marked = mark_from_roots(
+      vm, cfg.workers > 1 ? cfg.pool : nullptr, cfg.workers);
+
+  // Phase 2 (serial): assign forwarding addresses in compaction order and
+  // collect the live list. Sources: old generation first, then the young
+  // spaces; destinations: old generation, then eden, then survivors.
+  // Destinations are old gen then eden only: eden-resident survivors are
+  // re-evacuated by the next young collection, but objects left in a
+  // survivor space would be invisible to future scavenges, so a live set
+  // exceeding old+eden is a (fatal) out-of-memory condition.
+  DestinationCursor dest;
+  dest.add_range(heap.old_base(), heap.old_end());
+  dest.add_range(heap.eden().base(), heap.eden().end());
+
+  std::vector<Obj*> live;
+  live.reserve(marked.live_objects);
+  auto forward_cell = [&](Obj* o) {
+    if (!o->is_marked()) return;
+    char* d = dest.alloc(o->size_bytes());
+    MGC_CHECK_MSG(d != nullptr,
+                  "OutOfMemory: live data exceeds old generation + eden");
+    o->set_forward(reinterpret_cast<Obj*>(d));
+    live.push_back(o);
+  };
+  heap.walk_old(forward_cell);
+  heap.eden().walk(forward_cell);
+  heap.from_space().walk(forward_cell);
+  heap.to_space().walk(forward_cell);
+
+  // Phase 3: update every reference (roots + live objects' slots) to the
+  // forwarding address. Parallel for ParallelOld.
+  std::vector<Obj**> root_slots;
+  vm.for_each_root_slot([&](Obj** slot) { root_slots.push_back(slot); });
+
+  auto update_slot = [](Obj*& target) {
+    if (target != nullptr) {
+      Obj* fwd = target->forwardee();
+      MGC_DCHECK(fwd != nullptr);
+      target = fwd;
+    }
+  };
+  auto update_phase = [&](int /*worker*/, ChunkClaimer& roots,
+                          ChunkClaimer& objs) {
+    std::size_t b, e;
+    while (roots.claim(&b, &e)) {
+      for (std::size_t i = b; i < e; ++i) update_slot(*root_slots[i]);
+    }
+    while (objs.claim(&b, &e)) {
+      for (std::size_t i = b; i < e; ++i) {
+        Obj* o = live[i];
+        const std::size_t n = o->num_refs();
+        for (std::size_t r = 0; r < n; ++r) {
+          Obj* t = o->refs()[r].load(std::memory_order_relaxed);
+          if (t != nullptr) {
+            o->refs()[r].store(t->forwardee(), std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+  };
+  {
+    ChunkClaimer roots(root_slots.size(), 128);
+    ChunkClaimer objs(live.size(), 256);
+    if (cfg.workers > 1) {
+      cfg.pool->run(cfg.workers,
+                    [&](int w) { update_phase(w, roots, objs); });
+    } else {
+      update_phase(0, roots, objs);
+    }
+  }
+
+  // Phase 4 (serial): slide. Processing order == assignment order, so every
+  // destination byte was already vacated (or is below its own source).
+  CardTable& cards = heap.cards();
+  cards.clear_all();
+  char* const yb = heap.young_base();
+  char* const ye = heap.young_end();
+  bool eden_overflow = false;
+  for (Obj* src : live) {
+    auto* d = reinterpret_cast<Obj*>(src->forwardee());
+    const std::size_t bytes = src->size_bytes();
+    if (d != src) std::memmove(d->start(), src->start(), bytes);
+    d->header().forward.store(nullptr, std::memory_order_relaxed);
+    d->clear_mark();
+    const bool d_in_old = heap.in_old(d->start());
+    if (d_in_old) {
+      heap.old_bot().record_block(d->start(), d->end());
+    } else {
+      eden_overflow = true;
+    }
+    // Re-establish the generational invariant for survivors that landed in
+    // the young spaces: old holders referencing them need dirty cards.
+    if (d_in_old) {
+      const std::size_t n = d->num_refs();
+      for (std::size_t r = 0; r < n; ++r) {
+        Obj* t = d->ref(r);
+        if (t != nullptr && t->start() >= yb && t->start() < ye) {
+          cards.dirty(&d->refs()[r]);
+        }
+      }
+    }
+  }
+
+  // Phase 5: commit space boundaries.
+  char* const old_top = dest.level(0);
+  if (heap.free_list_old()) {
+    heap.cms_old().reset_after_compact(old_top);
+  } else {
+    heap.old_space().set_top(old_top);
+  }
+  heap.eden().set_top(dest.level(1));
+  heap.from_space().reset();
+  heap.to_space().reset();
+
+  FullCompactResult res;
+  res.live_bytes = marked.live_bytes;
+  res.live_objects = marked.live_objects;
+  res.eden_overflow = eden_overflow;
+  return res;
+}
+
+}  // namespace mgc

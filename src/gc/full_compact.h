@@ -1,0 +1,36 @@
+// Full stop-the-world mark-compact collection for the classic heap
+// (LISP-2 style: mark, forward, update references, slide).
+//
+// The entire heap is collected: old-generation live objects slide to the
+// low end of the old generation and young survivors are appended after
+// them (overflowing back into eden only if the old generation cannot hold
+// everything, as HotSpot does). The mark and reference-update passes are
+// the dominant pointer-chasing costs and run parallel for ParallelOld; the
+// sliding move is serial (see DESIGN.md §4).
+#pragma once
+
+#include <cstddef>
+
+#include "gc/classic_heap.h"
+#include "support/gc_worker_pool.h"
+
+namespace mgc {
+
+class Vm;
+
+struct FullCompactConfig {
+  Vm* vm = nullptr;
+  ClassicHeap* heap = nullptr;
+  GcWorkerPool* pool = nullptr;  // parallel mark/update when workers > 1
+  int workers = 1;
+};
+
+struct FullCompactResult {
+  std::size_t live_bytes = 0;
+  std::size_t live_objects = 0;
+  bool eden_overflow = false;  // survivors did not all fit in old gen
+};
+
+FullCompactResult full_compact(const FullCompactConfig& cfg);
+
+}  // namespace mgc

@@ -1,0 +1,134 @@
+// Garbage-First (G1): region-based heap, parallel evacuation pauses with a
+// pause-time target, SATB concurrent marking, mixed collections, and — as
+// in OpenJDK8, where it dominates this paper's "system GC" results — a
+// SINGLE-THREADED full collection fallback.
+//
+// Structure of a cycle:
+//   young pause (initial mark) — evacuate young; snapshot TAMS per old
+//                                region; enable the SATB barrier
+//   concurrent mark            — background thread traces old/humongous
+//                                regions below TAMS
+//   remark (STW)               — drain SATB buffers, rescan roots, young
+//                                regions and above-TAMS allocations
+//   cleanup (STW)              — per-region liveness; free zero-live
+//                                regions (after purging incoming refs via
+//                                their remembered sets); build the mixed
+//                                collection candidate list
+//   mixed pauses               — young + highest-garbage old regions,
+//                                bounded by the pause-time model
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "heap/arena.h"
+#include "heap/block_offset_table.h"
+#include "heap/card_table.h"
+#include "heap/mark_bitmap.h"
+#include "heap/region.h"
+#include "runtime/collector.h"
+#include "runtime/vm_config.h"
+#include "support/spinlock.h"
+
+namespace mgc {
+
+class G1Gc final : public Collector {
+ public:
+  G1Gc(Vm& vm, const VmConfig& cfg);
+  ~G1Gc() override;
+
+  GcKind kind() const override { return GcKind::kG1; }
+
+  char* alloc_tlab(std::size_t bytes) override;
+  Obj* alloc_direct(std::size_t size_words, std::uint16_t num_refs) override;
+
+  PauseOutcome collect_young(GcCause cause) override;
+  PauseOutcome collect_full(GcCause cause) override;
+
+  HeapUsage usage() const override;
+  bool contains(const void* p) const override { return rm_.contains(p); }
+  BarrierDescriptor barrier_descriptor() override;
+
+  void start_background() override;
+  void stop_background() override;
+  void maybe_start_concurrent() override;
+  void satb_record(Mutator& m, Obj* old_value) override;
+  void rset_record(void* slot_addr, Obj* value) override;
+
+  // Introspection for tests and benches.
+  RegionManager& regions() { return rm_; }
+  bool cycle_active() const {
+    return cycle_active_.load(std::memory_order_acquire);
+  }
+  std::uint64_t cycles_completed() const {
+    return cycles_.load(std::memory_order_acquire);
+  }
+  std::uint64_t mixed_pauses() const {
+    return mixed_pauses_.load(std::memory_order_acquire);
+  }
+  std::uint64_t evacuation_failures() const {
+    return evac_failures_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend struct G1EvacShared;
+
+  // Allocation.
+  char* young_alloc_locked(std::size_t bytes);
+  std::size_t eden_quota() const;
+
+  // Pauses.
+  PauseOutcome evacuate_pause(GcCause cause, bool initial_mark);
+  PauseOutcome full_gc(GcCause cause);
+  PauseOutcome do_remark();
+  PauseOutcome do_cleanup();
+  void setup_marking_in_pause();
+  void abort_cycle_in_pause();
+  void handle_failed_region(Region* r);
+  void purge_refs_into(Region* dying);
+  void mark_old_target(Obj* t);
+  void scan_card_for_marks(std::size_t card_idx);
+
+  Vm& vm_;
+  VmConfig cfg_;
+  Arena arena_;
+  RegionManager rm_;
+  CardTable cards_;
+  BlockOffsetTable bot_;
+  MarkBitmap bits_;
+  unsigned region_shift_;
+
+  SpinLock alloc_lock_;
+  Region* mutator_region_ = nullptr;
+  std::vector<Region*> eden_regions_;
+  std::vector<Region*> survivor_regions_;
+  std::size_t max_young_regions_;
+
+  std::atomic<bool> satb_active_{false};
+  SpinLock satb_lock_;
+  std::vector<Obj*> satb_buffer_;
+
+  std::thread bg_;
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  bool cycle_requested_ = false;
+  std::atomic<bool> cycle_active_{false};
+  std::atomic<bool> abort_cycle_{false};
+  std::vector<Obj*> mark_stack_;
+
+  std::vector<std::uint32_t> mixed_candidates_;
+  // Read by mutators (maybe_start_concurrent); written inside pauses.
+  std::atomic<bool> mixed_pending_{false};
+
+  // Pause-time model: EMA of seconds per evacuated byte.
+  double secs_per_byte_ = 2e-9;
+
+  std::atomic<std::uint64_t> cycles_{0};
+  std::atomic<std::uint64_t> mixed_pauses_{0};
+  std::atomic<std::uint64_t> evac_failures_{0};
+};
+
+}  // namespace mgc

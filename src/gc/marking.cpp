@@ -1,0 +1,59 @@
+#include "gc/marking.h"
+
+#include <atomic>
+
+#include "gc/parallel_work.h"
+#include "heap/object.h"
+#include "runtime/vm.h"
+
+namespace mgc {
+
+MarkStats mark_from_roots(Vm& vm, GcWorkerPool* pool, int workers) {
+  MGC_CHECK(workers >= 1);
+  MGC_CHECK(pool != nullptr || workers == 1);
+
+  WorkSet<Obj*> work(workers);
+  std::atomic<std::size_t> live_objects{0};
+  std::atomic<std::size_t> live_bytes{0};
+
+  // Seed with roots, spread round-robin across workers.
+  {
+    int w = 0;
+    vm.for_each_root_slot([&](Obj** slot) {
+      Obj* o = *slot;
+      if (o != nullptr && o->try_mark()) {
+        work.push(w, o);
+        w = (w + 1) % workers;
+      }
+    });
+  }
+
+  auto worker_body = [&](int w) {
+    std::size_t objs = 0;
+    std::size_t bytes = 0;
+    work.drain(w, [&](Obj* o) {
+      ++objs;
+      bytes += o->size_bytes();
+      const std::size_t n = o->num_refs();
+      for (std::size_t i = 0; i < n; ++i) {
+        Obj* child = o->ref(i);
+        if (child != nullptr && child->try_mark()) work.push(w, child);
+      }
+    });
+    live_objects.fetch_add(objs, std::memory_order_relaxed);
+    live_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  };
+
+  if (workers == 1) {
+    worker_body(0);
+  } else {
+    pool->run(workers, worker_body);
+  }
+
+  MarkStats s;
+  s.live_objects = live_objects.load(std::memory_order_relaxed);
+  s.live_bytes = live_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mgc

@@ -1,0 +1,23 @@
+// Stop-the-world tracing (header mark bits) used by full collections.
+// Parallel when given a worker pool, serial otherwise.
+#pragma once
+
+#include <cstddef>
+
+#include "support/gc_worker_pool.h"
+
+namespace mgc {
+
+class Vm;
+
+struct MarkStats {
+  std::size_t live_objects = 0;
+  std::size_t live_bytes = 0;
+};
+
+// Marks every object reachable from the VM's roots (mutator shadow stacks +
+// global roots) by setting header mark bits. Must run inside a safepoint.
+// `pool` may be nullptr together with workers == 1 for serial marking.
+MarkStats mark_from_roots(Vm& vm, GcWorkerPool* pool, int workers);
+
+}  // namespace mgc

@@ -1,0 +1,3 @@
+#include "gc/parallel_gc.h"
+
+namespace mgc {}

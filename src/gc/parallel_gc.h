@@ -1,0 +1,19 @@
+// ParallelGC (Parallel Scavenge without parallel old): parallel copying
+// young collection, single-threaded compacting old collection.
+#pragma once
+
+#include "gc/classic_collector.h"
+#include "runtime/vm_config.h"
+
+namespace mgc {
+
+class ParallelGc final : public ClassicCollector {
+ public:
+  ParallelGc(Vm& vm, const VmConfig& cfg)
+      : ClassicCollector(vm, cfg, /*free_list_old=*/false,
+                         /*young_workers=*/cfg.effective_gc_threads(),
+                         /*full_workers=*/1) {}
+  GcKind kind() const override { return GcKind::kParallel; }
+};
+
+}  // namespace mgc

@@ -1,0 +1,3 @@
+#include "gc/parallel_old_gc.h"
+
+namespace mgc {}

@@ -1,0 +1,20 @@
+// ParallelOldGC: the paper's baseline (OpenJDK8 default). Parallel copying
+// young collection and parallel compacting old collection — the mark and
+// reference-update passes of the full compaction run on the GC worker pool.
+#pragma once
+
+#include "gc/classic_collector.h"
+#include "runtime/vm_config.h"
+
+namespace mgc {
+
+class ParallelOldGc final : public ClassicCollector {
+ public:
+  ParallelOldGc(Vm& vm, const VmConfig& cfg)
+      : ClassicCollector(vm, cfg, /*free_list_old=*/false,
+                         /*young_workers=*/cfg.effective_gc_threads(),
+                         /*full_workers=*/cfg.effective_gc_threads()) {}
+  GcKind kind() const override { return GcKind::kParallelOld; }
+};
+
+}  // namespace mgc

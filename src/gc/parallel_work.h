@@ -1,0 +1,90 @@
+// Shared machinery for parallel collection phases: per-worker work-stealing
+// deques with a global in-flight counter for termination, and a chunked
+// claim counter for statically partitioned work (root chunks, card chunks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/check.h"
+#include "support/spinlock.h"
+#include "support/ws_deque.h"
+
+namespace mgc {
+
+// A pool of work-stealing deques with exact termination: `pending` counts
+// tasks that have been pushed but whose processing has not finished, so a
+// worker observing pending == 0 knows the phase is globally complete.
+template <typename T>
+class WorkSet {
+ public:
+  explicit WorkSet(int workers) : pending_(0) {
+    MGC_CHECK(workers >= 1);
+    deques_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+      deques_.push_back(std::make_unique<WsDeque<T>>());
+  }
+
+  int workers() const { return static_cast<int>(deques_.size()); }
+
+  void push(int worker, T item) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    deques_[static_cast<std::size_t>(worker)]->push(item);
+  }
+
+  // Runs the drain loop for `worker`: pops local work, steals when empty,
+  // spins until the phase is globally done. `process` may push new items.
+  template <typename ProcessFn>
+  void drain(int worker, ProcessFn&& process) {
+    auto& own = *deques_[static_cast<std::size_t>(worker)];
+    Backoff backoff;
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      if (auto item = own.pop()) {
+        process(*item);
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      bool stole = false;
+      for (std::size_t i = 1; i < deques_.size(); ++i) {
+        const std::size_t victim =
+            (static_cast<std::size_t>(worker) + i) % deques_.size();
+        if (auto item = deques_[victim]->steal()) {
+          process(*item);
+          pending_.fetch_sub(1, std::memory_order_acq_rel);
+          stole = true;
+          break;
+        }
+      }
+      if (!stole) backoff.pause();
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> pending_;
+  std::vector<std::unique_ptr<WsDeque<T>>> deques_;
+};
+
+// Atomic chunk claimer over a fixed-size item list.
+class ChunkClaimer {
+ public:
+  ChunkClaimer(std::size_t total, std::size_t chunk_size)
+      : total_(total), chunk_(chunk_size == 0 ? 1 : chunk_size) {}
+
+  // Claims [begin, end); returns false when exhausted.
+  bool claim(std::size_t* begin, std::size_t* end) {
+    const std::size_t b = next_.fetch_add(chunk_, std::memory_order_acq_rel);
+    if (b >= total_) return false;
+    *begin = b;
+    *end = std::min(b + chunk_, total_);
+    return true;
+  }
+
+ private:
+  const std::size_t total_;
+  const std::size_t chunk_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace mgc

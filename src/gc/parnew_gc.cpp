@@ -1,0 +1,3 @@
+#include "gc/parnew_gc.h"
+
+namespace mgc {}

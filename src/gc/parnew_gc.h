@@ -1,0 +1,19 @@
+// ParNewGC: parallel copying young collection (the same young collector CMS
+// uses), single-threaded mark-sweep-compact old collection.
+#pragma once
+
+#include "gc/classic_collector.h"
+#include "runtime/vm_config.h"
+
+namespace mgc {
+
+class ParNewGc final : public ClassicCollector {
+ public:
+  ParNewGc(Vm& vm, const VmConfig& cfg)
+      : ClassicCollector(vm, cfg, /*free_list_old=*/false,
+                         /*young_workers=*/cfg.effective_gc_threads(),
+                         /*full_workers=*/1) {}
+  GcKind kind() const override { return GcKind::kParNew; }
+};
+
+}  // namespace mgc

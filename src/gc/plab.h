@@ -1,0 +1,82 @@
+// Promotion/GC-local allocation buffer: a per-worker bump region carved out
+// of a shared destination space so parallel copying rarely touches the
+// shared allocation pointer.
+//
+// In `parsable` mode (used for the CMS free-list old generation, which
+// concurrent card scanners walk while promotion is happening) the PLAB
+// maintains the invariant that its unused tail is always covered by a
+// filler cell *before* carved memory is handed out: a walker either sees
+// the pre-carve cell layout or the post-carve one, never torn bytes.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "heap/block_offset_table.h"
+#include "heap/object.h"
+
+namespace mgc {
+
+class Plab {
+ public:
+  explicit Plab(std::size_t plab_bytes, BlockOffsetTable* bot = nullptr,
+                bool parsable = false)
+      : plab_bytes_(plab_bytes), bot_(bot), parsable_(parsable) {}
+
+  std::size_t plab_bytes() const { return plab_bytes_; }
+
+  char* alloc(std::size_t bytes) {
+    if (static_cast<std::size_t>(end_ - top_) < bytes) return nullptr;
+    char* p = top_;
+    top_ += bytes;
+    if (parsable_ && top_ < end_) {
+      // Re-cover the tail before the caller writes the object header: the
+      // tail only becomes reachable to walkers once the caller's header
+      // (written with release ordering) shrinks the current cell.
+      Obj::init_filler(top_, static_cast<std::size_t>(end_ - top_) / kWordSize);
+      if (bot_ != nullptr) bot_->record_block(top_, end_);
+    }
+    return p;
+  }
+
+  // Allocate from the PLAB, refilling from `refill` on demand. Objects
+  // larger than half a PLAB bypass it. Returns nullptr when the underlying
+  // space is exhausted.
+  char* alloc_refill(std::size_t bytes,
+                     const std::function<char*(std::size_t)>& refill) {
+    if (char* p = alloc(bytes)) return p;
+    if (bytes > plab_bytes_ / 2) return refill(bytes);
+    char* fresh = refill(plab_bytes_);
+    if (fresh == nullptr) {
+      // The space may still fit this object even if a whole PLAB does not.
+      return refill(bytes);
+    }
+    retire();
+    top_ = fresh;
+    end_ = fresh + plab_bytes_;
+    if (parsable_) {
+      // The free-list allocator installed a provisional cell covering the
+      // whole PLAB; keep it that way until the first carve.
+    }
+    return alloc(bytes);
+  }
+
+  // Plugs the unused tail with a filler cell so the space stays parsable.
+  void retire() {
+    if (top_ != nullptr && top_ < end_) {
+      const auto words = static_cast<std::size_t>(end_ - top_) / kWordSize;
+      Obj::init_filler(top_, words);
+      if (bot_ != nullptr) bot_->record_block(top_, end_);
+    }
+    top_ = end_ = nullptr;
+  }
+
+ private:
+  std::size_t plab_bytes_;
+  BlockOffsetTable* bot_;
+  bool parsable_;
+  char* top_ = nullptr;
+  char* end_ = nullptr;
+};
+
+}  // namespace mgc

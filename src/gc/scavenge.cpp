@@ -1,0 +1,237 @@
+#include "gc/scavenge.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "gc/parallel_work.h"
+#include "gc/plab.h"
+#include "runtime/vm.h"
+
+namespace mgc {
+namespace {
+
+struct Shared {
+  const ScavengeConfig& cfg;
+  ClassicHeap& heap;
+  WorkSet<Obj*> work;
+  std::vector<Obj**> root_slots;
+  std::vector<std::size_t> dirty_cards;
+  char* old_parsable_limit = nullptr;
+  std::atomic<bool> promotion_failed{false};
+  std::atomic<std::size_t> survivor_bytes{0};
+  std::atomic<std::size_t> promoted_bytes{0};
+  SpinLock promoted_lock;
+
+  explicit Shared(const ScavengeConfig& c)
+      : cfg(c), heap(*c.heap), work(c.workers) {}
+
+  bool in_source(const Obj* o) const {
+    // Objects being evacuated live in eden or the from-survivor space.
+    return heap.eden().contains(o) ||
+           const_cast<ClassicHeap&>(heap).from_space().contains(o);
+  }
+};
+
+struct Worker {
+  Worker(std::size_t plab_bytes, ClassicHeap& heap)
+      : to_plab(plab_bytes),
+        old_plab(plab_bytes, &heap.old_bot(),
+                 /*parsable=*/heap.free_list_old()) {}
+  Plab to_plab;
+  Plab old_plab;
+  std::size_t survivor_bytes = 0;
+  std::size_t promoted_bytes = 0;
+  std::vector<Obj*> promoted;  // flushed into cfg.promoted_list at the end
+};
+
+Obj* evacuate(Shared& sh, Worker& wk, int w, Obj* o) {
+  if (!sh.in_source(o)) return o;
+  if (Obj* f = o->forwardee()) return f;
+
+  const std::size_t bytes = o->size_bytes();
+  const std::uint8_t age = o->age();
+
+  char* dest_mem = nullptr;
+  bool promoted = false;
+  if (age < sh.cfg.tenuring_threshold) {
+    dest_mem = wk.to_plab.alloc_refill(
+        bytes, [&](std::size_t b) { return sh.heap.to_space().par_alloc(b); });
+  }
+  if (dest_mem == nullptr) {
+    // Tenured by age, or survivor overflow: promote to the old generation.
+    dest_mem = wk.old_plab.alloc_refill(
+        bytes, [&](std::size_t b) { return sh.heap.old_alloc(b); });
+    promoted = dest_mem != nullptr;
+  }
+  if (dest_mem == nullptr) {
+    // Promotion failure: self-forward in place; the caller must run a full
+    // collection in this same pause.
+    Obj* winner = o->forward_atomic(o);
+    if (winner == o) {
+      sh.promotion_failed.store(true, std::memory_order_release);
+      sh.work.push(w, o);  // children still need processing
+    }
+    return winner;
+  }
+
+  // Copy protocol for concurrent heap walkers (CMS old-gen card scanning
+  // runs while other workers promote): body first, header fields next,
+  // num_refs last — a walker sees either a 0-ref cell of the right size or
+  // a fully copied object.
+  auto* dest = reinterpret_cast<Obj*>(dest_mem);
+  std::memcpy(dest_mem + sizeof(ObjHeader), o->start() + sizeof(ObjHeader),
+              bytes - sizeof(ObjHeader));
+  dest->set_size_words_atomic(static_cast<std::uint32_t>(bytes / kWordSize));
+  dest->header().age = static_cast<std::uint8_t>(age >= 15 ? 15 : age + 1);
+  dest->header().forward.store(nullptr, std::memory_order_relaxed);
+  dest->header().flags.store(0, std::memory_order_release);
+  dest->set_num_refs_atomic(o->num_refs());
+
+  Obj* winner = o->forward_atomic(dest);
+  if (winner != dest) {
+    // Another worker copied o first; our duplicate becomes a dead filler.
+    dest->set_num_refs_atomic(0);
+    dest->header().flags.store(objflag::kDeadCopy, std::memory_order_release);
+    return winner;
+  }
+
+  if (promoted) {
+    sh.heap.old_bot().record_block(dest->start(), dest->end());
+    if (sh.cfg.allocate_black) sh.heap.cms_bits().mark(dest);
+    if (sh.cfg.promoted_list != nullptr) wk.promoted.push_back(dest);
+    wk.promoted_bytes += bytes;
+  } else {
+    wk.survivor_bytes += bytes;
+  }
+  sh.work.push(w, dest);
+  return dest;
+}
+
+// Processes one reference slot of holder `x` (may be anywhere in the heap).
+inline void process_slot(Shared& sh, Worker& wk, int w, Obj* x, bool x_in_old,
+                         RefSlot& slot) {
+  Obj* t = slot.load(std::memory_order_relaxed);
+  if (t == nullptr) return;
+  if (sh.in_source(t)) {
+    t = evacuate(sh, wk, w, t);
+    slot.store(t, std::memory_order_relaxed);
+  }
+  // Maintain the generational invariant: any old-gen slot that (still)
+  // points into the young generation keeps its card dirty.
+  if (x_in_old && sh.heap.in_young(t)) sh.heap.cards().dirty(&slot);
+  (void)x;
+}
+
+void scan_object(Shared& sh, Worker& wk, int w, Obj* x) {
+  const bool x_in_old = sh.heap.in_old(x);
+  const std::size_t n = x->num_refs();
+  for (std::size_t i = 0; i < n; ++i) {
+    process_slot(sh, wk, w, x, x_in_old, x->refs()[i]);
+  }
+}
+
+void process_card(Shared& sh, Worker& wk, int w, std::size_t card_idx) {
+  CardTable& cards = sh.heap.cards();
+  if (sh.cfg.mod_union != nullptr) sh.cfg.mod_union->record(card_idx);
+  cards.clear_index(card_idx);
+  char* const card_base = cards.card_base(card_idx);
+  char* const card_end = cards.card_end(card_idx);
+  if (card_base >= sh.old_parsable_limit) return;
+
+  Obj* cell = sh.heap.old_bot().cell_covering(card_base);
+  while (cell->start() < card_end &&
+         cell->start() < sh.old_parsable_limit) {
+    if (!cell->is_free_chunk() && cell->num_refs() > 0) {
+      // Only the slots physically on this card; neighbouring cards own the
+      // rest (this also partitions big objects between workers).
+      char* const slots_begin = cell->start() + sizeof(ObjHeader);
+      const std::size_t nrefs = cell->num_refs();
+      std::size_t i0 = 0;
+      if (card_base > slots_begin) {
+        i0 = static_cast<std::size_t>(card_base - slots_begin + kWordSize - 1) /
+             kWordSize;
+      }
+      for (std::size_t i = i0; i < nrefs; ++i) {
+        char* const slot_addr = slots_begin + i * sizeof(RefSlot);
+        if (slot_addr >= card_end) break;
+        process_slot(sh, wk, w, cell, /*x_in_old=*/true, cell->refs()[i]);
+      }
+    }
+    cell = cell->next_in_space();
+  }
+}
+
+}  // namespace
+
+ScavengeResult scavenge(const ScavengeConfig& cfg) {
+  MGC_CHECK(cfg.vm != nullptr && cfg.heap != nullptr);
+  MGC_CHECK(cfg.workers >= 1);
+  MGC_CHECK(cfg.pool != nullptr || cfg.workers == 1);
+
+  Vm& vm = *cfg.vm;
+  ClassicHeap& heap = *cfg.heap;
+  vm.retire_all_tlabs();
+
+  Shared sh(cfg);
+  sh.old_parsable_limit =
+      heap.free_list_old() ? heap.old_end() : heap.old_space().top();
+
+  vm.for_each_root_slot([&](Obj** slot) { sh.root_slots.push_back(slot); });
+  heap.cards().for_each_dirty(
+      heap.old_base(), sh.old_parsable_limit,
+      [&](std::size_t idx) { sh.dirty_cards.push_back(idx); });
+
+  ChunkClaimer root_claimer(sh.root_slots.size(), 64);
+  ChunkClaimer card_claimer(sh.dirty_cards.size(), 16);
+
+  auto worker_body = [&](int w) {
+    // The free-list old generation uses parsable PLABs: concurrent card
+    // scanners may walk the space while promotion carves it up, so the
+    // PLAB keeps its unused tail covered by a filler at every step.
+    Worker wk(cfg.plab_bytes, heap);
+    std::size_t b, e;
+    while (root_claimer.claim(&b, &e)) {
+      for (std::size_t i = b; i < e; ++i) {
+        Obj** slot = sh.root_slots[i];
+        Obj* t = *slot;
+        if (t != nullptr && sh.in_source(t)) *slot = evacuate(sh, wk, w, t);
+      }
+    }
+    while (card_claimer.claim(&b, &e)) {
+      for (std::size_t i = b; i < e; ++i)
+        process_card(sh, wk, w, sh.dirty_cards[i]);
+    }
+    sh.work.drain(w, [&](Obj* o) { scan_object(sh, wk, w, o); });
+    wk.to_plab.retire();
+    wk.old_plab.retire();
+    sh.survivor_bytes.fetch_add(wk.survivor_bytes, std::memory_order_relaxed);
+    sh.promoted_bytes.fetch_add(wk.promoted_bytes, std::memory_order_relaxed);
+    if (cfg.promoted_list != nullptr && !wk.promoted.empty()) {
+      std::lock_guard<SpinLock> g(sh.promoted_lock);
+      cfg.promoted_list->insert(cfg.promoted_list->end(), wk.promoted.begin(),
+                                wk.promoted.end());
+    }
+  };
+
+  if (cfg.workers == 1) {
+    worker_body(0);
+  } else {
+    cfg.pool->run(cfg.workers, worker_body);
+  }
+
+  ScavengeResult res;
+  res.promotion_failed = sh.promotion_failed.load(std::memory_order_acquire);
+  res.survivor_bytes = sh.survivor_bytes.load(std::memory_order_relaxed);
+  res.promoted_bytes = sh.promoted_bytes.load(std::memory_order_relaxed);
+  res.dirty_cards_scanned = sh.dirty_cards.size();
+
+  if (!res.promotion_failed) {
+    heap.eden().reset();
+    heap.from_space().reset();
+    heap.swap_survivors();  // old to-space (with survivors) becomes from
+  }
+  return res;
+}
+
+}  // namespace mgc

@@ -1,0 +1,50 @@
+// The generational copying young collector ("scavenger") shared by all
+// classic collectors: Serial runs it with one worker; ParNew, Parallel,
+// ParallelOld and CMS run it on the GC worker pool.
+//
+// Roots are the mutator shadow stacks, the global roots, and the old
+// generation's dirty cards (old->young references). Live young objects are
+// copied to the to-space survivor or promoted to the old generation (by
+// age, or on survivor overflow). On promotion failure objects self-forward
+// in place and the caller must immediately run a full collection in the
+// same pause (HotSpot semantics).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "gc/classic_heap.h"
+#include "support/gc_worker_pool.h"
+
+namespace mgc {
+
+class Vm;
+
+struct ScavengeConfig {
+  Vm* vm = nullptr;
+  ClassicHeap* heap = nullptr;
+  GcWorkerPool* pool = nullptr;  // nullptr => serial
+  int workers = 1;
+  int tenuring_threshold = 6;
+  std::size_t plab_bytes = 8 * 1024;
+  // CMS: record cleaned cards in the mod-union table while a concurrent
+  // cycle is active, mark promoted objects live ("allocate black"), and
+  // remember them so the remark pause can scan their fields (objects
+  // promoted mid-cycle may hold the only reference to an unmarked old
+  // object; HotSpot keeps the same "promotion info" list).
+  ModUnionTable* mod_union = nullptr;
+  bool allocate_black = false;
+  std::vector<Obj*>* promoted_list = nullptr;  // appended inside the pause
+};
+
+struct ScavengeResult {
+  bool promotion_failed = false;
+  std::size_t survivor_bytes = 0;
+  std::size_t promoted_bytes = 0;
+  std::size_t dirty_cards_scanned = 0;
+};
+
+ScavengeResult scavenge(const ScavengeConfig& cfg);
+
+}  // namespace mgc

@@ -1,0 +1,4 @@
+#include "gc/serial_gc.h"
+
+// SerialGc is fully defined in the header; this TU anchors its vtable.
+namespace mgc {}

@@ -1,0 +1,18 @@
+// SerialGC: single-threaded copying young collection and single-threaded
+// mark-sweep-compact old collection. No synchronization inside collection
+// phases (paper Table 1, row 1).
+#pragma once
+
+#include "gc/classic_collector.h"
+
+namespace mgc {
+
+class SerialGc final : public ClassicCollector {
+ public:
+  SerialGc(Vm& vm, const VmConfig& cfg)
+      : ClassicCollector(vm, cfg, /*free_list_old=*/false,
+                         /*young_workers=*/1, /*full_workers=*/1) {}
+  GcKind kind() const override { return GcKind::kSerial; }
+};
+
+}  // namespace mgc

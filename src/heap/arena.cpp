@@ -1,0 +1,15 @@
+#include "heap/arena.h"
+
+#include "support/check.h"
+
+namespace mgc {
+
+Arena::Arena(std::size_t bytes) {
+  MGC_CHECK(bytes >= kObjAlignment);
+  size_ = align_up(bytes, kObjAlignment);
+  // Over-allocate to guarantee object alignment of the base address.
+  storage_ = std::make_unique<char[]>(size_ + kObjAlignment);
+  base_ = align_up_ptr(storage_.get(), kObjAlignment);
+}
+
+}  // namespace mgc

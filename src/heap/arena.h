@@ -1,0 +1,30 @@
+// Backing storage for the managed heap: one aligned, contiguous reservation
+// carved up by the collector into spaces or regions.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "heap/layout.h"
+
+namespace mgc {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t bytes);
+
+  char* base() const { return base_; }
+  char* end() const { return base_ + size_; }
+  std::size_t size() const { return size_; }
+  bool contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < end();
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<char[]> storage_;
+  char* base_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,50 @@
+#include "heap/card_table.h"
+
+#include "support/check.h"
+
+namespace mgc {
+
+void CardTable::initialize(char* base, std::size_t bytes) {
+  base_ = base;
+  covered_bytes_ = bytes;
+  cards_ = std::vector<std::atomic<std::uint8_t>>((bytes >> kCardShift) + 1);
+  clear_all();
+}
+
+void CardTable::dirty_range(const void* from, const void* to) {
+  if (from >= to) return;
+  const std::size_t first = index_of(from);
+  const std::size_t last = index_of(static_cast<const char*>(to) - 1);
+  for (std::size_t i = first; i <= last; ++i) dirty_index(i);
+}
+
+void CardTable::clear_all() {
+  for (auto& c : cards_) c.store(kClean, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void CardTable::clear_range(const void* from, const void* to) {
+  if (from >= to) return;
+  const std::size_t first = index_of(from);
+  const std::size_t last = index_of(static_cast<const char*>(to) - 1);
+  for (std::size_t i = first; i <= last; ++i) clear_index(i);
+}
+
+void CardTable::for_each_dirty(
+    const void* from, const void* to,
+    const std::function<void(std::size_t)>& fn) const {
+  if (from >= to) return;
+  const std::size_t first = index_of(from);
+  const std::size_t last = index_of(static_cast<const char*>(to) - 1);
+  for (std::size_t i = first; i <= last; ++i) {
+    if (needs_young_scan(i)) fn(i);
+  }
+}
+
+std::size_t CardTable::count_dirty(const void* from, const void* to) const {
+  std::size_t n = 0;
+  for_each_dirty(from, to, [&n](std::size_t) { ++n; });
+  return n;
+}
+
+}  // namespace mgc

@@ -1,0 +1,101 @@
+// Card-marking table over the whole heap reservation. One byte per
+// 512-byte card; the mutator write barrier dirties the card of the updated
+// reference slot. Young collections scan dirty old-generation cards to find
+// old->young references; the CMS remark phase rescans cards dirtied during
+// concurrent marking (incremental-update barrier).
+//
+// A `ModUnionTable` accumulates cards that a young collection is about to
+// clean while a CMS cycle is active, so remark information survives young
+// collections (HotSpot's mod-union table).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "heap/layout.h"
+#include "support/check.h"
+
+namespace mgc {
+
+class CardTable {
+ public:
+  static constexpr std::uint8_t kClean = 0;
+  static constexpr std::uint8_t kDirty = 1;
+  // CMS precleaning: the card's targets were marked concurrently; remark
+  // may skip it unless the mutator re-dirtied it afterwards.
+  static constexpr std::uint8_t kPrecleaned = 2;
+
+  void initialize(char* base, std::size_t bytes);
+
+  std::size_t num_cards() const { return cards_.size(); }
+  char* covered_base() const { return base_; }
+
+  std::size_t index_of(const void* addr) const {
+    const char* c = static_cast<const char*>(addr);
+    MGC_DCHECK(c >= base_ && c < base_ + covered_bytes_);
+    return static_cast<std::size_t>(c - base_) >> kCardShift;
+  }
+  char* card_base(std::size_t index) const {
+    return base_ + (index << kCardShift);
+  }
+  char* card_end(std::size_t index) const { return card_base(index) + kCardSize; }
+
+  void dirty(const void* addr) {
+    cards_[index_of(addr)].store(kDirty, std::memory_order_release);
+  }
+  void dirty_index(std::size_t index) {
+    cards_[index].store(kDirty, std::memory_order_release);
+  }
+  void dirty_range(const void* from, const void* to);
+
+  bool is_dirty(std::size_t index) const {
+    return cards_[index].load(std::memory_order_acquire) == kDirty;
+  }
+  // Dirty OR precleaned: cards the generational young-GC scan must visit.
+  bool needs_young_scan(std::size_t index) const {
+    return cards_[index].load(std::memory_order_acquire) != kClean;
+  }
+  // Preclean transition: only succeeds if the card is still kDirty (a
+  // concurrent barrier write may race and re-dirty afterwards, which is
+  // exactly what remark looks for).
+  bool try_preclean(std::size_t index) {
+    std::uint8_t expected = kDirty;
+    return cards_[index].compare_exchange_strong(expected, kPrecleaned,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed);
+  }
+  void clear_index(std::size_t index) {
+    cards_[index].store(kClean, std::memory_order_release);
+  }
+  void clear_all();
+  void clear_range(const void* from, const void* to);
+
+  // Invokes fn(card_index) for every card needing a young-GC scan (dirty
+  // or precleaned) whose base lies in [from, to). Does not clear.
+  void for_each_dirty(const void* from, const void* to,
+                      const std::function<void(std::size_t)>& fn) const;
+
+  std::size_t count_dirty(const void* from, const void* to) const;
+
+ private:
+  char* base_ = nullptr;
+  std::size_t covered_bytes_ = 0;
+  std::vector<std::atomic<std::uint8_t>> cards_;
+};
+
+// One bit of state per card, OR-accumulated across young collections while
+// a concurrent old-generation cycle runs.
+class ModUnionTable {
+ public:
+  void initialize(std::size_t num_cards) { bits_.assign(num_cards, 0); }
+  void clear() { std::fill(bits_.begin(), bits_.end(), 0); }
+  void record(std::size_t card_index) { bits_[card_index] = 1; }
+  bool is_set(std::size_t card_index) const { return bits_[card_index] != 0; }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace mgc

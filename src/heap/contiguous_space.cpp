@@ -1,0 +1,49 @@
+#include "heap/contiguous_space.h"
+
+#include "support/check.h"
+
+namespace mgc {
+
+void ContiguousSpace::initialize(std::string name, char* base,
+                                 std::size_t bytes) {
+  MGC_CHECK(base != nullptr);
+  MGC_CHECK(reinterpret_cast<std::uintptr_t>(base) % kObjAlignment == 0);
+  name_ = std::move(name);
+  base_ = base;
+  end_ = base + bytes;
+  top_.store(base, std::memory_order_release);
+}
+
+char* ContiguousSpace::par_alloc(std::size_t bytes) {
+  MGC_DCHECK(bytes % kObjAlignment == 0);
+  char* cur = top_.load(std::memory_order_relaxed);
+  while (true) {
+    if (static_cast<std::size_t>(end_ - cur) < bytes) return nullptr;
+    if (top_.compare_exchange_weak(cur, cur + bytes, std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      return cur;
+    }
+  }
+}
+
+char* ContiguousSpace::serial_alloc(std::size_t bytes) {
+  MGC_DCHECK(bytes % kObjAlignment == 0);
+  char* cur = top_.load(std::memory_order_relaxed);
+  if (static_cast<std::size_t>(end_ - cur) < bytes) return nullptr;
+  top_.store(cur + bytes, std::memory_order_relaxed);
+  return cur;
+}
+
+void ContiguousSpace::walk(const std::function<void(Obj*)>& fn) const {
+  char* cur = base_;
+  char* const limit = top();
+  while (cur < limit) {
+    auto* o = reinterpret_cast<Obj*>(cur);
+    MGC_CHECK_MSG(o->size_words() >= kMinObjWords, "heap not parsable");
+    fn(o);
+    cur = o->end();
+  }
+  MGC_CHECK_MSG(cur == limit, "heap walk overran top");
+}
+
+}  // namespace mgc

@@ -1,0 +1,56 @@
+// Bump-pointer space. Supports both a CAS-based shared allocation path
+// (mutator slow path / parallel GC promotion) and an unsynchronized path
+// for single-threaded collection phases. The space is always linearly
+// parsable: every allocated cell carries a valid ObjHeader.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "heap/object.h"
+
+namespace mgc {
+
+class ContiguousSpace {
+ public:
+  ContiguousSpace() = default;
+  void initialize(std::string name, char* base, std::size_t bytes);
+
+  const std::string& name() const { return name_; }
+  char* base() const { return base_; }
+  char* end() const { return end_; }
+  char* top() const { return top_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return static_cast<std::size_t>(end_ - base_); }
+  std::size_t used() const { return static_cast<std::size_t>(top() - base_); }
+  std::size_t free_bytes() const { return static_cast<std::size_t>(end_ - top()); }
+
+  bool contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < end_;
+  }
+
+  // Thread-safe bump allocation; returns nullptr when full.
+  char* par_alloc(std::size_t bytes);
+  // Unsynchronized bump allocation for serial GC phases.
+  char* serial_alloc(std::size_t bytes);
+
+  // Drops everything.
+  void reset() { top_.store(base_, std::memory_order_release); }
+  // Used by compaction, which rebuilds the space contents in place.
+  void set_top(char* t) { top_.store(t, std::memory_order_release); }
+
+  // Walks every cell (objects, fillers, dead copies) in address order up to
+  // the current top. Only safe when no concurrent allocation is happening
+  // (inside a pause, or on a sweeping thread that tolerates a stale top).
+  void walk(const std::function<void(Obj*)>& fn) const;
+
+ private:
+  std::string name_;
+  char* base_ = nullptr;
+  char* end_ = nullptr;
+  std::atomic<char*> top_{nullptr};
+};
+
+}  // namespace mgc

@@ -1,0 +1,140 @@
+// Free-list old-generation space for the ConcurrentMarkSweep collector.
+//
+// The space is linearly parsable: every cell is either a live/dead object,
+// a filler, or a free chunk. A free chunk is an ObjHeader with the
+// kFreeChunk flag whose `forward` field is the next-link and whose first
+// payload word is the prev-link of a doubly-linked size-class chain. The
+// minimum linkable chunk is therefore 4 words; 2-word holes become filler
+// cells ("dark matter", as in HotSpot) and are reclaimed when a later sweep
+// coalesces them with a dying neighbour.
+//
+// Chunks live in segregated exact-size bins for small sizes plus a best-fit
+// ordered dictionary for large ones. Sweeping is concurrent with mutator
+// allocation and proceeds in address order in small lock-protected batches:
+// dead cells and absorbed free chunks (eagerly unlinked from their bins)
+// coalesce into maximal runs that are reinserted immediately, so memory
+// becomes allocatable as the sweep advances.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "heap/block_offset_table.h"
+#include "heap/mark_bitmap.h"
+#include "heap/object.h"
+#include "support/spinlock.h"
+
+namespace mgc {
+
+class FreeListSpace {
+ public:
+  static constexpr std::size_t kMaxExactWords = 64;
+  static constexpr std::size_t kMinChunkWords = 4;  // below this: dark matter
+
+  void initialize(std::string name, char* base, std::size_t bytes,
+                  BlockOffsetTable* bot);
+
+  const std::string& name() const { return name_; }
+  char* base() const { return base_; }
+  char* end() const { return end_; }
+  std::size_t capacity() const { return static_cast<std::size_t>(end_ - base_); }
+  std::size_t used() const {
+    return capacity() - free_bytes_.load(std::memory_order_acquire);
+  }
+  std::size_t free_bytes() const {
+    return free_bytes_.load(std::memory_order_acquire);
+  }
+  double occupancy() const {
+    return static_cast<double>(used()) / static_cast<double>(capacity());
+  }
+  bool contains(const void* p) const {
+    const char* c = static_cast<const char*>(p);
+    return c >= base_ && c < end_;
+  }
+
+  // Allocates `bytes` (object-aligned) and installs a provisional black
+  // (marked) zero-ref cell so the space stays parsable and a concurrent
+  // sweep cannot reclaim it before the caller initializes the real object.
+  // Pause-time callers (promotion, compaction) may overwrite the cell
+  // freely. Returns nullptr when no chunk fits.
+  char* alloc(std::size_t bytes);
+
+  // Allocates and fully initializes an object under the space lock —
+  // required for allocations racing a concurrent sweep (mutator-time large
+  // object allocation). `black` marks the object live for an in-progress
+  // mark/sweep cycle.
+  Obj* alloc_obj(std::size_t size_words, std::uint16_t num_refs, bool black);
+
+  // Inserts [start, start+bytes) as free. Small remainders become fillers.
+  void free_chunk(char* start, std::size_t bytes);
+
+  // Walks all cells in address order. Only valid inside a pause.
+  void walk(const std::function<void(Obj*)>& fn) const;
+
+  // --- concurrent sweep ---------------------------------------------------
+  void begin_sweep();
+  // Processes up to `max_cells` cells; returns false once the space end is
+  // reached. `reclaimed_bytes` (optional) reports newly freed bytes.
+  bool sweep_step(std::size_t max_cells, std::size_t* reclaimed_bytes);
+  void end_sweep();
+  // Abandons an in-progress sweep (full-collection fallback); the caller
+  // must rebuild the space via reset_after_compact afterwards.
+  void abort_sweep();
+  bool sweep_in_progress() const {
+    return sweeping_.load(std::memory_order_acquire);
+  }
+
+  // After a stop-the-world compaction packed live objects into
+  // [base, new_top), rebuild the free metadata as one tail chunk.
+  void reset_after_compact(char* new_top);
+
+  // Concurrent-cycle liveness plumbing. The CMS collector installs its side
+  // mark bitmap; while `allocate_black` is on, every allocation is marked
+  // live in it (so objects born during a cycle survive the sweep). The
+  // sweep consults the same bitmap.
+  void set_live_bitmap(MarkBitmap* bm) { live_bits_ = bm; }
+  void set_allocate_black(bool on) {
+    allocate_black_.store(on, std::memory_order_release);
+  }
+
+  // Largest currently available chunk, in bytes (fragmentation metric).
+  std::size_t largest_free_chunk() const;
+
+ private:
+  struct Bins {
+    std::vector<Obj*> exact;
+    std::map<std::size_t, Obj*> dict;
+  };
+
+  static std::size_t exact_index(std::size_t words) {
+    return (words - kMinChunkWords) / 2;
+  }
+
+  Obj*& head_for(std::size_t words);
+  void insert_locked(char* start, std::size_t bytes);
+  void unlink_locked(Obj* chunk);
+  char* pop_fit_locked(std::size_t words);
+  Obj* make_chunk(char* start, std::size_t bytes);
+
+  std::string name_;
+  char* base_ = nullptr;
+  char* end_ = nullptr;
+  BlockOffsetTable* bot_ = nullptr;
+
+  mutable SpinLock lock_;
+  Bins bins_;
+  std::atomic<std::size_t> free_bytes_{0};
+
+  std::atomic<bool> sweeping_{false};
+  char* sweep_cursor_ = nullptr;
+  char* pending_run_start_ = nullptr;
+
+  MarkBitmap* live_bits_ = nullptr;
+  std::atomic<bool> allocate_black_{false};
+};
+
+}  // namespace mgc

@@ -1,0 +1,71 @@
+// Side mark bitmap for concurrent collectors (CMS, G1): one bit per 16
+// bytes of covered heap. Kept outside object headers so a whole cycle's
+// marks can be dropped with one memset at cycle start, and so marking
+// state survives arbitrary interleavings with allocation (allocate-black)
+// without dirtying object headers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "heap/layout.h"
+#include "support/check.h"
+
+namespace mgc {
+
+class MarkBitmap {
+ public:
+  void initialize(char* base, std::size_t bytes) {
+    base_ = base;
+    covered_bytes_ = bytes;
+    bits_.assign((bytes / kObjAlignment + 63) / 64, 0);
+  }
+
+  void clear_all() {
+    // Only called inside a pause (initial mark); plain stores suffice, the
+    // safepoint protocol publishes them.
+    std::memset(bits_.data(), 0, bits_.size() * sizeof(std::uint64_t));
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  bool is_marked(const void* addr) const {
+    const std::size_t bit = bit_index(addr);
+    const auto word = reinterpret_cast<const std::atomic<std::uint64_t>*>(
+                          &bits_[bit / 64])
+                          ->load(std::memory_order_acquire);
+    return (word >> (bit % 64)) & 1;
+  }
+
+  // Atomically sets the bit; returns true if this call set it (claiming the
+  // object for exactly one marker).
+  bool try_mark(const void* addr) {
+    const std::size_t bit = bit_index(addr);
+    const std::uint64_t mask = std::uint64_t{1} << (bit % 64);
+    auto* word =
+        reinterpret_cast<std::atomic<std::uint64_t>*>(&bits_[bit / 64]);
+    const std::uint64_t old = word->fetch_or(mask, std::memory_order_acq_rel);
+    return (old & mask) == 0;
+  }
+
+  void mark(const void* addr) { (void)try_mark(addr); }
+
+  bool covers(const void* addr) const {
+    const char* c = static_cast<const char*>(addr);
+    return c >= base_ && c < base_ + covered_bytes_;
+  }
+
+ private:
+  std::size_t bit_index(const void* addr) const {
+    const char* c = static_cast<const char*>(addr);
+    MGC_DCHECK(covers(addr));
+    return static_cast<std::size_t>(c - base_) / kObjAlignment;
+  }
+
+  char* base_ = nullptr;
+  std::size_t covered_bytes_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace mgc

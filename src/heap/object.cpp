@@ -1,0 +1,47 @@
+#include "heap/object.h"
+
+namespace mgc {
+
+Obj* Obj::init(void* mem, std::size_t size_words, std::uint16_t num_refs) {
+  MGC_DCHECK(reinterpret_cast<std::uintptr_t>(mem) % kObjAlignment == 0);
+  MGC_DCHECK(size_words >= kHeaderWords + num_refs);
+  MGC_DCHECK(size_words <= UINT32_MAX);
+  auto* o = static_cast<Obj*>(mem);
+  ObjHeader& h = o->header();
+  // Write protocol for walker safety: size first (cell boundary), then the
+  // ref slots are nulled, and only then does num_refs become visible — a
+  // concurrent heap walker either sees 0 refs or fully-initialized slots.
+  o->set_size_words_atomic(static_cast<std::uint32_t>(size_words));
+  h.age = 0;
+  h.flags.store(0, std::memory_order_relaxed);
+  h.forward.store(nullptr, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < num_refs; ++i)
+    o->refs()[i].store(nullptr, std::memory_order_relaxed);
+  o->set_num_refs_atomic(num_refs);
+  // Payload is intentionally left uninitialized: mutator code writes it.
+  return o;
+}
+
+Obj* Obj::init_filler(void* mem, std::size_t size_words) {
+  Obj* o = init(mem, size_words, 0);
+  o->set_flag(objflag::kFiller);
+  return o;
+}
+
+std::uint64_t object_checksum(const Obj* o) {
+  // FNV-1a over shape and payload. Reference *identity* is checked
+  // structurally by graph walks in tests; here we only fold in the shape.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(o->size_words());
+  mix(o->num_refs());
+  for (std::size_t i = 0; i < o->payload_words(); ++i) mix(o->field(i));
+  return h;
+}
+
+}  // namespace mgc

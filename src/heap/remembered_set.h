@@ -1,0 +1,32 @@
+// Per-region remembered set for G1: the set of (global) card indices that
+// may contain references *into* the owning region. Fed by the mutator
+// post-write barrier on cross-region stores and by the evacuation's
+// reference-update path; consumed when the region joins a collection set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "support/spinlock.h"
+
+namespace mgc {
+
+class RememberedSet {
+ public:
+  void add_card(std::uint32_t card_index);
+  bool contains(std::uint32_t card_index) const;
+  void clear();
+  std::size_t size() const;
+
+  // Snapshot for scanning inside a pause (no concurrent mutation then, but
+  // a copy keeps iteration independent of barrier-time insertions from
+  // other pause workers updating refs).
+  std::vector<std::uint32_t> snapshot() const;
+
+ private:
+  mutable SpinLock lock_;
+  std::unordered_set<std::uint32_t> cards_;
+};
+
+}  // namespace mgc

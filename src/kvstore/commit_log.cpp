@@ -1,0 +1,78 @@
+#include "kvstore/commit_log.h"
+
+#include <cstring>
+
+#include "kvstore/row_codec.h"
+
+namespace mgc::kv {
+
+CommitLog::CommitLog(Vm& vm, std::size_t segment_bytes,
+                     std::size_t retention_bytes)
+    : vm_(vm),
+      segment_bytes_(segment_bytes),
+      retention_bytes_(retention_bytes) {
+  active_root_ = vm.create_global_root();
+  Vm::MutatorScope scope(vm, "commitlog-init");
+  vm.set_global_root(active_root_, managed::list::create(scope.mutator()));
+}
+
+void CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
+                       std::size_t value_len) {
+  // Build the record before taking the log lock.
+  Local record(m, encode_row(m, key, /*version=*/0, value, value_len));
+  const std::size_t rec_bytes = row_heap_bytes(value_len) + 48;  // + list node
+
+  GuardedLock<std::mutex> g(m, mu_);
+  Local segment(m, vm_.global_root(active_root_));
+  managed::list::push(m, segment, record);
+  active_bytes_ += rec_bytes;
+  bytes_.fetch_add(rec_bytes, std::memory_order_acq_rel);
+  if (active_bytes_ >= segment_bytes_) rotate_locked(m);
+}
+
+void CommitLog::rotate_locked(Mutator& m) {
+  // Archive the active segment.
+  std::size_t root;
+  if (!free_roots_.empty()) {
+    root = free_roots_.back();
+    free_roots_.pop_back();
+  } else {
+    root = vm_.create_global_root();
+  }
+  vm_.set_global_root(root, vm_.global_root(active_root_));
+  archived_.emplace_back(root, active_bytes_);
+
+  Local fresh(m, managed::list::create(m));
+  vm_.set_global_root(active_root_, fresh.get());
+  active_bytes_ = 0;
+
+  // Enforce retention: drop oldest segments ("flushed to disk").
+  while (bytes_.load(std::memory_order_relaxed) > retention_bytes_ &&
+         !archived_.empty()) {
+    auto [old_root, old_bytes] = archived_.front();
+    archived_.erase(archived_.begin());
+    vm_.set_global_root(old_root, nullptr);
+    free_roots_.push_back(old_root);
+    bytes_.fetch_sub(old_bytes, std::memory_order_acq_rel);
+  }
+}
+
+void CommitLog::truncate(Mutator& m) {
+  GuardedLock<std::mutex> g(m, mu_);
+  for (auto& [root, seg_bytes] : archived_) {
+    vm_.set_global_root(root, nullptr);
+    free_roots_.push_back(root);
+  }
+  archived_.clear();
+  Local fresh(m, managed::list::create(m));
+  vm_.set_global_root(active_root_, fresh.get());
+  active_bytes_ = 0;
+  bytes_.store(0, std::memory_order_release);
+}
+
+std::size_t CommitLog::segment_count() const {
+  // Approximate (unsynchronized) — used by tests and stats only.
+  return archived_.size() + 1;
+}
+
+}  // namespace mgc::kv

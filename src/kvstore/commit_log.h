@@ -1,0 +1,51 @@
+// Commit log: every mutation is appended as a managed record blob.
+// Segments accumulate on the heap; a flush archives (drops) segments older
+// than the retention budget — unless the stress configuration sets the
+// retention to the heap size, in which case the log grows until the old
+// generation saturates (the paper's §4.1 stress test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/vm.h"
+
+namespace mgc::kv {
+
+class CommitLog {
+ public:
+  CommitLog(Vm& vm, std::size_t segment_bytes, std::size_t retention_bytes);
+
+  // Appends a mutation record; rotates the segment when full and drops the
+  // oldest segments beyond the retention budget. May GC.
+  void append(Mutator& m, std::uint64_t key, const char* value,
+              std::size_t value_len);
+
+  // Drops all segments (after a memtable flush made them redundant).
+  void truncate(Mutator& m);
+
+  std::size_t approx_bytes() const {
+    return bytes_.load(std::memory_order_acquire);
+  }
+  std::size_t segment_count() const;
+
+ private:
+  void rotate_locked(Mutator& m);
+
+  Vm& vm_;
+  std::size_t segment_bytes_;
+  std::size_t retention_bytes_;
+
+  std::mutex mu_;
+  // Active segment: a managed list of record blobs.
+  std::size_t active_root_;
+  std::size_t active_bytes_ = 0;
+  // Archived segments, oldest first. Each owns a global root slot.
+  std::vector<std::pair<std::size_t, std::size_t>> archived_;  // root, bytes
+  std::vector<std::size_t> free_roots_;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace mgc::kv

@@ -1,0 +1,70 @@
+#include "kvstore/memtable.h"
+
+#include <cstring>
+
+namespace mgc::kv {
+
+Memtable::Memtable(Vm& vm, std::size_t buckets) : vm_(vm), buckets_(buckets) {
+  map_root_ = vm.create_global_root();
+  Vm::MutatorScope scope(vm, "memtable-init");
+  Mutator& m = scope.mutator();
+  vm.set_global_root(map_root_, managed::hash_map::create(m, buckets));
+}
+
+void Memtable::put(Mutator& m, std::uint64_t key, std::uint64_t version,
+                   const char* value, std::size_t value_len) {
+  // Encode outside the stripe lock (allocation may collect).
+  Local row(m, encode_row(m, key, version, value, value_len));
+  GuardedLock<std::mutex> g(m, stripe_for(key));
+  Local map(m, vm_.global_root(map_root_));
+  const bool existed = managed::hash_map::get(map.get(), key) != nullptr;
+  managed::hash_map::put(m, map, key, row);
+  if (!existed) {
+    bytes_.fetch_add(row_heap_bytes(value_len), std::memory_order_acq_rel);
+  }
+}
+
+bool Memtable::get(Mutator& m, std::uint64_t key, char* out,
+                   std::size_t out_cap, std::size_t* value_len,
+                   std::uint64_t* version) {
+  GuardedLock<std::mutex> g(m, stripe_for(key));
+  Obj* row = managed::hash_map::get(vm_.global_root(map_root_), key);
+  if (row == nullptr) return false;
+  if (value_len != nullptr) *value_len = row_value_len(row);
+  if (version != nullptr) *version = row_version(row);
+  if (out != nullptr && out_cap > 0) row_copy_value(row, out, out_cap);
+  return true;
+}
+
+std::size_t Memtable::row_count() const {
+  return managed::hash_map::size(vm_.global_root(map_root_));
+}
+
+void Memtable::for_each_row(
+    const std::function<void(const Obj*)>& fn) const {
+  managed::hash_map::for_each(
+      vm_.global_root(map_root_),
+      [&](std::uint64_t, Obj* row) { fn(row); });
+}
+
+void Memtable::reset(Mutator& m) {
+  Local fresh(m, managed::hash_map::create(m, buckets_));
+  vm_.set_global_root(map_root_, fresh.get());
+  bytes_.store(0, std::memory_order_release);
+}
+
+Memtable::AllStripesLock::AllStripesLock(Mutator& m, Memtable& t) : t_(t) {
+  // Acquire every stripe in order, declaring the thread blocked for each
+  // acquisition so collections requested by stripe holders can proceed.
+  for (auto& s : t_.stripes_) {
+    m.enter_blocked();
+    s.lock();
+    m.leave_blocked();
+  }
+}
+
+Memtable::AllStripesLock::~AllStripesLock() {
+  for (auto& s : t_.stripes_) s.unlock();
+}
+
+}  // namespace mgc::kv

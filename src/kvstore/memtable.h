@@ -1,0 +1,68 @@
+// Memtable: Cassandra's in-memory write-back cache, here a managed hash
+// map of row blobs with striped locks and byte accounting. Everything the
+// memtable holds lives on the managed heap — the source of the server-side
+// GC pressure the paper studies.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "kvstore/row_codec.h"
+#include "runtime/vm.h"
+
+namespace mgc::kv {
+
+class Memtable {
+ public:
+  // `buckets` sizes the managed hash map (fixed at creation).
+  Memtable(Vm& vm, std::size_t buckets);
+
+  // Inserts/overwrites the row for key. Returns bytes added (net growth may
+  // be smaller when overwriting). May GC.
+  void put(Mutator& m, std::uint64_t key, std::uint64_t version,
+           const char* value, std::size_t value_len);
+
+  // Copies the row's value into `out` (up to out_cap). Returns true and the
+  // version when found. Does not allocate.
+  bool get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
+           std::size_t* value_len, std::uint64_t* version);
+
+  std::size_t approx_bytes() const {
+    return bytes_.load(std::memory_order_acquire);
+  }
+  std::size_t row_count() const;
+
+  // Iterates row objects (for flushing). Caller must hold all stripes via
+  // AllStripesLock; fn must not allocate.
+  void for_each_row(const std::function<void(const Obj*)>& fn) const;
+
+  // Drops all rows (after a flush): installs a fresh managed map, making
+  // the old one garbage in one step, exactly like Cassandra swapping
+  // memtables. May GC.
+  void reset(Mutator& m);
+
+  class AllStripesLock {
+   public:
+    AllStripesLock(Mutator& m, Memtable& t);
+    ~AllStripesLock();
+
+   private:
+    Memtable& t_;
+  };
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  std::mutex& stripe_for(std::uint64_t key) {
+    return stripes_[managed::hash_u64(key) % kStripes];
+  }
+
+  Vm& vm_;
+  std::size_t buckets_;
+  std::size_t map_root_;
+  mutable std::array<std::mutex, kStripes> stripes_;
+  std::atomic<std::size_t> bytes_{0};
+};
+
+}  // namespace mgc::kv

@@ -1,0 +1,69 @@
+#include "kvstore/row_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace mgc::kv {
+namespace {
+// Row header payload words.
+constexpr std::size_t kKeyField = 0;
+constexpr std::size_t kVersionField = 1;
+constexpr std::size_t kLenField = 2;
+
+std::size_t column_count(std::size_t value_len) {
+  return value_len == 0 ? 0 : (value_len + kColumnBytes - 1) / kColumnBytes;
+}
+}  // namespace
+
+Obj* encode_row(Mutator& m, std::uint64_t key, std::uint64_t version,
+                const char* value, std::size_t value_len) {
+  const std::size_t ncols = column_count(value_len);
+  MGC_CHECK(ncols <= UINT16_MAX);
+  Local head(m, m.alloc(static_cast<std::uint16_t>(ncols), 3));
+  head->set_field(kKeyField, key);
+  head->set_field(kVersionField, version);
+  head->set_field(kLenField, value_len);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const std::size_t off = c * kColumnBytes;
+    const std::size_t n = std::min(kColumnBytes, value_len - off);
+    Obj* col = value != nullptr
+                   ? managed::blob::create(m, value + off, n)
+                   : managed::blob::create_zeroed(m, n);
+    m.set_ref(head.get(), c, col);
+  }
+  return head.get();
+}
+
+std::uint64_t row_key(const Obj* row) { return row->field(kKeyField); }
+std::uint64_t row_version(const Obj* row) { return row->field(kVersionField); }
+std::size_t row_value_len(const Obj* row) { return row->field(kLenField); }
+
+std::size_t row_copy_value(const Obj* row, char* out, std::size_t cap) {
+  const std::size_t len = row_value_len(row);
+  const std::size_t ncols = column_count(len);
+  std::size_t copied = 0;
+  for (std::size_t c = 0; c < ncols && copied < cap; ++c) {
+    const Obj* col = row->ref(c);
+    const std::size_t n =
+        std::min(managed::blob::length(col), cap - copied);
+    std::memcpy(out + copied, managed::blob::data(col), n);
+    copied += n;
+  }
+  return copied;
+}
+
+std::size_t row_heap_bytes(std::size_t value_len) {
+  const std::size_t ncols = column_count(value_len);
+  std::size_t bytes = words_to_bytes(
+      Obj::shape_words(static_cast<std::uint16_t>(ncols), 3));
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const std::size_t n =
+        std::min(kColumnBytes, value_len - c * kColumnBytes);
+    bytes += words_to_bytes(Obj::shape_words(0, 1 + bytes_to_words(n)));
+  }
+  return bytes;
+}
+
+}  // namespace mgc::kv

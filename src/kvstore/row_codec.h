@@ -1,0 +1,31 @@
+// Row encoding for the kvstore. A row is a *column chain*, as in
+// Cassandra: a header object referencing ~128-byte column fragments. This
+// object-rich representation (a 1 KB row is ~11 managed objects, not one
+// blob) is what makes full collections trace realistically many objects —
+// the effect behind the paper's minutes-long ParallelOld pauses.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/managed.h"
+
+namespace mgc::kv {
+
+inline constexpr std::size_t kColumnBytes = 112;
+
+// Allocates a managed row (header + column fragments). May GC.
+Obj* encode_row(Mutator& m, std::uint64_t key, std::uint64_t version,
+                const char* value, std::size_t value_len);
+
+std::uint64_t row_key(const Obj* row);
+std::uint64_t row_version(const Obj* row);
+std::size_t row_value_len(const Obj* row);
+
+// Reassembles the value into `out` (up to cap); returns bytes copied.
+// Does not allocate.
+std::size_t row_copy_value(const Obj* row, char* out, std::size_t cap);
+
+// Heap bytes a row of the given value length occupies (header + columns).
+std::size_t row_heap_bytes(std::size_t value_len);
+
+}  // namespace mgc::kv

@@ -1,0 +1,92 @@
+#include "kvstore/server.h"
+
+#include "support/env.h"
+
+namespace mgc::kv {
+
+Server::Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity)
+    : vm_(vm), store_(store), capacity_(queue_capacity) {
+  MGC_CHECK(workers >= 1);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+  MGC_CHECK_MSG(queue_.empty(), "server stopped with queued requests");
+}
+
+Response Server::execute(const Request& req) {
+  Pending p;
+  p.req = req;
+  std::unique_lock<std::mutex> l(mu_);
+  space_cv_.wait(l, [&] { return queue_.size() < capacity_ || stopping_; });
+  MGC_CHECK_MSG(!stopping_, "execute() on a stopping server");
+  queue_.push_back(&p);
+  queue_cv_.notify_one();
+  p.cv.wait(l, [&] { return p.done; });
+  return p.resp;
+}
+
+void Server::worker_main(int idx) {
+  Mutator m(vm_, "kv-worker-" + std::to_string(idx),
+            env::seed() + 0x517cc1b727220a95ULL * static_cast<std::uint64_t>(idx + 1));
+  std::vector<char> scratch(64 * 1024);
+  while (true) {
+    Pending* p = nullptr;
+    {
+      // Blocked while waiting: GC pauses proceed without this worker.
+      m.enter_blocked();
+      std::unique_lock<std::mutex> l(mu_);
+      queue_cv_.wait(l, [&] { return stopping_ || !queue_.empty(); });
+      if (!queue_.empty()) {
+        p = queue_.front();
+        queue_.pop_front();
+        space_cv_.notify_one();
+      }
+      l.unlock();
+      m.leave_blocked();
+      if (p == nullptr) break;  // stopping and drained
+    }
+
+    Response resp;
+    switch (p->req.op) {
+      case OpType::kRead: {
+        std::size_t len = 0;
+        resp.found = store_.get(m, p->req.key, scratch.data(), scratch.size(),
+                                &len);
+        break;
+      }
+      case OpType::kUpdate:
+      case OpType::kInsert: {
+        const std::size_t len = std::min(p->req.value_len, scratch.size());
+        // Deterministic value bytes derived from the key.
+        for (std::size_t i = 0; i < std::min<std::size_t>(len, 16); ++i) {
+          scratch[i] = static_cast<char>(p->req.key >> (i % 8));
+        }
+        store_.put(m, p->req.key, scratch.data(), len);
+        resp.found = true;
+        break;
+      }
+    }
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+
+    {
+      // Notify under the lock: the client owns `p` and destroys it as soon
+      // as it observes done (see Vm::vm_thread_main for the same pattern).
+      std::lock_guard<std::mutex> g(mu_);
+      p->resp = resp;
+      p->done = true;
+      p->cv.notify_one();
+    }
+  }
+}
+
+}  // namespace mgc::kv

@@ -1,0 +1,70 @@
+// The database server: a pool of worker threads (VM mutators) draining a
+// bounded request queue. Clients (plain, non-mutator threads — they model
+// the remote YCSB box) submit requests synchronously and measure latency
+// around the call, so server-side stop-the-world pauses surface directly
+// as client-visible latency spikes (paper §4.2).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "kvstore/store.h"
+
+namespace mgc::kv {
+
+enum class OpType : std::uint8_t { kRead, kUpdate, kInsert };
+
+struct Request {
+  OpType op = OpType::kRead;
+  std::uint64_t key = 0;
+  std::size_t value_len = 0;  // for updates/inserts
+};
+
+struct Response {
+  bool found = false;
+};
+
+class Server {
+ public:
+  Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity = 256);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Synchronous call from a client thread. Blocks while the queue is full
+  // (admission control), then until a worker has executed the request.
+  Response execute(const Request& req);
+
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Pending {
+    Request req;
+    Response resp;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  void worker_main(int idx);
+
+  Vm& vm_;
+  Store& store_;
+  std::size_t capacity_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;   // workers wait for work
+  std::condition_variable space_cv_;   // clients wait for queue space
+  std::deque<Pending*> queue_;
+  bool stopping_ = false;
+  std::atomic<std::uint64_t> completed_{0};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mgc::kv

@@ -1,0 +1,40 @@
+// SSTables: flushed memtables, simulated as off-heap (native) storage —
+// the analogue of Cassandra writing its cache to disk. Reads from sstables
+// are slower than memtable hits (a fixed simulated I/O cost) and allocate
+// nothing on the managed heap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mgc::kv {
+
+class SsTableSet {
+ public:
+  struct StoredRow {
+    std::uint64_t version = 0;
+    std::vector<char> value;
+  };
+
+  // Registers one flushed table (newest wins on lookup).
+  void add_table(std::unordered_map<std::uint64_t, StoredRow> rows);
+
+  // Looks the key up across tables, newest first.
+  bool get(std::uint64_t key, char* out, std::size_t out_cap,
+           std::size_t* value_len, std::uint64_t* version) const;
+
+  std::size_t table_count() const;
+  std::size_t total_rows() const;
+
+  // Simulated read amplification: busy-work per sstable probed.
+  static void simulate_io_cost();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unordered_map<std::uint64_t, StoredRow>> tables_;
+};
+
+}  // namespace mgc::kv

@@ -1,0 +1,78 @@
+#include "kvstore/store.h"
+
+#include "support/units.h"
+
+namespace mgc::kv {
+
+StoreConfig StoreConfig::default_config(std::size_t heap_bytes) {
+  StoreConfig cfg;
+  cfg.memtable_flush_bytes = heap_bytes / 4;
+  cfg.commitlog_segment_bytes = heap_bytes / 32;
+  cfg.commitlog_retention_bytes = heap_bytes / 4;
+  return cfg;
+}
+
+StoreConfig StoreConfig::stress_config(std::size_t heap_bytes) {
+  StoreConfig cfg;
+  // "we set up both the commitlog and the internal caching structure of
+  // Cassandra (called memtable) to have the same size as the heap" — §4.1.
+  // The memtable never flushes; the commit log retention is capped at a
+  // third of the heap so that live data saturates the old generation
+  // (memtable + log ~ 90%+ occupancy under the YCSB load) without tipping
+  // into a hard OutOfMemory, which is the regime the paper measures.
+  cfg.memtable_flush_bytes = heap_bytes;
+  cfg.commitlog_segment_bytes = heap_bytes / 32;
+  cfg.commitlog_retention_bytes = heap_bytes / 4;
+  return cfg;
+}
+
+Store::Store(Vm& vm, const StoreConfig& cfg)
+    : vm_(vm),
+      cfg_(cfg),
+      memtable_(vm, /*buckets=*/16384),
+      log_(vm, cfg.commitlog_segment_bytes, cfg.commitlog_retention_bytes) {}
+
+void Store::put(Mutator& m, std::uint64_t key, const char* value,
+                std::size_t value_len) {
+  const std::uint64_t version =
+      version_.fetch_add(1, std::memory_order_acq_rel);
+  log_.append(m, key, value, value_len);
+  memtable_.put(m, key, version, value, value_len);
+  maybe_flush(m);
+}
+
+bool Store::get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
+                std::size_t* value_len) {
+  if (memtable_.get(m, key, out, out_cap, value_len, nullptr)) return true;
+  return sstables_.get(key, out, out_cap, value_len, nullptr);
+}
+
+void Store::maybe_flush(Mutator& m) {
+  if (memtable_.approx_bytes() < cfg_.memtable_flush_bytes) return;
+  GuardedLock<std::mutex> g(m, flush_mu_);
+  if (memtable_.approx_bytes() < cfg_.memtable_flush_bytes) return;
+
+  // Serialize the memtable to an sstable ("write to disk"), then swap in a
+  // fresh memtable and truncate the commit log — a large, sudden burst of
+  // old-generation garbage, just like Cassandra's flush.
+  std::unordered_map<std::uint64_t, SsTableSet::StoredRow> frozen;
+  {
+    Memtable::AllStripesLock all(m, memtable_);
+    frozen.reserve(memtable_.row_count());
+    memtable_.for_each_row([&](const Obj* row) {
+      SsTableSet::StoredRow stored;
+      stored.version = row_version(row);
+      stored.value.resize(row_value_len(row));
+      if (!stored.value.empty()) {
+        row_copy_value(row, stored.value.data(), stored.value.size());
+      }
+      frozen.emplace(row_key(row), std::move(stored));
+    });
+    memtable_.reset(m);
+  }
+  sstables_.add_table(std::move(frozen));
+  log_.truncate(m);
+  flushes_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace mgc::kv

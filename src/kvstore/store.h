@@ -1,0 +1,62 @@
+// The Cassandra-like store: memtable + commit log + sstables, glued by the
+// flush policy. Two named configurations mirror the paper's §4.1:
+//
+//   * default — the memtable flushes to sstables at a fraction of the heap
+//     and the commit log keeps a bounded retention;
+//   * stress  — memtable and commit log are sized to the whole heap
+//     ("everything was always kept in memory"), so the old generation
+//     saturates and collections become catastrophic.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "kvstore/commit_log.h"
+#include "kvstore/memtable.h"
+#include "kvstore/sstable.h"
+
+namespace mgc::kv {
+
+struct StoreConfig {
+  std::size_t memtable_flush_bytes;   // flush threshold
+  std::size_t commitlog_segment_bytes;
+  std::size_t commitlog_retention_bytes;
+  std::size_t value_len = 1024;  // YCSB-style ~1 KB rows (scaled with heap)
+
+  static StoreConfig default_config(std::size_t heap_bytes);
+  static StoreConfig stress_config(std::size_t heap_bytes);
+};
+
+class Store {
+ public:
+  Store(Vm& vm, const StoreConfig& cfg);
+
+  // All operations run on a mutator (server worker) thread.
+  void put(Mutator& m, std::uint64_t key, const char* value,
+           std::size_t value_len);
+  bool get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
+           std::size_t* value_len);
+
+  Memtable& memtable() { return memtable_; }
+  CommitLog& commit_log() { return log_; }
+  SsTableSet& sstables() { return sstables_; }
+  std::uint64_t flush_count() const {
+    return flushes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void maybe_flush(Mutator& m);
+
+  Vm& vm_;
+  StoreConfig cfg_;
+  Memtable memtable_;
+  CommitLog log_;
+  SsTableSet sstables_;
+  std::mutex flush_mu_;
+  std::atomic<std::uint64_t> version_{1};
+  std::atomic<std::uint64_t> flushes_{0};
+};
+
+}  // namespace mgc::kv

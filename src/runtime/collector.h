@@ -1,0 +1,102 @@
+// Abstract collector interface. The VM owns exactly one collector; the six
+// implementations live under src/gc/. Collection entry points run on the
+// VM thread inside a safepoint; allocation entry points run on mutator
+// threads concurrently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "heap/card_table.h"
+#include "heap/object.h"
+#include "runtime/gc_kind.h"
+#include "runtime/gc_log.h"
+
+namespace mgc {
+
+class Vm;
+class Mutator;
+
+struct HeapUsage {
+  std::size_t used = 0;
+  std::size_t capacity = 0;
+  std::size_t young_used = 0;
+  std::size_t young_capacity = 0;
+  std::size_t old_used = 0;
+  std::size_t old_capacity = 0;
+};
+
+// What a collection pause did, for the GC log.
+struct PauseOutcome {
+  PauseKind kind = PauseKind::kYoungGc;
+  GcCause cause = GcCause::kAllocFailure;  // final cause (may be escalated)
+  bool full = false;
+  bool skipped = false;  // another thread's GC already satisfied the request
+};
+
+// Inline data consulted by the mutator write barrier on every reference
+// store. Kept as a POD so the hot path has no virtual dispatch.
+struct BarrierDescriptor {
+  enum class Kind : std::uint8_t {
+    kNone,        // Serial-style: generational card marking only
+    kCardTable,   // classic generational collectors (incl. CMS)
+    kG1,          // cross-region remembered sets + SATB pre-barrier
+  };
+  Kind kind = Kind::kNone;
+
+  // kCardTable: dirty the slot's card when the holder is at/above old_base.
+  CardTable* card_table = nullptr;
+  char* old_base = nullptr;
+  char* old_end = nullptr;
+
+  // kG1: region geometry for the cross-region test.
+  char* heap_base = nullptr;
+  char* heap_end = nullptr;
+  unsigned region_shift = 0;
+
+  // kG1: SATB pre-barrier active while a concurrent mark cycle runs.
+  const std::atomic<bool>* satb_active = nullptr;
+};
+
+class Collector {
+ public:
+  virtual ~Collector() = default;
+
+  virtual GcKind kind() const = 0;
+
+  // --- mutator-side allocation (outside safepoints, thread-safe) ----------
+  // Carves a TLAB out of the young generation; nullptr when a GC is needed.
+  virtual char* alloc_tlab(std::size_t bytes) = 0;
+  // Allocates a single object (TLAB-bypassing path: TLAB disabled, or the
+  // object is large). nullptr when a GC is needed.
+  virtual Obj* alloc_direct(std::size_t size_words, std::uint16_t num_refs) = 0;
+
+  // --- collection (VM thread, inside a safepoint) --------------------------
+  virtual PauseOutcome collect_young(GcCause cause) = 0;
+  virtual PauseOutcome collect_full(GcCause cause) = 0;
+
+  // --- queries -------------------------------------------------------------
+  virtual HeapUsage usage() const = 0;
+  virtual bool contains(const void* p) const = 0;
+
+  // --- concurrent machinery -------------------------------------------------
+  virtual void start_background() {}
+  virtual void stop_background() {}
+  // Called after allocation slow paths; concurrent collectors check their
+  // occupancy triggers here.
+  virtual void maybe_start_concurrent() {}
+  // G1 SATB pre-barrier slow path.
+  virtual void satb_record(Mutator& m, Obj* old_value) {
+    (void)m;
+    (void)old_value;
+  }
+  // G1 post-barrier slow path (cross-region remembered-set insertion).
+  virtual void rset_record(void* slot_addr, Obj* value) {
+    (void)slot_addr;
+    (void)value;
+  }
+
+  virtual BarrierDescriptor barrier_descriptor() = 0;
+};
+
+}  // namespace mgc

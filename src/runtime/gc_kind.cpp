@@ -1,0 +1,62 @@
+#include "runtime/gc_kind.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/check.h"
+
+namespace mgc {
+namespace {
+
+// Table 1 of the paper, one row per collector.
+constexpr GcTraits kTraits[] = {
+    //                name            short        Ypar  Ycp  YcM    YcC    Opar  Ocmp  OcM    OcS
+    /* Serial      */ {"SerialGC", "Serial", false, true, false, false, false, true, false, false},
+    /* ParNew      */ {"ParNewGC", "ParNew", true, true, false, false, false, true, false, false},
+    /* Parallel    */ {"ParallelGC", "Parallel", true, true, false, false, false, true, false, false},
+    /* ParallelOld */ {"ParallelOldGC", "ParallelOld", true, true, false, false, true, true, false, false},
+    /* CMS         */ {"ConcMarkSweepGC", "CMS", true, true, false, false, true, false, true, true},
+    /* G1          */ {"G1GC", "G1", true, true, false, false, true, true, true, false},
+};
+
+}  // namespace
+
+const GcTraits& gc_traits(GcKind kind) {
+  return kTraits[static_cast<int>(kind)];
+}
+
+const char* gc_name(GcKind kind) { return gc_traits(kind).name; }
+
+const std::vector<GcKind>& all_gc_kinds() {
+  static const std::vector<GcKind> kAll = {
+      GcKind::kSerial,   GcKind::kParNew, GcKind::kParallel,
+      GcKind::kParallelOld, GcKind::kCms, GcKind::kG1,
+  };
+  return kAll;
+}
+
+const std::vector<GcKind>& main_gc_kinds() {
+  static const std::vector<GcKind> kMain = {
+      GcKind::kParallelOld, GcKind::kCms, GcKind::kG1};
+  return kMain;
+}
+
+GcKind gc_kind_from_name(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (GcKind k : all_gc_kinds()) {
+    std::string full = gc_traits(k).name;
+    std::string shrt = gc_traits(k).short_name;
+    std::transform(full.begin(), full.end(), full.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    std::transform(shrt.begin(), shrt.end(), shrt.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower == full || lower == shrt) return k;
+  }
+  if (lower == "concurrentmarksweep" || lower == "concurrentmarksweepgc")
+    return GcKind::kCms;
+  MGC_UNREACHABLE("unknown GC name");
+}
+
+}  // namespace mgc

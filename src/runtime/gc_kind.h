@@ -1,0 +1,46 @@
+// The six OpenJDK8 collectors reproduced by this study, with the structural
+// traits of the paper's Table 1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mgc {
+
+enum class GcKind {
+  kSerial,
+  kParNew,
+  kParallel,
+  kParallelOld,
+  kCms,
+  kG1,
+};
+
+struct GcTraits {
+  const char* name;        // e.g. "ParallelOldGC" (the paper's chart labels)
+  const char* short_name;  // e.g. "ParallelOld"   (the paper's table labels)
+  // Young generation collection:
+  bool young_parallel;
+  bool young_copying;           // all six copy the young generation
+  bool young_concurrent_mark;   // none do
+  bool young_concurrent_copy;   // none do
+  // Old generation collection:
+  bool old_parallel;
+  bool old_compacting;
+  bool old_concurrent_mark;
+  bool old_concurrent_sweep;
+};
+
+const GcTraits& gc_traits(GcKind kind);
+const char* gc_name(GcKind kind);
+
+// All six, in the paper's Table 1 order.
+const std::vector<GcKind>& all_gc_kinds();
+
+// The three collectors the client-server study focuses on.
+const std::vector<GcKind>& main_gc_kinds();
+
+// Parses "ParallelOld", "CMS", "G1", ... (case-insensitive); aborts on junk.
+GcKind gc_kind_from_name(const std::string& name);
+
+}  // namespace mgc

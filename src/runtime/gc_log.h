@@ -1,0 +1,89 @@
+// Structured GC event log — the reproduction's -verbose:gc. Every
+// stop-the-world pause is recorded with wall-clock bounds, its kind, its
+// cause, and heap occupancy, and every experiment reads its results from
+// here (pause timelines, pause statistics, full-GC counts).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/clock.h"
+
+namespace mgc {
+
+enum class PauseKind {
+  kYoungGc,
+  kFullGc,
+  kInitialMark,  // CMS/G1 concurrent cycle start pause
+  kRemark,       // CMS/G1 final marking pause
+  kCleanup,      // G1 liveness accounting pause
+  kMixedGc,      // G1 young + old evacuation
+};
+
+enum class GcCause {
+  kAllocFailure,
+  kSystemGc,
+  kPromotionFailure,
+  kConcurrentModeFailure,
+  kEvacuationFailure,
+  kOccupancyTrigger,
+  kHumongousAllocation,
+};
+
+const char* pause_kind_name(PauseKind k);
+const char* gc_cause_name(GcCause c);
+
+struct PauseEvent {
+  std::int64_t start_ns = 0;  // absolute, Clock epoch
+  std::int64_t end_ns = 0;
+  PauseKind kind = PauseKind::kYoungGc;
+  GcCause cause = GcCause::kAllocFailure;
+  bool full = false;  // counts as a "full GC" in the paper's statistics
+  std::size_t used_before = 0;
+  std::size_t used_after = 0;
+
+  double duration_s() const { return ns_to_s(end_ns - start_ns); }
+  double duration_ms() const { return ns_to_ms(end_ns - start_ns); }
+};
+
+struct PauseSummary {
+  std::size_t pauses = 0;
+  std::size_t full_pauses = 0;
+  double total_s = 0.0;
+  double avg_s = 0.0;
+  double max_s = 0.0;
+};
+
+class GcLog {
+ public:
+  GcLog() : origin_ns_(now_ns()) {}
+
+  // Time zero for relative timelines (VM start by default).
+  void set_origin(std::int64_t ns) { origin_ns_ = ns; }
+  std::int64_t origin_ns() const { return origin_ns_; }
+  double to_relative_s(std::int64_t abs_ns) const {
+    return ns_to_s(abs_ns - origin_ns_);
+  }
+
+  void add(const PauseEvent& e);
+  std::vector<PauseEvent> snapshot() const;
+  std::size_t count() const;
+  PauseSummary summarize() const;
+
+  // True if any pause overlaps [start_ns, end_ns] (absolute). Used by the
+  // client-side study to attribute latency spikes to collections.
+  bool pause_overlaps(std::int64_t start_ns, std::int64_t end_ns) const;
+
+  void clear();
+  void set_verbose(bool v) { verbose_ = v; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PauseEvent> events_;
+  std::int64_t origin_ns_;
+  bool verbose_ = false;
+};
+
+}  // namespace mgc

@@ -1,0 +1,70 @@
+#include "runtime/heap_verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "runtime/vm.h"
+
+namespace mgc {
+namespace {
+
+void problem(VerifyReport& rep, const char* what, const void* at) {
+  if (rep.problems.size() >= 16) return;  // cap the noise
+  std::ostringstream oss;
+  oss << what << " at " << at;
+  rep.problems.push_back(oss.str());
+}
+
+}  // namespace
+
+VerifyReport verify_heap(Vm& vm) {
+  VerifyReport rep;
+  Collector& c = vm.collector();
+
+  std::unordered_set<const Obj*> visited;
+  std::vector<Obj*> stack;
+  vm.for_each_root_slot([&](Obj** slot) {
+    if (*slot != nullptr) stack.push_back(*slot);
+  });
+
+  while (!stack.empty()) {
+    Obj* o = stack.back();
+    stack.pop_back();
+    if (!visited.insert(o).second) continue;
+
+    if (!c.contains(o)) {
+      problem(rep, "reachable reference outside the heap", o);
+      continue;
+    }
+    const std::size_t words = o->size_words();
+    if (words < kMinObjWords || words > (64u << 20) / kWordSize) {
+      problem(rep, "implausible object size", o);
+      continue;
+    }
+    if (o->is_free_chunk()) {
+      problem(rep, "reachable reference into a free chunk", o);
+      continue;
+    }
+    if (o->is_filler()) {
+      problem(rep, "reachable reference into a filler cell", o);
+      continue;
+    }
+    if (o->is_forwarded()) {
+      problem(rep, "reachable object still carries a forwarding pointer", o);
+    }
+    if (o->num_refs() + kHeaderWords > words) {
+      problem(rep, "reference count exceeds object size", o);
+      continue;
+    }
+    ++rep.reachable_objects;
+    rep.reachable_bytes += o->size_bytes();
+    const std::size_t n = o->num_refs();
+    for (std::size_t i = 0; i < n; ++i) {
+      Obj* t = o->ref(i);
+      if (t != nullptr) stack.push_back(t);
+    }
+  }
+  return rep;
+}
+
+}  // namespace mgc

@@ -1,0 +1,31 @@
+// Heap verification: walks the reachable graph and the spaces inside a
+// pause and checks the invariants every collector must maintain. Used by
+// tests after forced collections and available to applications for
+// debugging (HotSpot's -XX:+VerifyAfterGC analogue).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mgc {
+
+class Vm;
+
+struct VerifyReport {
+  std::size_t reachable_objects = 0;
+  std::size_t reachable_bytes = 0;
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+};
+
+// Must be called from an attached mutator thread with no other mutators
+// running (tests) — it reads the heap without stopping the world itself.
+// Checks:
+//   * every reference reachable from the roots points at a cell inside the
+//     collector's heap with a sane header (size/refs within bounds);
+//   * no reachable reference targets a free-list chunk or filler;
+//   * no reachable object is left with a forwarding pointer installed.
+VerifyReport verify_heap(Vm& vm);
+
+}  // namespace mgc

@@ -1,0 +1,211 @@
+#include "runtime/managed.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "support/check.h"
+
+namespace mgc::managed {
+
+// --- RefArray -------------------------------------------------------------
+
+namespace ref_array {
+
+Obj* create(Mutator& m, std::size_t capacity) {
+  MGC_CHECK(capacity >= 1);
+  const std::size_t nchunks = (capacity + kChunkRefs - 1) / kChunkRefs;
+  MGC_CHECK_MSG(nchunks <= UINT16_MAX, "RefArray too large");
+  Local root(m, m.alloc(static_cast<std::uint16_t>(nchunks), 1));
+  root->set_field(0, capacity);
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t refs_here =
+        std::min(kChunkRefs, capacity - c * kChunkRefs);
+    Obj* chunk = m.alloc(static_cast<std::uint16_t>(refs_here), 0);
+    m.set_ref(root.get(), c, chunk);
+  }
+  return root.get();
+}
+
+std::size_t capacity(const Obj* arr) { return arr->field(0); }
+
+Obj* get(const Obj* arr, std::size_t i) {
+  MGC_DCHECK(i < capacity(arr));
+  return arr->ref(i / kChunkRefs)->ref(i % kChunkRefs);
+}
+
+void set(Mutator& m, Obj* arr, std::size_t i, Obj* v) {
+  MGC_DCHECK(i < capacity(arr));
+  m.set_ref(arr->ref(i / kChunkRefs), i % kChunkRefs, v);
+}
+
+}  // namespace ref_array
+
+// --- HashMap ----------------------------------------------------------------
+
+namespace hash_map {
+namespace {
+constexpr std::size_t kBucketsField = 0;
+constexpr std::size_t kSizeField = 1;
+
+std::size_t bucket_of(const Obj* map, std::uint64_t key) {
+  return hash_u64(key) % map->field(kBucketsField);
+}
+}  // namespace
+
+Obj* create(Mutator& m, std::size_t buckets) {
+  MGC_CHECK(buckets >= 1);
+  Local map(m, m.alloc(1, 2));
+  map->set_field(kBucketsField, buckets);
+  map->set_field(kSizeField, 0);
+  Obj* arr = ref_array::create(m, buckets);
+  m.set_ref(map.get(), 0, arr);
+  return map.get();
+}
+
+std::size_t size(const Obj* map) {
+  return std::atomic_ref<word_t>(
+             const_cast<Obj*>(map)->payload()[kSizeField])
+      .load(std::memory_order_acquire);
+}
+
+Obj* get(const Obj* map, std::uint64_t key) {
+  const Obj* buckets = map->ref(0);
+  for (Obj* node = ref_array::get(buckets, bucket_of(map, key));
+       node != nullptr; node = node->ref(0)) {
+    if (node->field(0) == key) return node->ref(1);
+  }
+  return nullptr;
+}
+
+void put(Mutator& m, const Local& map, std::uint64_t key, const Local& value) {
+  // Fast path: replace in place (no allocation, raw pointers are stable).
+  {
+    Obj* buckets = map->ref(0);
+    for (Obj* node = ref_array::get(buckets, bucket_of(map.get(), key));
+         node != nullptr; node = node->ref(0)) {
+      if (node->field(0) == key) {
+        m.set_ref(node, 1, value.get());
+        return;
+      }
+    }
+  }
+  // Insert: the node allocation may move everything, so re-derive all
+  // pointers from the Locals afterwards.
+  Local node(m, m.alloc(2, 1));
+  node->set_field(0, key);
+  m.set_ref(node.get(), 1, value.get());
+  Obj* buckets = map->ref(0);
+  const std::size_t b = bucket_of(map.get(), key);
+  m.set_ref(node.get(), 0, ref_array::get(buckets, b));
+  ref_array::set(m, buckets, b, node.get());
+  // Callers stripe-lock per bucket, so the shared size counter must be
+  // updated atomically (payload words are 8-byte aligned).
+  std::atomic_ref<word_t>(map->payload()[kSizeField])
+      .fetch_add(1, std::memory_order_acq_rel);
+}
+
+bool remove(Mutator& m, Obj* map, std::uint64_t key) {
+  Obj* buckets = map->ref(0);
+  const std::size_t b = bucket_of(map, key);
+  Obj* prev = nullptr;
+  for (Obj* node = ref_array::get(buckets, b); node != nullptr;
+       node = node->ref(0)) {
+    if (node->field(0) == key) {
+      if (prev == nullptr) {
+        ref_array::set(m, buckets, b, node->ref(0));
+      } else {
+        m.set_ref(prev, 0, node->ref(0));
+      }
+      std::atomic_ref<word_t>(map->payload()[kSizeField])
+          .fetch_sub(1, std::memory_order_acq_rel);
+      return true;
+    }
+    prev = node;
+  }
+  return false;
+}
+
+void for_each(const Obj* map,
+              const std::function<void(std::uint64_t, Obj*)>& fn) {
+  const Obj* buckets = map->ref(0);
+  const std::size_t n = map->field(kBucketsField);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (Obj* node = ref_array::get(buckets, b); node != nullptr;
+         node = node->ref(0)) {
+      fn(node->field(0), node->ref(1));
+    }
+  }
+}
+
+}  // namespace hash_map
+
+// --- List ----------------------------------------------------------------------
+
+namespace list {
+
+Obj* create(Mutator& m) {
+  Obj* lst = m.alloc(1, 1);
+  lst->set_field(0, 0);
+  return lst;
+}
+
+std::size_t size(const Obj* lst) { return lst->field(0); }
+
+void push(Mutator& m, const Local& lst, const Local& value) {
+  Local node(m, m.alloc(2, 0));
+  m.set_ref(node.get(), 1, value.get());
+  m.set_ref(node.get(), 0, lst->ref(0));
+  m.set_ref(lst.get(), 0, node.get());
+  lst->set_field(0, lst->field(0) + 1);
+}
+
+Obj* pop(Mutator& m, Obj* lst) {
+  Obj* node = lst->ref(0);
+  if (node == nullptr) return nullptr;
+  m.set_ref(lst, 0, node->ref(0));
+  lst->set_field(0, lst->field(0) - 1);
+  return node->ref(1);
+}
+
+void clear(Mutator& m, Obj* lst) {
+  m.set_ref(lst, 0, nullptr);
+  lst->set_field(0, 0);
+}
+
+void for_each(const Obj* lst, const std::function<void(Obj*)>& fn) {
+  for (Obj* node = lst->ref(0); node != nullptr; node = node->ref(0)) {
+    fn(node->ref(1));
+  }
+}
+
+}  // namespace list
+
+// --- Blob ------------------------------------------------------------------------
+
+namespace blob {
+
+Obj* create(Mutator& m, const void* data, std::size_t len) {
+  Obj* b = create_zeroed(m, len);
+  std::memcpy(mutable_data(b), data, len);
+  return b;
+}
+
+Obj* create_zeroed(Mutator& m, std::size_t len) {
+  const std::size_t payload_words = 1 + bytes_to_words(len);
+  Obj* b = m.alloc(0, payload_words);
+  b->set_field(0, len);
+  std::memset(b->payload() + 1, 0, words_to_bytes(payload_words - 1));
+  return b;
+}
+
+std::size_t length(const Obj* b) { return b->field(0); }
+
+const char* data(const Obj* b) {
+  return reinterpret_cast<const char*>(b->payload() + 1);
+}
+
+char* mutable_data(Obj* b) { return reinterpret_cast<char*>(b->payload() + 1); }
+
+}  // namespace blob
+
+}  // namespace mgc::managed

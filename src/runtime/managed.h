@@ -1,0 +1,86 @@
+// Managed ("on-heap") data structures, built purely out of mgc objects the
+// way Java library classes are built out of Java objects. The kvstore's
+// memtable and commit log and several DaCapo-like kernels use these, which
+// is what makes their heap pressure realistic.
+//
+// Thread-safety: like java.util collections, none of these are internally
+// synchronized; callers stripe locks around structural mutation.
+//
+// GC discipline: any operation that allocates takes `Local&` handles for
+// the structures it touches (a moving collection may run mid-operation);
+// read-only operations take raw Obj* and must not allocate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/mutator.h"
+
+namespace mgc::managed {
+
+inline std::uint64_t hash_u64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// --- RefArray ----------------------------------------------------------------
+// Fixed-capacity reference array, chunked so arbitrarily large arrays fit
+// the 16-bit per-object reference limit. Layout:
+//   root: payload[0] = capacity, refs = chunk pointers
+//   chunk: up to kChunkRefs refs
+namespace ref_array {
+inline constexpr std::size_t kChunkRefs = 1024;
+
+Obj* create(Mutator& m, std::size_t capacity);
+std::size_t capacity(const Obj* arr);
+Obj* get(const Obj* arr, std::size_t i);
+void set(Mutator& m, Obj* arr, std::size_t i, Obj* v);
+}  // namespace ref_array
+
+// --- HashMap<uint64 -> Obj*> ---------------------------------------------------
+// Chained hash map with a fixed bucket array. Layout:
+//   map:  refs[0] = bucket RefArray; payload[0] = bucket_count, [1] = size
+//   node: refs[0] = next, refs[1] = value; payload[0] = key
+namespace hash_map {
+Obj* create(Mutator& m, std::size_t buckets);
+std::size_t size(const Obj* map);
+// Returns the value for key, or nullptr.
+Obj* get(const Obj* map, std::uint64_t key);
+// Inserts or replaces; `map` and `value` stay valid across the internal
+// allocation via the Locals.
+void put(Mutator& m, const Local& map, std::uint64_t key, const Local& value);
+// Removes key; returns true if present.
+bool remove(Mutator& m, Obj* map, std::uint64_t key);
+// fn(key, value) for every entry; must not allocate.
+void for_each(const Obj* map,
+              const std::function<void(std::uint64_t, Obj*)>& fn);
+}  // namespace hash_map
+
+// --- List (singly linked LIFO) ---------------------------------------------------
+// list: refs[0] = head; payload[0] = count
+// node: refs[0] = next, refs[1] = value
+namespace list {
+Obj* create(Mutator& m);
+std::size_t size(const Obj* lst);
+void push(Mutator& m, const Local& lst, const Local& value);
+// Pops the head value (nullptr when empty).
+Obj* pop(Mutator& m, Obj* lst);
+void clear(Mutator& m, Obj* lst);
+void for_each(const Obj* lst, const std::function<void(Obj*)>& fn);
+}  // namespace list
+
+// --- Blob -----------------------------------------------------------------------
+// Reference-free byte payload: payload[0] = length in bytes, rest = data.
+namespace blob {
+Obj* create(Mutator& m, const void* data, std::size_t len);
+Obj* create_zeroed(Mutator& m, std::size_t len);
+std::size_t length(const Obj* b);
+const char* data(const Obj* b);
+char* mutable_data(Obj* b);
+}  // namespace blob
+
+}  // namespace mgc::managed

@@ -1,0 +1,143 @@
+#include "runtime/mutator.h"
+
+#include "runtime/vm.h"
+
+namespace mgc {
+
+Mutator::Mutator(Vm& vm, std::string name, std::uint64_t seed)
+    : vm_(vm), name_(std::move(name)), rng_(seed) {
+  roots_.reserve(256);
+  vm_.add_mutator(this);
+}
+
+Mutator::~Mutator() {
+  MGC_CHECK_MSG(roots_.empty(), "mutator detached with live Local handles");
+  retire_tlab();
+  vm_.remove_mutator(this);
+}
+
+void Mutator::poll() { vm_.safepoints().poll(); }
+
+void Mutator::enter_blocked() { vm_.safepoints().enter_blocked(); }
+void Mutator::leave_blocked() { vm_.safepoints().leave_blocked(); }
+
+void Mutator::system_gc() { vm_.collect(this, /*full=*/true, GcCause::kSystemGc); }
+
+void Mutator::retire_tlab() {
+  if (tlab_top_ != nullptr && tlab_top_ < tlab_end_) {
+    // Plug the unused tail so the eden stays linearly parsable.
+    Obj::init_filler(tlab_top_,
+                     static_cast<std::size_t>(tlab_end_ - tlab_top_) / kWordSize);
+  }
+  tlab_top_ = tlab_end_ = nullptr;
+}
+
+Obj* Mutator::alloc(std::uint16_t num_refs, std::size_t payload_words) {
+  poll();
+  const std::size_t words = Obj::shape_words(num_refs, payload_words);
+  const std::size_t bytes = words_to_bytes(words);
+  allocated_bytes_ += bytes;
+  if (vm_.config().tlab_enabled && bytes <= vm_.config().tlab_bytes / 4) {
+    if (char* p = tlab_bump(bytes)) return Obj::init(p, words, num_refs);
+  }
+  return alloc_slow(words, num_refs);
+}
+
+Obj* Mutator::try_alloc_once(std::size_t size_words, std::uint16_t num_refs) {
+  const std::size_t bytes = words_to_bytes(size_words);
+  const VmConfig& cfg = vm_.config();
+  Collector& c = vm_.collector();
+  if (cfg.tlab_enabled && bytes <= cfg.tlab_bytes / 4) {
+    retire_tlab();
+    char* t = c.alloc_tlab(cfg.tlab_bytes);
+    if (t == nullptr) return nullptr;
+    tlab_top_ = t;
+    tlab_end_ = t + cfg.tlab_bytes;
+    ++tlab_refills_;
+    char* p = tlab_bump(bytes);
+    MGC_DCHECK(p != nullptr);
+    return Obj::init(p, size_words, num_refs);
+  }
+  return c.alloc_direct(size_words, num_refs);
+}
+
+Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
+  // Classic HotSpot retry ladder: try, young GC, try, ..., full GC, try.
+  // Under heavy multi-thread contention another mutator can drain the eden
+  // between our collection and our retry, so OutOfMemory is only declared
+  // after several full collections each failed to make this allocation
+  // succeed — never from losing refill races.
+  int young_collections = 0;
+  int full_collections = 0;
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    Obj* o = try_alloc_once(size_words, num_refs);
+    if (o != nullptr) {
+      vm_.collector().maybe_start_concurrent();
+      return o;
+    }
+    // Escalate to a full collection only once several young collections
+    // have *actually run* without this allocation succeeding (coalesced
+    // requests don't count — they mean someone else collected for us).
+    const bool full = young_collections >= 3;
+    if (full) {
+      const std::uint64_t before = vm_.full_gc_epoch();
+      vm_.collect(this, true, GcCause::kAllocFailure);
+      // Count only requests that actually ran (not coalesced away).
+      // Saturated multi-thread heaps can need many rounds before this
+      // thread wins the post-GC race; genuine exhaustion still converges
+      // because every counted iteration ran a real full collection.
+      if (vm_.full_gc_epoch() != before && ++full_collections >= 12) {
+        Obj* last = try_alloc_once(size_words, num_refs);
+        if (last != nullptr) return last;
+        break;
+      }
+    } else {
+      const std::uint64_t before = vm_.gc_epoch();
+      vm_.collect(this, false, GcCause::kAllocFailure);
+      if (vm_.gc_epoch() != before) ++young_collections;
+    }
+  }
+  throw OutOfMemoryError(name_ + ": allocation of " +
+                         std::to_string(words_to_bytes(size_words)) +
+                         " bytes failed after repeated full GCs");
+}
+
+void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {
+  MGC_DCHECK(i < holder->num_refs());
+  const BarrierDescriptor& bd = vm_.barrier();
+  RefSlot& slot = holder->refs()[i];
+
+  if (bd.kind == BarrierDescriptor::Kind::kG1 &&
+      bd.satb_active->load(std::memory_order_acquire)) {
+    // SATB pre-barrier: record the overwritten value so concurrent marking
+    // sees the snapshot-at-the-beginning object graph.
+    if (Obj* old = slot.load(std::memory_order_acquire)) {
+      vm_.collector().satb_record(*this, old);
+    }
+  }
+
+  slot.store(value, std::memory_order_release);
+
+  switch (bd.kind) {
+    case BarrierDescriptor::Kind::kNone:
+      break;
+    case BarrierDescriptor::Kind::kCardTable: {
+      // Generational post-barrier: stores into the old generation dirty the
+      // slot's card (also feeds CMS incremental-update remark).
+      const char* h = holder->start();
+      if (h >= bd.old_base && h < bd.old_end) bd.card_table->dirty(&slot);
+      break;
+    }
+    case BarrierDescriptor::Kind::kG1: {
+      if (value == nullptr) break;
+      const auto hoff = static_cast<std::size_t>(holder->start() - bd.heap_base);
+      const auto voff = static_cast<std::size_t>(value->start() - bd.heap_base);
+      if ((hoff >> bd.region_shift) != (voff >> bd.region_shift)) {
+        vm_.collector().rset_record(&slot, value);
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mgc

@@ -1,0 +1,151 @@
+// Mutator thread context: the public face of the managed runtime.
+//
+// A Mutator owns a TLAB, a shadow stack of GC roots, and a deterministic
+// RNG. All application heap access goes through it:
+//
+//   Local obj(m, m.alloc(/*refs=*/2, /*payload_words=*/4));
+//   m.set_ref(obj.get(), 0, other.get());   // write barrier applied
+//
+// Because every allocation may trigger a moving collection, raw Obj*
+// values must not be held across an allocation — use `Local` handles
+// (slots in the shadow stack that the collectors update).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "heap/object.h"
+#include "runtime/collector.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace mgc {
+
+class Vm;
+
+class Mutator {
+ public:
+  Mutator(Vm& vm, std::string name, std::uint64_t seed);
+  ~Mutator();
+
+  Mutator(const Mutator&) = delete;
+  Mutator& operator=(const Mutator&) = delete;
+
+  Vm& vm() { return vm_; }
+  const std::string& name() const { return name_; }
+  Rng& rng() { return rng_; }
+
+  // --- allocation -----------------------------------------------------------
+  // Allocates an object with `num_refs` null reference slots and
+  // `payload_words` uninitialized payload words. May run a GC internally.
+  Obj* alloc(std::uint16_t num_refs, std::size_t payload_words);
+
+  // --- reference access (write barrier) -------------------------------------
+  void set_ref(Obj* holder, std::size_t i, Obj* value);
+  Obj* get_ref(Obj* holder, std::size_t i) const { return holder->ref(i); }
+
+  // --- GC roots (shadow stack) ----------------------------------------------
+  std::size_t push_root(Obj* o) {
+    roots_.push_back(o);
+    return roots_.size() - 1;
+  }
+  void pop_root(std::size_t idx) {
+    MGC_DCHECK(idx == roots_.size() - 1);
+    roots_.pop_back();
+  }
+  Obj* root(std::size_t idx) const { return roots_[idx]; }
+  void set_root(std::size_t idx, Obj* o) { roots_[idx] = o; }
+  std::size_t root_count() const { return roots_.size(); }
+
+  // --- safepoints ------------------------------------------------------------
+  // Call regularly from long computations.
+  void poll();
+  // Declares this thread blocked (roots stable, no heap access) so pauses
+  // can proceed without it. Used by GuardedLock and long waits.
+  void enter_blocked();
+  void leave_blocked();
+
+  // --- explicit collection (System.gc()) --------------------------------------
+  void system_gc();
+
+  // Collector-internal access ---------------------------------------------
+  std::vector<Obj*>& roots_for_gc() { return roots_; }
+  void retire_tlab();  // pause-time only (VM thread), or own thread
+
+  // TLAB instrumentation.
+  std::uint64_t tlab_refills() const { return tlab_refills_; }
+  std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+ private:
+  friend class Vm;
+
+  Obj* alloc_slow(std::size_t size_words, std::uint16_t num_refs);
+  Obj* try_alloc_once(std::size_t size_words, std::uint16_t num_refs);
+  char* tlab_bump(std::size_t bytes) {
+    if (static_cast<std::size_t>(tlab_end_ - tlab_top_) < bytes)
+      return nullptr;
+    char* p = tlab_top_;
+    tlab_top_ += bytes;
+    return p;
+  }
+
+  Vm& vm_;
+  std::string name_;
+  Rng rng_;
+  std::vector<Obj*> roots_;
+
+  char* tlab_top_ = nullptr;
+  char* tlab_end_ = nullptr;
+
+  std::uint64_t tlab_refills_ = 0;
+  std::uint64_t allocated_bytes_ = 0;
+};
+
+// Safepoint-aware mutex acquisition. A mutator thread must NEVER block on
+// application synchronization in managed state: the blocked thread cannot
+// reach a poll, so a collection requested by the lock holder (allocation
+// inside the critical section) would deadlock the safepoint. This guard
+// declares the thread blocked for the duration of the lock *acquisition*,
+// exactly like HotSpot parks Java monitors.
+template <typename MutexT>
+class GuardedLock {
+ public:
+  GuardedLock(Mutator& m, MutexT& mu) : mu_(mu) {
+    m.enter_blocked();
+    mu_.lock();
+    m.leave_blocked();  // waits out any active pause before continuing
+  }
+  ~GuardedLock() { mu_.unlock(); }
+  GuardedLock(const GuardedLock&) = delete;
+  GuardedLock& operator=(const GuardedLock&) = delete;
+
+ private:
+  MutexT& mu_;
+};
+
+// RAII root handle. Strictly LIFO per mutator.
+class Local {
+ public:
+  explicit Local(Mutator& m, Obj* o = nullptr)
+      : m_(m), idx_(m.push_root(o)) {}
+  ~Local() { m_.pop_root(idx_); }
+  Local(const Local&) = delete;
+  Local& operator=(const Local&) = delete;
+
+  Obj* get() const { return m_.root(idx_); }
+  void set(Obj* o) { m_.set_root(idx_, o); }
+  Obj* operator->() const { return get(); }
+  explicit operator bool() const { return get() != nullptr; }
+
+  // Barrier-applied field helpers.
+  void set_ref(std::size_t i, Obj* v) { m_.set_ref(get(), i, v); }
+  void set_ref(std::size_t i, const Local& v) { m_.set_ref(get(), i, v.get()); }
+  Obj* ref(std::size_t i) const { return get()->ref(i); }
+
+ private:
+  Mutator& m_;
+  std::size_t idx_;
+};
+
+}  // namespace mgc

@@ -1,0 +1,71 @@
+#include "runtime/safepoint.h"
+
+#include "support/check.h"
+
+namespace mgc {
+
+void SafepointCoordinator::register_thread() {
+  std::unique_lock<std::mutex> l(mu_);
+  // Joining counts as leaving a blocked region: wait out any active stop.
+  cv_resume_.wait(l, [&] { return !requested_.load(std::memory_order_relaxed); });
+  ++managed_;
+}
+
+void SafepointCoordinator::unregister_thread() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    --managed_;
+    MGC_CHECK(managed_ >= 0);
+  }
+  cv_stopped_.notify_all();
+}
+
+void SafepointCoordinator::enter_blocked() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    --managed_;
+    MGC_CHECK(managed_ >= 0);
+  }
+  // The VM thread may be waiting for this thread to stop.
+  cv_stopped_.notify_all();
+}
+
+void SafepointCoordinator::leave_blocked() {
+  std::unique_lock<std::mutex> l(mu_);
+  cv_resume_.wait(l, [&] { return !requested_.load(std::memory_order_relaxed); });
+  ++managed_;
+}
+
+void SafepointCoordinator::poll_slow() {
+  std::unique_lock<std::mutex> l(mu_);
+  while (requested_.load(std::memory_order_relaxed)) {
+    ++parked_;
+    cv_stopped_.notify_all();
+    cv_resume_.wait(l, [&] { return !requested_.load(std::memory_order_relaxed); });
+    --parked_;
+  }
+}
+
+void SafepointCoordinator::begin() {
+  std::unique_lock<std::mutex> l(mu_);
+  MGC_CHECK_MSG(!requested_.load(std::memory_order_relaxed),
+                "nested safepoint");
+  requested_.store(true, std::memory_order_release);
+  cv_stopped_.wait(l, [&] { return parked_ == managed_; });
+}
+
+void SafepointCoordinator::end() {
+  {
+    std::lock_guard<std::mutex> l(mu_);
+    MGC_CHECK(requested_.load(std::memory_order_relaxed));
+    requested_.store(false, std::memory_order_release);
+  }
+  cv_resume_.notify_all();
+}
+
+int SafepointCoordinator::registered_managed_threads() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return managed_;
+}
+
+}  // namespace mgc

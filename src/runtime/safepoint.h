@@ -1,0 +1,71 @@
+// Stop-the-world coordination. Threads that touch the managed heap
+// (mutators and concurrent collector threads) register themselves and
+// periodically poll; the VM thread brings them all to a halt before
+// running a collection pause.
+//
+// A registered thread is in one of two states:
+//   * managed — running heap code; must reach a poll to stop;
+//   * blocked — waiting on I/O, a queue, or a VM operation; its roots are
+//     stable, so a safepoint proceeds without it (HotSpot "thread in
+//     native"). Re-entering managed state blocks while a safepoint is
+//     active.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace mgc {
+
+class SafepointCoordinator {
+ public:
+  // --- participant side ---------------------------------------------------
+  void register_thread();
+  void unregister_thread();
+
+  // Fast-path poll; parks the caller while a safepoint is active.
+  void poll() {
+    if (!requested_.load(std::memory_order_acquire)) return;
+    poll_slow();
+  }
+  bool is_requested() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  void enter_blocked();
+  void leave_blocked();
+
+  // RAII for blocked regions.
+  class BlockedScope {
+   public:
+    explicit BlockedScope(SafepointCoordinator& sp) : sp_(sp) {
+      sp_.enter_blocked();
+    }
+    ~BlockedScope() { sp_.leave_blocked(); }
+    BlockedScope(const BlockedScope&) = delete;
+    BlockedScope& operator=(const BlockedScope&) = delete;
+
+   private:
+    SafepointCoordinator& sp_;
+  };
+
+  // --- VM-thread side -------------------------------------------------------
+  // Requests a safepoint and returns once every managed thread is parked.
+  void begin();
+  // Releases all parked threads.
+  void end();
+
+  int registered_managed_threads() const;
+
+ private:
+  void poll_slow();
+
+  std::atomic<bool> requested_{false};
+  mutable std::mutex mu_;
+  std::condition_variable cv_resume_;  // parked threads wait here
+  std::condition_variable cv_stopped_; // VM thread waits here
+  int managed_ = 0;  // registered threads currently in managed state
+  int parked_ = 0;   // managed threads parked at this safepoint
+};
+
+}  // namespace mgc

@@ -1,0 +1,206 @@
+#include "runtime/vm.h"
+
+#include "support/env.h"
+
+namespace mgc {
+
+Vm::Vm(VmConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  log_.set_verbose(cfg_.verbose_gc || env::verbose_gc());
+  workers_ = std::make_unique<GcWorkerPool>(cfg_.effective_gc_threads());
+  collector_ = make_collector(*this, cfg_);
+  barrier_ = collector_->barrier_descriptor();
+  vm_thread_ = std::thread([this] { vm_thread_main(); });
+  collector_->start_background();
+  log_.set_origin(now_ns());
+}
+
+Vm::~Vm() {
+  collector_->stop_background();
+  {
+    std::lock_guard<std::mutex> g(ops_mu_);
+    shutdown_ = true;
+  }
+  ops_cv_.notify_all();
+  vm_thread_.join();
+  {
+    std::lock_guard<std::mutex> g(mutators_mu_);
+    MGC_CHECK_MSG(mutators_.empty(), "VM destroyed with attached mutators");
+  }
+}
+
+// --- mutators ----------------------------------------------------------------
+
+Vm::MutatorScope::MutatorScope(Vm& vm, std::string name)
+    : m_(std::make_unique<Mutator>(vm, std::move(name),
+                                   env::seed() ^ std::hash<std::string>{}(
+                                                     std::string("mutator")))) {}
+
+Vm::MutatorScope::~MutatorScope() = default;
+
+void Vm::run_mutators(int count, const std::function<void(Mutator&, int)>& fn) {
+  MGC_CHECK(count >= 1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    threads.emplace_back([this, &fn, i] {
+      Mutator m(*this, "mutator-" + std::to_string(i),
+                env::seed() + 0x9e3779b9u * static_cast<std::uint64_t>(i + 1));
+      fn(m, i);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void Vm::add_mutator(Mutator* m) {
+  // Register with the safepoint protocol *before* joining the scan list:
+  // a registered-but-unlisted thread has no roots yet, which is safe; the
+  // reverse order could deadlock against an in-progress pause.
+  sp_.register_thread();
+  std::lock_guard<std::mutex> g(mutators_mu_);
+  mutators_.push_back(m);
+}
+
+void Vm::remove_mutator(Mutator* m) {
+  {
+    std::lock_guard<std::mutex> g(mutators_mu_);
+    std::erase(mutators_, m);
+  }
+  sp_.unregister_thread();
+}
+
+// --- global roots --------------------------------------------------------------
+
+std::size_t Vm::create_global_root() {
+  std::lock_guard<std::mutex> g(groots_mu_);
+  global_roots_.push_back(nullptr);
+  return global_roots_.size() - 1;
+}
+
+Obj* Vm::global_root(std::size_t idx) const {
+  std::lock_guard<std::mutex> g(groots_mu_);
+  return global_roots_[idx];
+}
+
+void Vm::set_global_root(std::size_t idx, Obj* o) {
+  std::lock_guard<std::mutex> g(groots_mu_);
+  global_roots_[idx] = o;
+}
+
+// --- collection ------------------------------------------------------------------
+
+void Vm::collect(Mutator* requester, bool full, GcCause cause) {
+  const std::uint64_t seen =
+      full ? full_epoch_.load(std::memory_order_acquire)
+           : epoch_.load(std::memory_order_acquire);
+  const std::function<PauseOutcome()> fn = [this, full, cause, seen] {
+    if (cause == GcCause::kAllocFailure) {
+      // Coalesce: if another thread's request already ran a (full enough)
+      // collection since this one was posted, skip.
+      const std::uint64_t now =
+          full ? full_epoch_.load(std::memory_order_relaxed)
+               : epoch_.load(std::memory_order_relaxed);
+      if (now != seen) {
+        PauseOutcome out;
+        out.skipped = true;
+        return out;
+      }
+    }
+    return full ? collector_->collect_full(cause)
+                : collector_->collect_young(cause);
+  };
+  run_vm_op(cause, requester != nullptr, fn);
+}
+
+void Vm::run_vm_op(GcCause cause, bool caller_is_registered,
+                   const std::function<PauseOutcome()>& fn) {
+  VmOp op;
+  op.fn = &fn;
+  op.cause = cause;
+  auto wait_done = [&] {
+    std::unique_lock<std::mutex> l(ops_mu_);
+    ops_.push_back(&op);
+    ops_cv_.notify_all();
+    op.cv.wait(l, [&] { return op.done; });
+  };
+  if (caller_is_registered) {
+    SafepointCoordinator::BlockedScope blocked(sp_);
+    wait_done();
+  } else {
+    wait_done();
+  }
+}
+
+void Vm::vm_thread_main() {
+  while (true) {
+    VmOp* op = nullptr;
+    {
+      std::unique_lock<std::mutex> l(ops_mu_);
+      ops_cv_.wait(l, [&] { return shutdown_ || !ops_.empty(); });
+      if (ops_.empty() && shutdown_) return;
+      op = ops_.front();
+      ops_.pop_front();
+    }
+
+    PauseEvent ev;
+    ev.cause = op->cause;
+    ev.start_ns = now_ns();
+    sp_.begin();
+    ev.used_before = collector_->usage().used;
+    const PauseOutcome out = (*op->fn)();
+    ev.used_after = collector_->usage().used;
+    sp_.end();
+    ev.end_ns = now_ns();
+
+    if (!out.skipped) {
+      ev.kind = out.kind;
+      ev.full = out.full;
+      ev.cause = out.cause;
+      log_.add(ev);
+      epoch_.fetch_add(1, std::memory_order_acq_rel);
+      if (out.full) full_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+    {
+      // Notify while holding the lock: the waiter owns the VmOp (and its
+      // condition variable) and destroys it the moment it observes done,
+      // so notifying after unlocking would race with that destruction.
+      std::lock_guard<std::mutex> l(ops_mu_);
+      op->done = true;
+      op->cv.notify_all();
+    }
+  }
+}
+
+// --- collector support -------------------------------------------------------------
+
+void Vm::for_each_root_slot(const std::function<void(Obj**)>& fn) {
+  {
+    std::lock_guard<std::mutex> g(mutators_mu_);
+    for (Mutator* m : mutators_) {
+      for (Obj*& r : m->roots_for_gc()) fn(&r);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> g(groots_mu_);
+    for (Obj*& r : global_roots_) fn(&r);
+  }
+}
+
+std::vector<std::vector<Obj*>*> Vm::root_vectors() {
+  std::vector<std::vector<Obj*>*> out;
+  {
+    std::lock_guard<std::mutex> g(mutators_mu_);
+    out.reserve(mutators_.size() + 1);
+    for (Mutator* m : mutators_) out.push_back(&m->roots_for_gc());
+  }
+  out.push_back(&global_roots_);
+  return out;
+}
+
+void Vm::retire_all_tlabs() {
+  std::lock_guard<std::mutex> g(mutators_mu_);
+  for (Mutator* m : mutators_) m->retire_tlab();
+}
+
+}  // namespace mgc

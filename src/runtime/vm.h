@@ -1,0 +1,140 @@
+// The managed runtime ("VM"): one heap, one collector, a VM thread that
+// serializes stop-the-world operations, a safepoint coordinator, a GC
+// worker pool, registered mutator threads, and the GC event log.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/collector.h"
+#include "runtime/gc_log.h"
+#include "runtime/mutator.h"
+#include "runtime/safepoint.h"
+#include "runtime/vm_config.h"
+#include "support/gc_worker_pool.h"
+
+namespace mgc {
+
+// Thrown when allocation fails even after a full collection.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  explicit OutOfMemoryError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class Vm {
+ public:
+  explicit Vm(VmConfig cfg);
+  ~Vm();
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  const VmConfig& config() const { return cfg_; }
+  GcLog& gc_log() { return log_; }
+  const GcLog& gc_log() const { return log_; }
+  SafepointCoordinator& safepoints() { return sp_; }
+  GcWorkerPool& workers() { return *workers_; }
+  Collector& collector() { return *collector_; }
+  const BarrierDescriptor& barrier() const { return barrier_; }
+
+  HeapUsage usage() const { return collector_->usage(); }
+
+  // --- mutators -------------------------------------------------------------
+  // Attaches the calling thread as a mutator for the scope's lifetime.
+  class MutatorScope {
+   public:
+    MutatorScope(Vm& vm, std::string name);
+    ~MutatorScope();
+    MutatorScope(const MutatorScope&) = delete;
+    MutatorScope& operator=(const MutatorScope&) = delete;
+    Mutator& mutator() { return *m_; }
+
+   private:
+    std::unique_ptr<Mutator> m_;
+  };
+
+  // Spawns `count` mutator threads running fn(mutator, index); joins all.
+  void run_mutators(int count,
+                    const std::function<void(Mutator&, int)>& fn);
+
+  // --- global roots -----------------------------------------------------------
+  std::size_t create_global_root();
+  Obj* global_root(std::size_t idx) const;
+  void set_global_root(std::size_t idx, Obj* o);
+
+  // --- collection --------------------------------------------------------------
+  // Requests a collection from a mutator thread; returns once done.
+  // `requester` may be nullptr for unregistered (external) threads.
+  void collect(Mutator* requester, bool full, GcCause cause);
+
+  // Runs fn inside a stop-the-world pause on the VM thread and logs the
+  // resulting PauseEvent. `caller_is_registered` must be true when the
+  // calling thread participates in safepoints (mutators, concurrent GC
+  // threads) so it is excluded from the stop while it waits.
+  void run_vm_op(GcCause cause, bool caller_is_registered,
+                 const std::function<PauseOutcome()>& fn);
+
+  // Completed-collection counters (for request coalescing).
+  std::uint64_t gc_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t full_gc_epoch() const {
+    return full_epoch_.load(std::memory_order_acquire);
+  }
+
+  // --- collector support (inside pauses) ---------------------------------------
+  // Applies fn to every root slot: all mutator shadow stacks + global roots.
+  void for_each_root_slot(const std::function<void(Obj**)>& fn);
+  // Root slots only, chunked for parallel scanning.
+  std::vector<std::vector<Obj*>*> root_vectors();
+  void retire_all_tlabs();
+
+  // Registration hooks used by Mutator's ctor/dtor.
+  void add_mutator(Mutator* m);
+  void remove_mutator(Mutator* m);
+
+ private:
+  struct VmOp {
+    const std::function<PauseOutcome()>* fn = nullptr;
+    GcCause cause = GcCause::kAllocFailure;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  void vm_thread_main();
+
+  VmConfig cfg_;
+  GcLog log_;
+  SafepointCoordinator sp_;
+  std::unique_ptr<GcWorkerPool> workers_;
+  std::unique_ptr<Collector> collector_;
+  BarrierDescriptor barrier_;
+
+  std::mutex mutators_mu_;
+  std::vector<Mutator*> mutators_;
+
+  mutable std::mutex groots_mu_;
+  std::vector<Obj*> global_roots_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> full_epoch_{0};
+
+  std::mutex ops_mu_;
+  std::condition_variable ops_cv_;
+  std::deque<VmOp*> ops_;
+  bool shutdown_ = false;
+  std::thread vm_thread_;
+};
+
+// Creates the collector implementation for cfg.gc (defined in src/gc/).
+std::unique_ptr<Collector> make_collector(Vm& vm, const VmConfig& cfg);
+
+}  // namespace mgc

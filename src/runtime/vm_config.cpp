@@ -1,0 +1,65 @@
+#include "runtime/vm_config.h"
+
+#include <algorithm>
+#include <thread>
+#include <sstream>
+
+#include "heap/layout.h"
+#include "support/check.h"
+#include "support/env.h"
+
+namespace mgc {
+
+VmConfig VmConfig::baseline(GcKind gc) {
+  VmConfig cfg;
+  cfg.gc = gc;
+  return cfg;
+}
+
+std::size_t VmConfig::eden_bytes() const {
+  // eden : survivor : survivor = ratio : 1 : 1
+  const std::size_t sv = survivor_bytes();
+  return align_up(young_bytes - 2 * sv, kObjAlignment);
+}
+
+std::size_t VmConfig::survivor_bytes() const {
+  std::size_t sv = young_bytes / static_cast<std::size_t>(survivor_ratio + 2);
+  sv = align_up(std::max<std::size_t>(sv, 4 * KiB), kObjAlignment);
+  return sv;
+}
+
+int VmConfig::effective_gc_threads() const {
+  if (gc_threads > 0) return gc_threads;
+  // Like HotSpot, GC parallelism follows the *hardware*: parallel phases
+  // on a single-CPU host would only add spin overhead. (Workload thread
+  // counts, by contrast, follow the paper's thread structure; see
+  // support/env.cpp.)
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min(hw == 0 ? 1 : static_cast<int>(hw), 8);
+}
+
+void VmConfig::validate() const {
+  MGC_CHECK(heap_bytes >= 64 * KiB);
+  MGC_CHECK(young_bytes >= 16 * KiB);
+  MGC_CHECK_MSG(young_bytes < heap_bytes, "young generation must fit in heap");
+  MGC_CHECK(heap_bytes % kObjAlignment == 0);
+  MGC_CHECK(tlab_bytes >= 512 && tlab_bytes < eden_bytes());
+  MGC_CHECK(tenuring_threshold >= 0 && tenuring_threshold < 16);
+  MGC_CHECK(survivor_ratio >= 1);
+  if (gc == GcKind::kG1) {
+    MGC_CHECK((g1_region_bytes & (g1_region_bytes - 1)) == 0);
+    MGC_CHECK(heap_bytes / g1_region_bytes >= 8);
+    MGC_CHECK(young_bytes >= 2 * g1_region_bytes);
+  }
+}
+
+std::string VmConfig::describe() const {
+  std::ostringstream oss;
+  oss << gc_name(gc) << " heap=" << scale::label(heap_bytes)
+      << " young=" << scale::label(young_bytes)
+      << " tlab=" << (tlab_enabled ? "on" : "off")
+      << " gcthreads=" << effective_gc_threads();
+  return oss.str();
+}
+
+}  // namespace mgc

@@ -1,0 +1,57 @@
+// VM configuration: the knobs the paper varies (collector, heap size, young
+// generation size, TLAB) plus collector tuning constants at their HotSpot
+// defaults. All sizes are in *scaled* bytes (see support/units.h).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/gc_kind.h"
+#include "support/units.h"
+
+namespace mgc {
+
+struct VmConfig {
+  GcKind gc = GcKind::kParallelOld;
+
+  // Paper baseline: ~16 GB fixed heap, ~5.6 GB young generation, TLAB on.
+  std::size_t heap_bytes = 16 * scale::GB;
+  std::size_t young_bytes = 5734 * scale::MB;  // ~5.6 GB
+
+  bool tlab_enabled = true;
+  std::size_t tlab_bytes = 16 * KiB;
+
+  // 0 = default: min(hardware threads, 8).
+  int gc_threads = 0;
+
+  // Generational tuning (HotSpot defaults).
+  int tenuring_threshold = 6;
+  int survivor_ratio = 8;  // eden : survivor = 8 : 1 : 1
+
+  // CMS: background cycle starts above this old-gen occupancy.
+  double cms_trigger_occupancy = 0.70;
+
+  // G1.
+  std::size_t g1_region_bytes = 256 * KiB;
+  double g1_ihop = 0.45;           // heap occupancy starting a mark cycle
+  double g1_pause_target_ms = 5.0; // scaled analogue of -XX:MaxGCPauseMillis
+  double g1_mixed_garbage_threshold = 0.15;  // skip old regions with less garbage
+
+  bool verbose_gc = false;
+
+  // The paper's default configuration for a given collector.
+  static VmConfig baseline(GcKind gc);
+
+  // Derived geometry.
+  std::size_t eden_bytes() const;
+  std::size_t survivor_bytes() const;
+  std::size_t old_bytes() const { return heap_bytes - young_bytes; }
+  int effective_gc_threads() const;
+
+  // Aborts on nonsensical configurations (young >= heap, tiny spaces, ...).
+  void validate() const;
+
+  std::string describe() const;
+};
+
+}  // namespace mgc

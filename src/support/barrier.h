@@ -1,0 +1,84 @@
+// Sense-reversing centralized barrier for GC worker phases. Spins briefly,
+// then falls back to futex-style blocking via condition variable so we do
+// not burn cores when workers outnumber CPUs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/check.h"
+#include "support/spinlock.h"
+
+namespace mgc {
+
+class SenseBarrier {
+ public:
+  explicit SenseBarrier(int parties) : parties_(parties), waiting_(0) {
+    MGC_CHECK(parties > 0);
+  }
+
+  // Blocks until `parties` threads have arrived. Thread-local sense is kept
+  // by the caller via the returned value: pass the previous return value on
+  // the next arrival (initially false).
+  bool arrive_and_wait(bool my_sense) {
+    const bool next = !my_sense;
+    if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      waiting_.store(0, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        sense_.store(next, std::memory_order_release);
+      }
+      cv_.notify_all();
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != next) {
+        if (++spins < 2048) {
+          cpu_relax();
+        } else {
+          std::unique_lock<std::mutex> g(mu_);
+          cv_.wait(g, [&] {
+            return sense_.load(std::memory_order_acquire) == next;
+          });
+        }
+      }
+    }
+    return next;
+  }
+
+ private:
+  const int parties_;
+  std::atomic<int> waiting_;
+  std::atomic<bool> sense_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// Termination detector for work-stealing phases: workers that fail to find
+// work offer termination; if any worker finds new work, offers reset.
+class TerminationDetector {
+ public:
+  explicit TerminationDetector(int workers) : workers_(workers) {}
+
+  void reset() { offered_.store(0, std::memory_order_relaxed); }
+
+  // Called by a worker with no local work. Returns true when all workers
+  // have offered termination, i.e. the phase is globally done.
+  bool offer_termination() {
+    const int n = offered_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    return n >= workers_;
+  }
+
+  // Called when a worker found work after offering termination.
+  void retract() { offered_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  bool terminated() const {
+    return offered_.load(std::memory_order_acquire) >= workers_;
+  }
+
+ private:
+  const int workers_;
+  std::atomic<int> offered_{0};
+};
+
+}  // namespace mgc

@@ -1,0 +1,37 @@
+// Assertion and fatal-error helpers for the mgc runtime.
+//
+// MGC_CHECK is always on (release included): a managed-heap invariant
+// violation must never be allowed to corrupt memory silently.
+// MGC_DCHECK compiles out in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgc {
+
+[[noreturn]] inline void panic(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "mgc: fatal: %s:%d: %s\n", file, line, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mgc
+
+#define MGC_CHECK(cond)                                     \
+  do {                                                      \
+    if (!(cond)) ::mgc::panic(__FILE__, __LINE__, #cond);   \
+  } while (0)
+
+#define MGC_CHECK_MSG(cond, msg)                            \
+  do {                                                      \
+    if (!(cond)) ::mgc::panic(__FILE__, __LINE__, msg);     \
+  } while (0)
+
+#ifdef NDEBUG
+#define MGC_DCHECK(cond) ((void)0)
+#else
+#define MGC_DCHECK(cond) MGC_CHECK(cond)
+#endif
+
+#define MGC_UNREACHABLE(msg) ::mgc::panic(__FILE__, __LINE__, "unreachable: " msg)

@@ -1,0 +1,13 @@
+#include "support/clock.h"
+
+#include <ctime>
+
+namespace mgc {
+
+std::int64_t process_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace mgc

@@ -1,0 +1,64 @@
+#include "support/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace mgc::env {
+namespace {
+
+double get_double(const char* name, double def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return end != v ? parsed : def;
+}
+
+long get_long(const char* name, long def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return end != v ? parsed : def;
+}
+
+}  // namespace
+
+double scale() {
+  static const double s = std::max(0.01, get_double("MGC_SCALE", 1.0));
+  return s;
+}
+
+int threads() {
+  static const int t = [] {
+    const long v = get_long("MGC_THREADS", 0);
+    if (v > 0) return static_cast<int>(v);
+    const unsigned hw = std::thread::hardware_concurrency();
+    // Floor of 4: the paper's workloads are defined by their *thread
+    // structure* (one client per hardware thread on a 48-core box); on a
+    // smaller host the same structure runs timeshared rather than being
+    // silently degraded to single-threaded code paths.
+    return std::max(4, hw == 0 ? 4 : static_cast<int>(hw));
+  }();
+  return t;
+}
+
+std::uint64_t seed() {
+  static const auto s =
+      static_cast<std::uint64_t>(get_long("MGC_SEED", 42));
+  return s;
+}
+
+bool verbose_gc() {
+  static const bool v = get_long("MGC_VERBOSE_GC", 0) != 0;
+  return v;
+}
+
+std::uint64_t scaled(std::uint64_t base_count) {
+  const double s = scale();
+  const auto v = static_cast<std::uint64_t>(static_cast<double>(base_count) * s);
+  return v == 0 ? 1 : v;
+}
+
+}  // namespace mgc::env

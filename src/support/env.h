@@ -1,0 +1,23 @@
+// Environment-variable knobs for the bench harness.
+//
+//   MGC_SCALE      — multiplies workload repetition counts (default 1.0;
+//                    0.2 for a quick smoke run, 5 for a long run).
+//   MGC_THREADS    — overrides the hardware-thread count the harness uses.
+//   MGC_SEED       — base RNG seed for workloads.
+//   MGC_VERBOSE_GC — if set (non-zero), VMs print per-pause log lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mgc::env {
+
+double scale();          // workload scale factor, default 1.0
+int threads();           // default: std::thread::hardware_concurrency()
+std::uint64_t seed();    // default 42
+bool verbose_gc();       // default false
+
+// Scales an iteration/op count by MGC_SCALE with a floor of 1.
+std::uint64_t scaled(std::uint64_t base_count);
+
+}  // namespace mgc::env

@@ -1,0 +1,118 @@
+#include "support/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.h"
+
+namespace mgc {
+
+Histogram::Histogram(int sub_bucket_bits) : sub_bits_(sub_bucket_bits) {
+  MGC_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 12);
+  sub_count_ = 1ULL << sub_bits_;
+  // 64 power-of-two buckets x sub_count_ linear sub-buckets covers all u64.
+  buckets_.assign(64 * sub_count_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t v) const {
+  if (v < sub_count_) return static_cast<std::size_t>(v);
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - sub_bits_;
+  const std::uint64_t sub = (v >> shift) & (sub_count_ - 1);
+  // Power bucket p covers [2^p, 2^(p+1)); p starts at sub_bits_.
+  const std::size_t power = static_cast<std::size_t>(msb - sub_bits_ + 1);
+  return power * sub_count_ + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_low(std::size_t idx) const {
+  const std::size_t power = idx / sub_count_;
+  const std::uint64_t sub = idx % sub_count_;
+  if (power == 0) return sub;
+  const int shift = static_cast<int>(power) - 1;
+  return ((sub_count_ + sub) << shift);
+}
+
+std::uint64_t Histogram::bucket_high(std::size_t idx) const {
+  const std::size_t power = idx / sub_count_;
+  if (power == 0) return bucket_low(idx);
+  const int shift = static_cast<int>(power) - 1;
+  return bucket_low(idx) + ((1ULL << shift) - 1);
+}
+
+void Histogram::add(std::uint64_t v) {
+  const std::size_t idx = bucket_index(v);
+  MGC_DCHECK(idx < buckets_.size());
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+void Histogram::merge(const Histogram& other) {
+  MGC_CHECK(sub_bits_ == other.sub_bits_);
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  MGC_CHECK(p >= 0.0 && p <= 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) return std::min(bucket_high(i), max_);
+  }
+  return max_;
+}
+
+std::uint64_t Histogram::count_above(std::uint64_t threshold) const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (bucket_low(i) > threshold) {
+      n += buckets_[i];
+    }
+    // Buckets straddling the threshold are counted as below: the histogram
+    // trades exactness at bucket edges for O(1) memory; callers use bands
+    // far wider than one bucket.
+  }
+  return n;
+}
+
+std::uint64_t Histogram::count_between(std::uint64_t lo, std::uint64_t hi) const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    if (bucket_low(i) >= lo && bucket_high(i) <= hi) n += buckets_[i];
+  }
+  return n;
+}
+
+}  // namespace mgc

@@ -1,0 +1,47 @@
+// Log-bucketed latency histogram (HDR-histogram style, base-2 buckets with
+// linear sub-buckets). Records nanosecond values up to ~hours with bounded
+// relative error; used for per-operation latency series where keeping every
+// sample (millions of ops) would be wasteful.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mgc {
+
+class Histogram {
+ public:
+  // sub_bucket_bits controls precision: 2^bits linear sub-buckets per
+  // power-of-two bucket (relative error <= 1/2^bits).
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void add(std::uint64_t value_ns);
+  void merge(const Histogram& other);
+  void clear();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const;
+  // Returns an upper bound of the bucket containing the p-th percentile.
+  std::uint64_t percentile(double p) const;
+  // Number of recorded values strictly greater than `threshold`.
+  std::uint64_t count_above(std::uint64_t threshold) const;
+  // Number of recorded values in [lo, hi].
+  std::uint64_t count_between(std::uint64_t lo, std::uint64_t hi) const;
+
+ private:
+  std::size_t bucket_index(std::uint64_t v) const;
+  std::uint64_t bucket_low(std::size_t idx) const;
+  std::uint64_t bucket_high(std::size_t idx) const;
+
+  int sub_bits_;
+  std::uint64_t sub_count_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mgc

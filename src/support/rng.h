@@ -1,0 +1,155 @@
+// Deterministic pseudo-random number generation for workloads and tests.
+//
+// xoshiro256** seeded via splitmix64, plus the distributions the YCSB and
+// DaCapo-like workloads need (uniform, bounded, zipfian, exponential-ish
+// think times). All generators are value types; every thread owns its own,
+// so there is no shared mutable state (CP.2).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "support/check.h"
+
+namespace mgc {
+
+// splitmix64: used only to expand seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  std::uint64_t operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Lemire-style rejection-free reduction is
+  // fine here: bias is negligible for bound << 2^64 and workloads only need
+  // statistical (not cryptographic) uniformity.
+  std::uint64_t below(std::uint64_t bound) {
+    MGC_DCHECK(bound > 0);
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi) {
+    MGC_DCHECK(hi >= lo);
+    return lo + below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  // True with probability p.
+  bool chance(double p) { return unit() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+// Zipfian key-popularity distribution over [0, n), as used by YCSB.
+// Implements the Gray et al. "quick zipf" sampling with precomputed zeta.
+class Zipfian {
+ public:
+  Zipfian(std::uint64_t n, double theta = 0.99) : n_(n), theta_(theta) {
+    MGC_CHECK(n > 0);
+    zetan_ = zeta(n, theta_);
+    zeta2_ = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+  }
+
+  std::uint64_t sample(Rng& rng) const {
+    const double u = rng.unit();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+  std::uint64_t n() const { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    // Exact sum is O(n); cap the exact computation and extend with the
+    // integral approximation for very large n (we never exceed ~10M keys).
+    const std::uint64_t exact = n < 1000000 ? n : 1000000;
+    for (std::uint64_t i = 1; i <= exact; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (exact < n) {
+      sum += (std::pow(static_cast<double>(n), 1.0 - theta) -
+              std::pow(static_cast<double>(exact), 1.0 - theta)) /
+             (1.0 - theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_, zeta2_, alpha_, eta_;
+};
+
+// Scrambles zipfian ranks over the key space so hot keys are spread out,
+// mirroring YCSB's ScrambledZipfianGenerator.
+class ScrambledZipfian {
+ public:
+  explicit ScrambledZipfian(std::uint64_t n, double theta = 0.99)
+      : zipf_(n, theta), n_(n) {}
+
+  std::uint64_t sample(Rng& rng) const {
+    const std::uint64_t rank = zipf_.sample(rng);
+    std::uint64_t h = rank;
+    return fnv64(h) % n_;
+  }
+
+ private:
+  static std::uint64_t fnv64(std::uint64_t x) {
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (x >> (i * 8)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+    return hash;
+  }
+
+  Zipfian zipf_;
+  std::uint64_t n_;
+};
+
+}  // namespace mgc

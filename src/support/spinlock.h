@@ -1,0 +1,58 @@
+// Tiny TTAS spinlock with exponential backoff, for very short critical
+// sections inside the collectors (per-region remembered sets, free-list
+// bins). Satisfies the Lockable named requirement so std::scoped_lock and
+// std::lock_guard work with it (CP.20).
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace mgc {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 1;
+    while (true) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      // Test-and-test-and-set: spin on a plain load to avoid cache-line
+      // ping-pong, backing off exponentially.
+      while (flag_.load(std::memory_order_relaxed)) {
+        for (int i = 0; i < spins; ++i) cpu_relax();
+        if (spins < 1024) spins <<= 1;
+      }
+    }
+  }
+
+  bool try_lock() { return !flag_.exchange(true, std::memory_order_acquire); }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+// Exponential backoff helper for CAS retry loops.
+class Backoff {
+ public:
+  void pause() {
+    for (int i = 0; i < spins_; ++i) cpu_relax();
+    if (spins_ < 4096) spins_ <<= 1;
+  }
+
+ private:
+  int spins_ = 1;
+};
+
+}  // namespace mgc

@@ -1,0 +1,82 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.h"
+
+namespace mgc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::rsd_percent() const {
+  if (n_ < 2 || mean_ == 0.0) return 0.0;
+  return stddev() / mean_ * 100.0;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double rsd_percent_of(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.rsd_percent();
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  MGC_CHECK(!xs.empty());
+  MGC_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[std::min(xs.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace mgc

@@ -1,0 +1,46 @@
+// Streaming and batch statistics used throughout the study:
+// Welford running mean/variance, relative standard deviation (Table 2),
+// and percentile extraction for latency series (Tables 5-7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mgc {
+
+// Numerically stable (Welford) running mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  // Sample variance / stddev (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+  // Relative standard deviation in percent (stddev / mean * 100),
+  // the stability metric of the paper's Table 2.
+  double rsd_percent() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch helpers over a sample vector. `percentile` uses nearest-rank on a
+// sorted copy; callers with big series should use Histogram instead.
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+double rsd_percent_of(const std::vector<double>& xs);
+double percentile_of(std::vector<double> xs, double p);  // p in [0,100]
+
+}  // namespace mgc

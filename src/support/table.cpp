@@ -1,0 +1,93 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace mgc {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  auto line = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  line();
+  if (!header_.empty()) {
+    emit(header_);
+    line();
+  }
+  for (const auto& r : rows_) emit(r);
+  line();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<SeriesPoint>& pts, std::size_t max_points) {
+  os << "# series " << name << " (" << pts.size() << " points";
+  std::vector<SeriesPoint> shown = pts;
+  if (shown.size() > max_points) {
+    // Keep the highest-y points, as the paper does for Fig. 5, then restore
+    // chronological order.
+    std::sort(shown.begin(), shown.end(),
+              [](const SeriesPoint& a, const SeriesPoint& b) { return a.y > b.y; });
+    shown.resize(max_points);
+    os << ", showing top " << max_points << " by y";
+  }
+  os << ")\n";
+  std::sort(shown.begin(), shown.end(),
+            [](const SeriesPoint& a, const SeriesPoint& b) { return a.x < b.x; });
+  for (const auto& p : shown) os << p.x << ' ' << p.y << '\n';
+  os << "# end series " << name << "\n";
+}
+
+}  // namespace mgc

@@ -1,0 +1,45 @@
+// ASCII table renderer used by the bench binaries to print the paper's
+// tables, plus a tiny gnuplot-style series dumper for the figures.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mgc {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+
+  // Formats a double with fixed precision, trimming to a compact cell.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints "# series <name>" followed by "x y" lines — a figure data series
+// (consumable by gnuplot) that mirrors one curve/point-cloud of a paper
+// figure. `max_points` keeps logs readable (the paper itself plots only the
+// highest 10000 points of Fig. 5).
+struct SeriesPoint {
+  double x;
+  double y;
+};
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<SeriesPoint>& pts,
+                  std::size_t max_points = 10000);
+
+}  // namespace mgc

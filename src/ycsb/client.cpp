@@ -1,0 +1,111 @@
+#include "ycsb/client.h"
+
+#include <thread>
+
+#include "support/clock.h"
+#include "support/rng.h"
+
+namespace mgc::ycsb {
+
+double PhaseResult::duration_s() const { return ns_to_s(end_ns - start_ns); }
+
+double PhaseResult::throughput_ops_s() const {
+  const double d = duration_s();
+  return d > 0 ? static_cast<double>(samples.size()) / d : 0.0;
+}
+
+Client::Client(kv::Server& server, const WorkloadSpec& spec,
+               std::uint64_t seed)
+    : server_(server), spec_(spec), seed_(seed) {
+  spec_.validate();
+}
+
+PhaseResult Client::load() {
+  PhaseResult result;
+  result.start_ns = now_ns();
+  const int threads = spec_.client_threads;
+  std::vector<std::vector<OpSample>> per_thread(
+      static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([this, t, threads, &per_thread] {
+      auto& samples = per_thread[static_cast<std::size_t>(t)];
+      for (std::uint64_t key = static_cast<std::uint64_t>(t);
+           key < spec_.record_count;
+           key += static_cast<std::uint64_t>(threads)) {
+        kv::Request req;
+        req.op = kv::OpType::kInsert;
+        req.key = key;
+        req.value_len = spec_.value_len;
+        OpSample s;
+        s.op = req.op;
+        s.start_ns = now_ns();
+        server_.execute(req);
+        s.latency_ns = now_ns() - s.start_ns;
+        samples.push_back(s);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  result.end_ns = now_ns();
+  for (auto& v : per_thread) {
+    result.samples.insert(result.samples.end(), v.begin(), v.end());
+  }
+  return result;
+}
+
+PhaseResult Client::run() {
+  PhaseResult result;
+  result.start_ns = now_ns();
+  const int threads = spec_.client_threads;
+  const std::uint64_t per_thread_ops =
+      spec_.operation_count / static_cast<std::uint64_t>(threads) + 1;
+  std::vector<std::vector<OpSample>> per_thread(
+      static_cast<std::size_t>(threads));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([this, t, per_thread_ops, &per_thread] {
+      Rng rng(seed_ * 1000003 + static_cast<std::uint64_t>(t));
+      ScrambledZipfian zipf(spec_.record_count);
+      auto& samples = per_thread[static_cast<std::size_t>(t)];
+      samples.reserve(per_thread_ops);
+      std::uint64_t next_insert_key =
+          spec_.record_count + static_cast<std::uint64_t>(t) * (1ULL << 40);
+      for (std::uint64_t i = 0; i < per_thread_ops; ++i) {
+        kv::Request req;
+        const double roll = rng.unit();
+        if (roll < spec_.read_proportion) {
+          req.op = kv::OpType::kRead;
+        } else if (roll < spec_.read_proportion + spec_.update_proportion) {
+          req.op = kv::OpType::kUpdate;
+          req.value_len = spec_.value_len;
+        } else {
+          req.op = kv::OpType::kInsert;
+          req.key = next_insert_key++;
+          req.value_len = spec_.value_len;
+        }
+        if (req.op != kv::OpType::kInsert) {
+          req.key = spec_.distribution == KeyDistribution::kZipfian
+                        ? zipf.sample(rng)
+                        : rng.below(spec_.record_count);
+        }
+        OpSample s;
+        s.op = req.op;
+        s.start_ns = now_ns();
+        server_.execute(req);
+        s.latency_ns = now_ns() - s.start_ns;
+        samples.push_back(s);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  result.end_ns = now_ns();
+  for (auto& v : per_thread) {
+    result.samples.insert(result.samples.end(), v.begin(), v.end());
+  }
+  return result;
+}
+
+}  // namespace mgc::ycsb

@@ -1,0 +1,44 @@
+// YCSB-like client driver. Client threads are deliberately *not* VM
+// mutators — they model the paper's separate 16-core client machine — and
+// measure wall-clock latency around each synchronous server call, so every
+// server-side stop-the-world pause shows up in the samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kvstore/server.h"
+#include "ycsb/workload.h"
+
+namespace mgc::ycsb {
+
+struct OpSample {
+  std::int64_t start_ns = 0;    // absolute Clock time
+  std::int64_t latency_ns = 0;
+  kv::OpType op = kv::OpType::kRead;
+};
+
+struct PhaseResult {
+  std::vector<OpSample> samples;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+  double duration_s() const;
+  double throughput_ops_s() const;
+};
+
+class Client {
+ public:
+  Client(kv::Server& server, const WorkloadSpec& spec, std::uint64_t seed);
+
+  // Load phase: inserts records [0, record_count).
+  PhaseResult load();
+  // Transaction phase: operation_count ops with the configured mix.
+  PhaseResult run();
+
+ private:
+  kv::Server& server_;
+  WorkloadSpec spec_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mgc::ycsb

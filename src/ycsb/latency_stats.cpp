@@ -1,0 +1,75 @@
+#include "ycsb/latency_stats.h"
+
+#include <algorithm>
+
+#include "support/clock.h"
+
+namespace mgc::ycsb {
+
+bool overlaps_pause(const std::vector<PauseEvent>& pauses,
+                    std::int64_t start_ns, std::int64_t end_ns) {
+  // First pause whose end is at/after the op start; overlap iff its start
+  // is at/before the op end. Pauses are non-overlapping and sorted.
+  auto it = std::lower_bound(
+      pauses.begin(), pauses.end(), start_ns,
+      [](const PauseEvent& e, std::int64_t t) { return e.end_ns < t; });
+  return it != pauses.end() && it->start_ns <= end_ns;
+}
+
+LatencyStats compute_latency_stats(const std::vector<OpSample>& samples,
+                                   kv::OpType op,
+                                   const std::vector<PauseEvent>& pauses) {
+  LatencyStats st;
+  double sum = 0;
+  for (const OpSample& s : samples) {
+    if (s.op != op) continue;
+    const double ms = ns_to_ms(s.latency_ns);
+    if (st.count == 0) {
+      st.min_ms = st.max_ms = ms;
+    } else {
+      st.min_ms = std::min(st.min_ms, ms);
+      st.max_ms = std::max(st.max_ms, ms);
+    }
+    sum += ms;
+    ++st.count;
+  }
+  if (st.count == 0) return st;
+  st.avg_ms = sum / static_cast<double>(st.count);
+
+  struct BandDef {
+    std::string label;
+    double lo;  // inclusive multiple of avg
+    double hi;  // exclusive; <=0 means unbounded
+  };
+  const BandDef defs[] = {
+      {"0.5x-1.5x AVG", 0.5, 1.5}, {">2x AVG", 2.0, -1.0},
+      {">4x AVG", 4.0, -1.0},      {">8x AVG", 8.0, -1.0},
+      {">16x AVG", 16.0, -1.0},
+  };
+
+  for (const BandDef& def : defs) {
+    auto in_band = [&](double ms) {
+      return def.hi > 0 ? (ms >= def.lo * st.avg_ms && ms <= def.hi * st.avg_ms)
+                        : (ms > def.lo * st.avg_ms);
+    };
+    std::size_t reqs = 0;
+    for (const OpSample& s : samples) {
+      if (s.op == op && in_band(ns_to_ms(s.latency_ns))) ++reqs;
+    }
+    std::size_t gcs = 0;
+    for (const PauseEvent& e : pauses) {
+      if (in_band(e.duration_ms())) ++gcs;
+    }
+    LatencyBand band;
+    band.label = def.label;
+    band.pct_reqs =
+        100.0 * static_cast<double>(reqs) / static_cast<double>(st.count);
+    band.pct_gcs = pauses.empty() ? 0.0
+                                  : 100.0 * static_cast<double>(gcs) /
+                                        static_cast<double>(pauses.size());
+    st.bands.push_back(band);
+  }
+  return st;
+}
+
+}  // namespace mgc::ycsb

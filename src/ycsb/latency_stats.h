@@ -1,0 +1,43 @@
+// The paper's client-latency statistics (Tables 5-7): AVG/MAX/MIN latency
+// per operation type, the 0.5x-1.5x "normal" band, and the >2^n x AVG
+// spike bands, each with the share of requests falling in the band and the
+// share of those requests that overlapped a server GC pause.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/gc_log.h"
+#include "ycsb/client.h"
+
+namespace mgc::ycsb {
+
+struct LatencyBand {
+  std::string label;     // "0.5x-1.5x AVG", ">2x AVG", ...
+  double pct_reqs = 0;   // % of all requests whose latency is in this band
+  // % of all GC pauses whose *duration* falls in this band (relative to
+  // the average request latency) — the paper's correlation metric: every
+  // pause is far longer than the average request, so the spike bands
+  // report (near) 100% and the normal band 0%.
+  double pct_gcs = 0;
+};
+
+struct LatencyStats {
+  std::size_t count = 0;
+  double avg_ms = 0;
+  double max_ms = 0;
+  double min_ms = 0;
+  std::vector<LatencyBand> bands;
+};
+
+// Computes stats over the samples of one operation type.
+LatencyStats compute_latency_stats(const std::vector<OpSample>& samples,
+                                   kv::OpType op,
+                                   const std::vector<PauseEvent>& pauses);
+
+// True if [start_ns, end_ns] overlaps any pause. `pauses` must be sorted
+// by start_ns (GcLog snapshots already are).
+bool overlaps_pause(const std::vector<PauseEvent>& pauses,
+                    std::int64_t start_ns, std::int64_t end_ns);
+
+}  // namespace mgc::ycsb

@@ -1,0 +1,30 @@
+// YCSB-like workload specification: a load phase populating the store and
+// a transaction phase with a read/update/insert mix over a zipfian or
+// uniform key distribution (Cooper et al., SoCC'10).
+#pragma once
+
+#include <cstdint>
+
+namespace mgc::ycsb {
+
+enum class KeyDistribution { kZipfian, kUniform };
+
+struct WorkloadSpec {
+  std::uint64_t record_count = 10000;
+  std::uint64_t operation_count = 100000;
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  double insert_proportion = 0.0;
+  KeyDistribution distribution = KeyDistribution::kZipfian;
+  std::size_t value_len = 1024;
+  int client_threads = 4;
+
+  // The paper's custom client-side workload: 50% read / 50% update.
+  static WorkloadSpec paper_custom(std::uint64_t records,
+                                   std::uint64_t operations,
+                                   int client_threads);
+
+  void validate() const;
+};
+
+}  // namespace mgc::ycsb

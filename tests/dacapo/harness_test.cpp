@@ -1,0 +1,74 @@
+// DaCapo-suite harness behaviour: iteration timing, system-GC insertion,
+// the paper's no-GC property for batik at the baseline configuration, and
+// the crash modelling for eclipse/tradebeans/tradesoap.
+#include <gtest/gtest.h>
+
+#include "dacapo/harness.h"
+#include "dacapo/suite.h"
+
+namespace mgc::dacapo {
+namespace {
+
+VmConfig baseline(GcKind gc) { return VmConfig::baseline(gc); }
+
+TEST(DacapoSuite, RegistryIsComplete) {
+  EXPECT_EQ(all_benchmarks().size(), 14u);
+  EXPECT_EQ(stable_subset().size(), 7u);
+  EXPECT_EQ(crashing_benchmarks().size(), 3u);
+  for (const auto& name : all_benchmarks()) {
+    auto b = make_benchmark(name);
+    EXPECT_EQ(b->info().name, name);
+  }
+}
+
+TEST(DacapoHarness, SystemGcInsertsFullCollections) {
+  HarnessOptions opts;
+  opts.iterations = 3;
+  opts.system_gc_between_iterations = true;
+  opts.threads = 2;
+  const HarnessResult res =
+      run_benchmark(baseline(GcKind::kParallelOld), "pmd", opts);
+  ASSERT_FALSE(res.crashed);
+  EXPECT_EQ(res.iteration_s.size(), 3u);
+  EXPECT_GE(res.pauses.full_pauses, 2u);  // system GC runs between iterations
+  EXPECT_GT(res.total_s, 0.0);
+  EXPECT_EQ(res.final_iteration_s, res.iteration_s.back());
+}
+
+TEST(DacapoHarness, BatikBaselineRunsWithoutAnyGc) {
+  // §3.3 of the paper: batik performs no collection at the baseline heap
+  // when the system GC is disabled.
+  HarnessOptions opts;
+  opts.iterations = 5;
+  opts.system_gc_between_iterations = false;
+  const HarnessResult res =
+      run_benchmark(baseline(GcKind::kParallelOld), "batik", opts);
+  ASSERT_FALSE(res.crashed);
+  EXPECT_EQ(res.pauses.pauses, 0u)
+      << "batik must not trigger GC at the baseline configuration";
+}
+
+TEST(DacapoHarness, XalanBaselineTriggersCollections) {
+  HarnessOptions opts;
+  opts.iterations = 3;
+  opts.system_gc_between_iterations = false;
+  opts.threads = 4;
+  const HarnessResult res =
+      run_benchmark(baseline(GcKind::kParallelOld), "xalan", opts);
+  ASSERT_FALSE(res.crashed);
+  EXPECT_GT(res.pauses.pauses, 0u);
+}
+
+TEST(DacapoHarness, CrashingBenchmarksReportCrash) {
+  for (const auto& name : crashing_benchmarks()) {
+    HarnessOptions opts;
+    opts.iterations = 2;
+    const HarnessResult res =
+        run_benchmark(baseline(GcKind::kParallelOld), name, opts);
+    EXPECT_TRUE(res.crashed) << name;
+    EXPECT_TRUE(res.iteration_s.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mgc::dacapo

@@ -1,0 +1,127 @@
+// Per-kernel behaviour tests: every benchmark runs under two collectors,
+// the jitter machinery is deterministic per seed and shared across
+// threads, and the benchmark-specific properties the experiments rely on
+// hold (batik's near-zero GC footprint, xalan's retained cache, h2's
+// persistent table).
+#include <gtest/gtest.h>
+
+#include "dacapo/harness.h"
+#include "dacapo/kernels/common.h"
+#include "dacapo/suite.h"
+#include "support/units.h"
+
+namespace mgc::dacapo {
+namespace {
+
+class EveryBenchmark : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Suite, EveryBenchmark,
+                         ::testing::ValuesIn(all_benchmarks()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST_P(EveryBenchmark, RunsUnderParallelOldAndG1) {
+  for (GcKind gc : {GcKind::kParallelOld, GcKind::kG1}) {
+    HarnessOptions opts;
+    opts.iterations = 2;
+    opts.threads = 2;
+    const HarnessResult res =
+        run_benchmark(VmConfig::baseline(gc), GetParam(), opts);
+    const bool should_crash =
+        std::find(crashing_benchmarks().begin(), crashing_benchmarks().end(),
+                  GetParam()) != crashing_benchmarks().end();
+    EXPECT_EQ(res.crashed, should_crash) << GetParam();
+    if (!should_crash) {
+      EXPECT_EQ(res.iteration_s.size(), 2u);
+      EXPECT_GT(res.total_s, 0.0);
+      EXPECT_GT(res.total_cpu_s, 0.0);
+    }
+  }
+}
+
+TEST(KernelCommon, IterationCountIsSeedDeterministic) {
+  const auto a = iteration_count(42, 0.3, 1000);
+  const auto b = iteration_count(42, 0.3, 1000);
+  const auto c = iteration_count(43, 0.3, 1000);
+  EXPECT_EQ(a, b);
+  // Within the jitter envelope.
+  EXPECT_GE(a, 700u);
+  EXPECT_LE(a, 1300u);
+  EXPECT_GE(c, 700u);
+  EXPECT_LE(c, 1300u);
+}
+
+TEST(KernelCommon, JitterZeroIsExact) {
+  Rng rng(1);
+  EXPECT_EQ(jittered(rng, 0.0, 500), 500u);
+  EXPECT_EQ(iteration_count(7, 0.0, 500), 500u);
+}
+
+TEST(KernelCommon, TreeBuilderProducesFullTree) {
+  VmConfig cfg;
+  cfg.heap_bytes = 16 * MiB;
+  cfg.young_bytes = 4 * MiB;
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "t");
+  Mutator& m = scope.mutator();
+  Rng rng(5);
+  Local root(m, build_tree(m, rng, /*depth=*/3, /*fanout=*/3, 2));
+  // Count nodes by traversal.
+  std::size_t count = 0;
+  std::vector<Obj*> stack{root.get()};
+  while (!stack.empty()) {
+    Obj* o = stack.back();
+    stack.pop_back();
+    ++count;
+    for (std::size_t i = 0; i < o->num_refs(); ++i) {
+      if (o->ref(i) != nullptr) stack.push_back(o->ref(i));
+    }
+  }
+  EXPECT_EQ(count, tree_nodes(3, 3));
+  EXPECT_EQ(tree_nodes(3, 3), 40u);  // 1+3+9+27
+  // Checksum is stable for an unchanged tree.
+  EXPECT_EQ(tree_checksum(root.get()), tree_checksum(root.get()));
+}
+
+TEST(BatikProperty, AllocatesLessThanOneEdenPerIteration) {
+  // The §3.3 experiment (no collections at the baseline heap) depends on
+  // batik's allocation volume staying under the eden size per run.
+  HarnessOptions opts;
+  opts.iterations = 10;
+  opts.system_gc_between_iterations = false;
+  const HarnessResult res =
+      run_benchmark(VmConfig::baseline(GcKind::kParallelOld), "batik", opts);
+  EXPECT_EQ(res.pauses.pauses, 0u);
+}
+
+TEST(XalanProperty, RetainsItsDocumentCache) {
+  // The full-GC cost experiments rely on xalan's retained live set.
+  HarnessOptions opts;
+  opts.iterations = 2;
+  opts.threads = 2;
+  VmConfig cfg = VmConfig::baseline(GcKind::kParallelOld);
+  const HarnessResult res = run_benchmark(cfg, "xalan", opts);
+  ASSERT_FALSE(res.crashed);
+  // Full GCs (system GC) report several MB still used afterwards.
+  bool saw_retained = false;
+  for (const PauseEvent& e : res.pause_events) {
+    if (e.full && e.used_after > 3 * MiB) saw_retained = true;
+  }
+  EXPECT_TRUE(saw_retained) << "xalan's retained cache is missing";
+}
+
+TEST(HarnessThreads, RespectsBenchmarkDefaults) {
+  HarnessOptions opts;
+  BenchmarkInfo single;
+  single.default_threads = 1;
+  EXPECT_EQ(harness_threads(single, opts), 1);
+  BenchmarkInfo per_hw;
+  per_hw.default_threads = 0;
+  EXPECT_GE(harness_threads(per_hw, opts), 1);
+  opts.threads = 3;
+  EXPECT_EQ(harness_threads(single, opts), 3);  // explicit override wins
+}
+
+}  // namespace
+}  // namespace mgc::dacapo

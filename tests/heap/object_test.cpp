@@ -1,0 +1,103 @@
+// Object model: layout, shape, flags, forwarding races.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "heap/arena.h"
+#include "support/units.h"
+#include "heap/object.h"
+
+namespace mgc {
+namespace {
+
+TEST(ObjectModel, HeaderIsTwoWords) {
+  EXPECT_EQ(sizeof(ObjHeader), 16u);
+  EXPECT_EQ(sizeof(RefSlot), 8u);
+}
+
+TEST(ObjectModel, ShapeWordsRoundsToAlignment) {
+  // header(2) + 1 ref + 1 payload = 4 words = 32 B, already 16-aligned.
+  EXPECT_EQ(Obj::shape_words(1, 1), 4u);
+  // header(2) + 0 refs + 1 payload = 3 words -> rounds to 4.
+  EXPECT_EQ(Obj::shape_words(0, 1), 4u);
+  EXPECT_EQ(Obj::shape_words(0, 0), 2u);
+  EXPECT_EQ(Obj::shape_words(3, 2), 8u);
+}
+
+TEST(ObjectModel, InitZeroesRefsAndSetsShape) {
+  Arena arena(4096);
+  Obj* o = Obj::init(arena.base(), Obj::shape_words(3, 2), 3);
+  EXPECT_EQ(o->num_refs(), 3u);
+  EXPECT_EQ(o->size_words(), 8u);
+  EXPECT_EQ(o->payload_words(), 3u);  // 8 - 2 header - 3 refs
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(o->ref(i), nullptr);
+  EXPECT_FALSE(o->is_marked());
+  EXPECT_FALSE(o->is_forwarded());
+  o->set_field(0, 0xdeadbeef);
+  EXPECT_EQ(o->field(0), 0xdeadbeefu);
+}
+
+TEST(ObjectModel, FillerIsRefFreeAndFlagged) {
+  Arena arena(4096);
+  Obj* f = Obj::init_filler(arena.base(), 6);
+  EXPECT_EQ(f->num_refs(), 0u);
+  EXPECT_EQ(f->size_words(), 6u);
+  EXPECT_TRUE(f->is_filler());
+  EXPECT_FALSE(f->is_free_chunk());
+}
+
+TEST(ObjectModel, MarkBitIsClaimedExactlyOnce) {
+  Arena arena(4096);
+  Obj* o = Obj::init(arena.base(), 4, 0);
+  EXPECT_TRUE(o->try_mark());
+  EXPECT_FALSE(o->try_mark());
+  EXPECT_TRUE(o->is_marked());
+  o->clear_mark();
+  EXPECT_FALSE(o->is_marked());
+  EXPECT_TRUE(o->try_mark());
+}
+
+TEST(ObjectModel, ForwardAtomicHasSingleWinner) {
+  Arena arena(64 * KiB);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 200;
+  for (int round = 0; round < kRounds; ++round) {
+    Obj* src = Obj::init(arena.base(), 4, 0);
+    std::vector<Obj*> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        auto* my_dest = reinterpret_cast<Obj*>(
+            arena.base() + 1024 + static_cast<std::size_t>(t) * 64);
+        results[static_cast<std::size_t>(t)] = src->forward_atomic(my_dest);
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Everyone must agree on the same winner.
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[static_cast<std::size_t>(t)], results[0]);
+    }
+    EXPECT_EQ(src->forwardee(), results[0]);
+  }
+}
+
+TEST(ObjectModel, NextInSpaceWalksByShape) {
+  Arena arena(4096);
+  Obj* a = Obj::init(arena.base(), 4, 1);
+  Obj* b = Obj::init(a->end(), 6, 0);
+  EXPECT_EQ(a->next_in_space(), b);
+  EXPECT_EQ(b->start() - a->start(), 32);
+}
+
+TEST(ObjectModel, ChecksumSeesPayloadChanges) {
+  Arena arena(4096);
+  Obj* o = Obj::init(arena.base(), Obj::shape_words(0, 4), 0);
+  for (std::size_t i = 0; i < o->payload_words(); ++i) o->set_field(i, i);
+  const auto c1 = object_checksum(o);
+  o->set_field(2, 999);
+  EXPECT_NE(object_checksum(o), c1);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,115 @@
+// G1 region manager: typed allocation, humongous runs, recycling, rsets.
+#include <gtest/gtest.h>
+
+#include "heap/arena.h"
+#include "heap/mark_bitmap.h"
+#include "heap/region.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+struct RmFixture {
+  RmFixture() : arena(1 * MiB) { rm.initialize(arena.base(), 1 * MiB, 64 * KiB); }
+  Arena arena;
+  RegionManager rm;
+};
+
+TEST(RegionManager, GeometryAndLookup) {
+  RmFixture f;
+  EXPECT_EQ(f.rm.num_regions(), 16u);
+  EXPECT_EQ(f.rm.free_region_count(), 16u);
+  Region* r0 = f.rm.region_of(f.arena.base());
+  EXPECT_EQ(r0->index, 0u);
+  Region* r1 = f.rm.region_of(f.arena.base() + 64 * KiB + 8);
+  EXPECT_EQ(r1->index, 1u);
+  EXPECT_TRUE(r1->contains(f.arena.base() + 64 * KiB + 8));
+}
+
+TEST(RegionManager, AllocatePrefersLowAddressesAndRecycles) {
+  RmFixture f;
+  Region* a = f.rm.allocate_region(RegionType::kEden);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->index, 0u);
+  EXPECT_EQ(a->type(), RegionType::kEden);
+  EXPECT_EQ(f.rm.free_region_count(), 15u);
+  char* p = a->par_alloc(128);
+  EXPECT_EQ(p, a->base);
+  EXPECT_EQ(a->used(), 128u);
+  f.rm.free_region(a);
+  EXPECT_TRUE(a->is_free());
+  EXPECT_EQ(a->used(), 0u);
+  EXPECT_EQ(f.rm.free_region_count(), 16u);
+}
+
+TEST(RegionManager, ExhaustionReturnsNull) {
+  RmFixture f;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_NE(f.rm.allocate_region(RegionType::kOld), nullptr);
+  }
+  EXPECT_EQ(f.rm.allocate_region(RegionType::kOld), nullptr);
+}
+
+TEST(RegionManager, HumongousNeedsContiguousRun) {
+  RmFixture f;
+  // Occupy regions 0 and 2, leaving 1 free: a 2-region run must start at 3.
+  Region* r0 = f.rm.allocate_region(RegionType::kOld);
+  Region* r1 = f.rm.allocate_region(RegionType::kOld);
+  Region* r2 = f.rm.allocate_region(RegionType::kOld);
+  ASSERT_EQ(r2->index, 2u);
+  f.rm.free_region(r1);
+  Region* h = f.rm.allocate_humongous(2);
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->index, 3u);
+  EXPECT_EQ(h->type(), RegionType::kHumongousHead);
+  Region& cont = f.rm.region_at(h->index + 1);
+  EXPECT_EQ(cont.type(), RegionType::kHumongousCont);
+  EXPECT_EQ(cont.humongous_head, h);
+  (void)r0;
+}
+
+TEST(RegionManager, RebuildKeepsOnlySelected) {
+  RmFixture f;
+  Region* keep = f.rm.allocate_region(RegionType::kOld);
+  Region* drop = f.rm.allocate_region(RegionType::kOld);
+  (void)drop->par_alloc(64);
+  f.rm.rebuild([&](Region& r) { return &r == keep; });
+  EXPECT_EQ(f.rm.free_region_count(), 15u);
+  EXPECT_EQ(keep->type(), RegionType::kOld);
+  EXPECT_TRUE(drop->is_free());
+  EXPECT_EQ(drop->used(), 0u);
+}
+
+TEST(RememberedSetTest, AddContainsSnapshotClear) {
+  RememberedSet rs;
+  EXPECT_EQ(rs.size(), 0u);
+  rs.add_card(7);
+  rs.add_card(7);
+  rs.add_card(12);
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_TRUE(rs.contains(7));
+  EXPECT_FALSE(rs.contains(8));
+  auto snap = rs.snapshot();
+  std::sort(snap.begin(), snap.end());
+  EXPECT_EQ(snap, (std::vector<std::uint32_t>{7, 12}));
+  rs.clear();
+  EXPECT_EQ(rs.size(), 0u);
+}
+
+TEST(MarkBitmapTest, MarkClaimClear) {
+  Arena a(64 * KiB);
+  MarkBitmap bm;
+  bm.initialize(a.base(), 64 * KiB);
+  char* p = a.base() + 512;
+  EXPECT_FALSE(bm.is_marked(p));
+  EXPECT_TRUE(bm.try_mark(p));
+  EXPECT_FALSE(bm.try_mark(p));
+  EXPECT_TRUE(bm.is_marked(p));
+  // Neighbouring granules are independent.
+  EXPECT_FALSE(bm.is_marked(p + kObjAlignment));
+  bm.clear_all();
+  EXPECT_FALSE(bm.is_marked(p));
+}
+
+}  // namespace
+}  // namespace mgc

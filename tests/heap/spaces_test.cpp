@@ -1,0 +1,152 @@
+// Contiguous spaces, arena alignment, block-offset table, and card table.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "heap/arena.h"
+#include "support/units.h"
+#include "heap/block_offset_table.h"
+#include "heap/card_table.h"
+#include "heap/contiguous_space.h"
+
+namespace mgc {
+namespace {
+
+TEST(Arena, BaseIsObjectAligned) {
+  for (std::size_t sz : {1024ul, 4097ul, 1048576ul}) {
+    Arena a(sz);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.base()) % kObjAlignment, 0u);
+    EXPECT_GE(static_cast<std::size_t>(a.end() - a.base()), sz);
+    EXPECT_TRUE(a.contains(a.base()));
+    EXPECT_FALSE(a.contains(a.end()));
+  }
+}
+
+TEST(ContiguousSpace, BumpAllocationAndReset) {
+  Arena a(64 * KiB);
+  ContiguousSpace s;
+  s.initialize("test", a.base(), 64 * KiB);
+  EXPECT_EQ(s.used(), 0u);
+  char* p1 = s.par_alloc(128);
+  char* p2 = s.par_alloc(256);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2 - p1, 128);
+  EXPECT_EQ(s.used(), 384u);
+  EXPECT_TRUE(s.contains(p1));
+  s.reset();
+  EXPECT_EQ(s.used(), 0u);
+  EXPECT_EQ(s.par_alloc(16), p1);  // reuses from base
+}
+
+TEST(ContiguousSpace, FailsWhenFull) {
+  Arena a(1024);
+  ContiguousSpace s;
+  s.initialize("tiny", a.base(), 1024);
+  EXPECT_NE(s.par_alloc(1024), nullptr);
+  EXPECT_EQ(s.par_alloc(16), nullptr);
+  EXPECT_EQ(s.free_bytes(), 0u);
+}
+
+TEST(ContiguousSpace, ParallelAllocationsDoNotOverlap) {
+  Arena a(1 * MiB);
+  ContiguousSpace s;
+  s.initialize("par", a.base(), 1 * MiB);
+  constexpr int kThreads = 4;
+  constexpr int kAllocs = 1000;
+  std::vector<std::vector<char*>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        char* p = s.par_alloc(64);
+        ASSERT_NE(p, nullptr);
+        per_thread[static_cast<std::size_t>(t)].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<char*> all;
+  for (auto& v : per_thread) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i] - all[i - 1], 64);
+  }
+}
+
+TEST(ContiguousSpace, WalkVisitsEveryCell) {
+  Arena a(64 * KiB);
+  ContiguousSpace s;
+  s.initialize("walk", a.base(), 64 * KiB);
+  for (int i = 0; i < 10; ++i) {
+    char* p = s.par_alloc(words_to_bytes(4 + 2 * (i % 3)));
+    Obj::init(p, 4 + 2 * (i % 3), 0);
+  }
+  int count = 0;
+  s.walk([&](Obj*) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(BlockOffsetTable, ResolvesCellCoveringAnyAddress) {
+  Arena a(64 * KiB);
+  BlockOffsetTable bot;
+  bot.initialize(a.base(), 64 * KiB);
+  // Lay out three objects: small, card-spanning, small.
+  Obj* o1 = Obj::init(a.base(), 8, 0);
+  bot.record_block(o1->start(), o1->end());
+  Obj* o2 = Obj::init(o1->end(), 256, 0);  // 2 KiB: spans 4 cards
+  bot.record_block(o2->start(), o2->end());
+  Obj* o3 = Obj::init(o2->end(), 8, 0);
+  bot.record_block(o3->start(), o3->end());
+
+  EXPECT_EQ(bot.cell_covering(o1->start()), o1);
+  EXPECT_EQ(bot.cell_covering(o2->start() + 1000), o2);
+  EXPECT_EQ(bot.cell_covering(o2->end() - 1), o2);
+  EXPECT_EQ(bot.cell_covering(o3->start() + 8), o3);
+}
+
+TEST(CardTable, DirtyAndScanRanges) {
+  Arena a(64 * KiB);
+  CardTable ct;
+  ct.initialize(a.base(), 64 * KiB);
+  EXPECT_EQ(ct.count_dirty(a.base(), a.end()), 0u);
+  ct.dirty(a.base() + 100);
+  ct.dirty(a.base() + 5000);
+  EXPECT_EQ(ct.count_dirty(a.base(), a.end()), 2u);
+  EXPECT_TRUE(ct.is_dirty(ct.index_of(a.base() + 100)));
+  ct.clear_index(ct.index_of(a.base() + 100));
+  EXPECT_EQ(ct.count_dirty(a.base(), a.end()), 1u);
+  ct.dirty_range(a.base() + 1024, a.base() + 3072);  // 4 cards
+  EXPECT_EQ(ct.count_dirty(a.base() + 1024, a.base() + 3072), 4u);
+  ct.clear_all();
+  EXPECT_EQ(ct.count_dirty(a.base(), a.end()), 0u);
+}
+
+TEST(CardTable, PrecleanTransitions) {
+  Arena a(8 * KiB);
+  CardTable ct;
+  ct.initialize(a.base(), 8 * KiB);
+  const std::size_t idx = ct.index_of(a.base());
+  // Clean cards cannot be precleaned.
+  EXPECT_FALSE(ct.try_preclean(idx));
+  ct.dirty_index(idx);
+  EXPECT_TRUE(ct.try_preclean(idx));
+  EXPECT_FALSE(ct.is_dirty(idx));           // no longer *dirty*...
+  EXPECT_TRUE(ct.needs_young_scan(idx));    // ...but still needs a young scan
+  // A barrier write re-dirties a precleaned card.
+  ct.dirty_index(idx);
+  EXPECT_TRUE(ct.is_dirty(idx));
+}
+
+TEST(ModUnion, RecordsAcrossClears) {
+  ModUnionTable mu;
+  mu.initialize(64);
+  EXPECT_FALSE(mu.is_set(10));
+  mu.record(10);
+  EXPECT_TRUE(mu.is_set(10));
+  mu.clear();
+  EXPECT_FALSE(mu.is_set(10));
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,162 @@
+// Managed data structures: ref arrays (chunking), hash map semantics,
+// lists, blobs — all under a moving collector.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/units.h"
+
+namespace mgc::managed {
+namespace {
+
+struct VmFixture : ::testing::Test {
+  VmFixture() {
+    VmConfig cfg;
+    cfg.gc = GcKind::kParallelOld;
+    cfg.heap_bytes = 16 * MiB;
+    cfg.young_bytes = 4 * MiB;
+    cfg.gc_threads = 2;
+    vm = std::make_unique<Vm>(cfg);
+    scope = std::make_unique<Vm::MutatorScope>(*vm, "test");
+  }
+  Mutator& m() { return scope->mutator(); }
+  std::unique_ptr<Vm> vm;
+  std::unique_ptr<Vm::MutatorScope> scope;
+};
+
+using RefArrayTest = VmFixture;
+using HashMapTest = VmFixture;
+using ListTest = VmFixture;
+using BlobTest = VmFixture;
+
+TEST_F(RefArrayTest, ChunkedArraySpansManyChunks) {
+  const std::size_t n = ref_array::kChunkRefs * 3 + 17;
+  Local arr(m(), ref_array::create(m(), n));
+  EXPECT_EQ(ref_array::capacity(arr.get()), n);
+  // Set a few widely spread slots across chunk boundaries.
+  for (std::size_t i : {std::size_t{0}, ref_array::kChunkRefs - 1,
+                        ref_array::kChunkRefs, 2 * ref_array::kChunkRefs + 5,
+                        n - 1}) {
+    Local v(m(), m().alloc(0, 1));
+    v->set_field(0, i);
+    ref_array::set(m(), arr.get(), i, v.get());
+  }
+  for (std::size_t i : {std::size_t{0}, ref_array::kChunkRefs - 1,
+                        ref_array::kChunkRefs, 2 * ref_array::kChunkRefs + 5,
+                        n - 1}) {
+    Obj* v = ref_array::get(arr.get(), i);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->field(0), i);
+  }
+  EXPECT_EQ(ref_array::get(arr.get(), 1), nullptr);
+}
+
+TEST_F(HashMapTest, PutGetRemoveSemantics) {
+  Local map(m(), hash_map::create(m(), 64));
+  EXPECT_EQ(hash_map::size(map.get()), 0u);
+  EXPECT_EQ(hash_map::get(map.get(), 1), nullptr);
+
+  Local v1(m(), m().alloc(0, 1));
+  v1->set_field(0, 111);
+  hash_map::put(m(), map, 1, v1);
+  EXPECT_EQ(hash_map::size(map.get()), 1u);
+  EXPECT_EQ(hash_map::get(map.get(), 1)->field(0), 111u);
+
+  // Replace does not grow the size.
+  Local v2(m(), m().alloc(0, 1));
+  v2->set_field(0, 222);
+  hash_map::put(m(), map, 1, v2);
+  EXPECT_EQ(hash_map::size(map.get()), 1u);
+  EXPECT_EQ(hash_map::get(map.get(), 1)->field(0), 222u);
+
+  EXPECT_FALSE(hash_map::remove(m(), map.get(), 99));
+  EXPECT_TRUE(hash_map::remove(m(), map.get(), 1));
+  EXPECT_EQ(hash_map::size(map.get()), 0u);
+  EXPECT_EQ(hash_map::get(map.get(), 1), nullptr);
+}
+
+TEST_F(HashMapTest, CollidingKeysChainCorrectly) {
+  // A 1-bucket map forces every key onto one chain.
+  Local map(m(), hash_map::create(m(), 1));
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    Local v(m(), m().alloc(0, 1));
+    v->set_field(0, k * 10);
+    hash_map::put(m(), map, k, v);
+  }
+  EXPECT_EQ(hash_map::size(map.get()), 50u);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    ASSERT_NE(hash_map::get(map.get(), k), nullptr) << k;
+    EXPECT_EQ(hash_map::get(map.get(), k)->field(0), k * 10);
+  }
+  // Remove from the middle of the chain.
+  EXPECT_TRUE(hash_map::remove(m(), map.get(), 25));
+  EXPECT_EQ(hash_map::get(map.get(), 25), nullptr);
+  EXPECT_NE(hash_map::get(map.get(), 24), nullptr);
+  EXPECT_NE(hash_map::get(map.get(), 26), nullptr);
+}
+
+TEST_F(HashMapTest, ForEachVisitsEveryEntryOnce) {
+  Local map(m(), hash_map::create(m(), 16));
+  for (std::uint64_t k = 100; k < 150; ++k) {
+    Local v(m(), m().alloc(0, 1));
+    v->set_field(0, k);
+    hash_map::put(m(), map, k, v);
+  }
+  std::map<std::uint64_t, int> seen;
+  hash_map::for_each(map.get(), [&](std::uint64_t k, Obj* v) {
+    EXPECT_EQ(v->field(0), k);
+    ++seen[k];
+  });
+  EXPECT_EQ(seen.size(), 50u);
+  for (const auto& [k, n] : seen) EXPECT_EQ(n, 1) << k;
+}
+
+TEST_F(ListTest, PushPopClearOrder) {
+  Local lst(m(), list::create(m()));
+  EXPECT_EQ(list::size(lst.get()), 0u);
+  EXPECT_EQ(list::pop(m(), lst.get()), nullptr);
+  for (int i = 0; i < 5; ++i) {
+    Local v(m(), m().alloc(0, 1));
+    v->set_field(0, static_cast<word_t>(i));
+    list::push(m(), lst, v);
+  }
+  EXPECT_EQ(list::size(lst.get()), 5u);
+  // LIFO.
+  EXPECT_EQ(list::pop(m(), lst.get())->field(0), 4u);
+  EXPECT_EQ(list::pop(m(), lst.get())->field(0), 3u);
+  EXPECT_EQ(list::size(lst.get()), 3u);
+  list::clear(m(), lst.get());
+  EXPECT_EQ(list::size(lst.get()), 0u);
+}
+
+TEST_F(BlobTest, RoundTripAndZeroing) {
+  const char data[] = "some bytes \x01\x02\x03";
+  Local b(m(), blob::create(m(), data, sizeof(data)));
+  EXPECT_EQ(blob::length(b.get()), sizeof(data));
+  EXPECT_EQ(std::memcmp(blob::data(b.get()), data, sizeof(data)), 0);
+
+  Local z(m(), blob::create_zeroed(m(), 100));
+  EXPECT_EQ(blob::length(z.get()), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(blob::data(z.get())[i], 0);
+}
+
+TEST_F(HashMapTest, SurvivesForcedCollections) {
+  Local map(m(), hash_map::create(m(), 128));
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    Local v(m(), m().alloc(0, 2));
+    v->set_field(0, k ^ 0x5a5a);
+    hash_map::put(m(), map, k, v);
+    if (k % 100 == 0) m().system_gc();
+  }
+  m().system_gc();
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    ASSERT_NE(hash_map::get(map.get(), k), nullptr) << k;
+    EXPECT_EQ(hash_map::get(map.get(), k)->field(0), k ^ 0x5a5a);
+  }
+}
+
+}  // namespace
+}  // namespace mgc::managed

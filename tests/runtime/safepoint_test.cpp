@@ -1,0 +1,113 @@
+// Safepoint protocol: stop-the-world reaches all managed threads, blocked
+// threads are excluded, re-entry waits out active pauses, GuardedLock keeps
+// lock waiters from stalling a safepoint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/safepoint.h"
+#include "runtime/vm.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+TEST(Safepoint, StopsAllManagedThreads) {
+  SafepointCoordinator sp;
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> progress{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      sp.register_thread();
+      while (!stop.load(std::memory_order_acquire)) {
+        progress.fetch_add(1, std::memory_order_relaxed);
+        sp.poll();
+      }
+      sp.unregister_thread();
+    });
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    sp.begin();
+    // World stopped: no progress while we hold the safepoint.
+    const int p1 = progress.load(std::memory_order_acquire);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const int p2 = progress.load(std::memory_order_acquire);
+    EXPECT_EQ(p1, p2) << "mutator progressed inside a pause";
+    sp.end();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+}
+
+TEST(Safepoint, BlockedThreadsDoNotDelayPause) {
+  SafepointCoordinator sp;
+  std::atomic<bool> release{false};
+  std::thread blocked([&] {
+    sp.register_thread();
+    sp.enter_blocked();
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    sp.leave_blocked();
+    sp.unregister_thread();
+  });
+  // The pause must complete while the thread sits in its blocked region.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sp.begin();
+  sp.end();
+  release.store(true, std::memory_order_release);
+  blocked.join();
+}
+
+TEST(Safepoint, LeaveBlockedWaitsOutActivePause) {
+  SafepointCoordinator sp;
+  std::atomic<int> state{0};
+  std::thread t([&] {
+    sp.register_thread();
+    sp.enter_blocked();
+    while (state.load() == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    sp.leave_blocked();  // must block until the pause ends
+    state.store(2);
+    sp.unregister_thread();
+  });
+  sp.begin();
+  state.store(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(state.load(), 1) << "thread re-entered managed state mid-pause";
+  sp.end();
+  t.join();
+  EXPECT_EQ(state.load(), 2);
+}
+
+TEST(Safepoint, GuardedLockHolderCanTriggerGc) {
+  // Regression for the deadlock class: thread A holds an application mutex
+  // and triggers a collection; thread B waits for the same mutex. With
+  // GuardedLock, B is in blocked state and the pause proceeds.
+  VmConfig cfg;
+  cfg.gc = GcKind::kParallelOld;
+  cfg.heap_bytes = 4 * MiB;
+  cfg.young_bytes = 1 * MiB;
+  cfg.gc_threads = 2;
+  Vm vm(cfg);
+  std::mutex app_mu;
+  vm.run_mutators(3, [&](Mutator& m, int) {
+    for (int i = 0; i < 300; ++i) {
+      GuardedLock<std::mutex> g(m, app_mu);
+      // Allocate enough inside the lock to trigger collections regularly.
+      for (int j = 0; j < 50; ++j) {
+        Local junk(m, m.alloc(1, 16));
+        (void)junk;
+      }
+    }
+  });
+  EXPECT_GT(vm.gc_log().count(), 0u);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,112 @@
+// Heap verifier, GC log bookkeeping, and VmConfig derivation tests.
+#include <gtest/gtest.h>
+
+#include "runtime/heap_verifier.h"
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+class VerifierAllGcs : public ::testing::TestWithParam<GcKind> {};
+INSTANTIATE_TEST_SUITE_P(Collectors, VerifierAllGcs,
+                         ::testing::ValuesIn(all_gc_kinds()),
+                         [](const ::testing::TestParamInfo<GcKind>& info) {
+                           return gc_traits(info.param).short_name;
+                         });
+
+TEST_P(VerifierAllGcs, HeapIsSoundAfterHeavyChurnAndFullGc) {
+  VmConfig cfg;
+  cfg.gc = GetParam();
+  cfg.heap_bytes = 10 * MiB;
+  cfg.young_bytes = 2 * MiB;
+  cfg.gc_threads = 2;
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "verify");
+  Mutator& m = scope.mutator();
+
+  Local map(m, managed::hash_map::create(m, 256));
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    Local v(m, m.alloc(2, 8));
+    v->set_field(0, k);
+    managed::hash_map::put(m, map, k % 1000, v);
+    Local junk(m, m.alloc(1, 20));
+    (void)junk;
+  }
+  m.system_gc();
+
+  const VerifyReport rep = verify_heap(vm);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok());
+  EXPECT_GT(rep.reachable_objects, 1000u);
+  EXPECT_GT(rep.reachable_bytes, 50 * KiB);
+}
+
+TEST(GcLogTest, SummariesAndTimelines) {
+  GcLog log;
+  log.set_origin(1000);
+  PauseEvent a;
+  a.start_ns = 2000;
+  a.end_ns = 4000;
+  a.kind = PauseKind::kYoungGc;
+  log.add(a);
+  PauseEvent b;
+  b.start_ns = 10000;
+  b.end_ns = 20000;
+  b.kind = PauseKind::kFullGc;
+  b.full = true;
+  log.add(b);
+
+  EXPECT_EQ(log.count(), 2u);
+  const PauseSummary s = log.summarize();
+  EXPECT_EQ(s.pauses, 2u);
+  EXPECT_EQ(s.full_pauses, 1u);
+  EXPECT_DOUBLE_EQ(s.total_s, (2000 + 10000) / 1e9);
+  EXPECT_DOUBLE_EQ(s.max_s, 10000 / 1e9);
+  EXPECT_TRUE(log.pause_overlaps(3000, 5000));
+  EXPECT_FALSE(log.pause_overlaps(5000, 9000));
+  EXPECT_DOUBLE_EQ(log.to_relative_s(2000), 1000 / 1e9);
+  log.clear();
+  EXPECT_EQ(log.count(), 0u);
+}
+
+TEST(VmConfigTest, GeometryDerivation) {
+  VmConfig cfg;
+  cfg.heap_bytes = 16 * MiB;
+  cfg.young_bytes = 5 * MiB;
+  cfg.survivor_ratio = 8;
+  cfg.validate();
+  EXPECT_EQ(cfg.old_bytes(), 11 * MiB);
+  EXPECT_EQ(cfg.eden_bytes() + 2 * cfg.survivor_bytes(), cfg.young_bytes);
+  EXPECT_NEAR(static_cast<double>(cfg.eden_bytes()) /
+                  static_cast<double>(cfg.survivor_bytes()),
+              8.0, 0.2);
+  EXPECT_GE(cfg.effective_gc_threads(), 1);
+}
+
+TEST(VmConfigTest, BaselineMatchesPaper) {
+  const VmConfig cfg = VmConfig::baseline(GcKind::kParallelOld);
+  EXPECT_EQ(cfg.gc, GcKind::kParallelOld);
+  EXPECT_EQ(scale::label(cfg.heap_bytes), "16GB");
+  EXPECT_TRUE(cfg.tlab_enabled);
+  cfg.validate();
+}
+
+TEST(ScaleLabels, PaperUnits) {
+  EXPECT_EQ(scale::label(64ULL * 1024 * scale::MB), "64GB");
+  EXPECT_EQ(scale::label(200 * scale::MB), "200MB");
+  EXPECT_EQ(scale::label(256 * scale::MB, 100 * scale::MB), "256MB-100MB");
+}
+
+TEST(GcKindTest, NamesRoundTrip) {
+  for (GcKind k : all_gc_kinds()) {
+    EXPECT_EQ(gc_kind_from_name(gc_traits(k).name), k);
+    EXPECT_EQ(gc_kind_from_name(gc_traits(k).short_name), k);
+  }
+  EXPECT_EQ(gc_kind_from_name("concurrentmarksweep"), GcKind::kCms);
+  EXPECT_EQ(main_gc_kinds().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "support/histogram.h"
+
+namespace mgc {
+namespace {
+
+TEST(Histogram, BasicCountsAndExtrema) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  h.add(10);
+  h.add(1000);
+  h.add(5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), (10 + 1000 + 5) / 3.0, 1e-9);
+}
+
+TEST(Histogram, PercentileBoundsRelativeError) {
+  Histogram h(/*sub_bucket_bits=*/7);  // <1% relative error
+  for (std::uint64_t v = 1; v <= 10000; ++v) h.add(v);
+  const std::uint64_t p50 = h.percentile(50);
+  const std::uint64_t p99 = h.percentile(99);
+  EXPECT_NEAR(static_cast<double>(p50), 5000.0, 5000.0 * 0.02);
+  EXPECT_NEAR(static_cast<double>(p99), 9900.0, 9900.0 * 0.02);
+  EXPECT_EQ(h.percentile(100), 10000u);
+  EXPECT_LE(h.percentile(0), h.percentile(100));
+}
+
+TEST(Histogram, MergeAddsUp) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(10);
+  for (int i = 0; i < 50; ++i) b.add(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 150u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000000u);
+}
+
+TEST(Histogram, CountAboveAndBetween) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(100);
+  for (int i = 0; i < 5; ++i) h.add(100000);
+  EXPECT_EQ(h.count_above(10000), 5u);
+  EXPECT_EQ(h.count_above(10000000), 0u);
+  EXPECT_GE(h.count_between(50, 200), 10u);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(42);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99), 0u);
+}
+
+TEST(Histogram, HugeValuesDoNotOverflow) {
+  Histogram h;
+  h.add(~0ull);
+  h.add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,108 @@
+// RNG and distribution tests: determinism, bounds, and the zipfian skew
+// the YCSB workload depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.h"
+
+namespace mgc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool all_equal = true;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) all_equal &= (a2.next() == c.next());
+  EXPECT_FALSE(all_equal);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, InRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.in_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Rng r(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Zipfian, IsHeavilySkewedTowardsLowRanks) {
+  Rng r(17);
+  Zipfian z(10000);
+  std::size_t top10 = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.sample(r) < 10) ++top10;
+  }
+  // The top-10 ranks hold ~30% of zipf(0.99) mass over 10k items.
+  EXPECT_GT(top10, kSamples / 5);
+  EXPECT_LT(top10, kSamples * 4 / 5);
+}
+
+TEST(Zipfian, CoversTheKeySpace) {
+  Rng r(19);
+  Zipfian z(100);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[z.sample(r)];
+  for (const auto& [k, n] : counts) EXPECT_LT(k, 100u);
+  EXPECT_GT(counts.size(), 90u) << "most keys should appear";
+}
+
+TEST(ScrambledZipfian, SpreadsHotKeysAcrossTheSpace) {
+  Rng r(23);
+  ScrambledZipfian z(100000);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) {
+    const auto k = z.sample(r);
+    EXPECT_LT(k, 100000u);
+    ++counts[k];
+  }
+  // Find the hottest key: it should NOT be key 0 (scrambling moved it) and
+  // should still be clearly hot (zipf skew preserved).
+  std::uint64_t hottest = 0;
+  int max_count = 0;
+  for (const auto& [k, n] : counts) {
+    if (n > max_count) {
+      max_count = n;
+      hottest = k;
+    }
+  }
+  EXPECT_GT(max_count, 500);
+  EXPECT_NE(hottest, 0u);
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,9 @@
+#include <gtest/gtest.h>
+#include "support/stats.h"
+TEST(Stats, MeanAndRsd) {
+  mgc::RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-12);
+  EXPECT_NEAR(s.rsd_percent(), 50.0, 1e-9);
+}

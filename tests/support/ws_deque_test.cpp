@@ -1,0 +1,90 @@
+// Chase-Lev deque: owner semantics, thief semantics, growth, and a
+// multi-thread stress that checks every pushed item is consumed exactly
+// once.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "support/ws_deque.h"
+
+namespace mgc {
+namespace {
+
+TEST(WsDeque, OwnerLifoThiefFifo) {
+  WsDeque<int*> dq(4);
+  int items[3] = {1, 2, 3};
+  dq.push(&items[0]);
+  dq.push(&items[1]);
+  dq.push(&items[2]);
+  // Owner pops newest first.
+  EXPECT_EQ(dq.pop().value(), &items[2]);
+  // Thief steals oldest first.
+  EXPECT_EQ(dq.steal().value(), &items[0]);
+  EXPECT_EQ(dq.pop().value(), &items[1]);
+  EXPECT_FALSE(dq.pop().has_value());
+  EXPECT_FALSE(dq.steal().has_value());
+}
+
+TEST(WsDeque, GrowsPastInitialCapacity) {
+  WsDeque<std::size_t*> dq(2);
+  std::vector<std::size_t> items(1000);
+  for (auto& v : items) dq.push(&v);
+  EXPECT_GE(dq.size_estimate(), 1000u);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE(dq.pop().has_value());
+  }
+  EXPECT_TRUE(dq.empty());
+}
+
+TEST(WsDeque, ConcurrentStealersConsumeEachItemOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WsDeque<std::size_t*> dq;
+  std::vector<std::size_t> flags(kItems, 0);
+  std::vector<std::atomic<int>> consumed(kItems);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> thieves;
+  std::atomic<int> total{0};
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || !dq.empty()) {
+        if (auto item = dq.steal()) {
+          const auto idx = static_cast<std::size_t>(*item - flags.data());
+          consumed[idx].fetch_add(1);
+          total.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Owner: interleave pushes and pops.
+  int popped = 0;
+  for (int i = 0; i < kItems; ++i) {
+    dq.push(&flags[static_cast<std::size_t>(i)]);
+    if (i % 3 == 0) {
+      if (auto item = dq.pop()) {
+        const auto idx = static_cast<std::size_t>(*item - flags.data());
+        consumed[idx].fetch_add(1);
+        ++popped;
+      }
+    }
+  }
+  while (auto item = dq.pop()) {
+    const auto idx = static_cast<std::size_t>(*item - flags.data());
+    consumed[idx].fetch_add(1);
+    ++popped;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(popped + total.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(consumed[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,112 @@
+// YCSB client tests: workload validation, phase execution against a real
+// server, and the latency band statistics of Tables 5-7.
+#include <gtest/gtest.h>
+
+#include "support/units.h"
+#include "ycsb/latency_stats.h"
+
+namespace mgc::ycsb {
+namespace {
+
+TEST(WorkloadSpec, PaperCustomIsHalfReadHalfUpdate) {
+  const WorkloadSpec spec = WorkloadSpec::paper_custom(1000, 5000, 2);
+  EXPECT_DOUBLE_EQ(spec.read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(spec.update_proportion, 0.5);
+  EXPECT_EQ(spec.distribution, KeyDistribution::kZipfian);
+  spec.validate();
+}
+
+TEST(ClientDriver, LoadAndRunAgainstRealServer) {
+  VmConfig cfg;
+  cfg.gc = GcKind::kCms;
+  cfg.heap_bytes = 24 * MiB;
+  cfg.young_bytes = 6 * MiB;
+  cfg.gc_threads = 2;
+  Vm vm(cfg);
+  kv::StoreConfig scfg = kv::StoreConfig::default_config(cfg.heap_bytes);
+  kv::Store store(vm, scfg);
+  kv::Server server(vm, store, 4);
+
+  WorkloadSpec spec = WorkloadSpec::paper_custom(2000, 8000, 4);
+  spec.value_len = 512;
+  Client client(server, spec, 7);
+
+  const PhaseResult load = client.load();
+  EXPECT_EQ(load.samples.size(), 2000u);
+  EXPECT_GT(load.throughput_ops_s(), 0.0);
+
+  const PhaseResult run = client.run();
+  EXPECT_GE(run.samples.size(), 8000u);
+  std::size_t reads = 0, updates = 0;
+  for (const auto& s : run.samples) {
+    if (s.op == kv::OpType::kRead) ++reads;
+    if (s.op == kv::OpType::kUpdate) ++updates;
+    EXPECT_GT(s.latency_ns, 0);
+  }
+  // ~50/50 mix.
+  const double ratio =
+      static_cast<double>(reads) / static_cast<double>(reads + updates);
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+
+  const auto pauses = vm.gc_log().snapshot();
+  const LatencyStats rs = compute_latency_stats(run.samples,
+                                                kv::OpType::kRead, pauses);
+  EXPECT_EQ(rs.count, reads);
+  EXPECT_GT(rs.avg_ms, 0.0);
+  EXPECT_GE(rs.max_ms, rs.avg_ms);
+  ASSERT_EQ(rs.bands.size(), 5u);
+  EXPECT_EQ(rs.bands[0].label, "0.5x-1.5x AVG");
+}
+
+TEST(LatencyBands, GcAttributionMatchesOverlap) {
+  std::vector<PauseEvent> pauses;
+  PauseEvent p;
+  p.start_ns = 1000;
+  p.end_ns = 2000;
+  pauses.push_back(p);
+
+  EXPECT_TRUE(overlaps_pause(pauses, 500, 1500));
+  EXPECT_TRUE(overlaps_pause(pauses, 1500, 1600));
+  EXPECT_TRUE(overlaps_pause(pauses, 1900, 2500));
+  EXPECT_FALSE(overlaps_pause(pauses, 0, 999));
+  EXPECT_FALSE(overlaps_pause(pauses, 2001, 3000));
+
+  // Synthetic samples: 9 fast ops, 1 slow op overlapping the pause.
+  std::vector<OpSample> samples;
+  for (int i = 0; i < 9; ++i) {
+    OpSample s;
+    s.op = kv::OpType::kRead;
+    s.start_ns = 5000 + i;
+    s.latency_ns = 1000000;  // 1 ms
+    samples.push_back(s);
+  }
+  OpSample slow;
+  slow.op = kv::OpType::kRead;
+  slow.start_ns = 900;
+  slow.latency_ns = 40000000;  // 40 ms, overlaps the pause
+  samples.push_back(slow);
+
+  const LatencyStats st =
+      compute_latency_stats(samples, kv::OpType::kRead, pauses);
+  EXPECT_EQ(st.count, 10u);
+  // The >2x band contains exactly the slow op.
+  const LatencyBand& b2 = st.bands[1];
+  EXPECT_NEAR(b2.pct_reqs, 10.0, 1e-9);
+  // The single pause (1 ms duration) is far above 2x the ~4.9 ms avg? No:
+  // avg is ~4.9 ms here, so the 1 ms pause falls below the >2x band and in
+  // none of the spike bands; the normal band (0.5x-1.5x avg) misses it too.
+  EXPECT_NEAR(st.bands[0].pct_gcs, 0.0, 1e-9);
+  EXPECT_NEAR(b2.pct_gcs, 0.0, 1e-9);
+  // A long pause lands in every spike band, as in the paper's tables.
+  PauseEvent big;
+  big.start_ns = 100000;
+  big.end_ns = big.start_ns + 500000000;  // 500 ms
+  pauses.push_back(big);
+  const LatencyStats st2 =
+      compute_latency_stats(samples, kv::OpType::kRead, pauses);
+  EXPECT_NEAR(st2.bands[1].pct_gcs, 50.0, 1e-9);   // 1 of 2 pauses > 2x avg
+  EXPECT_NEAR(st2.bands[4].pct_gcs, 50.0, 1e-9);   // and > 16x avg
+}
+
+}  // namespace
+}  // namespace mgc::ycsb
