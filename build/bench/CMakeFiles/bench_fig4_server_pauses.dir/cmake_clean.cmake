@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_server_pauses.dir/bench_fig4_server_pauses.cpp.o"
+  "CMakeFiles/bench_fig4_server_pauses.dir/bench_fig4_server_pauses.cpp.o.d"
+  "bench_fig4_server_pauses"
+  "bench_fig4_server_pauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_server_pauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

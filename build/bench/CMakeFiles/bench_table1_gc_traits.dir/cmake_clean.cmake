@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gc_traits.dir/bench_table1_gc_traits.cpp.o"
+  "CMakeFiles/bench_table1_gc_traits.dir/bench_table1_gc_traits.cpp.o.d"
+  "bench_table1_gc_traits"
+  "bench_table1_gc_traits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gc_traits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_tlab.dir/bench_table4_tlab.cpp.o"
+  "CMakeFiles/bench_table4_tlab.dir/bench_table4_tlab.cpp.o.d"
+  "bench_table4_tlab"
+  "bench_table4_tlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_tlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cassandra_server.dir/cassandra_server.cpp.o"
+  "CMakeFiles/cassandra_server.dir/cassandra_server.cpp.o.d"
+  "cassandra_server"
+  "cassandra_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cassandra_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_pause_study.dir/gc_pause_study.cpp.o"
+  "CMakeFiles/gc_pause_study.dir/gc_pause_study.cpp.o.d"
+  "gc_pause_study"
+  "gc_pause_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_pause_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

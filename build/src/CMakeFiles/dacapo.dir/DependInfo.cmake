@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dacapo/harness.cpp" "src/CMakeFiles/dacapo.dir/dacapo/harness.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/harness.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/avrora.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/avrora.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/avrora.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/batik.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/batik.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/batik.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/common.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/common.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/common.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/crashers.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/crashers.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/crashers.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/fop.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/fop.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/fop.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/h2.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/h2.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/h2.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/jython.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/jython.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/jython.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/luindex.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/luindex.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/luindex.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/lusearch.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/lusearch.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/lusearch.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/pmd.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/pmd.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/pmd.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/sunflow.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/sunflow.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/sunflow.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/tomcat.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/tomcat.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/tomcat.cpp.o.d"
+  "/root/repo/src/dacapo/kernels/xalan.cpp" "src/CMakeFiles/dacapo.dir/dacapo/kernels/xalan.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/kernels/xalan.cpp.o.d"
+  "/root/repo/src/dacapo/suite.cpp" "src/CMakeFiles/dacapo.dir/dacapo/suite.cpp.o" "gcc" "src/CMakeFiles/dacapo.dir/dacapo/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

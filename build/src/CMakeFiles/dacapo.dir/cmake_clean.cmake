@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacapo.dir/dacapo/harness.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/harness.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/avrora.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/avrora.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/batik.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/batik.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/common.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/common.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/crashers.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/crashers.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/fop.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/fop.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/h2.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/h2.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/jython.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/jython.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/luindex.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/luindex.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/lusearch.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/lusearch.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/pmd.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/pmd.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/sunflow.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/sunflow.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/tomcat.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/tomcat.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/xalan.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/kernels/xalan.cpp.o.d"
+  "CMakeFiles/dacapo.dir/dacapo/suite.cpp.o"
+  "CMakeFiles/dacapo.dir/dacapo/suite.cpp.o.d"
+  "libdacapo.a"
+  "libdacapo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacapo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

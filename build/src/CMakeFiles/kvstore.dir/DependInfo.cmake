@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/commit_log.cpp" "src/CMakeFiles/kvstore.dir/kvstore/commit_log.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/commit_log.cpp.o.d"
+  "/root/repo/src/kvstore/memtable.cpp" "src/CMakeFiles/kvstore.dir/kvstore/memtable.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/memtable.cpp.o.d"
+  "/root/repo/src/kvstore/row_codec.cpp" "src/CMakeFiles/kvstore.dir/kvstore/row_codec.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/row_codec.cpp.o.d"
+  "/root/repo/src/kvstore/server.cpp" "src/CMakeFiles/kvstore.dir/kvstore/server.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/server.cpp.o.d"
+  "/root/repo/src/kvstore/sstable.cpp" "src/CMakeFiles/kvstore.dir/kvstore/sstable.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/sstable.cpp.o.d"
+  "/root/repo/src/kvstore/store.cpp" "src/CMakeFiles/kvstore.dir/kvstore/store.cpp.o" "gcc" "src/CMakeFiles/kvstore.dir/kvstore/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore.dir/kvstore/commit_log.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/commit_log.cpp.o.d"
+  "CMakeFiles/kvstore.dir/kvstore/memtable.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/memtable.cpp.o.d"
+  "CMakeFiles/kvstore.dir/kvstore/row_codec.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/row_codec.cpp.o.d"
+  "CMakeFiles/kvstore.dir/kvstore/server.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/server.cpp.o.d"
+  "CMakeFiles/kvstore.dir/kvstore/sstable.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/sstable.cpp.o.d"
+  "CMakeFiles/kvstore.dir/kvstore/store.cpp.o"
+  "CMakeFiles/kvstore.dir/kvstore/store.cpp.o.d"
+  "libkvstore.a"
+  "libkvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

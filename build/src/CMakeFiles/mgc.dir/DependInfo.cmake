@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/classic_collector.cpp" "src/CMakeFiles/mgc.dir/gc/classic_collector.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/classic_collector.cpp.o.d"
+  "/root/repo/src/gc/classic_heap.cpp" "src/CMakeFiles/mgc.dir/gc/classic_heap.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/classic_heap.cpp.o.d"
+  "/root/repo/src/gc/cms_gc.cpp" "src/CMakeFiles/mgc.dir/gc/cms_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/cms_gc.cpp.o.d"
+  "/root/repo/src/gc/factory.cpp" "src/CMakeFiles/mgc.dir/gc/factory.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/factory.cpp.o.d"
+  "/root/repo/src/gc/full_compact.cpp" "src/CMakeFiles/mgc.dir/gc/full_compact.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/full_compact.cpp.o.d"
+  "/root/repo/src/gc/g1_gc.cpp" "src/CMakeFiles/mgc.dir/gc/g1_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/g1_gc.cpp.o.d"
+  "/root/repo/src/gc/marking.cpp" "src/CMakeFiles/mgc.dir/gc/marking.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/marking.cpp.o.d"
+  "/root/repo/src/gc/parallel_gc.cpp" "src/CMakeFiles/mgc.dir/gc/parallel_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/parallel_gc.cpp.o.d"
+  "/root/repo/src/gc/parallel_old_gc.cpp" "src/CMakeFiles/mgc.dir/gc/parallel_old_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/parallel_old_gc.cpp.o.d"
+  "/root/repo/src/gc/parnew_gc.cpp" "src/CMakeFiles/mgc.dir/gc/parnew_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/parnew_gc.cpp.o.d"
+  "/root/repo/src/gc/scavenge.cpp" "src/CMakeFiles/mgc.dir/gc/scavenge.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/scavenge.cpp.o.d"
+  "/root/repo/src/gc/serial_gc.cpp" "src/CMakeFiles/mgc.dir/gc/serial_gc.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/gc/serial_gc.cpp.o.d"
+  "/root/repo/src/heap/arena.cpp" "src/CMakeFiles/mgc.dir/heap/arena.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/arena.cpp.o.d"
+  "/root/repo/src/heap/card_table.cpp" "src/CMakeFiles/mgc.dir/heap/card_table.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/card_table.cpp.o.d"
+  "/root/repo/src/heap/contiguous_space.cpp" "src/CMakeFiles/mgc.dir/heap/contiguous_space.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/contiguous_space.cpp.o.d"
+  "/root/repo/src/heap/free_list_space.cpp" "src/CMakeFiles/mgc.dir/heap/free_list_space.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/free_list_space.cpp.o.d"
+  "/root/repo/src/heap/object.cpp" "src/CMakeFiles/mgc.dir/heap/object.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/object.cpp.o.d"
+  "/root/repo/src/heap/region.cpp" "src/CMakeFiles/mgc.dir/heap/region.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/region.cpp.o.d"
+  "/root/repo/src/heap/remembered_set.cpp" "src/CMakeFiles/mgc.dir/heap/remembered_set.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/heap/remembered_set.cpp.o.d"
+  "/root/repo/src/runtime/gc_kind.cpp" "src/CMakeFiles/mgc.dir/runtime/gc_kind.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/gc_kind.cpp.o.d"
+  "/root/repo/src/runtime/gc_log.cpp" "src/CMakeFiles/mgc.dir/runtime/gc_log.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/gc_log.cpp.o.d"
+  "/root/repo/src/runtime/heap_verifier.cpp" "src/CMakeFiles/mgc.dir/runtime/heap_verifier.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/heap_verifier.cpp.o.d"
+  "/root/repo/src/runtime/managed.cpp" "src/CMakeFiles/mgc.dir/runtime/managed.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/managed.cpp.o.d"
+  "/root/repo/src/runtime/mutator.cpp" "src/CMakeFiles/mgc.dir/runtime/mutator.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/mutator.cpp.o.d"
+  "/root/repo/src/runtime/safepoint.cpp" "src/CMakeFiles/mgc.dir/runtime/safepoint.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/safepoint.cpp.o.d"
+  "/root/repo/src/runtime/vm.cpp" "src/CMakeFiles/mgc.dir/runtime/vm.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/vm.cpp.o.d"
+  "/root/repo/src/runtime/vm_config.cpp" "src/CMakeFiles/mgc.dir/runtime/vm_config.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/runtime/vm_config.cpp.o.d"
+  "/root/repo/src/support/clock.cpp" "src/CMakeFiles/mgc.dir/support/clock.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/clock.cpp.o.d"
+  "/root/repo/src/support/env.cpp" "src/CMakeFiles/mgc.dir/support/env.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/env.cpp.o.d"
+  "/root/repo/src/support/gc_worker_pool.cpp" "src/CMakeFiles/mgc.dir/support/gc_worker_pool.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/gc_worker_pool.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/CMakeFiles/mgc.dir/support/histogram.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/histogram.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/CMakeFiles/mgc.dir/support/stats.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/stats.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/mgc.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/mgc.dir/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ycsb/client.cpp" "src/CMakeFiles/ycsb.dir/ycsb/client.cpp.o" "gcc" "src/CMakeFiles/ycsb.dir/ycsb/client.cpp.o.d"
+  "/root/repo/src/ycsb/latency_stats.cpp" "src/CMakeFiles/ycsb.dir/ycsb/latency_stats.cpp.o" "gcc" "src/CMakeFiles/ycsb.dir/ycsb/latency_stats.cpp.o.d"
+  "/root/repo/src/ycsb/workload.cpp" "src/CMakeFiles/ycsb.dir/ycsb/workload.cpp.o" "gcc" "src/CMakeFiles/ycsb.dir/ycsb/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb.dir/ycsb/client.cpp.o"
+  "CMakeFiles/ycsb.dir/ycsb/client.cpp.o.d"
+  "CMakeFiles/ycsb.dir/ycsb/latency_stats.cpp.o"
+  "CMakeFiles/ycsb.dir/ycsb/latency_stats.cpp.o.d"
+  "CMakeFiles/ycsb.dir/ycsb/workload.cpp.o"
+  "CMakeFiles/ycsb.dir/ycsb/workload.cpp.o.d"
+  "libycsb.a"
+  "libycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

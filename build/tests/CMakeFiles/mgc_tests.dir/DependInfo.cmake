@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dacapo/harness_test.cpp" "tests/CMakeFiles/mgc_tests.dir/dacapo/harness_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/dacapo/harness_test.cpp.o.d"
+  "/root/repo/tests/dacapo/kernels_test.cpp" "tests/CMakeFiles/mgc_tests.dir/dacapo/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/dacapo/kernels_test.cpp.o.d"
+  "/root/repo/tests/gc/concurrent_cycle_test.cpp" "tests/CMakeFiles/mgc_tests.dir/gc/concurrent_cycle_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/gc/concurrent_cycle_test.cpp.o.d"
+  "/root/repo/tests/gc/g1_specific_test.cpp" "tests/CMakeFiles/mgc_tests.dir/gc/g1_specific_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/gc/g1_specific_test.cpp.o.d"
+  "/root/repo/tests/gc/gc_property_test.cpp" "tests/CMakeFiles/mgc_tests.dir/gc/gc_property_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/gc/gc_property_test.cpp.o.d"
+  "/root/repo/tests/heap/free_list_test.cpp" "tests/CMakeFiles/mgc_tests.dir/heap/free_list_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/heap/free_list_test.cpp.o.d"
+  "/root/repo/tests/heap/object_test.cpp" "tests/CMakeFiles/mgc_tests.dir/heap/object_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/heap/object_test.cpp.o.d"
+  "/root/repo/tests/heap/region_test.cpp" "tests/CMakeFiles/mgc_tests.dir/heap/region_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/heap/region_test.cpp.o.d"
+  "/root/repo/tests/heap/spaces_test.cpp" "tests/CMakeFiles/mgc_tests.dir/heap/spaces_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/heap/spaces_test.cpp.o.d"
+  "/root/repo/tests/kvstore/server_concurrency_test.cpp" "tests/CMakeFiles/mgc_tests.dir/kvstore/server_concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/kvstore/server_concurrency_test.cpp.o.d"
+  "/root/repo/tests/kvstore/store_test.cpp" "tests/CMakeFiles/mgc_tests.dir/kvstore/store_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/kvstore/store_test.cpp.o.d"
+  "/root/repo/tests/runtime/managed_test.cpp" "tests/CMakeFiles/mgc_tests.dir/runtime/managed_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/runtime/managed_test.cpp.o.d"
+  "/root/repo/tests/runtime/safepoint_test.cpp" "tests/CMakeFiles/mgc_tests.dir/runtime/safepoint_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/runtime/safepoint_test.cpp.o.d"
+  "/root/repo/tests/runtime/verifier_and_log_test.cpp" "tests/CMakeFiles/mgc_tests.dir/runtime/verifier_and_log_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/runtime/verifier_and_log_test.cpp.o.d"
+  "/root/repo/tests/runtime/vm_smoke_test.cpp" "tests/CMakeFiles/mgc_tests.dir/runtime/vm_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/runtime/vm_smoke_test.cpp.o.d"
+  "/root/repo/tests/support/histogram_test.cpp" "tests/CMakeFiles/mgc_tests.dir/support/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/support/histogram_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/mgc_tests.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/stats_test.cpp" "tests/CMakeFiles/mgc_tests.dir/support/stats_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/support/stats_test.cpp.o.d"
+  "/root/repo/tests/support/ws_deque_test.cpp" "tests/CMakeFiles/mgc_tests.dir/support/ws_deque_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/support/ws_deque_test.cpp.o.d"
+  "/root/repo/tests/ycsb/client_test.cpp" "tests/CMakeFiles/mgc_tests.dir/ycsb/client_test.cpp.o" "gcc" "tests/CMakeFiles/mgc_tests.dir/ycsb/client_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mgc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dacapo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ycsb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
