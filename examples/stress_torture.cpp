@@ -1,0 +1,114 @@
+// Command-line front end for the GC torture harness: reproduce any stress
+// configuration (collector, seed, thread count, rounds, TLAB setting) and
+// report the expanded-verifier outcome. Exits non-zero when the run
+// produced payload errors or verifier problems, so it slots directly into
+// bisection scripts:
+//
+//   ./stress_torture --gc CMS --threads 8 --rounds 12 --seed 7
+//   ./stress_torture --gc G1 --no-tlab
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "stress/torture.h"
+#include "support/units.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--gc NAME] [--seed N] [--threads K] [--rounds R]\n"
+      "          [--churn N] [--heap-mb N] [--young-mb N] [--no-tlab]\n"
+      "  --gc       Serial|ParNew|Parallel|ParallelOld|CMS|G1 (default CMS)\n"
+      "  --seed     base RNG seed reproducing the whole run (default 42)\n"
+      "  --threads  mutator threads, >= 2 (default 4)\n"
+      "  --rounds   churn/verify rounds (default 6)\n"
+      "  --churn    garbage allocations per thread per round (default 2000)\n"
+      "  --heap-mb  heap size in MiB (default 10)\n"
+      "  --young-mb young generation size in MiB (default 3)\n"
+      "  --no-tlab  disable thread-local allocation buffers\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mgc;
+
+  stress::TortureConfig cfg;
+  cfg.vm = stress::small_stress_vm(GcKind::kCms, /*tlab_enabled=*/true);
+  std::size_t heap_mb = 10, young_mb = 3;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--gc") {
+      const std::string name = value();
+      if (!try_gc_kind_from_name(name, &cfg.vm.gc)) {
+        std::fprintf(stderr, "unknown --gc '%s'\n", name.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      cfg.mutators = std::atoi(value());
+    } else if (arg == "--rounds") {
+      cfg.rounds = std::atoi(value());
+    } else if (arg == "--churn") {
+      cfg.churn_per_round = std::atoi(value());
+    } else if (arg == "--heap-mb") {
+      heap_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--young-mb") {
+      young_mb = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--no-tlab") {
+      cfg.vm.tlab_enabled = false;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.mutators < 2) {
+    std::fprintf(stderr, "--threads must be >= 2\n");
+    usage(argv[0]);
+    return 2;
+  }
+  cfg.vm.heap_bytes = heap_mb * MiB;
+  cfg.vm.young_bytes = young_mb * MiB;
+  if (cfg.vm.gc == GcKind::kG1) cfg.vm.g1_region_bytes = 128 * KiB;
+
+  std::printf("torture: %s, %d threads, %d rounds, seed %llu, tlab %s\n",
+              gc_name(cfg.vm.gc), cfg.mutators, cfg.rounds,
+              static_cast<unsigned long long>(cfg.seed),
+              cfg.vm.tlab_enabled ? "on" : "off");
+
+  const stress::TortureResult res = stress::run_torture(cfg);
+
+  std::printf(
+      "  allocated %llu objects; forced %llu young + %llu full GCs\n"
+      "  verifier: %llu runs, %zu cells walked, %zu old->young refs, "
+      "%zu cross-region refs, %zu free chunks\n"
+      "  fingerprint %016llx\n",
+      static_cast<unsigned long long>(res.objects_allocated),
+      static_cast<unsigned long long>(res.young_gcs_forced),
+      static_cast<unsigned long long>(res.full_gcs_forced),
+      static_cast<unsigned long long>(res.verifier_runs), res.cells_walked,
+      res.old_young_refs, res.cross_region_refs, res.free_chunks,
+      static_cast<unsigned long long>(res.fingerprint));
+
+  if (res.payload_errors != 0)
+    std::printf("  PAYLOAD ERRORS: %llu\n",
+                static_cast<unsigned long long>(res.payload_errors));
+  for (const std::string& p : res.problems)
+    std::printf("  PROBLEM: %s\n", p.c_str());
+  std::printf("torture: %s\n", res.ok() ? "OK" : "FAILED");
+  return res.ok() ? 0 : 1;
+}

@@ -170,6 +170,16 @@ bool CmsGc::concurrent_preclean() {
 }
 
 PauseOutcome CmsGc::do_remark() {
+  if (abort_cycle_.load(std::memory_order_acquire)) {
+    // A concurrent mode failure compacted the old generation between the
+    // remark request and this pause: the mark stack and promoted list hold
+    // pre-compaction addresses. Drop them; run_cycle bails right after.
+    mark_stack_.clear();
+    promoted_.clear();
+    PauseOutcome out;
+    out.skipped = true;
+    return out;
+  }
   vm_.retire_all_tlabs();
   // 1. Roots and the whole young generation again.
   vm_.for_each_root_slot([&](Obj** slot) { mark_old_target(*slot); });

@@ -57,8 +57,9 @@ class G1Gc final : public Collector {
   void satb_record(Mutator& m, Obj* old_value) override;
   void rset_record(void* slot_addr, Obj* value) override;
 
-  // Introspection for tests and benches.
+  // Introspection for tests, benches and the heap verifier.
   RegionManager& regions() { return rm_; }
+  CardTable& card_table() { return cards_; }
   bool cycle_active() const {
     return cycle_active_.load(std::memory_order_acquire);
   }

@@ -1,6 +1,8 @@
 #include "heap/free_list_space.h"
 
 #include <mutex>
+#include <sstream>
+#include <unordered_set>
 
 #include "support/check.h"
 
@@ -249,6 +251,83 @@ void FreeListSpace::reset_after_compact(char* new_top) {
   insert_locked(new_top, tail);
   if (tail / kWordSize >= kMinChunkWords)
     free_bytes_.store(tail, std::memory_order_release);
+}
+
+std::size_t FreeListSpace::verify_integrity(std::vector<std::string>& problems,
+                                            std::size_t max_problems) const {
+  std::lock_guard<SpinLock> g(lock_);
+  auto report = [&](const char* what, const void* at) {
+    if (problems.size() >= max_problems) return;
+    std::ostringstream oss;
+    oss << name_ << ": " << what << " at " << at;
+    problems.push_back(oss.str());
+  };
+
+  std::unordered_set<const Obj*> linked;
+  std::size_t linked_bytes = 0;
+  const std::size_t max_chunks = capacity() / words_to_bytes(kMinChunkWords);
+  auto check_chain = [&](Obj* head, std::size_t expected_words) {
+    Obj* prev = nullptr;
+    for (Obj* c = head; c != nullptr; c = next_of(c)) {
+      if (!linked.insert(c).second) {
+        report("free chunk linked twice (chain cycle or shared node)", c);
+        return;
+      }
+      if (linked.size() > max_chunks) {
+        report("free-list chain longer than the space can hold", c);
+        return;
+      }
+      if (!contains(c) || c->start() + words_to_bytes(expected_words) > end_) {
+        report("linked free chunk outside the space", c);
+        return;
+      }
+      if (!c->is_free_chunk()) report("linked chunk missing the free flag", c);
+      if (c->size_words() != expected_words)
+        report("free chunk in the wrong size-class bin", c);
+      if (prev_of(c) != prev) report("free chunk with a broken prev link", c);
+      linked_bytes += words_to_bytes(expected_words);
+      prev = c;
+    }
+  };
+
+  for (std::size_t idx = 0; idx < bins_.exact.size(); ++idx)
+    check_chain(bins_.exact[idx], kMinChunkWords + 2 * idx);
+  for (const auto& [words, head] : bins_.dict) {
+    if (head == nullptr) {
+      report("empty chain left in the ordered dictionary",
+             reinterpret_cast<const void*>(words));
+      continue;
+    }
+    if (words <= kMaxExactWords)
+      report("exact-size chunk filed in the ordered dictionary", head);
+    check_chain(head, words);
+  }
+
+  if (linked_bytes != free_bytes()) {
+    std::ostringstream oss;
+    oss << name_ << ": free-byte accounting mismatch (bins hold "
+        << linked_bytes << ", counter says " << free_bytes() << ")";
+    if (problems.size() < max_problems) problems.push_back(oss.str());
+  }
+
+  // A mid-flight sweep legitimately holds unlinked free chunks in its
+  // pending coalescing run, so the space walk only applies when quiescent.
+  if (!sweep_in_progress()) {
+    char* cur = base_;
+    while (cur < end_) {
+      auto* o = reinterpret_cast<Obj*>(cur);
+      const std::size_t words = o->size_words();
+      if (words < kMinObjWords ||
+          words_to_bytes(words) > static_cast<std::size_t>(end_ - cur)) {
+        report("unparsable cell stops the free-list space walk", o);
+        break;
+      }
+      if (o->is_free_chunk() && linked.count(o) == 0)
+        report("in-space free chunk not linked in any bin", o);
+      cur = o->end();
+    }
+  }
+  return linked.size();
 }
 
 std::size_t FreeListSpace::largest_free_chunk() const {

@@ -104,6 +104,15 @@ class FreeListSpace {
   // Largest currently available chunk, in bytes (fragmentation metric).
   std::size_t largest_free_chunk() const;
 
+  // Safepoint-time consistency check of the free-list metadata: chunk
+  // containment and flags, bin size-class membership, doubly-linked chain
+  // consistency, byte accounting against free_bytes(), and (when no sweep
+  // is mid-flight) that every in-space free chunk is linked in some bin.
+  // Appends findings to `problems` (up to `max_problems` entries total) and
+  // returns the number of linked chunks examined.
+  std::size_t verify_integrity(std::vector<std::string>& problems,
+                               std::size_t max_problems) const;
+
  private:
   struct Bins {
     std::vector<Obj*> exact;

@@ -57,6 +57,31 @@ void CommitLog::rotate_locked(Mutator& m) {
   }
 }
 
+void CommitLog::replay(Mutator& m,
+                       const std::function<void(std::uint64_t, const char*,
+                                                std::size_t)>& fn) {
+  GuardedLock<std::mutex> g(m, mu_);
+  std::vector<char> scratch;
+  auto replay_segment = [&](const Obj* segment) {
+    // list::push prepends, so iteration order is newest-first; gather and
+    // walk backwards to recover append order.
+    std::vector<const Obj*> records;
+    managed::list::for_each(segment,
+                            [&](Obj* rec) { records.push_back(rec); });
+    for (auto it = records.rbegin(); it != records.rend(); ++it) {
+      const Obj* row = *it;
+      const std::size_t len = row_value_len(row);
+      scratch.resize(len);
+      row_copy_value(row, scratch.data(), len);
+      fn(row_key(row), scratch.data(), len);
+    }
+  };
+  for (const auto& [root, seg_bytes] : archived_) {
+    replay_segment(vm_.global_root(root));
+  }
+  replay_segment(vm_.global_root(active_root_));
+}
+
 void CommitLog::truncate(Mutator& m) {
   GuardedLock<std::mutex> g(m, mu_);
   for (auto& [root, seg_bytes] : archived_) {

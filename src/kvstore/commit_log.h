@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -25,6 +26,16 @@ class CommitLog {
 
   // Drops all segments (after a memtable flush made them redundant).
   void truncate(Mutator& m);
+
+  // Recovery: replays every retained record in append order (oldest
+  // retained segment first, oldest record first), invoking
+  // fn(key, value, value_len). Records dropped by the retention policy are
+  // gone — replay yields a suffix of the append history. `fn` must not
+  // allocate on the managed heap: replay walks raw record pointers that a
+  // collection could move.
+  void replay(Mutator& m,
+              const std::function<void(std::uint64_t key, const char* value,
+                                       std::size_t value_len)>& fn);
 
   std::size_t approx_bytes() const {
     return bytes_.load(std::memory_order_acquire);

@@ -32,6 +32,14 @@ bool SsTableSet::get(std::uint64_t key, char* out, std::size_t out_cap,
   return false;
 }
 
+void SsTableSet::for_each(
+    const std::function<void(std::uint64_t, const StoredRow&)>& fn) const {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    for (const auto& [key, row] : *it) fn(key, row);
+  }
+}
+
 std::size_t SsTableSet::table_count() const {
   std::lock_guard<std::mutex> g(mu_);
   return tables_.size();

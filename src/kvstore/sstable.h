@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -28,6 +29,12 @@ class SsTableSet {
 
   std::size_t table_count() const;
   std::size_t total_rows() const;
+
+  // Visits every stored row, newest table first (the lookup order of
+  // get()): a key shadowed by a newer table is visited newest version
+  // first, once per table holding it. No simulated I/O cost.
+  void for_each(const std::function<void(std::uint64_t key,
+                                         const StoredRow& row)>& fn) const;
 
   // Simulated read amplification: busy-work per sstable probed.
   static void simulate_io_cost();

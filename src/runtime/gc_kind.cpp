@@ -41,7 +41,7 @@ const std::vector<GcKind>& main_gc_kinds() {
   return kMain;
 }
 
-GcKind gc_kind_from_name(const std::string& name) {
+bool try_gc_kind_from_name(const std::string& name, GcKind* out) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
@@ -52,10 +52,21 @@ GcKind gc_kind_from_name(const std::string& name) {
                    [](unsigned char c) { return std::tolower(c); });
     std::transform(shrt.begin(), shrt.end(), shrt.begin(),
                    [](unsigned char c) { return std::tolower(c); });
-    if (lower == full || lower == shrt) return k;
+    if (lower == full || lower == shrt) {
+      *out = k;
+      return true;
+    }
   }
-  if (lower == "concurrentmarksweep" || lower == "concurrentmarksweepgc")
-    return GcKind::kCms;
+  if (lower == "concurrentmarksweep" || lower == "concurrentmarksweepgc") {
+    *out = GcKind::kCms;
+    return true;
+  }
+  return false;
+}
+
+GcKind gc_kind_from_name(const std::string& name) {
+  GcKind k;
+  if (try_gc_kind_from_name(name, &k)) return k;
   MGC_UNREACHABLE("unknown GC name");
 }
 

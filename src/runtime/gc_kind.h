@@ -43,4 +43,8 @@ const std::vector<GcKind>& main_gc_kinds();
 // Parses "ParallelOld", "CMS", "G1", ... (case-insensitive); aborts on junk.
 GcKind gc_kind_from_name(const std::string& name);
 
+// Non-aborting variant for command-line validation: returns false (leaving
+// *out untouched) when the name matches no collector.
+bool try_gc_kind_from_name(const std::string& name, GcKind* out);
+
 }  // namespace mgc

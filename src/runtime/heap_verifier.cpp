@@ -3,22 +3,25 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "gc/classic_collector.h"
+#include "gc/g1_gc.h"
 #include "runtime/vm.h"
 
 namespace mgc {
 namespace {
 
-void problem(VerifyReport& rep, const char* what, const void* at) {
-  if (rep.problems.size() >= 16) return;  // cap the noise
-  std::ostringstream oss;
-  oss << what << " at " << at;
-  rep.problems.push_back(oss.str());
+void add_problem(VerifyReport& rep, std::size_t cap, const std::string& msg) {
+  if (rep.problems.size() < cap) rep.problems.push_back(msg);
 }
 
-}  // namespace
+std::string describe(const std::string& what, const void* at) {
+  std::ostringstream oss;
+  oss << what << " at " << at;
+  return oss.str();
+}
 
-VerifyReport verify_heap(Vm& vm) {
-  VerifyReport rep;
+// The reachable-graph walk shared by both entry points.
+void check_reachable_graph(Vm& vm, VerifyReport& rep, std::size_t cap) {
   Collector& c = vm.collector();
 
   std::unordered_set<const Obj*> visited;
@@ -33,27 +36,30 @@ VerifyReport verify_heap(Vm& vm) {
     if (!visited.insert(o).second) continue;
 
     if (!c.contains(o)) {
-      problem(rep, "reachable reference outside the heap", o);
+      add_problem(rep, cap, describe("reachable reference outside the heap", o));
       continue;
     }
     const std::size_t words = o->size_words();
     if (words < kMinObjWords || words > (64u << 20) / kWordSize) {
-      problem(rep, "implausible object size", o);
+      add_problem(rep, cap, describe("implausible object size", o));
       continue;
     }
     if (o->is_free_chunk()) {
-      problem(rep, "reachable reference into a free chunk", o);
+      add_problem(rep, cap, describe("reachable reference into a free chunk", o));
       continue;
     }
     if (o->is_filler()) {
-      problem(rep, "reachable reference into a filler cell", o);
+      add_problem(rep, cap,
+                  describe("reachable reference into a filler cell", o));
       continue;
     }
     if (o->is_forwarded()) {
-      problem(rep, "reachable object still carries a forwarding pointer", o);
+      add_problem(
+          rep, cap,
+          describe("reachable object still carries a forwarding pointer", o));
     }
     if (o->num_refs() + kHeaderWords > words) {
-      problem(rep, "reference count exceeds object size", o);
+      add_problem(rep, cap, describe("reference count exceeds object size", o));
       continue;
     }
     ++rep.reachable_objects;
@@ -64,6 +70,278 @@ VerifyReport verify_heap(Vm& vm) {
       if (t != nullptr) stack.push_back(t);
     }
   }
+}
+
+// Walks [base, limit) as a sequence of cells, reporting problems instead of
+// aborting on parsability breakdowns. A cell whose size would overshoot the
+// limit means the space does not tile to its top — exactly the hole a buggy
+// TLAB/PLAB retirement leaves behind. Returns false when the walk stopped
+// early.
+bool walk_cells(const char* space_name, char* base, char* limit,
+                VerifyReport& rep, std::size_t cap,
+                const std::function<void(Obj*)>& fn) {
+  char* cur = base;
+  while (cur < limit) {
+    auto* o = reinterpret_cast<Obj*>(cur);
+    const std::size_t words = o->size_words();
+    if (words < kMinObjWords ||
+        words_to_bytes(words) > static_cast<std::size_t>(limit - cur)) {
+      add_problem(rep, cap,
+                  describe(std::string(space_name) +
+                               ": space does not tile to its top "
+                               "(TLAB/PLAB retirement hole?)",
+                           o));
+      return false;
+    }
+    if (!o->is_free_chunk() && !o->is_filler() &&
+        o->num_refs() + kHeaderWords > words) {
+      add_problem(rep, cap,
+                  describe(std::string(space_name) +
+                               ": cell reference count exceeds its size",
+                           o));
+      cur = o->end();
+      continue;  // the ref slots cannot be trusted; skip fn
+    }
+    ++rep.cells_walked;
+    fn(o);
+    cur = o->end();
+  }
+  return true;
+}
+
+// --- classic generational heaps (Serial/ParNew/Parallel/ParallelOld/CMS) ----
+
+void verify_classic(ClassicCollector& cc, const VerifyOptions& opts,
+                    VerifyReport& rep) {
+  ClassicHeap& h = cc.heap();
+  const std::size_t cap = opts.max_problems;
+
+  if (opts.spaces) {
+    for (ContiguousSpace* s : {&h.eden(), &h.from_space(), &h.to_space()}) {
+      walk_cells(s->name().c_str(), s->base(), s->top(), rep, cap, [&](Obj* o) {
+        if (o->is_free_chunk()) {
+          add_problem(rep, cap,
+                      describe(s->name() + ": free-chunk cell outside the "
+                                           "CMS old space",
+                               o));
+          return;
+        }
+        const std::size_t n = o->num_refs();
+        for (std::size_t i = 0; i < n; ++i) {
+          Obj* t = o->refs()[i].load(std::memory_order_acquire);
+          if (t != nullptr && !cc.contains(t)) {
+            add_problem(
+                rep, cap,
+                describe(s->name() + ": slot points outside the heap",
+                         &o->refs()[i]));
+          }
+        }
+      });
+    }
+    // Outside a scavenge the to-space must be empty: survivors live in the
+    // from-space, and a promotion failure escalates to a full collection
+    // (which resets both survivors) within the same pause.
+    if (h.to_space().used() != 0) {
+      add_problem(rep, cap,
+                  describe("to-space not empty outside a scavenge",
+                           h.to_space().base()));
+    }
+  }
+
+  if (opts.spaces || opts.card_marks) {
+    // For the compacting collectors everything above top is virgin memory;
+    // the CMS free-list space is parsable across its whole capacity.
+    char* const old_limit =
+        h.free_list_old() ? h.old_end() : h.old_space().top();
+    CardTable& cards = h.cards();
+    walk_cells("old", h.old_base(), old_limit, rep, cap, [&](Obj* o) {
+      if (o->is_free_chunk()) {
+        if (!h.free_list_old()) {
+          add_problem(rep, cap,
+                      describe("free chunk in a compacted old space", o));
+        }
+        return;
+      }
+      const std::size_t n = o->num_refs();
+      for (std::size_t i = 0; i < n; ++i) {
+        RefSlot& slot = o->refs()[i];
+        Obj* t = slot.load(std::memory_order_acquire);
+        if (t == nullptr) continue;
+        if (!cc.contains(t)) {
+          add_problem(rep, cap,
+                      describe("old slot points outside the heap", &slot));
+          continue;
+        }
+        // The generational invariant: every old slot holding a young
+        // pointer — conservatively including slots of dead cells, which
+        // scavenge re-dirties too — must lie on a card the next young
+        // collection will scan.
+        if (opts.card_marks && h.in_young(t)) {
+          ++rep.old_young_refs;
+          if (!cards.needs_young_scan(cards.index_of(&slot))) {
+            add_problem(
+                rep, cap,
+                describe("old->young reference on a clean card", &slot));
+          }
+        }
+      }
+    });
+  }
+
+  if (opts.free_list && h.free_list_old()) {
+    rep.free_chunks +=
+        h.cms_old().verify_integrity(rep.problems, opts.max_problems);
+  }
+}
+
+// --- G1 ---------------------------------------------------------------------
+
+void verify_g1(G1Gc& g1, const VerifyOptions& opts, VerifyReport& rep) {
+  RegionManager& rm = g1.regions();
+  CardTable& cards = g1.card_table();
+  const std::size_t cap = opts.max_problems;
+
+  auto check_refs = [&](Region& hr, Obj* o) {
+    const std::size_t n = o->num_refs();
+    for (std::size_t i = 0; i < n; ++i) {
+      RefSlot& slot = o->refs()[i];
+      Obj* t = slot.load(std::memory_order_acquire);
+      if (t == nullptr) continue;
+      if (!rm.contains(t)) {
+        add_problem(rep, cap,
+                    describe("G1 slot points outside the heap", &slot));
+        continue;
+      }
+      Region* tr = rm.region_of(t);
+      if (tr->is_free()) {
+        add_problem(rep, cap,
+                    describe("reference into a free region", &slot));
+        continue;
+      }
+      // Remembered-set completeness: every cross-region reference held by
+      // an old or humongous region (young holders are always traced in
+      // full) must be covered by an entry in the target's remembered set.
+      if (opts.regions && hr.is_old_or_humongous() && tr != &hr) {
+        ++rep.cross_region_refs;
+        if (!tr->rset.contains(
+                static_cast<std::uint32_t>(cards.index_of(&slot)))) {
+          add_problem(rep, cap,
+                      describe("cross-region reference missing from the "
+                               "target region's remembered set",
+                               &slot));
+        }
+      }
+    }
+  };
+
+  if (!opts.spaces && !opts.regions) return;
+
+  for (std::size_t i = 0; i < rm.num_regions(); ++i) {
+    Region& r = rm.region_at(i);
+    switch (r.type()) {
+      case RegionType::kFree:
+        if (r.top() != r.base) {
+          add_problem(rep, cap,
+                      describe("free region with a non-reset top", r.base));
+        }
+        break;
+      case RegionType::kHumongousCont:
+        // Validated via its head below.
+        if (r.humongous_head == nullptr) {
+          add_problem(
+              rep, cap,
+              describe("humongous continuation without a head", r.base));
+        }
+        break;
+      case RegionType::kHumongousHead: {
+        auto* h = reinterpret_cast<Obj*>(r.base);
+        const std::size_t words = h->size_words();
+        char* const data_end = r.base + words_to_bytes(words);
+        if (words < kMinObjWords || data_end > rm.heap_end()) {
+          add_problem(rep, cap,
+                      describe("humongous head with an implausible size", h));
+          break;
+        }
+        if (!h->is_humongous()) {
+          add_problem(
+              rep, cap,
+              describe("humongous head object missing its flag", h));
+        }
+        // Every region of the chain has top == min(end, data_end) and the
+        // continuations point back at the head.
+        for (std::size_t j = i; j < rm.num_regions(); ++j) {
+          Region& cr = rm.region_at(j);
+          if (cr.base >= data_end) break;
+          char* const expect_top = data_end < cr.end ? data_end : cr.end;
+          if (cr.top() != expect_top) {
+            add_problem(rep, cap,
+                        describe("humongous region top does not match the "
+                                 "object extent",
+                                 cr.base));
+          }
+          if (j > i && (cr.type() != RegionType::kHumongousCont ||
+                        cr.humongous_head != &r)) {
+            add_problem(rep, cap,
+                        describe("humongous object spans a region that is "
+                                 "not its continuation",
+                                 cr.base));
+          }
+        }
+        ++rep.cells_walked;
+        check_refs(r, h);
+        break;
+      }
+      case RegionType::kEden:
+      case RegionType::kSurvivor:
+      case RegionType::kOld: {
+        walk_cells(region_type_name(r.type()), r.base, r.top(), rep, cap,
+                   [&](Obj* o) { check_refs(r, o); });
+        if (r.type() == RegionType::kOld && opts.regions) {
+          // Liveness accounting: marking counts a subset of the cells below
+          // top, and compaction resets live == used, so live can never
+          // exceed the bytes actually allocated in the region.
+          if (r.live_bytes.load(std::memory_order_acquire) > r.used()) {
+            add_problem(rep, cap,
+                        describe("old region liveness accounting exceeds "
+                                 "its used bytes",
+                                 r.base));
+          }
+          if (r.tams() < r.base || r.tams() > r.top()) {
+            add_problem(
+                rep, cap,
+                describe("old region TAMS outside [base, top]", r.base));
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+VerifyReport verify_heap(Vm& vm) {
+  VerifyReport rep;
+  check_reachable_graph(vm, rep, 16);  // cap the noise
+  return rep;
+}
+
+VerifyReport verify_heap_at_safepoint(Mutator& m, const VerifyOptions& opts) {
+  VerifyReport rep;
+  Vm& vm = m.vm();
+  vm.run_vm_op(GcCause::kSystemGc, /*caller_is_registered=*/true, [&] {
+    vm.retire_all_tlabs();
+    if (opts.reachable_graph) check_reachable_graph(vm, rep, opts.max_problems);
+    Collector& c = vm.collector();
+    if (c.kind() == GcKind::kG1) {
+      verify_g1(static_cast<G1Gc&>(c), opts, rep);
+    } else {
+      verify_classic(static_cast<ClassicCollector&>(c), opts, rep);
+    }
+    PauseOutcome out;
+    out.skipped = true;  // a verification pause is not a collection
+    return out;
+  });
   return rep;
 }
 

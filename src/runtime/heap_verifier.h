@@ -2,6 +2,26 @@
 // pause and checks the invariants every collector must maintain. Used by
 // tests after forced collections and available to applications for
 // debugging (HotSpot's -XX:+VerifyAfterGC analogue).
+//
+// Two entry points:
+//   * verify_heap(Vm&)            — reachability-only checks, callable from
+//     an attached mutator with no other mutators running (legacy tests);
+//   * verify_heap_at_safepoint(m) — the expanded cross-layer verifier. It
+//     runs inside a stop-the-world VM operation, so it may additionally
+//     retire TLABs and walk every space linearly. Checks, per layer:
+//       - spaces:     every space tiles exactly into parsable cells up to
+//                     its top (TLAB/PLAB retirement left no holes);
+//       - card marks: every old-generation slot that references a young
+//                     object lies on a card the next young collection will
+//                     scan (dirty or precleaned) — classic heaps only;
+//       - free list:  CMS old-space chunk integrity (bin size classes,
+//                     doubly-linked chains, byte accounting, and every
+//                     in-space free chunk actually linked in a bin);
+//       - regions:    G1 region metadata (types, tops, humongous chains,
+//                     liveness accounting) and remembered-set completeness:
+//                     every cross-region reference held by an old or
+//                     humongous region is covered by an entry in the target
+//                     region's remembered set.
 #pragma once
 
 #include <cstddef>
@@ -10,22 +30,44 @@
 
 namespace mgc {
 
+class Mutator;
 class Vm;
+
+struct VerifyOptions {
+  bool reachable_graph = true;
+  bool spaces = true;
+  bool card_marks = true;
+  bool free_list = true;
+  bool regions = true;
+  std::size_t max_problems = 16;
+};
 
 struct VerifyReport {
   std::size_t reachable_objects = 0;
   std::size_t reachable_bytes = 0;
+  // Expanded-verifier coverage counters (zero for verify_heap(Vm&)).
+  std::size_t cells_walked = 0;        // cells seen by linear space walks
+  std::size_t old_young_refs = 0;      // old->young refs checked vs cards
+  std::size_t cross_region_refs = 0;   // G1 refs checked vs remembered sets
+  std::size_t free_chunks = 0;         // CMS free-list chunks checked
   std::vector<std::string> problems;
   bool ok() const { return problems.empty(); }
 };
 
-// Must be called from an attached mutator thread with no other mutators
-// running (tests) — it reads the heap without stopping the world itself.
-// Checks:
+// Reachability-only verification. Must be called from an attached mutator
+// thread with no other mutators running (tests) — it reads the heap without
+// stopping the world itself. Checks:
 //   * every reference reachable from the roots points at a cell inside the
 //     collector's heap with a sane header (size/refs within bounds);
 //   * no reachable reference targets a free-list chunk or filler;
 //   * no reachable object is left with a forwarding pointer installed.
 VerifyReport verify_heap(Vm& vm);
+
+// The expanded cross-layer verifier. Stops the world (a VM operation on the
+// VM thread), retires all TLABs, and runs every check enabled in `opts`.
+// Safe to call from any attached mutator thread at any time; concurrent
+// collector phases (CMS marking/sweeping, G1 marking) may be in flight.
+VerifyReport verify_heap_at_safepoint(Mutator& m,
+                                      const VerifyOptions& opts = {});
 
 }  // namespace mgc

@@ -1,0 +1,232 @@
+#include "stress/torture.h"
+
+#include <atomic>
+
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/barrier.h"
+#include "support/rng.h"
+#include "support/units.h"
+
+namespace mgc::stress {
+namespace {
+
+constexpr std::uint16_t kNodeRefs = 2;       // [0] cross-link, [1] ladder link
+constexpr std::size_t kNodePayload = 4;      // [0] stamp, [1] ~stamp, rest free
+constexpr std::uint64_t kStampMask = 0xa5a5a5a5a5a5a5a5ULL;
+
+std::uint64_t stamp_of(std::uint64_t seed, int thread, int round,
+                       std::uint64_t index) {
+  std::uint64_t s = seed ^ (static_cast<std::uint64_t>(thread) << 40) ^
+                    (static_cast<std::uint64_t>(round) << 20) ^ index;
+  return splitmix64(s);
+}
+
+void stamp(Obj* node, std::uint64_t value) {
+  node->set_field(0, value);
+  node->set_field(1, value ^ kStampMask);
+}
+
+// Returns false when the node's stamp is torn/corrupt.
+bool stamp_ok(const Obj* node) {
+  return node->payload_words() >= 2 &&
+         (node->field(0) ^ kStampMask) == node->field(1);
+}
+
+// Barrier arrival in the safepoint-blocked state: a waiting thread must not
+// hold up a pause (the verifier and forced GCs run while peers wait here).
+void blocked_wait(Mutator& m, SenseBarrier& b, bool& sense) {
+  m.enter_blocked();
+  sense = b.arrive_and_wait(sense);
+  m.leave_blocked();
+}
+
+struct ThreadOutcome {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t allocated = 0;
+};
+
+}  // namespace
+
+VmConfig small_stress_vm(GcKind gc, bool tlab_enabled) {
+  VmConfig cfg;
+  cfg.gc = gc;
+  cfg.tlab_enabled = tlab_enabled;
+  cfg.heap_bytes = 10 * MiB;
+  cfg.young_bytes = 3 * MiB;
+  cfg.gc_threads = 2;
+  if (gc == GcKind::kG1) cfg.g1_region_bytes = 128 * KiB;
+  return cfg;
+}
+
+TortureResult run_torture(const TortureConfig& cfg) {
+  MGC_CHECK(cfg.mutators >= 2);
+  MGC_CHECK(cfg.rounds >= 1 && cfg.retained_per_thread >= 4 &&
+            cfg.published_per_thread >= 1);
+
+  Vm vm(cfg.vm);
+  const int K = cfg.mutators;
+  const auto S = static_cast<std::size_t>(cfg.published_per_thread);
+
+  // The shared publication board: one partition of S slots per thread,
+  // rooted globally so it survives the setup scope.
+  const std::size_t board_root = vm.create_global_root();
+  {
+    Vm::MutatorScope setup(vm, "torture-setup");
+    Mutator& m = setup.mutator();
+    Local board(m,
+                managed::ref_array::create(m, static_cast<std::size_t>(K) * S));
+    vm.set_global_root(board_root, board.get());
+  }
+
+  TortureResult res;
+  std::vector<ThreadOutcome> outcomes(static_cast<std::size_t>(K));
+  std::atomic<std::uint64_t> payload_errors{0};
+  SenseBarrier barrier(K);
+
+  // Round-end verification state, written by thread 0 only (between the
+  // two barriers, while every other thread waits blocked).
+  std::uint64_t young_forced = 0;
+  std::uint64_t full_forced = 0;
+  std::uint64_t verifier_runs = 0;
+
+  vm.run_mutators(K, [&](Mutator& m, int t) {
+    Rng rng(cfg.seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t));
+    bool sense = false;
+    std::uint64_t allocated = 0;
+    const std::size_t part0 = static_cast<std::size_t>(t) * S;
+
+    auto make_node = [&](int round, std::uint64_t index, std::size_t payload) {
+      Obj* node = m.alloc(kNodeRefs, payload < kNodePayload ? kNodePayload
+                                                            : payload);
+      stamp(node, stamp_of(cfg.seed, t, round, index));
+      ++allocated;
+      return node;
+    };
+
+    Local retained(m, managed::ref_array::create(
+                          m, static_cast<std::size_t>(cfg.retained_per_thread)));
+    for (int j = 0; j < cfg.retained_per_thread; ++j) {
+      Local node(m, make_node(-1, static_cast<std::uint64_t>(j), kNodePayload));
+      managed::ref_array::set(m, retained.get(),
+                              static_cast<std::size_t>(j), node.get());
+    }
+
+    for (int r = 0; r < cfg.rounds; ++r) {
+      // 1. Aging ladder: replace a quarter of the retained slots; the other
+      //    slots keep aging toward tenure. Then re-link every retained node
+      //    to its successor slot — once holders promote, these become the
+      //    old->young references the card/remset checks feed on.
+      for (int j = r % 4; j < cfg.retained_per_thread; j += 4) {
+        Local node(m, make_node(r, static_cast<std::uint64_t>(j), kNodePayload));
+        managed::ref_array::set(m, retained.get(),
+                                static_cast<std::size_t>(j), node.get());
+      }
+      for (int j = 0; j < cfg.retained_per_thread; ++j) {
+        Obj* holder = managed::ref_array::get(retained.get(),
+                                              static_cast<std::size_t>(j));
+        Obj* target = managed::ref_array::get(
+            retained.get(),
+            static_cast<std::size_t>((j + 1) % cfg.retained_per_thread));
+        m.set_ref(holder, 1, target);
+      }
+
+      // 2. Publish fresh nodes into this thread's partition of the board.
+      for (std::size_t j = 0; j < S; ++j) {
+        Local node(m, make_node(r, 0x100000u + j, kNodePayload));
+        managed::ref_array::set(m, vm.global_root(board_root), part0 + j,
+                                node.get());
+      }
+
+      // 3. Cross-thread link/unlink: pick a published node from another
+      //    partition (racy read — the owner may be a round behind or ahead)
+      //    and store it into one of ours through the write barrier.
+      for (int k = 0; k < cfg.crosslinks_per_round; ++k) {
+        Obj* board = vm.global_root(board_root);
+        const auto peer = static_cast<std::size_t>(
+            (static_cast<std::uint64_t>(t) + 1 +
+             rng.below(static_cast<std::uint64_t>(K - 1))) %
+            static_cast<std::uint64_t>(K));
+        Obj* theirs = managed::ref_array::get(
+            board, peer * S + static_cast<std::size_t>(rng.below(S)));
+        Obj* ours = managed::ref_array::get(
+            board, part0 + static_cast<std::size_t>(rng.below(S)));
+        if (theirs != nullptr && !stamp_ok(theirs)) {
+          payload_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Mostly link, sometimes unlink.
+        m.set_ref(ours, 0, rng.below(8) == 0 ? nullptr : theirs);
+      }
+
+      // 4. Garbage churn: eden overflow plus TLAB-bypassing large objects,
+      //    with a periodic humongous/large-direct allocation.
+      for (int j = 0; j < cfg.churn_per_round; ++j) {
+        std::size_t payload = kNodePayload + rng.below(12);
+        if (cfg.large_every > 0 && j % cfg.large_every == cfg.large_every - 1)
+          payload = 600;  // > tlab_bytes/4 at the default 16 KiB TLAB
+        Local junk(m, make_node(r, 0x200000u + static_cast<std::uint64_t>(j),
+                                payload));
+        if (!stamp_ok(junk.get()))
+          payload_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (cfg.huge_payload_words > 0 && r % 2 == t % 2) {
+        Local huge(m, m.alloc(0, cfg.huge_payload_words));
+        huge->set_field(0, stamp_of(cfg.seed, t, r, 0x300000u));
+        ++allocated;
+      }
+      m.poll();
+
+      // 5. Rendezvous; thread 0 forces a collection and verifies the whole
+      //    heap at that safepoint while the rest wait blocked.
+      blocked_wait(m, barrier, sense);
+      if (t == 0) {
+        const bool full =
+            cfg.full_every > 0 && (r + 1) % cfg.full_every == 0;
+        vm.collect(&m, full, GcCause::kSystemGc);
+        if (full) {
+          ++full_forced;
+        } else {
+          ++young_forced;
+        }
+        const VerifyReport rep = verify_heap_at_safepoint(m, cfg.verify);
+        ++verifier_runs;
+        res.cells_walked += rep.cells_walked;
+        res.old_young_refs += rep.old_young_refs;
+        res.cross_region_refs += rep.cross_region_refs;
+        res.free_chunks += rep.free_chunks;
+        for (const std::string& p : rep.problems)
+          res.problems.push_back("round " + std::to_string(r) + ": " + p);
+      }
+      blocked_wait(m, barrier, sense);
+    }
+
+    // Fingerprint the surviving private graph: retained ladder plus this
+    // thread's own partition, both written exclusively by this thread, so
+    // the fold is independent of cross-thread scheduling.
+    std::uint64_t fp = 0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(t);
+    auto fold = [&fp](const Obj* node) {
+      std::uint64_t s = fp ^ node->field(0);
+      fp = splitmix64(s);
+    };
+    for (int j = 0; j < cfg.retained_per_thread; ++j)
+      fold(managed::ref_array::get(retained.get(), static_cast<std::size_t>(j)));
+    for (std::size_t j = 0; j < S; ++j)
+      fold(managed::ref_array::get(vm.global_root(board_root), part0 + j));
+    outcomes[static_cast<std::size_t>(t)] = {fp, allocated};
+  });
+
+  res.young_gcs_forced = young_forced;
+  res.full_gcs_forced = full_forced;
+  res.verifier_runs = verifier_runs;
+  res.payload_errors = payload_errors.load(std::memory_order_relaxed);
+  std::uint64_t fp = cfg.seed;
+  for (const ThreadOutcome& o : outcomes) {
+    res.objects_allocated += o.allocated;
+    std::uint64_t s = fp ^ o.fingerprint;
+    fp = splitmix64(s);
+  }
+  res.fingerprint = fp;
+  return res;
+}
+
+}  // namespace mgc::stress

@@ -1,0 +1,75 @@
+// Deterministic multi-threaded GC torture driver.
+//
+// K mutator threads churn private and shared object graphs from a single
+// seed: every thread keeps an aging ladder of retained nodes (promoted over
+// successive scavenges), publishes freshly stamped nodes into its own
+// partition of a shared array, cross-links its nodes to other threads'
+// published nodes (racy-but-atomic reference stores through the write
+// barrier), and burns through eden with small, TLAB-bypassing large, and
+// occasionally humongous garbage. Rounds are separated by barriers; at the
+// end of each round one thread forces a young (periodically full)
+// collection and runs the expanded heap verifier at that safepoint.
+//
+// Every node carries a self-validating stamp (payload[0] = mix of seed,
+// thread, round, index; payload[1] = its complement), so torn copies or
+// lost updates surface as payload errors, and the surviving private graph
+// folds into a fingerprint that is bit-identical across runs with the same
+// config — GC scheduling may differ, the reachable state may not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/heap_verifier.h"
+#include "runtime/vm_config.h"
+
+namespace mgc::stress {
+
+struct TortureConfig {
+  // Collector / heap geometry under test. Tests shrink the heap so each
+  // run forces real collection pressure in well under a second.
+  VmConfig vm;
+
+  int mutators = 4;            // >= 2; each owns a private graph + partition
+  std::uint64_t seed = 42;     // single seed reproducing the whole run
+  int rounds = 6;
+
+  // Per-thread, per-round churn knobs.
+  int churn_per_round = 2000;       // garbage allocations
+  int retained_per_thread = 64;     // aging-ladder slots (quarter replaced/round)
+  int published_per_thread = 32;    // shared-partition slots (replaced each round)
+  int crosslinks_per_round = 24;    // link/unlink ops against other partitions
+  int large_every = 16;             // every Nth garbage alloc bypasses the TLAB
+  std::size_t huge_payload_words = 12000;  // periodic humongous/large-direct alloc
+  int full_every = 3;               // every Nth forced GC is full (0 = never)
+
+  VerifyOptions verify;             // passed to verify_heap_at_safepoint
+};
+
+struct TortureResult {
+  std::uint64_t objects_allocated = 0;  // deterministic for a fixed config
+  std::uint64_t young_gcs_forced = 0;
+  std::uint64_t full_gcs_forced = 0;
+  std::uint64_t payload_errors = 0;     // stamp mismatches seen by mutators
+  std::uint64_t verifier_runs = 0;
+  std::uint64_t fingerprint = 0;        // fold of the surviving private graphs
+
+  // Verifier coverage, summed over all runs (proves the checks engaged).
+  std::size_t cells_walked = 0;
+  std::size_t old_young_refs = 0;
+  std::size_t cross_region_refs = 0;
+  std::size_t free_chunks = 0;
+
+  std::vector<std::string> problems;    // verifier findings, round-prefixed
+  bool ok() const { return problems.empty() && payload_errors == 0; }
+};
+
+// Runs the torture loop on a fresh VM built from cfg.vm. Blocks until all
+// mutator threads join.
+TortureResult run_torture(const TortureConfig& cfg);
+
+// A small heap geometry suitable for CI stress runs of `gc`.
+VmConfig small_stress_vm(GcKind gc, bool tlab_enabled);
+
+}  // namespace mgc::stress

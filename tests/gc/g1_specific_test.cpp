@@ -56,15 +56,29 @@ TEST(G1, MixedCollectionsReclaimOldGarbage) {
   // cleanup, but mixed pauses are the only way to get these back. Regions
   // filled during a marking cycle are implicitly live until the next
   // cycle's cleanup (above-TAMS rule), so candidates need a few cycles.
-  for (int i = 0; i < 250000; ++i) {
-    Local v(m, m.alloc(1, 24));
-    v->set_field(0, static_cast<word_t>(i));
-    Local map(m, vm.global_root(root));
-    // Every 4th insertion is permanent; the rest rotate through a window.
-    const std::uint64_t key =
-        i % 4 == 0 ? 100000 + static_cast<std::uint64_t>(i % 1200)
-                   : static_cast<std::uint64_t>(i % 2000);
-    managed::hash_map::put(m, map, key, v);
+  auto churn = [&](int from, int n, int window, std::size_t payload) {
+    for (int i = from; i < from + n; ++i) {
+      Local v(m, m.alloc(1, payload));
+      v->set_field(0, static_cast<word_t>(i));
+      Local map(m, vm.global_root(root));
+      // Every 4th insertion is permanent; the rest rotate through a window.
+      const std::uint64_t key =
+          i % 4 == 0 ? 100000 + static_cast<std::uint64_t>(i % 1200)
+                     : static_cast<std::uint64_t>(i % window);
+      managed::hash_map::put(m, map, key, v);
+    }
+  };
+  churn(0, 250000, 2000, 24);
+  // A candidate needs a cleanup to observe an old region *partially*
+  // garbage, but a fixed rotation window can phase-lock with the cleanup
+  // cadence so regions are only ever seen fully live or fully dead (the
+  // latter are freed for free and never become candidates). Retry in
+  // bounded batches with a shifted window and payload size to break the
+  // lock-in instead of asserting on one fixed allocation pattern.
+  int next = 250000;
+  for (int batch = 0; g1.mixed_pauses() == 0 && batch < 50; ++batch) {
+    churn(next, 25000, 2000 + 977 * (batch % 7), 24 + 16 * (batch % 3));
+    next += 25000;
   }
   EXPECT_GE(g1.cycles_completed(), 1u);
   EXPECT_GE(g1.mixed_pauses(), 1u) << "no mixed collection ever ran";

@@ -1,0 +1,211 @@
+// Card table unit coverage: state transitions the write barrier and the
+// collectors rely on (dirty -> precleaned -> re-dirtied), range clear/dirty
+// boundary semantics, and the concurrent marking path (many threads
+// dirtying cards while a reader precleans).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "heap/card_table.h"
+#include "heap/layout.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+class CardTableTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kBytes = 64 * KiB;  // 128 cards
+
+  void SetUp() override {
+    backing_.resize(kBytes + kCardSize);
+    // Align the covered base to a card boundary so index arithmetic in the
+    // tests is exact.
+    auto addr = reinterpret_cast<std::uintptr_t>(backing_.data());
+    base_ = reinterpret_cast<char*>((addr + kCardSize - 1) & ~(kCardSize - 1));
+    cards_.initialize(base_, kBytes);
+  }
+
+  std::vector<char> backing_;
+  char* base_ = nullptr;
+  CardTable cards_;
+};
+
+TEST_F(CardTableTest, InitializesClean) {
+  ASSERT_GE(cards_.num_cards(), kBytes >> kCardShift);
+  for (std::size_t i = 0; i < kBytes >> kCardShift; ++i) {
+    EXPECT_FALSE(cards_.is_dirty(i));
+    EXPECT_FALSE(cards_.needs_young_scan(i));
+  }
+  EXPECT_EQ(cards_.count_dirty(base_, base_ + kBytes), 0u);
+}
+
+TEST_F(CardTableTest, DirtyAddressMapsToSingleCard) {
+  char* slot = base_ + 3 * kCardSize + 40;
+  cards_.dirty(slot);
+  EXPECT_TRUE(cards_.is_dirty(3));
+  EXPECT_FALSE(cards_.is_dirty(2));
+  EXPECT_FALSE(cards_.is_dirty(4));
+  EXPECT_EQ(cards_.index_of(slot), 3u);
+  EXPECT_EQ(cards_.card_base(3), base_ + 3 * kCardSize);
+  EXPECT_EQ(cards_.card_end(3), base_ + 4 * kCardSize);
+}
+
+TEST_F(CardTableTest, DirtyCleanTransitions) {
+  cards_.dirty_index(5);
+  EXPECT_TRUE(cards_.is_dirty(5));
+  EXPECT_TRUE(cards_.needs_young_scan(5));
+  cards_.clear_index(5);
+  EXPECT_FALSE(cards_.is_dirty(5));
+  EXPECT_FALSE(cards_.needs_young_scan(5));
+}
+
+TEST_F(CardTableTest, PrecleanOnlySucceedsOnDirtyCards) {
+  // Clean card: nothing to preclean.
+  EXPECT_FALSE(cards_.try_preclean(7));
+  EXPECT_FALSE(cards_.needs_young_scan(7));
+
+  // Dirty -> precleaned: no longer "dirty" (remark may skip it) but still
+  // needs a young-GC scan.
+  cards_.dirty_index(7);
+  EXPECT_TRUE(cards_.try_preclean(7));
+  EXPECT_FALSE(cards_.is_dirty(7));
+  EXPECT_TRUE(cards_.needs_young_scan(7));
+
+  // Second preclean fails (already precleaned)...
+  EXPECT_FALSE(cards_.try_preclean(7));
+
+  // ...until a barrier write re-dirties the card — the re-dirty remark
+  // looks for.
+  cards_.dirty_index(7);
+  EXPECT_TRUE(cards_.is_dirty(7));
+  EXPECT_TRUE(cards_.try_preclean(7));
+}
+
+TEST_F(CardTableTest, DirtyRangeCoversPartialEdgeCards) {
+  // [mid of card 2, mid of card 5): edge cards must be included.
+  cards_.dirty_range(base_ + 2 * kCardSize + 100, base_ + 5 * kCardSize + 1);
+  EXPECT_FALSE(cards_.needs_young_scan(1));
+  for (std::size_t i = 2; i <= 5; ++i) EXPECT_TRUE(cards_.is_dirty(i));
+  EXPECT_FALSE(cards_.needs_young_scan(6));
+  EXPECT_EQ(cards_.count_dirty(base_, base_ + kBytes), 4u);
+}
+
+TEST_F(CardTableTest, DirtyRangeExclusiveEndOnCardBoundary) {
+  // `to` exactly on a card boundary: that card is NOT part of the range.
+  cards_.dirty_range(base_ + 2 * kCardSize, base_ + 4 * kCardSize);
+  EXPECT_TRUE(cards_.is_dirty(2));
+  EXPECT_TRUE(cards_.is_dirty(3));
+  EXPECT_FALSE(cards_.needs_young_scan(4));
+
+  // Empty and inverted ranges are no-ops.
+  cards_.dirty_range(base_ + kCardSize, base_ + kCardSize);
+  EXPECT_FALSE(cards_.needs_young_scan(1));
+  cards_.dirty_range(base_ + 2 * kCardSize, base_ + kCardSize);
+  EXPECT_FALSE(cards_.needs_young_scan(1));
+}
+
+TEST_F(CardTableTest, ClearRangeLeavesNeighboursDirty) {
+  cards_.dirty_range(base_, base_ + 10 * kCardSize);
+  // Clearing [card 3, card 7) must not touch cards 2 and 7.
+  cards_.clear_range(base_ + 3 * kCardSize, base_ + 7 * kCardSize);
+  EXPECT_TRUE(cards_.is_dirty(2));
+  for (std::size_t i = 3; i <= 6; ++i) EXPECT_FALSE(cards_.needs_young_scan(i));
+  EXPECT_TRUE(cards_.is_dirty(7));
+  EXPECT_EQ(cards_.count_dirty(base_, base_ + 10 * kCardSize), 6u);
+}
+
+TEST_F(CardTableTest, ClearRangeAlsoClearsPrecleanedCards) {
+  cards_.dirty_index(4);
+  ASSERT_TRUE(cards_.try_preclean(4));
+  cards_.clear_range(cards_.card_base(4), cards_.card_end(4));
+  EXPECT_FALSE(cards_.needs_young_scan(4));
+}
+
+TEST_F(CardTableTest, ForEachDirtyVisitsDirtyAndPrecleaned) {
+  cards_.dirty_index(1);
+  cards_.dirty_index(4);
+  ASSERT_TRUE(cards_.try_preclean(4));
+  cards_.dirty_index(9);
+
+  std::vector<std::size_t> visited;
+  cards_.for_each_dirty(base_, base_ + kBytes,
+                        [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{1, 4, 9}));
+
+  // Window excludes card 9 (end is exclusive at its base).
+  visited.clear();
+  cards_.for_each_dirty(base_, cards_.card_base(9),
+                        [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (std::vector<std::size_t>{1, 4}));
+}
+
+TEST_F(CardTableTest, ClearAllResetsEverything) {
+  cards_.dirty_range(base_, base_ + kBytes);
+  cards_.clear_all();
+  EXPECT_EQ(cards_.count_dirty(base_, base_ + kBytes), 0u);
+}
+
+// Concurrent marking: writers race dirty() against a precleaning reader.
+// Postconditions checked: every card a writer dirtied ends non-clean (the
+// young-GC invariant — precleaning never loses a card), and try_preclean
+// claims each dirty card exactly once per dirty->precleaned edge.
+TEST_F(CardTableTest, ConcurrentDirtyAndPrecleanNeverLosesACard) {
+  constexpr int kWriters = 4;
+  constexpr int kRoundsPerWriter = 2000;
+  const std::size_t ncards = kBytes >> kCardShift;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      // Each writer owns a disjoint quarter of the cards.
+      const std::size_t lo = t * (ncards / kWriters);
+      const std::size_t hi = lo + ncards / kWriters;
+      for (int r = 0; r < kRoundsPerWriter; ++r) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          cards_.dirty(base_ + i * kCardSize + (r % kCardSize));
+        }
+      }
+    });
+  }
+  // Concurrent precleaner sweeping the whole table.
+  std::size_t precleaned = 0;
+  std::thread cleaner([&] {
+    for (int sweep = 0; sweep < 200; ++sweep) {
+      for (std::size_t i = 0; i < ncards; ++i) {
+        if (cards_.try_preclean(i)) ++precleaned;
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  cleaner.join();
+
+  EXPECT_GT(precleaned, 0u);
+  // Final barrier pass after the cleaner stopped: all written cards must
+  // need a young scan regardless of how the races interleaved.
+  for (std::size_t i = 0; i < ncards; ++i) {
+    cards_.dirty_index(i);
+  }
+  EXPECT_EQ(cards_.count_dirty(base_, base_ + kBytes), ncards);
+}
+
+TEST(ModUnionTable, RecordsAccumulateUntilCleared) {
+  ModUnionTable mu;
+  mu.initialize(32);
+  EXPECT_FALSE(mu.is_set(3));
+  mu.record(3);
+  mu.record(31);
+  EXPECT_TRUE(mu.is_set(3));
+  EXPECT_TRUE(mu.is_set(31));
+  EXPECT_FALSE(mu.is_set(4));
+  // Re-record is idempotent; clear resets all bits.
+  mu.record(3);
+  EXPECT_TRUE(mu.is_set(3));
+  mu.clear();
+  EXPECT_FALSE(mu.is_set(3));
+  EXPECT_FALSE(mu.is_set(31));
+}
+
+}  // namespace
+}  // namespace mgc

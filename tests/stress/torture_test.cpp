@@ -1,0 +1,83 @@
+// Stress-labeled torture runs: every collector x TLAB setting drives >= 4
+// mutator threads from one fixed seed, forces young and full collections
+// at round boundaries, and must come out with zero expanded-verifier
+// problems. A separate determinism check reruns a config and compares the
+// surviving-graph fingerprints bit for bit.
+#include <gtest/gtest.h>
+
+#include "stress/torture.h"
+
+namespace mgc::stress {
+namespace {
+
+struct Param {
+  GcKind gc;
+  bool tlab;
+};
+
+std::vector<Param> all_params() {
+  std::vector<Param> ps;
+  for (GcKind gc : all_gc_kinds()) {
+    ps.push_back({gc, true});
+    ps.push_back({gc, false});
+  }
+  return ps;
+}
+
+class StressTorture : public ::testing::TestWithParam<Param> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, StressTorture, ::testing::ValuesIn(all_params()),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(gc_traits(info.param.gc).short_name) +
+             (info.param.tlab ? "_tlab" : "_notlab");
+    });
+
+TortureConfig make_config(const Param& p) {
+  TortureConfig cfg;
+  cfg.vm = small_stress_vm(p.gc, p.tlab);
+  cfg.mutators = 4;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST_P(StressTorture, MultiThreadedChurnPassesExpandedVerifier) {
+  const TortureResult res = run_torture(make_config(GetParam()));
+
+  EXPECT_EQ(res.payload_errors, 0u);
+  EXPECT_TRUE(res.problems.empty())
+      << res.problems.size() << " verifier problems, first: "
+      << res.problems.front();
+  EXPECT_GT(res.young_gcs_forced, 0u);
+  EXPECT_GT(res.full_gcs_forced, 0u);
+  EXPECT_EQ(res.verifier_runs, 6u);
+
+  // The cross-layer checks must actually have engaged, not silently
+  // short-circuited.
+  EXPECT_GT(res.cells_walked, 0u);
+  if (GetParam().gc == GcKind::kG1) {
+    EXPECT_GT(res.cross_region_refs, 0u);
+  } else {
+    EXPECT_GT(res.old_young_refs, 0u);
+  }
+  if (GetParam().gc == GcKind::kCms) EXPECT_GT(res.free_chunks, 0u);
+}
+
+TEST_P(StressTorture, SameSeedReproducesTheSameSurvivingGraph) {
+  TortureConfig cfg = make_config(GetParam());
+  cfg.rounds = 3;
+  cfg.churn_per_round = 800;
+  const TortureResult a = run_torture(cfg);
+  const TortureResult b = run_torture(cfg);
+
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.objects_allocated, b.objects_allocated);
+  EXPECT_TRUE(a.ok() && b.ok());
+
+  cfg.seed = 43;
+  const TortureResult c = run_torture(cfg);
+  EXPECT_NE(a.fingerprint, c.fingerprint) << "seed must steer the workload";
+}
+
+}  // namespace
+}  // namespace mgc::stress
