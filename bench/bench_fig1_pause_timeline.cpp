@@ -16,6 +16,7 @@ int main() {
     Table summary(std::string("xalan pause summary, system GC ") +
                   (system_gc ? "on" : "off"));
     summary.header({"GC", "pauses", "full", "max pause (ms)", "avg pause (ms)",
+                    "roots (us)", "cards (us)", "evac (us)",
                     "total exec (s)"});
     for (GcKind gc : all_gc_kinds()) {
       HarnessOptions opts;
@@ -25,9 +26,18 @@ int main() {
           run_benchmark(bench::paper_baseline(gc), "xalan", opts);
 
       std::vector<SeriesPoint> pts;
+      // Young-pause critical-path phase breakdown (max across GC workers,
+      // averaged over the run's young pauses). The classic scavengers
+      // report it; collectors without the breakdown print zeros.
+      RunningStats roots_us, cards_us, evac_us;
       for (const PauseEvent& e : res.pause_events) {
         pts.push_back({ns_to_s(e.start_ns - res.vm_origin_ns),
                        e.duration_ms()});
+        if (e.phases.any()) {
+          roots_us.add(static_cast<double>(e.phases.root_scan_ns) / 1e3);
+          cards_us.add(static_cast<double>(e.phases.card_scan_ns) / 1e3);
+          evac_us.add(static_cast<double>(e.phases.evac_drain_ns) / 1e3);
+        }
       }
       print_series(std::cout,
                    std::string(gc_name(gc)) + (system_gc ? "/sysgc" : "/nosysgc"),
@@ -36,6 +46,8 @@ int main() {
                    std::to_string(res.pauses.full_pauses),
                    Table::num(res.pauses.max_s * 1e3),
                    Table::num(res.pauses.avg_s * 1e3),
+                   Table::num(roots_us.mean(), 1), Table::num(cards_us.mean(), 1),
+                   Table::num(evac_us.mean(), 1),
                    Table::num(res.total_s, 3)});
     }
     summary.print(std::cout);

@@ -1,5 +1,7 @@
 #include "gc/classic_collector.h"
 
+#include <algorithm>
+
 #include "runtime/vm.h"
 
 namespace mgc {
@@ -39,18 +41,32 @@ PauseOutcome ClassicCollector::collect_young(GcCause cause) {
   sc.workers = young_workers_;
   sc.pool = young_workers_ > 1 ? &vm_.workers() : nullptr;
   sc.tenuring_threshold = cfg_.tenuring_threshold;
+  sc.plab_bytes = plab_bytes_;
   fill_scavenge_hooks(sc);
   const ScavengeResult res = scavenge(sc);
 
   PauseOutcome out;
   if (res.promotion_failed) {
     // HotSpot semantics: finish with a full collection in the same pause.
+    // The aborted cycle's copied volume is unrepresentative — skip the
+    // PLAB EWMA update.
     out = run_full(escalate_cause(GcCause::kPromotionFailure));
     return out;
   }
+
+  // Resize next cycle's PLABs from this cycle's copied volume.
+  copied_per_young_.add(
+      static_cast<double>(res.survivor_bytes + res.promoted_bytes));
+  const auto want = static_cast<std::size_t>(
+      copied_per_young_.value() /
+      (static_cast<double>(std::max(1, young_workers_)) * 16.0));
+  plab_bytes_ = std::clamp(align_up(want, kObjAlignment),
+                           std::size_t{1} * KiB, std::size_t{256} * KiB);
+
   out.kind = PauseKind::kYoungGc;
   out.cause = cause;
   out.full = false;
+  out.phases = res.phases;
   return out;
 }
 

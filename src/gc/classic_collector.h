@@ -8,6 +8,7 @@
 #include "gc/scavenge.h"
 #include "runtime/collector.h"
 #include "runtime/vm_config.h"
+#include "support/stats.h"
 
 namespace mgc {
 
@@ -45,6 +46,12 @@ class ClassicCollector : public Collector {
   ClassicHeap heap_;
   int young_workers_;
   int full_workers_;
+
+  // Adaptive PLAB sizing: each young cycle's copied volume (survivor +
+  // promoted) feeds an EWMA; the next cycle's PLABs are sized so each
+  // worker refills ~16 times, clamped to [1 KiB, 256 KiB].
+  Ewma copied_per_young_{0.5};
+  std::size_t plab_bytes_ = 8 * KiB;
 };
 
 }  // namespace mgc

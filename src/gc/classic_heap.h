@@ -27,8 +27,11 @@ class ClassicHeap {
   bool free_list_old() const { return free_list_old_; }
 
   ContiguousSpace& eden() { return eden_; }
+  const ContiguousSpace& eden() const { return eden_; }
   ContiguousSpace& from_space() { return survivors_[from_idx_]; }
+  const ContiguousSpace& from_space() const { return survivors_[from_idx_]; }
   ContiguousSpace& to_space() { return survivors_[1 - from_idx_]; }
+  const ContiguousSpace& to_space() const { return survivors_[1 - from_idx_]; }
   void swap_survivors() { from_idx_ = 1 - from_idx_; }
 
   ContiguousSpace& old_space() { return old_; }

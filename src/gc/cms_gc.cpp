@@ -1,5 +1,7 @@
 #include "gc/cms_gc.h"
 
+#include <algorithm>
+
 #include "runtime/vm.h"
 
 namespace mgc {
@@ -147,18 +149,25 @@ void CmsGc::scan_card_for_marks(std::size_t card_idx) {
 }
 
 bool CmsGc::concurrent_preclean() {
+  // Word-wise sweep in blocks: the card table's visitor skips fully-clean
+  // words with one 64-bit load, so mostly-clean old generations cost a
+  // memory-bandwidth scan instead of one atomic byte load per card. Between
+  // blocks we poll the safepoint and check for cycle aborts.
+  constexpr std::size_t kBlockCards = 512;
   CardTable& cards = heap_.cards();
   const std::size_t first = cards.index_of(heap_.old_base());
-  const std::size_t last = cards.index_of(heap_.old_end() - 1);
-  std::size_t batch = 0;
-  for (std::size_t idx = first; idx <= last; ++idx) {
-    if (++batch % 64 == 0) {
-      vm_.safepoints().poll();
-      if (abort_cycle_.load(std::memory_order_acquire)) return false;
-    }
-    if (cards.is_dirty(idx) && cards.try_preclean(idx)) {
-      scan_card_for_marks(idx);
-    }
+  const std::size_t last = cards.index_of(heap_.old_end() - 1) + 1;
+  for (std::size_t blk = first; blk < last; blk += kBlockCards) {
+    vm_.safepoints().poll();
+    if (abort_cycle_.load(std::memory_order_acquire)) return false;
+    const std::size_t blk_end = std::min(last, blk + kBlockCards);
+    cards.visit_dirty(blk, blk_end, [&](std::size_t idx) {
+      // visit_dirty also reports precleaned cards; only dirty ones can
+      // win the preclean transition.
+      if (cards.is_dirty(idx) && cards.try_preclean(idx)) {
+        scan_card_for_marks(idx);
+      }
+    });
     // Keep the stack shallow while precleaning.
     for (std::size_t i = 0; i < 64 && !mark_stack_.empty(); ++i) {
       Obj* o = mark_stack_.back();
@@ -194,14 +203,20 @@ PauseOutcome CmsGc::do_remark() {
   //    barrier's purposes; remark only reads them.
   CardTable& cards = heap_.cards();
   const std::size_t first = cards.index_of(heap_.old_base());
-  const std::size_t last = cards.index_of(heap_.old_end() - 1);
-  for (std::size_t idx = first; idx <= last; ++idx) {
-    // Precleaned cards were already scanned concurrently; only cards the
-    // mutator re-dirtied since (or that a young GC folded into the
-    // mod-union table) need a stop-the-world rescan.
-    if (!cards.is_dirty(idx) && !mod_union_.is_set(idx)) continue;
-    scan_card_for_marks(idx);
-  }
+  const std::size_t last = cards.index_of(heap_.old_end() - 1) + 1;
+  // Precleaned cards were already scanned concurrently; only cards the
+  // mutator re-dirtied since (or that a young GC folded into the mod-union
+  // table) need a stop-the-world rescan. Both sweeps are word-wise; a card
+  // present in both sets is scanned twice, which is harmless (marking is
+  // idempotent) and rarer than the branch it would take to dedup.
+  cards.visit_dirty(first, last, [&](std::size_t idx) {
+    if (cards.is_dirty(idx)) scan_card_for_marks(idx);
+  });
+  mod_union_.for_each_set([&](std::size_t idx) {
+    if (idx >= first && idx < last && !cards.is_dirty(idx)) {
+      scan_card_for_marks(idx);
+    }
+  });
   mod_union_.clear();
   // 4. Complete the closure.
   drain_mark_stack();

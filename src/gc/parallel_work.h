@@ -66,6 +66,17 @@ class WorkSet {
   std::vector<std::unique_ptr<WsDeque<T>>> deques_;
 };
 
+// Relaxed running maximum, for per-worker phase timings folded into a
+// shared slot at phase end: the pause's critical path for a phase is the
+// slowest worker, and relaxed ordering suffices because the pool's
+// run()/join already orders the readers after the writers.
+inline void fold_max(std::atomic<std::int64_t>& slot, std::int64_t value) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
 // Atomic chunk claimer over a fixed-size item list.
 class ChunkClaimer {
  public:

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "heap/block_offset_table.h"
 #include "heap/object.h"
@@ -39,11 +38,13 @@ class Plab {
     return p;
   }
 
-  // Allocate from the PLAB, refilling from `refill` on demand. Objects
-  // larger than half a PLAB bypass it. Returns nullptr when the underlying
-  // space is exhausted.
-  char* alloc_refill(std::size_t bytes,
-                     const std::function<char*(std::size_t)>& refill) {
+  // Allocate from the PLAB, refilling from `refill` (any callable
+  // `char*(std::size_t)`; a template so the per-object evacuation path
+  // never materializes a std::function) on demand. Objects larger than
+  // half a PLAB bypass it. Returns nullptr when the underlying space is
+  // exhausted.
+  template <typename RefillFn>
+  char* alloc_refill(std::size_t bytes, RefillFn&& refill) {
     if (char* p = alloc(bytes)) return p;
     if (bytes > plab_bytes_ / 2) return refill(bytes);
     char* fresh = refill(plab_bytes_);

@@ -1,5 +1,6 @@
 #include "gc/scavenge.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <mutex>
@@ -7,20 +8,40 @@
 #include "gc/parallel_work.h"
 #include "gc/plab.h"
 #include "runtime/vm.h"
+#include "support/clock.h"
 
 namespace mgc {
 namespace {
+
+// Cards per claimed strip: 256 cards = 128 KiB of old generation per
+// claim. Word-wise sweeping makes a fully clean strip cost 32 loads, so
+// strips are cheap enough to keep the claim counter cold while still
+// load-balancing the dirty clusters.
+constexpr std::size_t kCardsPerStrip = 256;
+constexpr std::size_t kRootsPerChunk = 64;
 
 struct Shared {
   const ScavengeConfig& cfg;
   ClassicHeap& heap;
   WorkSet<Obj*> work;
-  std::vector<Obj**> root_slots;
-  std::vector<std::size_t> dirty_cards;
+  // Root slots stay where they live (mutator shadow stacks + global
+  // roots); workers claim chunks of the flattened index space
+  // [0, root_count) and map them back through the prefix sums. No per-slot
+  // vector is built on the VM thread.
+  std::vector<std::vector<Obj*>*> root_vecs;
+  std::vector<std::size_t> root_prefix;  // root_vecs.size() + 1 entries
+  std::size_t root_count = 0;
+  // Old-generation card window [first_card, last_card), claimed in strips.
+  std::size_t first_card = 0;
+  std::size_t last_card = 0;
   char* old_parsable_limit = nullptr;
   std::atomic<bool> promotion_failed{false};
   std::atomic<std::size_t> survivor_bytes{0};
   std::atomic<std::size_t> promoted_bytes{0};
+  std::atomic<std::size_t> cards_scanned{0};
+  std::atomic<std::int64_t> root_scan_ns{0};
+  std::atomic<std::int64_t> card_scan_ns{0};
+  std::atomic<std::int64_t> evac_drain_ns{0};
   SpinLock promoted_lock;
 
   explicit Shared(const ScavengeConfig& c)
@@ -28,8 +49,7 @@ struct Shared {
 
   bool in_source(const Obj* o) const {
     // Objects being evacuated live in eden or the from-survivor space.
-    return heap.eden().contains(o) ||
-           const_cast<ClassicHeap&>(heap).from_space().contains(o);
+    return heap.eden().contains(o) || heap.from_space().contains(o);
   }
 };
 
@@ -162,6 +182,29 @@ void process_card(Shared& sh, Worker& wk, int w, std::size_t card_idx) {
   }
 }
 
+// Evacuates the root slots in the flattened index range [b, e).
+void scan_root_chunk(Shared& sh, Worker& wk, int w, std::size_t b,
+                     std::size_t e) {
+  // Locate the vector containing flat index b, then walk forward.
+  std::size_t v = static_cast<std::size_t>(
+                      std::upper_bound(sh.root_prefix.begin(),
+                                       sh.root_prefix.end(), b) -
+                      sh.root_prefix.begin()) -
+                  1;
+  while (b < e) {
+    const std::size_t span_end = std::min(e, sh.root_prefix[v + 1]);
+    std::vector<Obj*>& vec = *sh.root_vecs[v];
+    for (std::size_t i = b; i < span_end; ++i) {
+      Obj*& slot = vec[i - sh.root_prefix[v]];
+      if (slot != nullptr && sh.in_source(slot)) {
+        slot = evacuate(sh, wk, w, slot);
+      }
+    }
+    b = span_end;
+    ++v;
+  }
+}
+
 }  // namespace
 
 ScavengeResult scavenge(const ScavengeConfig& cfg) {
@@ -177,34 +220,51 @@ ScavengeResult scavenge(const ScavengeConfig& cfg) {
   sh.old_parsable_limit =
       heap.free_list_old() ? heap.old_end() : heap.old_space().top();
 
-  vm.for_each_root_slot([&](Obj** slot) { sh.root_slots.push_back(slot); });
-  heap.cards().for_each_dirty(
-      heap.old_base(), sh.old_parsable_limit,
-      [&](std::size_t idx) { sh.dirty_cards.push_back(idx); });
+  // O(#mutators) setup: gather the root *vectors* and their prefix sums.
+  // The slots themselves are claimed and scanned inside worker_body.
+  sh.root_vecs = vm.root_vectors();
+  sh.root_prefix.resize(sh.root_vecs.size() + 1, 0);
+  for (std::size_t i = 0; i < sh.root_vecs.size(); ++i) {
+    sh.root_prefix[i + 1] = sh.root_prefix[i] + sh.root_vecs[i]->size();
+  }
+  sh.root_count = sh.root_prefix.back();
 
-  ChunkClaimer root_claimer(sh.root_slots.size(), 64);
-  ChunkClaimer card_claimer(sh.dirty_cards.size(), 16);
+  CardTable& cards = heap.cards();
+  sh.first_card = cards.index_of(heap.old_base());
+  sh.last_card = sh.old_parsable_limit > heap.old_base()
+                     ? cards.index_of(sh.old_parsable_limit - 1) + 1
+                     : sh.first_card;
+
+  ChunkClaimer root_claimer(sh.root_count, kRootsPerChunk);
+  ChunkClaimer strip_claimer(sh.last_card - sh.first_card, kCardsPerStrip);
 
   auto worker_body = [&](int w) {
     // The free-list old generation uses parsable PLABs: concurrent card
     // scanners may walk the space while promotion carves it up, so the
     // PLAB keeps its unused tail covered by a filler at every step.
     Worker wk(cfg.plab_bytes, heap);
+    const std::int64_t t0 = now_ns();
     std::size_t b, e;
     while (root_claimer.claim(&b, &e)) {
-      for (std::size_t i = b; i < e; ++i) {
-        Obj** slot = sh.root_slots[i];
-        Obj* t = *slot;
-        if (t != nullptr && sh.in_source(t)) *slot = evacuate(sh, wk, w, t);
-      }
+      scan_root_chunk(sh, wk, w, b, e);
     }
-    while (card_claimer.claim(&b, &e)) {
-      for (std::size_t i = b; i < e; ++i)
-        process_card(sh, wk, w, sh.dirty_cards[i]);
+    const std::int64_t t1 = now_ns();
+    // Striped dirty-card discovery: each claimed strip is swept word-wise
+    // and its dirty cards processed in place by this worker.
+    std::size_t scanned = 0;
+    while (strip_claimer.claim(&b, &e)) {
+      cards.visit_dirty(sh.first_card + b, sh.first_card + e,
+                        [&](std::size_t idx) {
+                          process_card(sh, wk, w, idx);
+                          ++scanned;
+                        });
     }
+    const std::int64_t t2 = now_ns();
     sh.work.drain(w, [&](Obj* o) { scan_object(sh, wk, w, o); });
     wk.to_plab.retire();
     wk.old_plab.retire();
+    const std::int64_t t3 = now_ns();
+    sh.cards_scanned.fetch_add(scanned, std::memory_order_relaxed);
     sh.survivor_bytes.fetch_add(wk.survivor_bytes, std::memory_order_relaxed);
     sh.promoted_bytes.fetch_add(wk.promoted_bytes, std::memory_order_relaxed);
     if (cfg.promoted_list != nullptr && !wk.promoted.empty()) {
@@ -212,6 +272,9 @@ ScavengeResult scavenge(const ScavengeConfig& cfg) {
       cfg.promoted_list->insert(cfg.promoted_list->end(), wk.promoted.begin(),
                                 wk.promoted.end());
     }
+    fold_max(sh.root_scan_ns, t1 - t0);
+    fold_max(sh.card_scan_ns, t2 - t1);
+    fold_max(sh.evac_drain_ns, t3 - t2);
   };
 
   if (cfg.workers == 1) {
@@ -224,7 +287,10 @@ ScavengeResult scavenge(const ScavengeConfig& cfg) {
   res.promotion_failed = sh.promotion_failed.load(std::memory_order_acquire);
   res.survivor_bytes = sh.survivor_bytes.load(std::memory_order_relaxed);
   res.promoted_bytes = sh.promoted_bytes.load(std::memory_order_relaxed);
-  res.dirty_cards_scanned = sh.dirty_cards.size();
+  res.dirty_cards_scanned = sh.cards_scanned.load(std::memory_order_relaxed);
+  res.phases.root_scan_ns = sh.root_scan_ns.load(std::memory_order_relaxed);
+  res.phases.card_scan_ns = sh.card_scan_ns.load(std::memory_order_relaxed);
+  res.phases.evac_drain_ns = sh.evac_drain_ns.load(std::memory_order_relaxed);
 
   if (!res.promotion_failed) {
     heap.eden().reset();

@@ -8,13 +8,20 @@
 // age, or on survivor overflow). On promotion failure objects self-forward
 // in place and the caller must immediately run a full collection in the
 // same pause (HotSpot semantics).
+//
+// The pause has no serial prefix: workers claim root-slot chunks across
+// the (pre-existing) shadow-stack vectors and fixed-size card *strips*
+// over the old generation directly — dirty cards are discovered by the
+// workers themselves with the card table's word-wise sweep, never
+// collected into an intermediate vector on the VM thread. Each phase's
+// critical path (max across workers) is reported in ScavengeResult.
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <vector>
 
 #include "gc/classic_heap.h"
+#include "runtime/gc_log.h"
 #include "support/gc_worker_pool.h"
 
 namespace mgc {
@@ -43,6 +50,8 @@ struct ScavengeResult {
   std::size_t survivor_bytes = 0;
   std::size_t promoted_bytes = 0;
   std::size_t dirty_cards_scanned = 0;
+  // Critical-path phase timings (max across workers); see GcPhaseBreakdown.
+  GcPhaseBreakdown phases;
 };
 
 ScavengeResult scavenge(const ScavengeConfig& cfg);

@@ -7,7 +7,11 @@ namespace mgc {
 void CardTable::initialize(char* base, std::size_t bytes) {
   base_ = base;
   covered_bytes_ = bytes;
-  cards_ = std::vector<std::atomic<std::uint8_t>>((bytes >> kCardShift) + 1);
+  // Pad to a whole number of scan words so the word-wise visitors never
+  // need a bounds check inside a word. Padding cards are never dirtied
+  // (index_of bounds-checks against the covered window).
+  const std::size_t n = align_up((bytes >> kCardShift) + 1, kCardsPerWord);
+  cards_ = std::vector<std::atomic<std::uint8_t>>(n);
   clear_all();
 }
 
@@ -15,30 +19,46 @@ void CardTable::dirty_range(const void* from, const void* to) {
   if (from >= to) return;
   const std::size_t first = index_of(from);
   const std::size_t last = index_of(static_cast<const char*>(to) - 1);
-  for (std::size_t i = first; i <= last; ++i) dirty_index(i);
+  std::size_t i = first;
+  for (; i <= last && (i % kCardsPerWord) != 0; ++i) {
+    cards_[i].store(kDirty, std::memory_order_relaxed);
+  }
+  constexpr std::uint64_t kAllDirty = 0x0101010101010101ULL;
+  for (; i + kCardsPerWord <= last + 1; i += kCardsPerWord) {
+    store_word_relaxed(i / kCardsPerWord, kAllDirty);
+  }
+  for (; i <= last; ++i) {
+    cards_[i].store(kDirty, std::memory_order_relaxed);
+  }
+  // Publish the batch with one fence (see the header's ordering contract).
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+void CardTable::clear_span_relaxed(std::size_t first,
+                                   std::size_t last_inclusive) {
+  std::size_t i = first;
+  for (; i <= last_inclusive && (i % kCardsPerWord) != 0; ++i) {
+    cards_[i].store(kClean, std::memory_order_relaxed);
+  }
+  for (; i + kCardsPerWord <= last_inclusive + 1; i += kCardsPerWord) {
+    store_word_relaxed(i / kCardsPerWord, 0);
+  }
+  for (; i <= last_inclusive; ++i) {
+    cards_[i].store(kClean, std::memory_order_relaxed);
+  }
 }
 
 void CardTable::clear_all() {
-  for (auto& c : cards_) c.store(kClean, std::memory_order_relaxed);
+  if (cards_.empty()) return;
+  clear_span_relaxed(0, cards_.size() - 1);
   std::atomic_thread_fence(std::memory_order_release);
 }
 
 void CardTable::clear_range(const void* from, const void* to) {
   if (from >= to) return;
-  const std::size_t first = index_of(from);
-  const std::size_t last = index_of(static_cast<const char*>(to) - 1);
-  for (std::size_t i = first; i <= last; ++i) clear_index(i);
-}
-
-void CardTable::for_each_dirty(
-    const void* from, const void* to,
-    const std::function<void(std::size_t)>& fn) const {
-  if (from >= to) return;
-  const std::size_t first = index_of(from);
-  const std::size_t last = index_of(static_cast<const char*>(to) - 1);
-  for (std::size_t i = first; i <= last; ++i) {
-    if (needs_young_scan(i)) fn(i);
-  }
+  clear_span_relaxed(index_of(from),
+                     index_of(static_cast<const char*>(to) - 1));
+  std::atomic_thread_fence(std::memory_order_release);
 }
 
 std::size_t CardTable::count_dirty(const void* from, const void* to) const {

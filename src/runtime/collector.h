@@ -32,6 +32,7 @@ struct PauseOutcome {
   GcCause cause = GcCause::kAllocFailure;  // final cause (may be escalated)
   bool full = false;
   bool skipped = false;  // another thread's GC already satisfied the request
+  GcPhaseBreakdown phases;  // young-pause breakdown (zeros otherwise)
 };
 
 // Inline data consulted by the mutator write barrier on every reference

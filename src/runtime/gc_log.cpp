@@ -36,10 +36,17 @@ void GcLog::add(const PauseEvent& e) {
     events_.push_back(e);
   }
   if (verbose_) {
-    std::fprintf(stderr, "[gc %8.3fs] %-11s (%s) %.3f ms, %zu->%zu KB\n",
+    std::fprintf(stderr, "[gc %8.3fs] %-11s (%s) %.3f ms, %zu->%zu KB",
                  to_relative_s(e.start_ns), pause_kind_name(e.kind),
                  gc_cause_name(e.cause), e.duration_ms(), e.used_before / 1024,
                  e.used_after / 1024);
+    if (e.phases.any()) {
+      std::fprintf(stderr, " [roots %.0fus cards %.0fus evac %.0fus]",
+                   static_cast<double>(e.phases.root_scan_ns) / 1e3,
+                   static_cast<double>(e.phases.card_scan_ns) / 1e3,
+                   static_cast<double>(e.phases.evac_drain_ns) / 1e3);
+    }
+    std::fputc('\n', stderr);
   }
 }
 

@@ -35,6 +35,20 @@ enum class GcCause {
 const char* pause_kind_name(PauseKind k);
 const char* gc_cause_name(GcCause c);
 
+// Per-phase breakdown of a young-collection pause. Each figure is the
+// *critical path* of that phase: the maximum across the parallel GC
+// workers, since the pause cannot end before its slowest worker. Zero for
+// pauses that have no scavenge (full GCs, G1 pauses, remark, ...).
+struct GcPhaseBreakdown {
+  std::int64_t root_scan_ns = 0;   // claiming + evacuating root slots
+  std::int64_t card_scan_ns = 0;   // striped dirty-card discovery + scan
+  std::int64_t evac_drain_ns = 0;  // transitive copy via the work-stealing deques
+
+  bool any() const {
+    return (root_scan_ns | card_scan_ns | evac_drain_ns) != 0;
+  }
+};
+
 struct PauseEvent {
   std::int64_t start_ns = 0;  // absolute, Clock epoch
   std::int64_t end_ns = 0;
@@ -43,6 +57,7 @@ struct PauseEvent {
   bool full = false;  // counts as a "full GC" in the paper's statistics
   std::size_t used_before = 0;
   std::size_t used_after = 0;
+  GcPhaseBreakdown phases;  // young-pause breakdown (zeros otherwise)
 
   double duration_s() const { return ns_to_s(end_ns - start_ns); }
   double duration_ms() const { return ns_to_ms(end_ns - start_ns); }

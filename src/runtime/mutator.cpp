@@ -1,11 +1,21 @@
 #include "runtime/mutator.h"
 
+#include <algorithm>
+
 #include "runtime/vm.h"
 
 namespace mgc {
 
 Mutator::Mutator(Vm& vm, std::string name, std::uint64_t seed)
-    : vm_(vm), name_(std::move(name)), rng_(seed) {
+    : vm_(vm),
+      name_(std::move(name)),
+      rng_(seed),
+      barrier_(vm.barrier()),
+      tlab_enabled_(vm.config().tlab_enabled),
+      tlab_adaptive_(vm.config().tlab_adaptive),
+      desired_tlab_bytes_(vm.config().tlab_bytes),
+      tlab_direct_limit_(tlab_enabled_ ? desired_tlab_bytes_ / 4 : 0),
+      tlab_epoch_(vm.gc_epoch()) {
   roots_.reserve(256);
   vm_.add_mutator(this);
 }
@@ -37,26 +47,59 @@ Obj* Mutator::alloc(std::uint16_t num_refs, std::size_t payload_words) {
   const std::size_t words = Obj::shape_words(num_refs, payload_words);
   const std::size_t bytes = words_to_bytes(words);
   allocated_bytes_ += bytes;
-  if (vm_.config().tlab_enabled && bytes <= vm_.config().tlab_bytes / 4) {
+  // tlab_direct_limit_ is 0 when TLABs are disabled, folding the enabled
+  // check into the size test.
+  if (bytes <= tlab_direct_limit_) {
     if (char* p = tlab_bump(bytes)) return Obj::init(p, words, num_refs);
   }
   return alloc_slow(words, num_refs);
 }
 
+void Mutator::maybe_resize_tlab() {
+  if (!tlab_adaptive_) return;
+  const std::uint64_t epoch = vm_.gc_epoch();
+  if (epoch == tlab_epoch_) return;
+  // One or more collections completed since the last refill: the closed
+  // window tells us this mutator's allocation rate per cycle. An idle
+  // window (no allocation across a cycle) decays the EWMA toward zero, so
+  // the TLAB shrinks back to min_tlab_bytes — an idle thread must not pin
+  // a large eden chunk it will not fill before the next collection.
+  const std::uint64_t cycles = epoch - tlab_epoch_;
+  alloc_per_cycle_.add(
+      static_cast<double>(allocated_bytes_ - allocated_at_epoch_) /
+      static_cast<double>(cycles));
+  tlab_epoch_ = epoch;
+  allocated_at_epoch_ = allocated_bytes_;
+
+  const VmConfig& cfg = vm_.config();
+  const auto want = static_cast<std::size_t>(
+      alloc_per_cycle_.value() /
+      static_cast<double>(cfg.tlab_refill_target));
+  const std::size_t cap = std::max(
+      cfg.min_tlab_bytes,
+      cfg.eden_bytes() /
+          static_cast<std::size_t>(std::max(1, vm_.mutator_count())));
+  desired_tlab_bytes_ =
+      std::clamp(align_up(want, kObjAlignment), cfg.min_tlab_bytes, cap);
+  tlab_direct_limit_ = desired_tlab_bytes_ / 4;
+}
+
 Obj* Mutator::try_alloc_once(std::size_t size_words, std::uint16_t num_refs) {
   const std::size_t bytes = words_to_bytes(size_words);
-  const VmConfig& cfg = vm_.config();
   Collector& c = vm_.collector();
-  if (cfg.tlab_enabled && bytes <= cfg.tlab_bytes / 4) {
-    retire_tlab();
-    char* t = c.alloc_tlab(cfg.tlab_bytes);
-    if (t == nullptr) return nullptr;
-    tlab_top_ = t;
-    tlab_end_ = t + cfg.tlab_bytes;
-    ++tlab_refills_;
-    char* p = tlab_bump(bytes);
-    MGC_DCHECK(p != nullptr);
-    return Obj::init(p, size_words, num_refs);
+  if (tlab_enabled_) {
+    maybe_resize_tlab();
+    if (bytes <= tlab_direct_limit_) {
+      retire_tlab();
+      char* t = c.alloc_tlab(desired_tlab_bytes_);
+      if (t == nullptr) return nullptr;
+      tlab_top_ = t;
+      tlab_end_ = t + desired_tlab_bytes_;
+      ++tlab_refills_;
+      char* p = tlab_bump(bytes);
+      MGC_DCHECK(p != nullptr);
+      return Obj::init(p, size_words, num_refs);
+    }
   }
   return c.alloc_direct(size_words, num_refs);
 }
@@ -104,7 +147,7 @@ Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
 
 void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {
   MGC_DCHECK(i < holder->num_refs());
-  const BarrierDescriptor& bd = vm_.barrier();
+  const BarrierDescriptor& bd = barrier_;  // mutator-local cached copy
   RefSlot& slot = holder->refs()[i];
 
   if (bd.kind == BarrierDescriptor::Kind::kG1 &&

@@ -19,6 +19,7 @@
 #include "runtime/collector.h"
 #include "support/check.h"
 #include "support/rng.h"
+#include "support/stats.h"
 
 namespace mgc {
 
@@ -76,12 +77,21 @@ class Mutator {
   // TLAB instrumentation.
   std::uint64_t tlab_refills() const { return tlab_refills_; }
   std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+  // Current adaptive TLAB size (== config().tlab_bytes when adaptation is
+  // off or has not kicked in yet).
+  std::size_t desired_tlab_bytes() const { return desired_tlab_bytes_; }
 
  private:
   friend class Vm;
 
   Obj* alloc_slow(std::size_t size_words, std::uint16_t num_refs);
   Obj* try_alloc_once(std::size_t size_words, std::uint16_t num_refs);
+  // Refill-time hook: when one or more young cycles completed since the
+  // last refill, fold the finished window's allocation volume into the
+  // EWMA and re-derive the TLAB size (HotSpot-style ResizeTLAB: target
+  // ~tlab_refill_target refills per mutator per young cycle, clamped to
+  // [min_tlab_bytes, eden / live mutators]).
+  void maybe_resize_tlab();
   char* tlab_bump(std::size_t bytes) {
     if (static_cast<std::size_t>(tlab_end_ - tlab_top_) < bytes)
       return nullptr;
@@ -95,11 +105,26 @@ class Mutator {
   Rng rng_;
   std::vector<Obj*> roots_;
 
+  // Cached barrier descriptor and TLAB policy: the allocation and
+  // reference-store fast paths consult only mutator-local state, never
+  // the VmConfig / Vm indirections.
+  const BarrierDescriptor barrier_;
+  const bool tlab_enabled_;
+  const bool tlab_adaptive_;
+  std::size_t desired_tlab_bytes_;
+  std::size_t tlab_direct_limit_;  // objects above this bypass the TLAB
+
   char* tlab_top_ = nullptr;
   char* tlab_end_ = nullptr;
 
   std::uint64_t tlab_refills_ = 0;
   std::uint64_t allocated_bytes_ = 0;
+
+  // Adaptive-sizing window: allocation volume since the young cycle at
+  // which the TLAB was last resized.
+  Ewma alloc_per_cycle_{0.35};
+  std::uint64_t tlab_epoch_ = 0;
+  std::uint64_t allocated_at_epoch_ = 0;
 };
 
 // Safepoint-aware mutex acquisition. A mutator thread must NEVER block on

@@ -61,6 +61,11 @@ void Vm::add_mutator(Mutator* m) {
   mutators_.push_back(m);
 }
 
+int Vm::mutator_count() {
+  std::lock_guard<std::mutex> g(mutators_mu_);
+  return static_cast<int>(mutators_.size());
+}
+
 void Vm::remove_mutator(Mutator* m) {
   {
     std::lock_guard<std::mutex> g(mutators_mu_);
@@ -156,6 +161,7 @@ void Vm::vm_thread_main() {
       ev.kind = out.kind;
       ev.full = out.full;
       ev.cause = out.cause;
+      ev.phases = out.phases;
       log_.add(ev);
       epoch_.fetch_add(1, std::memory_order_acq_rel);
       if (out.full) full_epoch_.fetch_add(1, std::memory_order_acq_rel);

@@ -101,6 +101,9 @@ class Vm {
   void add_mutator(Mutator* m);
   void remove_mutator(Mutator* m);
 
+  // Number of currently attached mutators (adaptive TLAB clamp input).
+  int mutator_count();
+
  private:
   struct VmOp {
     const std::function<PauseOutcome()>* fn = nullptr;

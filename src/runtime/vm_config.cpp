@@ -44,6 +44,8 @@ void VmConfig::validate() const {
   MGC_CHECK_MSG(young_bytes < heap_bytes, "young generation must fit in heap");
   MGC_CHECK(heap_bytes % kObjAlignment == 0);
   MGC_CHECK(tlab_bytes >= 512 && tlab_bytes < eden_bytes());
+  MGC_CHECK(min_tlab_bytes >= 512 && min_tlab_bytes <= tlab_bytes);
+  MGC_CHECK(tlab_refill_target >= 1);
   MGC_CHECK(tenuring_threshold >= 0 && tenuring_threshold < 16);
   MGC_CHECK(survivor_ratio >= 1);
   if (gc == GcKind::kG1) {
@@ -57,7 +59,8 @@ std::string VmConfig::describe() const {
   std::ostringstream oss;
   oss << gc_name(gc) << " heap=" << scale::label(heap_bytes)
       << " young=" << scale::label(young_bytes)
-      << " tlab=" << (tlab_enabled ? "on" : "off")
+      << " tlab=" << (tlab_enabled ? (tlab_adaptive ? "adaptive" : "on")
+                                   : "off")
       << " gcthreads=" << effective_gc_threads();
   return oss.str();
 }

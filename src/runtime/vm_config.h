@@ -19,7 +19,15 @@ struct VmConfig {
   std::size_t young_bytes = 5734 * scale::MB;  // ~5.6 GB
 
   bool tlab_enabled = true;
-  std::size_t tlab_bytes = 16 * KiB;
+  std::size_t tlab_bytes = 16 * KiB;  // initial (and fixed, if !adaptive) size
+
+  // Adaptive TLAB sizing (HotSpot's ResizeTLAB analogue): each mutator
+  // resizes its TLAB from an EWMA of its allocation volume per young
+  // cycle, targeting ~tlab_refill_target refills per cycle, clamped to
+  // [min_tlab_bytes, eden / live mutators].
+  bool tlab_adaptive = true;
+  std::size_t min_tlab_bytes = 1 * KiB;
+  int tlab_refill_target = 50;
 
   // 0 = default: min(hardware threads, 8).
   int gc_threads = 0;

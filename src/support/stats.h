@@ -36,6 +36,26 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+// Exponentially weighted moving average, used by the adaptive sizing
+// policies (per-mutator TLAB size, scavenge PLAB size): the first sample
+// seeds the average, later samples are folded with weight `alpha`.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    value_ = seeded_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+  bool seeded() const { return seeded_; }
+  double value() const { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
 // Batch helpers over a sample vector. `percentile` uses nearest-rank on a
 // sorted copy; callers with big series should use Histogram instead.
 double mean_of(const std::vector<double>& xs);

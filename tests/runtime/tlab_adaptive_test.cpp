@@ -1,0 +1,103 @@
+// Adaptive TLAB sizing (HotSpot ResizeTLAB analogue): under a steady
+// allocation load the per-mutator TLAB converges so each mutator refills
+// ~tlab_refill_target times per young cycle; when a mutator goes idle its
+// EWMA decays and the TLAB shrinks back toward min_tlab_bytes. Runs in the
+// stress tier so the TSan CI job covers the resize path.
+#include <gtest/gtest.h>
+
+#include "runtime/vm.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+VmConfig adaptive_config() {
+  VmConfig cfg;
+  cfg.gc = GcKind::kSerial;
+  cfg.heap_bytes = 12 * MiB;
+  cfg.young_bytes = 3 * MiB;
+  cfg.tlab_bytes = 16 * KiB;
+  cfg.tlab_adaptive = true;
+  cfg.min_tlab_bytes = 1 * KiB;
+  cfg.tlab_refill_target = 50;
+  return cfg;
+}
+
+// Allocates garbage until `cycles` young collections have completed.
+void churn_cycles(Vm& vm, Mutator& m, std::uint64_t cycles) {
+  const std::uint64_t until = vm.gc_epoch() + cycles;
+  while (vm.gc_epoch() < until) {
+    for (int i = 0; i < 64; ++i) {
+      Local junk(m, m.alloc(1, 5));
+      (void)junk;
+    }
+  }
+}
+
+TEST(TlabAdaptive, SteadyLoadConvergesToRefillTarget) {
+  Vm vm(adaptive_config());
+  Vm::MutatorScope scope(vm, "steady");
+  Mutator& m = scope.mutator();
+
+  // Warm up: let the EWMA see a number of complete young cycles.
+  churn_cycles(vm, m, 12);
+
+  // A single steady mutator owns the whole eden, so the converged TLAB is
+  // ~eden / refill_target — well above the 16 KiB initial size here.
+  const std::size_t converged = m.desired_tlab_bytes();
+  EXPECT_GT(converged, vm.config().tlab_bytes);
+  EXPECT_LT(converged, vm.config().eden_bytes());
+
+  // Measure refills per cycle over a closed window. The target is 50;
+  // accept a generous band (clamping, partial windows, and direct old-gen
+  // allocations all blur it).
+  const std::uint64_t refills_before = m.tlab_refills();
+  const std::uint64_t epoch_before = vm.gc_epoch();
+  churn_cycles(vm, m, 8);
+  const double refills_per_cycle =
+      static_cast<double>(m.tlab_refills() - refills_before) /
+      static_cast<double>(vm.gc_epoch() - epoch_before);
+  EXPECT_GE(refills_per_cycle, 20.0);
+  EXPECT_LE(refills_per_cycle, 120.0);
+}
+
+TEST(TlabAdaptive, IdleMutatorShrinksItsTlab) {
+  Vm vm(adaptive_config());
+  Vm::MutatorScope scope(vm, "idle");
+  Mutator& m = scope.mutator();
+
+  churn_cycles(vm, m, 12);
+  const std::size_t steady = m.desired_tlab_bytes();
+  ASSERT_GT(steady, vm.config().min_tlab_bytes);
+
+  // Go (nearly) idle: collections keep happening but this mutator barely
+  // allocates. Each tiny burst forces at least one refill, which folds the
+  // near-zero closed windows into the EWMA.
+  for (int round = 0; round < 8; ++round) {
+    m.system_gc();
+    m.system_gc();
+    // A burst bigger than the (shrinking) TLAB so a refill — and with it a
+    // resize — actually happens.
+    for (int i = 0; i < 600; ++i) {
+      Local junk(m, m.alloc(0, 5));
+      (void)junk;
+    }
+  }
+
+  EXPECT_LE(m.desired_tlab_bytes() * 2, steady)
+      << "idle mutator kept a large TLAB (steady " << steady << " bytes)";
+}
+
+TEST(TlabAdaptive, FixedModeNeverResizes) {
+  VmConfig cfg = adaptive_config();
+  cfg.tlab_adaptive = false;
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "fixed");
+  Mutator& m = scope.mutator();
+
+  churn_cycles(vm, m, 6);
+  EXPECT_EQ(m.desired_tlab_bytes(), cfg.tlab_bytes);
+}
+
+}  // namespace
+}  // namespace mgc
