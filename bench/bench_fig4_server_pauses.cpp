@@ -4,16 +4,18 @@
 // the stress configuration.
 #include "cassandra_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::bench;
   banner("Figure 4 + §4.1: GC pauses on the Cassandra-like server",
          "Figure 4 / §4.1");
+  const bool use_net = net_flag(argc, argv);
 
   const std::uint64_t records = cassandra_records();
   const std::uint64_t ops = cassandra_operations();
   std::cout << "records=" << records << " (1KB rows), operations=" << ops
-            << ", 50% read / 50% update\n";
+            << ", 50% read / 50% update, transport="
+            << (use_net ? "loopback TCP (--net)" : "in-process") << "\n";
 
   Table summary("server-side pause summary");
   summary.header({"GC", "config", "pauses", "full", "max pause (ms)",
@@ -22,7 +24,8 @@ int main() {
   // ParallelOld: default configuration (§4.1 first experiment) ...
   {
     const CassandraRun r = run_cassandra_ycsb(GcKind::kParallelOld,
-                                              /*stress=*/false, records, ops);
+                                              /*stress=*/false, records, ops,
+                                              0.5, 0.5, 0.0, use_net);
     summary.row({"ParallelOldGC", "default", std::to_string(r.pauses.pauses),
                  std::to_string(r.pauses.full_pauses),
                  Table::num(r.pauses.max_s * 1e3),
@@ -32,8 +35,8 @@ int main() {
 
   // ... and the three main collectors under the stress configuration.
   for (GcKind gc : main_gc_kinds()) {
-    const CassandraRun r =
-        run_cassandra_ycsb(gc, /*stress=*/true, records, ops);
+    const CassandraRun r = run_cassandra_ycsb(gc, /*stress=*/true, records,
+                                              ops, 0.5, 0.5, 0.0, use_net);
     summary.row({gc_name(gc), "stress", std::to_string(r.pauses.pauses),
                  std::to_string(r.pauses.full_pauses),
                  Table::num(r.pauses.max_s * 1e3),

@@ -4,18 +4,22 @@
 // the paper plots), the GC pause overlay, and the latency band statistics.
 #include "cassandra_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::bench;
   banner("Figure 5 + Tables 5-7: client response time per GC strategy",
          "Figure 5(a,b,c), Tables 5, 6, 7 / §4.2");
+  const bool use_net = net_flag(argc, argv);
+  std::cout << "transport: "
+            << (use_net ? "loopback TCP (--net)" : "in-process") << "\n";
 
   const std::uint64_t records = cassandra_records();
   const std::uint64_t ops = cassandra_operations();
 
   for (GcKind gc : main_gc_kinds()) {
     std::cout << "\n####### " << gc_name(gc) << " #######\n";
-    const CassandraRun r = run_cassandra_ycsb(gc, /*stress=*/true, records, ops);
+    const CassandraRun r = run_cassandra_ycsb(gc, /*stress=*/true, records,
+                                              ops, 0.5, 0.5, 0.0, use_net);
 
     // Figure 5 series: READ latency, UPDATE latency, GC pauses.
     std::vector<SeriesPoint> reads, updates, gcs;
@@ -51,6 +55,34 @@ int main() {
              Table::num(us.bands[b].pct_gcs, 1)});
     }
     t.print(std::cout);
+
+    // Pause-visibility check (the reason the network path exists at all):
+    // a request in flight across a stop-the-world pause cannot finish
+    // before the pause does, so the max client latency overlapping the
+    // longest pause must be at least the pause duration.
+    const PauseEvent* longest = nullptr;
+    for (const PauseEvent& e : r.pause_events) {
+      if (e.start_ns < r.run.start_ns || e.end_ns > r.run.end_ns) continue;
+      if (longest == nullptr ||
+          e.end_ns - e.start_ns > longest->end_ns - longest->start_ns) {
+        longest = &e;
+      }
+    }
+    if (longest != nullptr) {
+      double max_overlap_ms = 0;
+      for (const auto& s : r.run.samples) {
+        if (s.start_ns < longest->end_ns &&
+            s.start_ns + s.latency_ns > longest->start_ns) {
+          max_overlap_ms = std::max(max_overlap_ms, ns_to_ms(s.latency_ns));
+        }
+      }
+      std::cout << "pause-visibility check: longest pause "
+                << longest->duration_ms() << " ms, max client latency "
+                << "overlapping it " << max_overlap_ms << " ms ("
+                << (max_overlap_ms >= longest->duration_ms() ? "visible"
+                                                             : "NOT visible")
+                << ")\n";
+    }
   }
   std::cout << "Expected shape: most operations sit on a low-latency line and\n"
                "fall in the 0.5x-1.5x band with 0% GC overlap; the >2x/4x/8x\n"

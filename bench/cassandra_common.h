@@ -4,8 +4,12 @@
 // and commit log in memory so the old generation saturates.
 #pragma once
 
+#include <cstring>
+#include <memory>
+
 #include "bench_common.h"
 #include "kvstore/server.h"
+#include "net/net_server.h"
 #include "ycsb/latency_stats.h"
 
 namespace mgc::bench {
@@ -32,12 +36,16 @@ inline VmConfig cassandra_vm_config(GcKind gc) {
   return cfg;
 }
 
+// With use_net=true the YCSB client talks to the server over loopback TCP
+// through the epoll front-end (the paper's separate-client-machine path);
+// otherwise it calls straight into the worker queue as before.
 inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
                                        std::uint64_t records,
                                        std::uint64_t operations,
                                        double read_prop = 0.5,
                                        double update_prop = 0.5,
-                                       double insert_prop = 0.0) {
+                                       double insert_prop = 0.0,
+                                       bool use_net = false) {
   const VmConfig cfg = cassandra_vm_config(gc);
   Vm vm(cfg);
   kv::StoreConfig scfg = stress
@@ -56,15 +64,34 @@ inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
   spec.value_len = scfg.value_len;
   spec.client_threads = workers;
 
-  ycsb::Client client(server, spec, env::seed());
+  std::unique_ptr<net::NetServer> net_server;
+  std::unique_ptr<ycsb::Client> client;
+  if (use_net) {
+    net_server = std::make_unique<net::NetServer>(server);
+    ycsb::RemoteEndpoint ep;
+    ep.port = net_server->port();
+    client = std::make_unique<ycsb::Client>(ep, spec, env::seed());
+  } else {
+    client = std::make_unique<ycsb::Client>(server, spec, env::seed());
+  }
   CassandraRun out;
   out.origin_ns = vm.gc_log().origin_ns();
-  out.load = client.load();
-  out.run = client.run();
+  out.load = client->load();
+  out.run = client->run();
+  if (net_server != nullptr) net_server->shutdown();  // drain + flush
   out.pauses = vm.gc_log().summarize();
   out.pause_events = vm.gc_log().snapshot();
   out.flushes = store.flush_count();
   return out;
+}
+
+// True if any argv equals "--net": the fig4/fig5 binaries accept it to run
+// the client over the socket front-end instead of in-process.
+inline bool net_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--net") == 0) return true;
+  }
+  return false;
 }
 
 inline std::uint64_t cassandra_records() {

@@ -13,13 +13,20 @@ Server::Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity)
   }
 }
 
-Server::~Server() {
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
   {
     std::lock_guard<std::mutex> g(mu_);
     stopping_ = true;
   }
   queue_cv_.notify_all();
-  for (auto& t : workers_) t.join();
+  // Wake clients blocked on a full queue too: they observe stopping_ and
+  // return ExecStatus::kShutdown instead of hanging forever.
+  space_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
   MGC_CHECK_MSG(queue_.empty(), "server stopped with queued requests");
 }
 
@@ -28,11 +35,31 @@ Response Server::execute(const Request& req) {
   p.req = req;
   std::unique_lock<std::mutex> l(mu_);
   space_cv_.wait(l, [&] { return queue_.size() < capacity_ || stopping_; });
-  MGC_CHECK_MSG(!stopping_, "execute() on a stopping server");
+  if (stopping_) {
+    Response r;
+    r.status = ExecStatus::kShutdown;
+    return r;
+  }
   queue_.push_back(&p);
   queue_cv_.notify_one();
   p.cv.wait(l, [&] { return p.done; });
   return p.resp;
+}
+
+bool Server::try_submit(const Request& req, CompletionFn done) {
+  auto* p = new Pending;
+  p->req = req;
+  p->completion = std::move(done);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (stopping_) {
+      delete p;
+      return false;
+    }
+    queue_.push_back(p);
+  }
+  queue_cv_.notify_one();
+  return true;
 }
 
 void Server::worker_main(int idx) {
@@ -78,7 +105,13 @@ void Server::worker_main(int idx) {
     }
     completed_.fetch_add(1, std::memory_order_acq_rel);
 
-    {
+    if (p->completion) {
+      // Async path: the worker owns the Pending. Run the completion outside
+      // mu_ — it only posts to the net layer's completion queue, but must
+      // never be able to deadlock against submit paths taking mu_.
+      p->completion(resp);
+      delete p;
+    } else {
       // Notify under the lock: the client owns `p` and destroys it as soon
       // as it observes done (see Vm::vm_thread_main for the same pattern).
       std::lock_guard<std::mutex> g(mu_);

@@ -3,11 +3,25 @@
 // the remote YCSB box) submit requests synchronously and measure latency
 // around the call, so server-side stop-the-world pauses surface directly
 // as client-visible latency spikes (paper §4.2).
+//
+// Two submission paths share the queue and workers:
+//   * execute()    — synchronous in-process call; blocks while the queue is
+//                    full (admission control), then until the request ran.
+//                    Wakes with ExecStatus::kShutdown if the server stops
+//                    while the caller is blocked.
+//   * try_submit() — asynchronous, used by the net::NetServer front-end;
+//                    enqueues and returns immediately, the completion
+//                    callback runs on the worker thread. Async submissions
+//                    are not gated on queue_capacity — the net layer
+//                    applies its own bounded in-flight admission control
+//                    and must not block its event loop here.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,21 +38,44 @@ struct Request {
   std::size_t value_len = 0;  // for updates/inserts
 };
 
+enum class ExecStatus : std::uint8_t {
+  kOk = 0,
+  kShutdown = 1,  // rejected: server was stopping
+};
+
 struct Response {
   bool found = false;
+  ExecStatus status = ExecStatus::kOk;
 };
 
 class Server {
  public:
+  using CompletionFn = std::function<void(const Response&)>;
+
   Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity = 256);
   ~Server();
+
+  // Stops accepting work, wakes clients blocked on a full queue (they get
+  // ExecStatus::kShutdown), drains requests already queued, and joins the
+  // workers. Idempotent; the destructor calls it. Callers that keep client
+  // threads running may invoke it explicitly and only destroy the server
+  // once those threads have observed the rejection.
+  void shutdown();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   // Synchronous call from a client thread. Blocks while the queue is full
   // (admission control), then until a worker has executed the request.
+  // If the server starts stopping while the caller is blocked on a full
+  // queue, returns a Response with status == ExecStatus::kShutdown instead
+  // of hanging (requests already queued are still drained and completed).
   Response execute(const Request& req);
+
+  // Asynchronous submission for the socket front-end. Returns false (and
+  // never runs `done`) if the server is stopping; otherwise `done` is
+  // invoked exactly once on a worker thread after the request executes.
+  bool try_submit(const Request& req, CompletionFn done);
 
   std::uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
@@ -49,7 +86,8 @@ class Server {
     Request req;
     Response resp;
     bool done = false;
-    std::condition_variable cv;
+    std::condition_variable cv;  // sync path: client waits here
+    CompletionFn completion;     // async path: set => heap-owned, worker frees
   };
 
   void worker_main(int idx);

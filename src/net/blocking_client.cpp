@@ -1,0 +1,63 @@
+#include "net/blocking_client.h"
+
+#include "support/check.h"
+
+namespace mgc::net {
+
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)), next_tag_(1) {}
+
+bool BlockingClient::call(const kv::Request& req, ResponseFrame* out) {
+  if (!fd_.valid()) return false;
+  wbuf_.clear();
+  RequestFrame rf;
+  rf.req = req;
+  rf.tag = next_tag_++;
+  encode_request(rf, wbuf_);
+  if (!send_all(fd_.get(), wbuf_.data(), wbuf_.size())) {
+    fd_.reset();
+    return false;
+  }
+
+  for (;;) {
+    RequestFrame ignored;
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_frame(rbuf_.data() + roff_,
+                                        rbuf_.size() - roff_, &consumed,
+                                        &ignored, out);
+    if (r == DecodeResult::kResponse) {
+      roff_ += consumed;
+      if (roff_ >= rbuf_.size()) {
+        rbuf_.clear();
+        roff_ = 0;
+      }
+      // With one request in flight the tag must match; a mismatch means the
+      // server cross-wired responses, which callers treat as a transport
+      // failure (and tests assert on directly).
+      return out->tag == rf.tag;
+    }
+    if (r == DecodeResult::kError || r == DecodeResult::kRequest) {
+      fd_.reset();
+      return false;
+    }
+    // kNeedMore: pull more bytes off the socket (blocking).
+    std::uint8_t chunk[4096];
+    const ssize_t n = recv_some(fd_.get(), chunk, sizeof(chunk));
+    if (n <= 0) {
+      fd_.reset();
+      return false;
+    }
+    rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+  }
+}
+
+kv::Response BlockingClient::execute(const kv::Request& req) {
+  ResponseFrame f;
+  MGC_CHECK_MSG(call(req, &f), "net: remote execute failed");
+  kv::Response r;
+  r.found = f.found;
+  r.status = f.status;
+  return r;
+}
+
+}  // namespace mgc::net

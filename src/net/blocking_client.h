@@ -1,0 +1,47 @@
+// Synchronous one-connection client for the kv wire protocol: the remote
+// transport behind ycsb::Client's --net mode. One BlockingClient per
+// client thread, one request in flight at a time (exactly the YCSB
+// closed-loop model), blocking send/recv — the round-trip the caller
+// times therefore includes the socket path plus whatever the server-side
+// GC is doing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kvstore/server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace mgc::net {
+
+class BlockingClient {
+ public:
+  BlockingClient(const std::string& host, std::uint16_t port);
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  bool connected() const { return fd_.valid(); }
+
+  // One round trip: sends `req` with a fresh tag, blocks for the response.
+  // Returns false on transport failure (connection reset / EOF / protocol
+  // violation from the server side); *out is filled on success, including
+  // the echoed tag so callers can verify responses are not cross-wired.
+  bool call(const kv::Request& req, ResponseFrame* out);
+
+  // Convenience wrapper for callers that only want the kv::Response shape.
+  kv::Response execute(const kv::Request& req);
+
+  std::uint64_t last_tag() const { return next_tag_ - 1; }
+
+ private:
+  UniqueFd fd_;
+  std::uint64_t next_tag_;
+  std::vector<std::uint8_t> wbuf_;
+  std::vector<std::uint8_t> rbuf_;
+  std::size_t roff_ = 0;
+};
+
+}  // namespace mgc::net

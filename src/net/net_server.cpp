@@ -1,0 +1,404 @@
+#include "net/net_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "net/wire.h"
+#include "support/check.h"
+#include "support/clock.h"
+
+namespace mgc::net {
+
+namespace {
+constexpr std::uint64_t kListenKey = 0;
+constexpr std::uint64_t kWakeKey = 1;
+constexpr std::uint64_t kFirstConnId = 2;
+constexpr std::size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+struct NetServer::Conn {
+  UniqueFd fd;
+  std::uint64_t id = 0;
+  std::vector<std::uint8_t> in;
+  std::size_t in_off = 0;  // consumed prefix of `in`
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;  // flushed prefix of `out`
+  std::size_t inflight = 0;
+  bool read_closed = false;  // stop recv()ing: EOF, error, or server drain
+  bool input_dead = false;   // discard buffered input: error or server drain
+  bool broken = false;       // write side dead: output is discarded
+  std::uint32_t interest = 0;
+
+  std::size_t in_pending() const { return in.size() - in_off; }
+  std::size_t out_pending() const { return out.size() - out_off; }
+};
+
+struct NetServer::Completion {
+  std::uint64_t conn_id = 0;
+  std::uint64_t tag = 0;
+  kv::Response resp;
+};
+
+// Worker-thread completion callbacks post here. The sink is shared_ptr-held
+// by every callback, so even if the NetServer dies while a request is still
+// executing, the late completion lands on a live (but closed) sink and is
+// dropped instead of touching freed memory.
+struct NetServer::CompletionSink {
+  std::mutex mu;
+  std::vector<Completion> items;
+  int wake_fd = -1;  // -1 once the server has torn down
+
+  void post(Completion&& c) {
+    std::lock_guard<std::mutex> g(mu);
+    if (wake_fd < 0) return;  // server gone: drop the response
+    items.push_back(std::move(c));
+    const std::uint64_t one = 1;
+    // Best effort: if the eventfd write fails the loop still sees the item
+    // on its next wakeup (EAGAIN only happens with the counter saturated,
+    // which itself guarantees a pending wakeup).
+    [[maybe_unused]] ssize_t rc = ::write(wake_fd, &one, sizeof(one));
+  }
+};
+
+NetServer::NetServer(kv::Server& backend, NetServerConfig cfg)
+    : backend_(backend), cfg_(cfg), next_conn_id_(kFirstConnId) {
+  listen_fd_ = listen_loopback(cfg_.port, cfg_.backlog, &port_);
+  MGC_CHECK_MSG(listen_fd_.valid(), "net: cannot listen on loopback");
+  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+  MGC_CHECK_MSG(epoll_fd_.valid(), "net: epoll_create1 failed");
+  wake_fd_ = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  MGC_CHECK_MSG(wake_fd_.valid(), "net: eventfd failed");
+
+  sink_ = std::make_shared<CompletionSink>();
+  sink_->wake_fd = wake_fd_.get();
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenKey;
+  MGC_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(),
+                        &ev) == 0);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeKey;
+  MGC_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) ==
+            0);
+
+  loop_ = std::thread([this] { loop_main(); });
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+void NetServer::shutdown() {
+  std::lock_guard<std::mutex> g(shutdown_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_fd_.get(), &one, sizeof(one));
+  loop_.join();
+  // Detach the sink before closing the eventfd: late worker completions
+  // must see a dead sink, not a recycled fd.
+  {
+    std::lock_guard<std::mutex> sg(sink_->mu);
+    sink_->wake_fd = -1;
+  }
+  wake_fd_.reset();
+  epoll_fd_.reset();
+  listen_fd_.reset();
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  s.accepted = accepted_.load(std::memory_order_acquire);
+  s.closed = closed_.load(std::memory_order_acquire);
+  s.frames_in = frames_in_.load(std::memory_order_acquire);
+  s.frames_out = frames_out_.load(std::memory_order_acquire);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_acquire);
+  s.dropped_responses = dropped_responses_.load(std::memory_order_acquire);
+  return s;
+}
+
+void NetServer::loop_main() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    const int timeout_ms = draining_ ? 20 : -1;
+    const int n =
+        ::epoll_wait(epoll_fd_.get(), events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only possible during teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t key = events[i].data.u64;
+      const std::uint32_t ev = events[i].events;
+      if (key == kListenKey) {
+        accept_ready();
+        continue;
+      }
+      if (key == kWakeKey) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] ssize_t rc =
+            ::read(wake_fd_.get(), &drain, sizeof(drain));
+        continue;  // completions and stop flag handled below
+      }
+      auto it = conns_.find(key);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      Conn* c = it->second.get();
+      if (ev & (EPOLLHUP | EPOLLERR)) {
+        c->read_closed = true;
+        c->input_dead = true;
+        c->broken = true;
+        c->out.clear();
+        c->out_off = 0;
+      }
+      if (ev & EPOLLIN) on_readable(c);
+      if (conns_.find(key) == conns_.end()) continue;  // closed by reader
+      if (ev & EPOLLOUT) flush_out(c);
+      if (maybe_close(c)) continue;
+      update_interest(c);
+    }
+
+    process_completions();
+
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+    }
+    if (draining_) {
+      // Reap connections that finished draining; force the rest past the
+      // deadline so shutdown() always returns.
+      for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn* c = it->second.get();
+        ++it;  // destroy() erases — advance first
+        flush_out(c);
+        maybe_close(c);
+      }
+      if (conns_.empty()) break;
+      if (now_ns() >= drain_deadline_ns_) {
+        while (!conns_.empty()) destroy(conns_.begin()->second.get());
+        break;
+      }
+    }
+  }
+}
+
+void NetServer::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: back to epoll
+    }
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = UniqueFd(fd);
+    conn->id = next_conn_id_++;
+    Conn* c = conn.get();
+    conns_.emplace(c->id, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_acq_rel);
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = c->id;
+    c->interest = EPOLLIN;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+      destroy(c);
+    }
+  }
+}
+
+void NetServer::on_readable(Conn* c) {
+  while (!c->read_closed) {
+    if (c->in_pending() >= cfg_.max_input_buffer) break;  // backpressure
+    const std::size_t old = c->in.size();
+    c->in.resize(old + kReadChunk);
+    const ssize_t n = ::recv(c->fd.get(), c->in.data() + old, kReadChunk, 0);
+    if (n > 0) {
+      c->in.resize(old + static_cast<std::size_t>(n));
+      continue;
+    }
+    c->in.resize(old);
+    if (n == 0) {
+      // Orderly EOF. Requests already buffered (a client may half-close
+      // its send side and keep reading) are still decoded and executed;
+      // only then does the connection wind down.
+      c->read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    c->read_closed = true;  // hard error: treat both directions as dead
+    c->input_dead = true;
+    c->broken = true;
+    c->out.clear();
+    c->out_off = 0;
+    break;
+  }
+  process_input(c);
+}
+
+void NetServer::process_input(Conn* c) {
+  while (!c->input_dead && c->inflight < cfg_.max_inflight_per_conn) {
+    RequestFrame rf;
+    ResponseFrame ignored;
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_frame(c->in.data() + c->in_off,
+                                        c->in_pending(), &consumed, &rf,
+                                        &ignored);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r != DecodeResult::kRequest) {
+      // Malformed frame, or a client sending response frames: drop this
+      // connection (after flushing whatever it is still owed) without
+      // disturbing the rest of the loop.
+      protocol_errors_.fetch_add(1, std::memory_order_acq_rel);
+      c->read_closed = true;
+      c->input_dead = true;
+      c->in.clear();
+      c->in_off = 0;
+      break;
+    }
+    c->in_off += consumed;
+    frames_in_.fetch_add(1, std::memory_order_acq_rel);
+    c->inflight++;
+
+    const std::uint64_t conn_id = c->id;
+    const std::uint64_t tag = rf.tag;
+    std::shared_ptr<CompletionSink> sink = sink_;
+    const bool ok = backend_.try_submit(
+        rf.req, [sink, conn_id, tag](const kv::Response& resp) {
+          sink->post(Completion{conn_id, tag, resp});
+        });
+    if (!ok) {
+      // Backend stopping under us: answer kShutdown directly.
+      c->inflight--;
+      kv::Response resp;
+      resp.status = kv::ExecStatus::kShutdown;
+      enqueue_response(c, tag, resp);
+    }
+  }
+  // Compact once the consumed prefix dominates the buffer.
+  if (c->in_off > 0 && (c->in_off >= c->in.size() || c->in_off > kReadChunk)) {
+    c->in.erase(c->in.begin(),
+                c->in.begin() + static_cast<std::ptrdiff_t>(c->in_off));
+    c->in_off = 0;
+  }
+}
+
+void NetServer::enqueue_response(Conn* c, std::uint64_t tag,
+                                 const kv::Response& r) {
+  if (c->broken) {
+    dropped_responses_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  ResponseFrame f;
+  f.tag = tag;
+  f.status = r.status;
+  f.found = r.found;
+  encode_response(f, c->out);
+  frames_out_.fetch_add(1, std::memory_order_acq_rel);
+  flush_out(c);
+}
+
+void NetServer::flush_out(Conn* c) {
+  while (c->out_pending() > 0 && !c->broken) {
+    const ssize_t n = ::send(c->fd.get(), c->out.data() + c->out_off,
+                             c->out_pending(), MSG_NOSIGNAL);
+    if (n > 0) {
+      c->out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    c->broken = true;  // peer reset: discard the rest
+    c->out.clear();
+    c->out_off = 0;
+    return;
+  }
+  if (c->out_pending() == 0) {
+    c->out.clear();
+    c->out_off = 0;
+  }
+}
+
+void NetServer::process_completions() {
+  std::vector<Completion> items;
+  {
+    std::lock_guard<std::mutex> g(sink_->mu);
+    items.swap(sink_->items);
+  }
+  for (const Completion& comp : items) {
+    auto it = conns_.find(comp.conn_id);
+    if (it == conns_.end()) {
+      // Client went away mid-request: the worker already freed the pending
+      // slot; the response just has nowhere to go.
+      dropped_responses_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    Conn* c = it->second.get();
+    MGC_CHECK(c->inflight > 0);
+    c->inflight--;
+    enqueue_response(c, comp.tag, comp.resp);
+    // An in-flight slot freed: parked bytes in the input buffer may now be
+    // decodable again.
+    process_input(c);
+    if (!maybe_close(c)) update_interest(c);
+  }
+}
+
+void NetServer::update_interest(Conn* c) {
+  const bool want_read = !c->read_closed &&
+                         c->inflight < cfg_.max_inflight_per_conn &&
+                         c->in_pending() < cfg_.max_input_buffer;
+  const bool want_write = c->out_pending() > 0 && !c->broken;
+  const std::uint32_t mask =
+      (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  if (mask == c->interest) return;
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.u64 = c->id;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c->fd.get(), &ev) == 0) {
+    c->interest = mask;
+  }
+}
+
+void NetServer::begin_drain() {
+  draining_ = true;
+  drain_deadline_ns_ =
+      now_ns() + static_cast<std::int64_t>(cfg_.drain_timeout_ms) * 1000000;
+  // Stop accepting new connections.
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+  // Stop reading new requests; in-flight ones finish and get flushed. A
+  // half-received request frame is simply discarded with the connection.
+  for (auto& [id, conn] : conns_) {
+    Conn* c = conn.get();
+    c->read_closed = true;
+    c->input_dead = true;
+    c->in.clear();
+    c->in_off = 0;
+    ::shutdown(c->fd.get(), SHUT_RD);
+    update_interest(c);
+  }
+}
+
+bool NetServer::maybe_close(Conn* c) {
+  const bool flushed = c->broken || c->out_pending() == 0;
+  if (c->read_closed && c->inflight == 0 && flushed) {
+    destroy(c);
+    return true;
+  }
+  return false;
+}
+
+void NetServer::destroy(Conn* c) {
+  closed_.fetch_add(1, std::memory_order_acq_rel);
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, c->fd.get(), nullptr);
+  conns_.erase(c->id);  // frees c (and closes the fd via UniqueFd)
+}
+
+}  // namespace mgc::net

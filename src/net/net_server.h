@@ -1,0 +1,116 @@
+// Epoll-based TCP front-end for kv::Server (paper §4.2's network path).
+//
+// One event-loop thread owns all connections: non-blocking accept, read,
+// decode, submit, encode, write. Execution itself happens on the existing
+// kv::Server worker pool (the VM mutators); workers hand results back via
+// a completion queue + eventfd wakeup, so the loop thread never touches
+// the managed heap and never blocks a safepoint — it plays the role of the
+// paper's network stack, not of an application thread.
+//
+// Backpressure / admission control: each connection may have at most
+// max_inflight_per_conn requests submitted; past that the loop stops
+// decoding (and, once the input buffer fills, stops reading) until
+// completions drain. Total in-flight work is therefore bounded by
+// connections x max_inflight_per_conn, which is what keeps the worker
+// queue finite without ever blocking the event loop.
+//
+// Shutdown is graceful: stop accepting, stop reading new requests, let
+// in-flight requests finish, flush every response, then close. A drain
+// deadline force-closes stragglers so shutdown() always returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "kvstore/server.h"
+#include "net/socket.h"
+
+namespace mgc::net {
+
+struct NetServerConfig {
+  std::uint16_t port = 0;  // 0 = kernel-assigned loopback port
+  int backlog = 128;
+  std::size_t max_inflight_per_conn = 64;
+  std::size_t max_input_buffer = 1 << 20;  // per-connection decode buffer cap
+  int drain_timeout_ms = 5000;             // graceful-shutdown deadline
+};
+
+struct NetServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t frames_in = 0;          // well-formed requests decoded
+  std::uint64_t frames_out = 0;         // responses encoded for the wire
+  std::uint64_t protocol_errors = 0;    // malformed frames (connection dropped)
+  std::uint64_t dropped_responses = 0;  // completions whose connection died
+};
+
+class NetServer {
+ public:
+  // Binds and starts the event loop; aborts (MGC_CHECK) if the loopback
+  // listen socket cannot be created — tests and benches cannot proceed.
+  explicit NetServer(kv::Server& backend, NetServerConfig cfg = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Graceful shutdown (idempotent): drains in-flight requests, flushes
+  // responses, closes connections, joins the loop thread.
+  void shutdown();
+
+  NetServerStats stats() const;
+
+ private:
+  struct Conn;
+  struct Completion;
+  struct CompletionSink;
+
+  void loop_main();
+  void accept_ready();
+  void on_readable(Conn* c);
+  void process_input(Conn* c);
+  void flush_out(Conn* c);
+  void process_completions();
+  void update_interest(Conn* c);
+  void begin_drain();
+  bool maybe_close(Conn* c);  // true if the connection was destroyed
+  void destroy(Conn* c);
+  void enqueue_response(Conn* c, std::uint64_t tag, const kv::Response& r);
+
+  kv::Server& backend_;
+  NetServerConfig cfg_;
+  UniqueFd listen_fd_;
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+  std::uint16_t port_ = 0;
+
+  // Shared with worker-thread completion callbacks; outlives the server if
+  // a callback is still in flight when we tear down (it then drops).
+  std::shared_ptr<CompletionSink> sink_;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_;
+
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  std::int64_t drain_deadline_ns_ = 0;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> dropped_responses_{0};
+
+  std::thread loop_;
+  std::mutex shutdown_mu_;  // serializes shutdown() callers
+  bool stopped_ = false;
+};
+
+}  // namespace mgc::net

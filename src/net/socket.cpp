@@ -1,0 +1,97 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mgc::net {
+
+void UniqueFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_nodelay(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+UniqueFd listen_loopback(std::uint16_t port, int backlog,
+                         std::uint16_t* bound_port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return {};
+  if (::listen(fd.get(), backlog) != 0) return {};
+  if (!set_nonblocking(fd.get())) return {};
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t alen = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &alen) !=
+        0)
+      return {};
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return {};
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return {};
+  set_nodelay(fd.get());
+  return fd;
+}
+
+bool send_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, p + off, len - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+ssize_t recv_some(int fd, void* buf, std::size_t cap) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, cap, 0);
+  } while (n < 0 && errno == EINTR);
+  return n;
+}
+
+}  // namespace mgc::net

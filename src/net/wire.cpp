@@ -1,0 +1,102 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace mgc::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void encode_request(const RequestFrame& f, std::vector<std::uint8_t>& out) {
+  MGC_CHECK(f.req.value_len <= kMaxValueLen);
+  put_u32(out, kRequestPayloadSize);
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(MsgKind::kRequest));
+  put_u8(out, static_cast<std::uint8_t>(f.req.op));
+  put_u64(out, f.tag);
+  put_u64(out, f.req.key);
+  put_u32(out, static_cast<std::uint32_t>(f.req.value_len));
+}
+
+void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>& out) {
+  put_u32(out, kResponsePayloadSize);
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(MsgKind::kResponse));
+  put_u8(out, static_cast<std::uint8_t>(f.status));
+  put_u64(out, f.tag);
+  put_u8(out, f.found ? 1 : 0);
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t* consumed, RequestFrame* req,
+                          ResponseFrame* resp) {
+  if (len < kLenPrefixSize) return DecodeResult::kNeedMore;
+  const std::uint32_t payload_len = get_u32(data);
+  // Bound the length *before* waiting for more bytes: an oversized prefix
+  // must be rejected immediately, not buffered toward.
+  if (payload_len < 4 || payload_len > kMaxPayload) return DecodeResult::kError;
+  if (len < kLenPrefixSize + payload_len) return DecodeResult::kNeedMore;
+
+  const std::uint8_t* p = data + kLenPrefixSize;
+  if (p[0] != kMagic || p[1] != kVersion) return DecodeResult::kError;
+  const std::uint8_t kind = p[2];
+
+  if (kind == static_cast<std::uint8_t>(MsgKind::kRequest)) {
+    if (payload_len != kRequestPayloadSize) return DecodeResult::kError;
+    const std::uint8_t op = p[3];
+    if (op > static_cast<std::uint8_t>(kv::OpType::kInsert))
+      return DecodeResult::kError;
+    const std::uint32_t value_len = get_u32(p + 20);
+    if (value_len > kMaxValueLen) return DecodeResult::kError;
+    req->req.op = static_cast<kv::OpType>(op);
+    req->tag = get_u64(p + 4);
+    req->req.key = get_u64(p + 12);
+    req->req.value_len = value_len;
+    *consumed = kLenPrefixSize + payload_len;
+    return DecodeResult::kRequest;
+  }
+  if (kind == static_cast<std::uint8_t>(MsgKind::kResponse)) {
+    if (payload_len != kResponsePayloadSize) return DecodeResult::kError;
+    const std::uint8_t status = p[3];
+    if (status > static_cast<std::uint8_t>(kv::ExecStatus::kShutdown))
+      return DecodeResult::kError;
+    const std::uint8_t found = p[12];
+    if (found > 1) return DecodeResult::kError;
+    resp->status = static_cast<kv::ExecStatus>(status);
+    resp->tag = get_u64(p + 4);
+    resp->found = found != 0;
+    *consumed = kLenPrefixSize + payload_len;
+    return DecodeResult::kResponse;
+  }
+  return DecodeResult::kError;
+}
+
+}  // namespace mgc::net

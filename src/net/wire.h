@@ -1,0 +1,72 @@
+// Binary wire protocol for the kv front-end (paper §4.2: the YCSB client
+// talks to the server over a real socket, so server-side GC pauses become
+// client-visible response-time spikes).
+//
+// Framing: every message is a little-endian u32 payload length followed by
+// the payload. Payloads carry a fixed header (magic, version, kind) and a
+// fixed-size body per kind; the decoder validates every field and never
+// reads past the bytes it was given, so adversarial input (truncated,
+// oversized-length, bit-flipped frames) is rejected without memory errors.
+//
+//   Request payload (24 bytes):
+//     u8 magic, u8 version, u8 kind=0, u8 op, u64 tag, u64 key, u32 value_len
+//   Response payload (13 bytes):
+//     u8 magic, u8 version, u8 kind=1, u8 status, u64 tag, u8 found
+//
+// The tag is chosen by the client and echoed verbatim in the response, so
+// clients (and tests) can detect cross-wired responses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kvstore/server.h"
+
+namespace mgc::net {
+
+inline constexpr std::uint8_t kMagic = 0xC5;
+inline constexpr std::uint8_t kVersion = 1;
+
+// Hard decode bounds. Both payloads are fixed-size today; the cap leaves
+// room for versioned growth while still rejecting absurd length prefixes
+// before any buffering happens.
+inline constexpr std::uint32_t kMaxPayload = 64;
+inline constexpr std::uint32_t kMaxValueLen = 1u << 20;
+
+inline constexpr std::size_t kLenPrefixSize = 4;
+inline constexpr std::size_t kRequestPayloadSize = 24;
+inline constexpr std::size_t kResponsePayloadSize = 13;
+
+enum class MsgKind : std::uint8_t { kRequest = 0, kResponse = 1 };
+
+struct RequestFrame {
+  kv::Request req;
+  std::uint64_t tag = 0;
+};
+
+struct ResponseFrame {
+  std::uint64_t tag = 0;
+  kv::ExecStatus status = kv::ExecStatus::kOk;
+  bool found = false;
+};
+
+// Appends one encoded frame to `out` (length prefix included).
+void encode_request(const RequestFrame& f, std::vector<std::uint8_t>& out);
+void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>& out);
+
+enum class DecodeResult {
+  kNeedMore,   // not enough bytes yet for a whole frame — keep buffering
+  kRequest,    // *req filled, *consumed bytes eaten
+  kResponse,   // *resp filled, *consumed bytes eaten
+  kError,      // malformed frame — the connection must be dropped
+};
+
+// Attempts to decode one frame from [data, data+len). On kRequest /
+// kResponse sets *consumed and fills the matching out-param; on kNeedMore
+// and kError nothing is consumed. Never reads outside [data, data+len).
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t* consumed, RequestFrame* req,
+                          ResponseFrame* resp);
+
+}  // namespace mgc::net

@@ -1,11 +1,38 @@
 #include "ycsb/client.h"
 
+#include <memory>
 #include <thread>
 
+#include "net/blocking_client.h"
+#include "support/check.h"
 #include "support/clock.h"
 #include "support/rng.h"
 
 namespace mgc::ycsb {
+namespace {
+
+// Per-thread transport: either direct in-process execution or a private
+// loopback TCP connection. Constructed on the client thread itself so the
+// connect cost never lands inside a timed sample.
+class Transport {
+ public:
+  Transport(kv::Server* server, const RemoteEndpoint& ep) : server_(server) {
+    if (server_ == nullptr) {
+      remote_ = std::make_unique<net::BlockingClient>(ep.host, ep.port);
+      MGC_CHECK_MSG(remote_->connected(), "ycsb: cannot connect to kv server");
+    }
+  }
+
+  kv::Response execute(const kv::Request& req) {
+    return server_ != nullptr ? server_->execute(req) : remote_->execute(req);
+  }
+
+ private:
+  kv::Server* server_;
+  std::unique_ptr<net::BlockingClient> remote_;
+};
+
+}  // namespace
 
 double PhaseResult::duration_s() const { return ns_to_s(end_ns - start_ns); }
 
@@ -16,7 +43,13 @@ double PhaseResult::throughput_ops_s() const {
 
 Client::Client(kv::Server& server, const WorkloadSpec& spec,
                std::uint64_t seed)
-    : server_(server), spec_(spec), seed_(seed) {
+    : server_(&server), spec_(spec), seed_(seed) {
+  spec_.validate();
+}
+
+Client::Client(const RemoteEndpoint& endpoint, const WorkloadSpec& spec,
+               std::uint64_t seed)
+    : remote_(endpoint), spec_(spec), seed_(seed) {
   spec_.validate();
 }
 
@@ -30,6 +63,7 @@ PhaseResult Client::load() {
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([this, t, threads, &per_thread] {
+      Transport transport(server_, remote_);
       auto& samples = per_thread[static_cast<std::size_t>(t)];
       for (std::uint64_t key = static_cast<std::uint64_t>(t);
            key < spec_.record_count;
@@ -41,7 +75,7 @@ PhaseResult Client::load() {
         OpSample s;
         s.op = req.op;
         s.start_ns = now_ns();
-        server_.execute(req);
+        transport.execute(req);
         s.latency_ns = now_ns() - s.start_ns;
         samples.push_back(s);
       }
@@ -67,6 +101,7 @@ PhaseResult Client::run() {
   pool.reserve(static_cast<std::size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     pool.emplace_back([this, t, per_thread_ops, &per_thread] {
+      Transport transport(server_, remote_);
       Rng rng(seed_ * 1000003 + static_cast<std::uint64_t>(t));
       ScrambledZipfian zipf(spec_.record_count);
       auto& samples = per_thread[static_cast<std::size_t>(t)];
@@ -94,7 +129,7 @@ PhaseResult Client::run() {
         OpSample s;
         s.op = req.op;
         s.start_ns = now_ns();
-        server_.execute(req);
+        transport.execute(req);
         s.latency_ns = now_ns() - s.start_ns;
         samples.push_back(s);
       }

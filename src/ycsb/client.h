@@ -2,9 +2,17 @@
 // mutators — they model the paper's separate 16-core client machine — and
 // measure wall-clock latency around each synchronous server call, so every
 // server-side stop-the-world pause shows up in the samples.
+//
+// Two transports, same closed-loop thread structure:
+//   * in-process (default): direct kv::Server::execute calls, as in the
+//     original harness — every existing bench/test is unchanged;
+//   * remote: each client thread opens its own loopback TCP connection to
+//     a net::NetServer and times the full socket round-trip, reproducing
+//     the paper's actual measurement path (client box -> network -> server).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "kvstore/server.h"
@@ -26,9 +34,19 @@ struct PhaseResult {
   double throughput_ops_s() const;
 };
 
+// Loopback TCP endpoint for the remote transport.
+struct RemoteEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
 class Client {
  public:
+  // In-process transport: direct calls into the server's request queue.
   Client(kv::Server& server, const WorkloadSpec& spec, std::uint64_t seed);
+  // Remote transport: one TCP connection per client thread.
+  Client(const RemoteEndpoint& endpoint, const WorkloadSpec& spec,
+         std::uint64_t seed);
 
   // Load phase: inserts records [0, record_count).
   PhaseResult load();
@@ -36,7 +54,8 @@ class Client {
   PhaseResult run();
 
  private:
-  kv::Server& server_;
+  kv::Server* server_ = nullptr;  // null => remote transport
+  RemoteEndpoint remote_;
   WorkloadSpec spec_;
   std::uint64_t seed_;
 };

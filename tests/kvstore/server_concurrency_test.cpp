@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "kvstore/server.h"
@@ -99,6 +100,60 @@ TEST(ServerConcurrency, QueueBackPressureBlocksClients) {
   for (auto& t : clients) t.join();
   EXPECT_EQ(server.completed(), 1200u);
   EXPECT_EQ(store.memtable().row_count(), 1200u);
+}
+
+// Regression: destroying the server while clients are blocked on a full
+// queue used to hang — ~Server only woke the workers, never the clients
+// parked on space_cv_. Now blocked clients wake and get
+// ExecStatus::kShutdown; requests already queued still complete.
+TEST(ServerConcurrency, DestroyUnderLoadReleasesBlockedClients) {
+  VmConfig cfg;
+  cfg.gc = GcKind::kSerial;
+  cfg.heap_bytes = 8 * MiB;
+  cfg.young_bytes = 2 * MiB;
+  Vm vm(cfg);
+  StoreConfig scfg = StoreConfig::default_config(cfg.heap_bytes);
+  Store store(vm, scfg);
+  // 1 worker and a 1-slot queue: with 6 looping clients, several are
+  // blocked in admission control at any instant.
+  auto server = std::make_unique<Server>(vm, store, /*workers=*/1,
+                                         /*queue_capacity=*/1);
+
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      std::uint64_t key = static_cast<std::uint64_t>(c) * 100000;
+      for (;;) {
+        Request req;
+        req.op = OpType::kInsert;
+        req.key = key++;
+        req.value_len = 64;
+        const Response r = server->execute(req);
+        if (r.status == ExecStatus::kShutdown) {
+          rejected.fetch_add(1);
+          break;  // server going away: the only exit from this loop
+        }
+        ok.fetch_add(1);
+      }
+    });
+  }
+
+  // Let the clients pile up against the 1-slot queue, then pull the rug.
+  // shutdown() runs the destructor's teardown while clients are blocked in
+  // execute(); the object itself stays alive until they have all seen the
+  // rejection and exited.
+  while (ok.load() < 100) std::this_thread::yield();
+  server->shutdown();  // must not hang with clients blocked on space_cv_
+  for (auto& t : clients) t.join();
+  server.reset();
+
+  EXPECT_EQ(rejected.load(), 6u) << "every client must observe shutdown";
+  EXPECT_GE(ok.load(), 100u);
+  // Everything acknowledged as kOk really executed.
+  EXPECT_GE(store.memtable().row_count() + store.sstables().total_rows(),
+            ok.load());
 }
 
 TEST(SsTables, NewestTableWins) {

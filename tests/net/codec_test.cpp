@@ -1,0 +1,239 @@
+// Wire-codec round-trip and adversarial decode tests. The fuzz loops are
+// deterministic (support/rng.h, fixed seeds) and feed truncated,
+// oversized-length, and bit-flipped frames; the decoder must reject them
+// (or, for flips that still form a valid frame, decode canonically)
+// without ever reading out of bounds — ASan enforces the "out of bounds"
+// half when this binary runs in the sanitizer jobs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/wire.h"
+#include "support/rng.h"
+
+namespace mgc::net {
+namespace {
+
+// Copies the bytes into an exactly-sized heap block so ASan catches any
+// read past the end, then decodes.
+DecodeResult decode_exact(const std::vector<std::uint8_t>& bytes,
+                          std::size_t* consumed, RequestFrame* req,
+                          ResponseFrame* resp) {
+  std::vector<std::uint8_t> exact(bytes);
+  *consumed = 0;
+  return decode_frame(exact.data(), exact.size(), consumed, req, resp);
+}
+
+TEST(NetCodec, RequestRoundTripAllOpsByteExact) {
+  Rng rng(1);
+  for (kv::OpType op :
+       {kv::OpType::kRead, kv::OpType::kUpdate, kv::OpType::kInsert}) {
+    for (int i = 0; i < 100; ++i) {
+      RequestFrame in;
+      in.req.op = op;
+      in.req.key = rng.next();
+      in.req.value_len = static_cast<std::size_t>(rng.below(kMaxValueLen + 1));
+      in.tag = rng.next();
+
+      std::vector<std::uint8_t> bytes;
+      encode_request(in, bytes);
+      ASSERT_EQ(bytes.size(), kLenPrefixSize + kRequestPayloadSize);
+
+      RequestFrame out;
+      ResponseFrame rignored;
+      std::size_t consumed = 0;
+      ASSERT_EQ(decode_exact(bytes, &consumed, &out, &rignored),
+                DecodeResult::kRequest);
+      EXPECT_EQ(consumed, bytes.size());
+      EXPECT_EQ(out.req.op, in.req.op);
+      EXPECT_EQ(out.req.key, in.req.key);
+      EXPECT_EQ(out.req.value_len, in.req.value_len);
+      EXPECT_EQ(out.tag, in.tag);
+
+      // Canonical codec: re-encoding the decoded frame reproduces the
+      // original bytes exactly.
+      std::vector<std::uint8_t> again;
+      encode_request(out, again);
+      EXPECT_EQ(again, bytes);
+    }
+  }
+}
+
+TEST(NetCodec, ResponseRoundTripByteExact) {
+  Rng rng(2);
+  for (kv::ExecStatus st : {kv::ExecStatus::kOk, kv::ExecStatus::kShutdown}) {
+    for (bool found : {false, true}) {
+      ResponseFrame in;
+      in.tag = rng.next();
+      in.status = st;
+      in.found = found;
+      std::vector<std::uint8_t> bytes;
+      encode_response(in, bytes);
+      ASSERT_EQ(bytes.size(), kLenPrefixSize + kResponsePayloadSize);
+
+      RequestFrame qignored;
+      ResponseFrame out;
+      std::size_t consumed = 0;
+      ASSERT_EQ(decode_exact(bytes, &consumed, &qignored, &out),
+                DecodeResult::kResponse);
+      EXPECT_EQ(consumed, bytes.size());
+      EXPECT_EQ(out.tag, in.tag);
+      EXPECT_EQ(out.status, in.status);
+      EXPECT_EQ(out.found, in.found);
+
+      std::vector<std::uint8_t> again;
+      encode_response(out, again);
+      EXPECT_EQ(again, bytes);
+    }
+  }
+}
+
+TEST(NetCodec, BackToBackFramesDecodeSequentially) {
+  std::vector<std::uint8_t> bytes;
+  const int kFrames = 7;
+  for (int i = 0; i < kFrames; ++i) {
+    RequestFrame f;
+    f.req.op = kv::OpType::kInsert;
+    f.req.key = static_cast<std::uint64_t>(i);
+    f.req.value_len = 64;
+    f.tag = 1000 + static_cast<std::uint64_t>(i);
+    encode_request(f, bytes);
+  }
+  std::size_t off = 0;
+  for (int i = 0; i < kFrames; ++i) {
+    RequestFrame out;
+    ResponseFrame rignored;
+    std::size_t consumed = 0;
+    ASSERT_EQ(decode_frame(bytes.data() + off, bytes.size() - off, &consumed,
+                           &out, &rignored),
+              DecodeResult::kRequest);
+    EXPECT_EQ(out.req.key, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(out.tag, 1000u + static_cast<std::uint64_t>(i));
+    off += consumed;
+  }
+  EXPECT_EQ(off, bytes.size());
+}
+
+TEST(NetCodec, TruncatedFramesAreNeverAccepted) {
+  RequestFrame f;
+  f.req.op = kv::OpType::kUpdate;
+  f.req.key = 0x1122334455667788ULL;
+  f.req.value_len = 900;
+  f.tag = 0xdeadbeefcafef00dULL;
+  std::vector<std::uint8_t> full;
+  encode_request(f, full);
+
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> prefix(full.begin(),
+                                     full.begin() + static_cast<long>(len));
+    RequestFrame out;
+    ResponseFrame rignored;
+    std::size_t consumed = 99;
+    const DecodeResult r = decode_exact(prefix, &consumed, &out, &rignored);
+    EXPECT_EQ(r, DecodeResult::kNeedMore) << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u) << "nothing may be consumed on a partial frame";
+  }
+}
+
+TEST(NetCodec, OversizedLengthPrefixRejectedImmediately) {
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint32_t bogus =
+        kMaxPayload + 1 +
+        static_cast<std::uint32_t>(rng.below(0xFFFFFF00u - kMaxPayload));
+    std::vector<std::uint8_t> bytes(4);
+    for (int b = 0; b < 4; ++b)
+      bytes[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(bogus >> (8 * b));
+    RequestFrame out;
+    ResponseFrame rignored;
+    std::size_t consumed = 0;
+    // Rejected with only the prefix present: the decoder must not ask for
+    // `bogus` more bytes first (that would let a client wedge the server
+    // buffer).
+    EXPECT_EQ(decode_exact(bytes, &consumed, &out, &rignored),
+              DecodeResult::kError);
+  }
+  // Undersized (< header) lengths are equally malformed.
+  for (std::uint32_t tiny = 0; tiny < 4; ++tiny) {
+    std::vector<std::uint8_t> bytes(4);
+    for (int b = 0; b < 4; ++b)
+      bytes[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(tiny >> (8 * b));
+    RequestFrame out;
+    ResponseFrame rignored;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_exact(bytes, &consumed, &out, &rignored),
+              DecodeResult::kError);
+  }
+}
+
+TEST(NetCodec, BitFlipFuzzNeverReadsOutOfBoundsOrAborts) {
+  Rng rng(0xF00D);
+  int rejected = 0, still_valid = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    RequestFrame f;
+    f.req.op = static_cast<kv::OpType>(rng.below(3));
+    f.req.key = rng.next();
+    f.req.value_len = static_cast<std::size_t>(rng.below(kMaxValueLen + 1));
+    f.tag = rng.next();
+    std::vector<std::uint8_t> bytes;
+    encode_request(f, bytes);
+
+    const int flips = 1 + static_cast<int>(rng.below(3));
+    for (int b = 0; b < flips; ++b) {
+      const std::size_t bit = rng.below(bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+
+    RequestFrame out;
+    ResponseFrame rout;
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_exact(bytes, &consumed, &out, &rout);
+    switch (r) {
+      case DecodeResult::kError:
+      case DecodeResult::kNeedMore:  // flip landed in the length prefix
+        ++rejected;
+        break;
+      case DecodeResult::kRequest: {
+        // The flipped bytes happen to form a valid frame (flip in tag/key/
+        // value_len): decoding must be canonical, i.e. re-encoding
+        // reproduces the mutated buffer bit-for-bit.
+        ++still_valid;
+        EXPECT_EQ(consumed, bytes.size());
+        std::vector<std::uint8_t> again;
+        encode_request(out, again);
+        EXPECT_EQ(again, bytes);
+        break;
+      }
+      case DecodeResult::kResponse:
+        ADD_FAILURE() << "a request frame cannot flip into a valid response "
+                         "(sizes differ)";
+        break;
+    }
+  }
+  // Sanity on the fuzz distribution: both outcomes must actually occur.
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(still_valid, 0);
+}
+
+TEST(NetCodec, RandomGarbageFuzzIsMemorySafe) {
+  Rng rng(0xBADC0FFEE);
+  for (int iter = 0; iter < 4000; ++iter) {
+    const std::size_t len = rng.below(80);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    RequestFrame out;
+    ResponseFrame rout;
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_exact(bytes, &consumed, &out, &rout);
+    if (r == DecodeResult::kRequest || r == DecodeResult::kResponse) {
+      EXPECT_LE(consumed, bytes.size());
+      EXPECT_GT(consumed, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mgc::net
