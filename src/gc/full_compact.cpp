@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "gc/marking.h"
+#include "heap/poison.h"
 #include "gc/parallel_work.h"
 #include "runtime/vm.h"
 
@@ -67,6 +68,13 @@ FullCompactResult full_compact(const FullCompactConfig& cfg) {
   DestinationCursor dest;
   dest.add_range(heap.old_base(), heap.old_end());
   dest.add_range(heap.eden().base(), heap.eden().end());
+  // The slide writes through these raw ranges, bypassing the space
+  // allocators: past the current tops and (for CMS) through poisoned
+  // free-chunk payloads. Re-admit both destination ranges wholesale; the
+  // phase-5 boundary commit re-zaps whatever ends up dead.
+  poison::unpoison(heap.old_base(),
+                   static_cast<std::size_t>(heap.old_end() - heap.old_base()));
+  poison::unpoison(heap.eden().base(), heap.eden().capacity());
 
   std::vector<Obj*> live;
   live.reserve(marked.live_objects);

@@ -8,6 +8,7 @@
 #include "gc/marking.h"
 #include "gc/parallel_work.h"
 #include "gc/plab.h"
+#include "heap/poison.h"
 #include "runtime/vm.h"
 
 namespace mgc {
@@ -726,7 +727,12 @@ PauseOutcome G1Gc::full_gc(GcCause cause) {
   }
 
   // Phase 2: forwarding addresses, walking every non-humongous region in
-  // address order, packing into the same region sequence.
+  // address order, packing into the same region sequence. The slide bumps
+  // through regions directly — including free (poisoned) ones — so re-admit
+  // the whole heap; rebuild() re-poisons everything that stays free and the
+  // phase-5 fill commit re-zaps the kept regions' dead tails.
+  poison::unpoison(rm_.heap_base(),
+                   static_cast<std::size_t>(rm_.heap_end() - rm_.heap_base()));
   RegionDest dest(rm_, skip);
   std::vector<Obj*> moved;
   rm_.for_each_region([&](Region& r) {
@@ -785,6 +791,8 @@ PauseOutcome G1Gc::full_gc(GcCause cause) {
     region->set_tams(region->base);
     region->rset.clear();
     region->live_bytes.store(region->used(), std::memory_order_release);
+    poison::zap_and_poison(top, static_cast<std::size_t>(region->end - top),
+                           poison::kRegionZap);
   }
   std::vector<bool> keep(rm_.num_regions(), false);
   for (const auto& [region, top] : dest.fills()) {

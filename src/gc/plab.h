@@ -13,6 +13,7 @@
 
 #include "heap/block_offset_table.h"
 #include "heap/object.h"
+#include "heap/poison.h"
 
 namespace mgc {
 
@@ -63,11 +64,17 @@ class Plab {
   }
 
   // Plugs the unused tail with a filler cell so the space stays parsable.
+  // The filler's payload is dead memory: zap it (the header must stay
+  // readable for space walks).
   void retire() {
     if (top_ != nullptr && top_ < end_) {
       const auto words = static_cast<std::size_t>(end_ - top_) / kWordSize;
       Obj::init_filler(top_, words);
       if (bot_ != nullptr) bot_->record_block(top_, end_);
+      poison::zap_and_poison(
+          top_ + sizeof(ObjHeader),
+          static_cast<std::size_t>(end_ - top_) - sizeof(ObjHeader),
+          poison::kLabTailZap);
     }
     top_ = end_ = nullptr;
   }

@@ -1,5 +1,6 @@
 #include "heap/contiguous_space.h"
 
+#include "heap/poison.h"
 #include "support/check.h"
 
 namespace mgc {
@@ -12,6 +13,24 @@ void ContiguousSpace::initialize(std::string name, char* base,
   base_ = base;
   end_ = base + bytes;
   top_.store(base, std::memory_order_release);
+  // Virgin space is off-limits until an allocation carves it out.
+  poison::poison(base_, bytes);
+}
+
+void ContiguousSpace::reset() {
+  char* const old_top = top();
+  top_.store(base_, std::memory_order_release);
+  poison::zap_and_poison(base_, static_cast<std::size_t>(old_top - base_),
+                         poison::kFromSpaceZap);
+}
+
+void ContiguousSpace::set_top(char* t) {
+  char* const old_top = top();
+  top_.store(t, std::memory_order_release);
+  if (t < old_top) {
+    poison::zap_and_poison(t, static_cast<std::size_t>(old_top - t),
+                           poison::kFromSpaceZap);
+  }
 }
 
 char* ContiguousSpace::par_alloc(std::size_t bytes) {
@@ -21,6 +40,7 @@ char* ContiguousSpace::par_alloc(std::size_t bytes) {
     if (static_cast<std::size_t>(end_ - cur) < bytes) return nullptr;
     if (top_.compare_exchange_weak(cur, cur + bytes, std::memory_order_acq_rel,
                                    std::memory_order_relaxed)) {
+      poison::unpoison(cur, bytes);
       return cur;
     }
   }
@@ -31,6 +51,7 @@ char* ContiguousSpace::serial_alloc(std::size_t bytes) {
   char* cur = top_.load(std::memory_order_relaxed);
   if (static_cast<std::size_t>(end_ - cur) < bytes) return nullptr;
   top_.store(cur + bytes, std::memory_order_relaxed);
+  poison::unpoison(cur, bytes);
   return cur;
 }
 

@@ -36,10 +36,11 @@ class ContiguousSpace {
   // Unsynchronized bump allocation for serial GC phases.
   char* serial_alloc(std::size_t bytes);
 
-  // Drops everything.
-  void reset() { top_.store(base_, std::memory_order_release); }
-  // Used by compaction, which rebuilds the space contents in place.
-  void set_top(char* t) { top_.store(t, std::memory_order_release); }
+  // Drops everything; debug/ASan builds zap the vacated range.
+  void reset();
+  // Used by compaction, which rebuilds the space contents in place. A
+  // shrinking top zaps the dead tail [t, old_top).
+  void set_top(char* t);
 
   // Walks every cell (objects, fillers, dead copies) in address order up to
   // the current top. Only safe when no concurrent allocation is happening

@@ -4,10 +4,16 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "heap/poison.h"
 #include "support/check.h"
 
 namespace mgc {
 namespace {
+
+// Metadata prefix of a free chunk that must stay readable/writable while the
+// rest of the payload is zapped: the ObjHeader (size/flags/forward=next) plus
+// the first payload word (prev link).
+constexpr std::size_t kChunkPreserveBytes = sizeof(ObjHeader) + kWordSize;
 
 // Free-chunk link accessors: `forward` is next, payload word 0 is prev.
 void set_next(Obj* c, Obj* n) { c->set_forward(n); }
@@ -61,16 +67,22 @@ void FreeListSpace::insert_locked(char* start, std::size_t bytes) {
   const std::size_t words = bytes / kWordSize;
   if (words < kMinChunkWords) {
     // Dark matter: too small to link; becomes a filler cell counted as used.
+    // May start inside a previously poisoned chunk payload (split
+    // remainders), so lift the poison before writing the filler header.
+    poison::unpoison(start, bytes);
     Obj::init_filler(start, words);
     if (bot_ != nullptr) bot_->record_block(start, start + bytes);
     return;
   }
+  poison::unpoison(start, kChunkPreserveBytes);
   Obj* chunk = make_chunk(start, bytes);
   Obj*& head = head_for(words);
   set_next(chunk, head);
   set_prev(chunk, nullptr);
   if (head != nullptr) set_prev(head, chunk);
   head = chunk;
+  poison::zap_and_poison(start + kChunkPreserveBytes,
+                         bytes - kChunkPreserveBytes, poison::kFreeChunkZap);
 }
 
 void FreeListSpace::unlink_locked(Obj* chunk) {
@@ -137,6 +149,7 @@ char* FreeListSpace::alloc(std::size_t bytes) {
   char* p = pop_fit_locked(words);
   if (p == nullptr) return nullptr;
   free_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+  poison::unpoison(p, bytes);
   // Provisional parsable cell; blackened via the bitmap so a concurrent
   // sweep reaching this address treats it as live.
   Obj::init(p, words, 0);
@@ -153,6 +166,7 @@ Obj* FreeListSpace::alloc_obj(std::size_t size_words, std::uint16_t num_refs,
   char* p = pop_fit_locked(size_words);
   if (p == nullptr) return nullptr;
   free_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
+  poison::unpoison(p, bytes);
   Obj* o = Obj::init(p, size_words, num_refs);
   if ((black || allocate_black_.load(std::memory_order_acquire)) &&
       live_bits_ != nullptr) {

@@ -1,0 +1,82 @@
+#include "heap/poison.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if MGC_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace mgc::poison {
+namespace {
+
+bool initial_enabled() {
+  // Read once, from the first poison call, behind a function-local static.
+  if (const char* env = std::getenv("MGC_HEAP_POISON")) {  // NOLINT(concurrency-mt-unsafe)
+    return env[0] != '0';
+  }
+#if MGC_ASAN
+  return true;
+#elif defined(NDEBUG)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::atomic<bool>& flag() {
+  static std::atomic<bool> f{initial_enabled()};
+  return f;
+}
+
+}  // namespace
+
+bool enabled() { return flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { flag().store(on, std::memory_order_relaxed); }
+
+void zap_and_poison(void* p, std::size_t n, unsigned char pattern) {
+  if (n == 0 || !enabled()) return;
+#if MGC_ASAN
+  // The range may contain already-poisoned stretches (e.g. retired TLAB
+  // tails inside a young space being reset); lift the poison before the
+  // pattern write, then re-cover the whole range.
+  ASAN_UNPOISON_MEMORY_REGION(p, n);
+#endif
+  std::memset(p, pattern, n);
+#if MGC_ASAN
+  ASAN_POISON_MEMORY_REGION(p, n);
+#endif
+}
+
+void poison(void* p, std::size_t n) {
+  if (n == 0 || !enabled()) return;
+#if MGC_ASAN
+  ASAN_POISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+#endif
+}
+
+void unpoison(void* p, std::size_t n) {
+#if MGC_ASAN
+  if (n != 0) ASAN_UNPOISON_MEMORY_REGION(p, n);
+#else
+  (void)p;
+  (void)n;
+#endif
+}
+
+bool check_zapped(const void* p, std::size_t n, unsigned char pattern) {
+#if MGC_ASAN
+  ASAN_UNPOISON_MEMORY_REGION(const_cast<void*>(p), n);
+#endif
+  const auto* c = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c[i] != pattern) return false;
+  }
+  return true;
+}
+
+}  // namespace mgc::poison

@@ -1,0 +1,68 @@
+// Heap zapping / sanitizer poisoning.
+//
+// Debug and ASan builds overwrite reclaimed heap memory with a recognizable
+// byte pattern (HotSpot's badHeapWordVal, bdwgc's object canaries) so a
+// dangling reference reads garbage that is obviously garbage, and — when the
+// build is ASan-instrumented — additionally mark the range as poisoned so
+// the dangling access is reported at the faulting address instead of
+// silently returning the zap pattern.
+//
+// Discipline for call sites:
+//  - Reclamation paths (space reset, free-list insert, PLAB/TLAB retire,
+//    region free) call `zap_and_poison` with the site's pattern.
+//  - Allocation paths call `unpoison` on the exact range handed out BEFORE
+//    writing the object header.
+//  - `unpoison` is unconditional under ASan even when zapping is disabled at
+//    runtime, so toggling the flag mid-process can never strand poisoned
+//    memory behind a live allocation.
+//
+// Headers and free-list link words are never poisoned: sweeps, space walks
+// and the heap verifier parse cell headers of dead memory by design.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MGC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MGC_ASAN 1
+#endif
+#endif
+#ifndef MGC_ASAN
+#define MGC_ASAN 0
+#endif
+
+namespace mgc::poison {
+
+// One byte pattern per reclamation site, so a corrupted value seen in a
+// debugger or a test names the path that freed the memory.
+inline constexpr unsigned char kFromSpaceZap = 0xF1;  // evacuated young space
+inline constexpr unsigned char kFreeChunkZap = 0xF5;  // CMS free-list payload
+inline constexpr unsigned char kLabTailZap = 0xFA;    // dead TLAB/PLAB tail
+inline constexpr unsigned char kRegionZap = 0xFE;     // reclaimed G1 region
+
+// Whether zapping/poisoning is active. Defaults on in debug (!NDEBUG) and
+// ASan builds, off in release; the MGC_HEAP_POISON environment variable
+// (0/1) overrides either way. Read once at first use.
+bool enabled();
+// Test hook; call before any heap is created.
+void set_enabled(bool on);
+
+// Fills [p, p+n) with `pattern` and, under ASan, marks it poisoned.
+// No-op when disabled.
+void zap_and_poison(void* p, std::size_t n, unsigned char pattern);
+
+// Marks [p, p+n) poisoned under ASan without writing the pattern (used for
+// virgin, never-allocated space at heap construction). No-op when disabled.
+void poison(void* p, std::size_t n);
+
+// Re-admits [p, p+n) for use. Under ASan this runs even when disabled (see
+// file comment); otherwise a no-op.
+void unpoison(void* p, std::size_t n);
+
+// Test support: true if every byte of [p, p+n) still carries `pattern`.
+// Unpoisons the range first under ASan so the check itself is legal.
+bool check_zapped(const void* p, std::size_t n, unsigned char pattern);
+
+}  // namespace mgc::poison

@@ -3,6 +3,7 @@
 #include <bit>
 #include <mutex>
 
+#include "heap/poison.h"
 #include "support/check.h"
 
 namespace mgc {
@@ -31,6 +32,11 @@ void Region::walk(const std::function<void(Obj*)>& fn) const {
 }
 
 void Region::reset_for_reuse() {
+  // Zap what was allocated, then poison the whole region until it is handed
+  // out again (the unused tail lost its poison when the region was
+  // allocated).
+  poison::zap_and_poison(base, used(), poison::kRegionZap);
+  poison::poison(base, capacity());
   set_type(RegionType::kFree);
   set_top(base);
   set_tams(base);
@@ -65,6 +71,7 @@ void RegionManager::initialize(char* base, std::size_t bytes,
   // low addresses (keeps the heap compact-ish, like HotSpot).
   for (std::size_t i = n; i-- > 0;)
     free_list_.push_back(static_cast<std::uint32_t>(i));
+  poison::poison(base_, covered_bytes_);
 }
 
 Region* RegionManager::allocate_region(RegionType type) {
@@ -75,6 +82,7 @@ Region* RegionManager::allocate_region(RegionType type) {
   free_list_.pop_back();
   MGC_DCHECK(r.is_free());
   r.set_type(type);
+  poison::unpoison(r.base, r.capacity());
   return &r;
 }
 
@@ -94,6 +102,7 @@ Region* RegionManager::allocate_humongous(std::size_t count) {
                                               : RegionType::kHumongousCont);
           regions_[j].humongous_head = &regions_[run_start];
           std::erase(free_list_, static_cast<std::uint32_t>(j));
+          poison::unpoison(regions_[j].base, regions_[j].capacity());
         }
         return &regions_[run_start];
       }

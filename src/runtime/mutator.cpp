@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "heap/poison.h"
 #include "runtime/vm.h"
 
 namespace mgc {
@@ -35,9 +36,14 @@ void Mutator::system_gc() { vm_.collect(this, /*full=*/true, GcCause::kSystemGc)
 
 void Mutator::retire_tlab() {
   if (tlab_top_ != nullptr && tlab_top_ < tlab_end_) {
-    // Plug the unused tail so the eden stays linearly parsable.
+    // Plug the unused tail so the eden stays linearly parsable; the filler
+    // payload is dead memory and gets zapped in debug/ASan builds.
     Obj::init_filler(tlab_top_,
                      static_cast<std::size_t>(tlab_end_ - tlab_top_) / kWordSize);
+    poison::zap_and_poison(
+        tlab_top_ + sizeof(ObjHeader),
+        static_cast<std::size_t>(tlab_end_ - tlab_top_) - sizeof(ObjHeader),
+        poison::kLabTailZap);
   }
   tlab_top_ = tlab_end_ = nullptr;
 }

@@ -8,7 +8,9 @@
 //
 // Because every allocation may trigger a moving collection, raw Obj*
 // values must not be held across an allocation — use `Local` handles
-// (slots in the shadow stack that the collectors update).
+// (slots in the shadow stack that the collectors update). tools/gclint
+// enforces this statically; gc_annotations.h (re-exported here) carries
+// the escape hatches for code that is intentionally exempt.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +20,7 @@
 #include "heap/object.h"
 #include "runtime/collector.h"
 #include "support/check.h"
+#include "support/gc_annotations.h"
 #include "support/rng.h"
 #include "support/stats.h"
 

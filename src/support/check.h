@@ -29,7 +29,9 @@ namespace mgc {
   } while (0)
 
 #ifdef NDEBUG
-#define MGC_DCHECK(cond) ((void)0)
+// sizeof keeps the operands referenced (no unused-variable/parameter
+// warnings in release builds) without evaluating them.
+#define MGC_DCHECK(cond) ((void)sizeof(!(cond)))
 #else
 #define MGC_DCHECK(cond) MGC_CHECK(cond)
 #endif

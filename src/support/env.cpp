@@ -8,7 +8,8 @@ namespace mgc::env {
 namespace {
 
 double get_double(const char* name, double def) {
-  const char* v = std::getenv(name);
+  // Read once at startup behind function-local statics; no setenv anywhere.
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
@@ -16,7 +17,7 @@ double get_double(const char* name, double def) {
 }
 
 long get_long(const char* name, long def) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (v == nullptr || *v == '\0') return def;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);

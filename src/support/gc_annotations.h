@@ -1,0 +1,27 @@
+// Annotations consumed by tools/gclint (the GC-discipline checker).
+//
+// MGC_GC_UNSAFE marks a function that legitimately manipulates raw managed
+// pointers across safepoints or writes reference fields without the barrier
+// — collector internals, the barrier implementation itself, heap verifiers.
+// gclint skips the raw-pointer and barrier checks inside such functions.
+// Under clang the marker survives into the AST as an annotate attribute;
+// other compilers see nothing.
+//
+// MGC_LINT_SUPPRESS("check-id") suppresses findings of one check on the
+// statement line it appears on and the line below it. Prefer it over
+// MGC_GC_UNSAFE when only a single statement is intentionally unsafe.
+//
+// A file whose first lines contain the comment `// gclint: gc-unsafe-file`
+// is exempt from the raw-pointer and barrier checks entirely (the
+// lock-discipline check still applies).
+#pragma once
+
+#if defined(__clang__)
+#define MGC_GC_UNSAFE __attribute__((annotate("mgc::gc_unsafe")))
+#else
+#define MGC_GC_UNSAFE
+#endif
+
+// Expands to nothing; the checker reads the token (and its argument) from
+// the source text / AST, not from the preprocessed output.
+#define MGC_LINT_SUPPRESS(check)

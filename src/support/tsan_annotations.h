@@ -1,0 +1,33 @@
+// ThreadSanitizer happens-before annotations.
+//
+// TSan does not model standalone `std::atomic_thread_fence`: synchronization
+// expressed as relaxed-atomic + fence (the Chase-Lev deque's push/steal
+// hand-off) is correct under the C11 model but invisible to the race
+// detector, which then reports the relaxed data read as racing with the
+// owner's write. These macros attach the release/acquire edge to a
+// synchronization object explicitly, and compile to nothing outside TSan.
+//
+// The safepoint handshake needs no annotations: it synchronizes through a
+// mutex/condvar pair plus one seq_cst flag, all of which TSan models
+// natively.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define MGC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MGC_TSAN 1
+#endif
+#endif
+#ifndef MGC_TSAN
+#define MGC_TSAN 0
+#endif
+
+#if MGC_TSAN
+#include <sanitizer/tsan_interface.h>
+#define MGC_TSAN_RELEASE(addr) __tsan_release(const_cast<void*>(static_cast<const volatile void*>(addr)))
+#define MGC_TSAN_ACQUIRE(addr) __tsan_acquire(const_cast<void*>(static_cast<const volatile void*>(addr)))
+#else
+#define MGC_TSAN_RELEASE(addr) ((void)0)
+#define MGC_TSAN_ACQUIRE(addr) ((void)0)
+#endif

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/tsan_annotations.h"
 
 namespace mgc {
 
@@ -44,6 +45,10 @@ class WsDeque {
     }
     a->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
+    // TSan does not model the fence above; hand it the release edge on
+    // bottom_ explicitly so a thief's read of the pushed task (and of
+    // whatever the task points at) is ordered after this publish.
+    MGC_TSAN_RELEASE(&bottom_);
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
@@ -76,6 +81,9 @@ class WsDeque {
     std::int64_t t = top_.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    // Acquire side of the annotated release in push(): everything the owner
+    // published before bumping bottom_ is visible to this thief.
+    MGC_TSAN_ACQUIRE(&bottom_);
     if (t >= b) return std::nullopt;
     Array* a = array_.load(std::memory_order_consume);
     T item = a->get(t);

@@ -81,7 +81,9 @@ TEST(CmsCycle, ConcurrentModeFailureRecovers) {
   Obj* map = vm.global_root(root);
   for (std::uint64_t k = 0; k < 8000; k += 31) {
     Obj* v = managed::hash_map::get(map, k);
-    if (v != nullptr) EXPECT_EQ(v->field(0), k * 7);
+    if (v != nullptr) {
+      EXPECT_EQ(v->field(0), k * 7);
+    }
   }
   // The run must have survived; full collections are expected.
   const auto sum = vm.gc_log().summarize();

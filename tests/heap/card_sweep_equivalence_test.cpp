@@ -50,7 +50,9 @@ class CardSweepEquivalence : public ::testing::Test {
         cards_.dirty_index(i);
         // ~1/3 of the seeded cards also go through the preclean transition:
         // precleaned cards must still be visited by the young-GC sweep.
-        if (rng.chance(0.33)) EXPECT_TRUE(cards_.try_preclean(i));
+        if (rng.chance(0.33)) {
+          EXPECT_TRUE(cards_.try_preclean(i));
+        }
         seeded.push_back(i);
       }
     }

@@ -1,0 +1,122 @@
+// Negative tests for the GC-safety net: each test breaks one discipline
+// rule on purpose and asserts the corresponding detection layer catches it.
+//
+//   * a reference store that skips the write barrier must be reported by
+//     verify_heap_at_safepoint's card check;
+//   * evacuated from-space must carry the kFromSpaceZap pattern after a
+//     young collection (so stale reads produce recognizable garbage);
+//   * under AddressSanitizer the same stale read must abort with a
+//     use-after-poison report.
+//
+// This suite lives in its own binary (mgc_poison_tests) because it flips
+// the global poison::set_enabled switch, which must not leak into the
+// timing-sensitive suites.
+#include <gtest/gtest.h>
+
+#include "heap/poison.h"
+#include "runtime/heap_verifier.h"
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+VmConfig tiny_config(GcKind gc) {
+  VmConfig cfg;
+  cfg.gc = gc;
+  cfg.heap_bytes = 8 * MiB;
+  cfg.young_bytes = 2 * MiB;
+  cfg.tlab_bytes = 4 * KiB;
+  cfg.gc_threads = 2;
+  cfg.tenuring_threshold = 0;  // promote on the first copy
+  return cfg;
+}
+
+// Stores an old->young reference with Obj::set_ref_raw — exactly the bug
+// gclint's unbarriered-ref-store check exists for — and expects the
+// safepoint verifier to flag the clean card.
+TEST(PoisonNegative, SkippedWriteBarrierCaughtByVerifier) {
+  Vm vm(tiny_config(GcKind::kSerial));
+  Vm::MutatorScope scope(vm, "test");
+  Mutator& m = scope.mutator();
+
+  Local holder(m, m.alloc(2, 2));
+  // tenuring_threshold = 0: the first young collection promotes holder.
+  vm.collect(&m, false, GcCause::kSystemGc);
+  // A second young collection leaves the old generation's cards clean
+  // (holder carries no young refs yet).
+  vm.collect(&m, false, GcCause::kSystemGc);
+
+  ASSERT_TRUE(verify_heap_at_safepoint(m).ok())
+      << "heap must verify clean before the barrier is skipped";
+
+  Local young(m, m.alloc(0, 2));
+  holder->set_ref_raw(0, young.get());  // deliberate: no card dirtied
+
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  EXPECT_FALSE(rep.ok())
+      << "verifier missed an unbarriered old->young store";
+  ASSERT_FALSE(rep.problems.empty());
+  EXPECT_NE(rep.problems.front().find("card"), std::string::npos)
+      << "unexpected problem kind: " << rep.problems.front();
+
+  // Repair through the proper API so teardown-time collections see a
+  // consistent heap again.
+  m.set_ref(holder.get(), 0, young.get());
+  EXPECT_TRUE(verify_heap_at_safepoint(m).ok());
+}
+
+// The poison layer must stamp evacuated from-space with kFromSpaceZap so
+// stale pointers dereference into recognizable garbage, not stale copies.
+TEST(PoisonNegative, FromSpaceZappedAfterYoungCollection) {
+  poison::set_enabled(true);  // tier-1 builds default off under NDEBUG
+  Vm vm(tiny_config(GcKind::kSerial));
+  Vm::MutatorScope scope(vm, "test");
+  Mutator& m = scope.mutator();
+
+  Obj* junk = m.alloc(0, 8);  // unrooted: dies at the next collection
+  junk->set_field(0, 0x5ca1ab1eULL);
+  const char* raw = reinterpret_cast<const char*>(junk);
+  const std::size_t bytes = junk->size_bytes();
+
+  vm.collect(&m, false, GcCause::kSystemGc);
+
+  EXPECT_TRUE(poison::check_zapped(raw, bytes, poison::kFromSpaceZap))
+      << "evacuated eden memory was not zapped";
+}
+
+// Direct round-trip through the poison API: the zap pattern is visible via
+// check_zapped (which unpoisons before reading) and pattern-specific.
+TEST(PoisonNegative, ZapPatternRoundTrip) {
+  poison::set_enabled(true);
+  alignas(16) char buf[64];
+  poison::zap_and_poison(buf, sizeof buf, poison::kFreeChunkZap);
+  EXPECT_TRUE(poison::check_zapped(buf, sizeof buf, poison::kFreeChunkZap));
+  EXPECT_FALSE(poison::check_zapped(buf, sizeof buf, poison::kLabTailZap));
+  poison::unpoison(buf, sizeof buf);  // stack memory must not stay poisoned
+}
+
+#if MGC_ASAN
+// Under ASan the zap sites also poison the shadow, so the stale read is a
+// hard failure at the exact load, not just a wrong value later.
+TEST(PoisonNegativeDeath, DanglingFromSpaceReadReportsUnderAsan) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Vm vm(tiny_config(GcKind::kSerial));
+        Vm::MutatorScope scope(vm, "test");
+        Mutator& m = scope.mutator();
+        Obj* junk = m.alloc(0, 8);
+        junk->set_field(0, 42);
+        vm.collect(&m, false, GcCause::kSystemGc);
+        // Dangling: junk was evacuated (or died) and from-space is poisoned.
+        volatile word_t w = junk->field(0);
+        (void)w;
+      },
+      "use-after-poison");
+}
+#endif  // MGC_ASAN
+
+}  // namespace
+}  // namespace mgc

@@ -111,7 +111,6 @@ TEST_P(AllGcs, MultiThreadedSharedGraph) {
   });
 
   Vm::MutatorScope scope(vm, "verify");
-  Mutator& m = scope.mutator();
   Obj* map = vm.global_root(map_root);
   EXPECT_EQ(managed::hash_map::size(map), 4u * 3000u);
   for (int idx = 0; idx < 4; ++idx) {

@@ -1,0 +1,21 @@
+// Known-bad corpus: allocating / polling while holding a GC-internal
+// SpinLock. The safepoint would wait for threads spinning on the same
+// lock, which wait for the holder: deadlock.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+SpinLock g_free_list_lock;
+
+Obj* alloc_while_spinning(Mutator& m) {
+  std::lock_guard<SpinLock> hold(g_free_list_lock);
+  Obj* p = m.alloc(0, 4);  // gclint-expect: alloc-under-gc-lock
+  return p;
+}
+
+void poll_while_spinning(Mutator& m, SpinLock& lock) {
+  std::unique_lock<SpinLock> hold(lock);
+  m.poll();  // gclint-expect: alloc-under-gc-lock
+}
+
+}  // namespace mgc

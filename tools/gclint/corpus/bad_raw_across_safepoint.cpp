@@ -1,0 +1,42 @@
+// Known-bad corpus: raw Obj* values held live across safepoint polls.
+// Every `gclint-expect:` line must be flagged by both engines.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+// The second allocation can move `node`; the read on the return line is a
+// use-after-evacuation.
+word_t stale_after_alloc(Mutator& m) {
+  Obj* node = m.alloc(1, 2);
+  node->set_field(0, 7);  // fine: no poll since the definition
+  Obj* other = m.alloc(0, 1);
+  (void)other;
+  return node->field(0);  // gclint-expect: raw-across-safepoint
+}
+
+// A raw parameter is defined at function entry; any poll before its use
+// invalidates it.
+void stale_param(Mutator& m, Obj* p) {
+  m.poll();
+  p->set_field(0, 1);  // gclint-expect: raw-across-safepoint
+}
+
+Obj* helper_alloc(Mutator& m) { return m.alloc(0, 2); }
+
+// helper_alloc(m) reaches Mutator::alloc, so it polls transitively.
+word_t stale_through_helper(Mutator& m) {
+  Obj* a = m.alloc(1, 1);
+  Obj* b = helper_alloc(m);
+  (void)b;
+  return a->field(0);  // gclint-expect: raw-across-safepoint
+}
+
+// GuardedLock construction parks the thread blocked, which lets a
+// safepoint (and a moving collection) run.
+word_t stale_across_guarded_lock(Mutator& m, std::mutex& mu) {
+  Obj* node = m.alloc(1, 2);
+  GuardedLock<std::mutex> g(m, mu);
+  return node->field(0);  // gclint-expect: raw-across-safepoint
+}
+
+}  // namespace mgc

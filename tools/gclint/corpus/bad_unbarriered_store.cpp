@@ -1,0 +1,17 @@
+// Known-bad corpus: reference-field stores that bypass the write barrier.
+// A skipped barrier leaves the card table / remembered sets incomplete, so
+// a later young collection misses the old->young edge and frees live data.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+void sneaky_store(Mutator& m, Obj* holder, Obj* value) {
+  m.set_ref(holder, 0, value);    // fine: barriered store
+  holder->set_ref_raw(1, value);  // gclint-expect: unbarriered-ref-store
+}
+
+void raw_slot_store(Obj* holder, Obj* value) {
+  holder->refs()[1].store(value, std::memory_order_relaxed);  // gclint-expect: unbarriered-ref-store
+}
+
+}  // namespace mgc

@@ -1,0 +1,35 @@
+// Known-good corpus: intentionally unsafe code made clean through the
+// annotation escape hatches in src/support/gc_annotations.h.
+// No engine may report anything in this file.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+// Collector internals legitimately hold raw pointers across pause points:
+// the whole function opts out.
+MGC_GC_UNSAFE void forwarding_fixup(Mutator& m, Obj* stale) {
+  m.poll();
+  stale->set_field(0, 0);  // allowed: enclosing function is MGC_GC_UNSAFE
+}
+
+// The write barrier itself must perform the raw store it guards.
+MGC_GC_UNSAFE void barrier_impl(Obj* holder, Obj* value) {
+  holder->set_ref_raw(0, value);
+}
+
+// A single sanctioned statement inside otherwise-checked code uses a
+// line-scoped suppression instead of opting out the whole function.
+void single_statement_exception(Mutator& m, Obj* holder, Obj* value) {
+  m.set_ref(holder, 0, value);
+  // gclint: suppress(unbarriered-ref-store)
+  holder->set_ref_raw(1, value);
+}
+
+// The macro form reads identically to the comment form.
+void macro_suppression(Mutator& m, Obj* holder, Obj* value) {
+  MGC_LINT_SUPPRESS("unbarriered-ref-store");
+  holder->set_ref_raw(0, value);
+  (void)m;
+}
+
+}  // namespace mgc

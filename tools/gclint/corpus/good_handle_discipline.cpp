@@ -1,0 +1,57 @@
+// Known-good corpus: the handle discipline the runtime actually follows.
+// No engine may report anything in this file.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+// Re-defining a raw pointer after every poll is legal: the stale value is
+// never read.
+word_t redefine_after_poll(Mutator& m) {
+  Obj* node = m.alloc(1, 2);
+  node->set_field(0, 5);
+  m.poll();
+  node = m.alloc(1, 2);  // fresh definition after the poll
+  return node->field(0);
+}
+
+// Locals are GC-updated roots; reads through them after a poll are safe.
+word_t handle_discipline(Mutator& m) {
+  Local node(m, m.alloc(1, 2));
+  node->set_field(0, 9);
+  m.poll();
+  return node->field(0);
+}
+
+// A raw pointer whose last use precedes the poll is dead across it.
+void dead_after_poll(Mutator& m) {
+  Obj* scratch = m.alloc(0, 1);
+  scratch->set_field(0, 1);
+  m.poll();
+}
+
+word_t read_field(Obj* node) { return node->field(0); }
+
+// Helpers that never receive the mutator cannot reach a safepoint, so a
+// raw pointer may flow through them freely.
+word_t safe_helper_use(Mutator& m) {
+  Obj* node = m.alloc(1, 1);
+  const word_t v = read_field(node);
+  m.poll();
+  return v;
+}
+
+// Blocking locks are taken through GuardedLock (enter_blocked /
+// leave_blocked around the acquire), which is the sanctioned way to wait
+// while collections proceed; over a std::mutex this is fine.
+void blocked_lock_is_fine(Mutator& m, std::mutex& mu) {
+  GuardedLock<std::mutex> g(m, mu);
+  Local v(m, m.alloc(0, 2));
+  v->set_field(0, 3);
+}
+
+// Barriered stores through the Mutator API are the sanctioned pattern.
+void barriered_store(Mutator& m, Obj* holder, Obj* value) {
+  m.set_ref(holder, 0, value);
+}
+
+}  // namespace mgc

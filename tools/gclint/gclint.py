@@ -1,0 +1,1012 @@
+#!/usr/bin/env python3
+"""gclint — GC-safety discipline checker for the mgc runtime.
+
+Enforces the three invariants every HotSpot-style runtime lints for:
+
+  raw-across-safepoint   No raw managed pointer (Obj*) may be live across a
+                         safepoint-polling call (allocation, Mutator::poll,
+                         blocked-state transitions, or any function that
+                         transitively polls) in mutator code. Moving
+                         collectors relocate objects at polls; a raw pointer
+                         read before and used after is dangling. Use `Local`
+                         handles.
+
+  unbarriered-ref-store  Every reference-field store in mutator code goes
+                         through the Mutator write-barrier API
+                         (Mutator::set_ref), never Obj::set_ref_raw or a raw
+                         RefSlot store. A skipped barrier silently breaks
+                         card-table / remembered-set completeness.
+
+  alloc-under-gc-lock    No allocation or safepoint poll while holding a
+                         GC-internal SpinLock. The lock holder would wait
+                         for a safepoint that can never be reached by
+                         threads spinning on the same lock.
+
+Two engines implement the checks:
+
+  lex       A token-level analysis built into this script. No dependencies;
+            this is what the ctest self-test gates on.
+  libclang  An AST walk via clang.cindex driven off compile_commands.json,
+            used in CI where python3-clang is installed. More precise name
+            and type resolution, same reporting.
+
+`--engine auto` (default) picks libclang when importable, else lex.
+
+Escape hatches (see src/support/gc_annotations.h): the MGC_GC_UNSAFE
+function attribute, MGC_LINT_SUPPRESS("check-id") statement markers, the
+`// gclint: suppress(check-id)` line comment, and the file-level
+`// gclint: gc-unsafe-file` marker.
+
+Usage:
+  gclint.py --root src                         # sweep the runtime sources
+  gclint.py src/runtime/managed.cpp            # lint specific files
+  gclint.py --self-test                        # run the known-bad/known-good corpus
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# --- policy -----------------------------------------------------------------
+
+# Directories whose code is "mutator code": all three checks apply. The
+# collector internals (src/gc, src/heap) legitimately traffic in raw Obj*
+# at safepoints, so only the lock-discipline check applies there.
+MUTATOR_DIRS = ("src/runtime", "src/stress", "src/kvstore")
+
+CHECK_RAW = "raw-across-safepoint"
+CHECK_BARRIER = "unbarriered-ref-store"
+CHECK_LOCK = "alloc-under-gc-lock"
+ALL_CHECKS = (CHECK_RAW, CHECK_BARRIER, CHECK_LOCK)
+
+# Mutator methods that can run a safepoint (and therefore a moving GC).
+POLLING_METHODS = {"alloc", "poll", "system_gc", "enter_blocked", "leave_blocked"}
+# Types whose construction polls (GuardedLock parks the thread blocked).
+POLLING_CTORS = {"GuardedLock"}
+# Lock wrapper templates that, instantiated over SpinLock, open a
+# GC-internal critical section.
+LOCK_WRAPPERS = {"lock_guard", "scoped_lock", "unique_lock"}
+
+SUPPRESS_RE = re.compile(r"gclint:\s*suppress\(([a-z-]+)\)")
+SUPPRESS_MACRO_RE = re.compile(r'MGC_LINT_SUPPRESS\(\s*"([a-z-]+)"\s*\)')
+UNSAFE_FILE_RE = re.compile(r"gclint:\s*gc-unsafe-file")
+EXPECT_RE = re.compile(r"gclint-expect:\s*([a-z-]+)")
+
+
+class Finding:
+    def __init__(self, path, line, check, message):
+        self.path = path
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+    def key(self):
+        return (self.path, self.line, self.check)
+
+
+# --- lexical engine ---------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<string>"(?:\\.|[^"\\])*"|'(?:\\.|[^'\\])*')
+  | (?P<id>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<num>\.?\d(?:[\w.]|[eEpP][+-])*)
+  | (?P<punct>->\*?|::|<<=?|>>=?|<=|>=|==|!=|&&|\|\||\+\+|--|[-+*/%&|^!~=<>?:;,.(){}\[\]\#])
+  | (?P<ws>\s+)
+""",
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+
+def tokenize(text):
+    """Returns (tokens, comments) with comments kept out of the token stream."""
+    toks, comments = [], []
+    pos, line = 0, 1
+    while pos < len(text):
+        m = TOKEN_RE.match(text, pos)
+        if m is None:  # stray byte; skip
+            pos += 1
+            continue
+        kind = m.lastgroup
+        s = m.group()
+        if kind == "comment":
+            comments.append((line, s))
+        elif kind != "ws":
+            toks.append(Tok(kind, s, line))
+        line += s.count("\n")
+        pos = m.end()
+    return toks, comments
+
+
+class SourceFile:
+    def __init__(self, path, text):
+        self.path = path
+        self.text = text
+        self.toks, self.comments = tokenize(text)
+        self.gc_unsafe_file = False
+        # line -> set of suppressed check ids ("*" = all)
+        self.suppress = {}
+        for ln, c in self.comments:
+            if UNSAFE_FILE_RE.search(c):
+                self.gc_unsafe_file = True
+            for m in SUPPRESS_RE.finditer(c):
+                self.suppress.setdefault(ln, set()).add(m.group(1))
+        for i, t in enumerate(self.toks):
+            if t.kind == "id" and t.text == "MGC_LINT_SUPPRESS":
+                # Argument is the next string token.
+                for u in self.toks[i + 1 : i + 5]:
+                    if u.kind == "string":
+                        self.suppress.setdefault(t.line, set()).add(u.text.strip('"'))
+                        break
+
+    def suppressed(self, line, check):
+        # A suppression covers its own line and the following line (so a
+        # marker statement can precede the offending statement).
+        for ln in (line, line - 1):
+            s = self.suppress.get(ln)
+            if s and (check in s or "*" in s):
+                return True
+        return False
+
+
+class Function:
+    def __init__(self, qualname, decl_start, body_start, body_end, src):
+        self.qualname = qualname  # tuple of name parts
+        self.decl_start = decl_start  # token index of first decl token
+        self.body_start = body_start  # index of '{'
+        self.body_end = body_end  # index of matching '}'
+        self.src = src
+        self.gc_unsafe = any(
+            t.kind == "id" and t.text == "MGC_GC_UNSAFE"
+            for t in src.toks[decl_start:body_start]
+        )
+        self.polls_directly = False
+        self.polls = False
+        self.calls = []  # (name_chain tuple, close_paren_idx, has_mutator_arg)
+        self.poll_sites = []  # token indices marking a completed poll
+
+
+SCOPE_KEYWORDS = {"namespace", "class", "struct", "enum", "union", "extern"}
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "do", "else", "return"}
+
+
+def match_brace(toks, open_idx):
+    depth = 0
+    for i in range(open_idx, len(toks)):
+        t = toks[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(toks) - 1
+
+
+def extract_functions(src):
+    """Finds function definitions at namespace/class scope."""
+    toks = src.toks
+    fns = []
+    scope = []  # list of (kind, name) for each open brace at scope level
+    i = 0
+    stmt_start = 0
+    while i < len(toks):
+        t = toks[i]
+        if t.text == ";":
+            stmt_start = i + 1
+            i += 1
+            continue
+        if t.text == "}":
+            if scope:
+                scope.pop()
+            stmt_start = i + 1
+            i += 1
+            continue
+        if t.text != "{":
+            i += 1
+            continue
+        # Classify the brace from the statement tokens before it.
+        stmt = toks[stmt_start:i]
+        words = [x.text for x in stmt]
+        if "namespace" in words:
+            names = [x.text for x in stmt if x.kind == "id" and x.text != "namespace"]
+            scope.append(("namespace", "::".join(names) if names else "<anon>"))
+            stmt_start = i + 1
+            i += 1
+            continue
+        is_fn = False
+        if not (set(words) & SCOPE_KEYWORDS) and not (set(words) & CONTROL_KEYWORDS):
+            first_paren = next((k for k, x in enumerate(stmt) if x.text == "("), None)
+            if first_paren is not None and "=" not in words[:first_paren]:
+                # name chain: identifiers (joined by ::) right before '('
+                chain = []
+                k = first_paren - 1
+                while k >= 0:
+                    if stmt[k].kind == "id":
+                        chain.insert(0, stmt[k].text)
+                        if k - 1 >= 0 and stmt[k - 1].text == "::":
+                            k -= 2
+                            continue
+                    break
+                if chain:
+                    is_fn = True
+                    end = match_brace(toks, i)
+                    qual = [n for _, n in scope if n != "<anon>"] + chain
+                    fns.append(Function(tuple(qual), stmt_start, i, end, src))
+                    stmt_start = end + 1
+                    i = end + 1
+                    continue
+        if not is_fn:
+            # class/struct body, initializer block, array init, ...: if it's
+            # a class, record it so methods get qualified names.
+            if {"class", "struct"} & set(words):
+                names = [
+                    x.text
+                    for x in stmt
+                    if x.kind == "id" and x.text not in ("class", "struct", "final")
+                ]
+                scope.append(("class", names[0] if names else "<anon>"))
+            else:
+                scope.append(("block", "<anon>"))
+            stmt_start = i + 1
+            i += 1
+    return fns
+
+
+def mutator_idents(src):
+    """Names declared with type Mutator (param, local, or member)."""
+    toks = src.toks
+    names = set()
+    for i, t in enumerate(toks):
+        if t.kind == "id" and t.text == "Mutator":
+            j = i + 1
+            while j < len(toks) and toks[j].text in ("&", "*", "const"):
+                j += 1
+            if j < len(toks) and toks[j].kind == "id":
+                names.add(toks[j].text)
+    return names
+
+
+def statement_end(toks, start):
+    """Index of the token ending the statement containing `start`: the next
+    ';' at the statement's paren depth, or the ')' closing an enclosing
+    paren group (for-headers, call arguments)."""
+    depth = 0
+    for i in range(start, len(toks)):
+        t = toks[i].text
+        if t == "(" or t == "[":
+            depth += 1
+        elif t == ")" or t == "]":
+            if depth == 0:
+                return i
+            depth -= 1
+        elif t in (";", "{", "}") and depth == 0:
+            return i
+    return len(toks) - 1
+
+
+def analyze_calls(fn, mut_names):
+    """Fills fn.calls and fn.polls_directly / direct poll sites."""
+    toks = fn.src.toks
+    i = fn.body_start
+    while i < fn.body_end:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        # Member call on a known Mutator variable: m.alloc(...), m->poll()
+        if prev in (".", "->") and t.text in POLLING_METHODS:
+            base = toks[i - 2] if i >= 2 else None
+            if base is not None and base.kind == "id" and base.text in mut_names:
+                if i + 1 < len(toks) and toks[i + 1].text == "(":
+                    close = statement_end(toks, i + 2)
+                    fn.polls_directly = True
+                    fn.poll_sites.append(close)
+            i += 1
+            continue
+        if prev in (".", "->"):
+            i += 1
+            continue
+        # Free/ctor call: identifier chain followed by '('
+        chain = [t.text]
+        j = i + 1
+        while j + 1 < len(toks) and toks[j].text == "::" and toks[j + 1].kind == "id":
+            chain.append(toks[j + 1].text)
+            j += 2
+        # Skip template arguments between name and '(': Foo<Bar> x(...)
+        k = j
+        if k < len(toks) and toks[k].text == "<":
+            depth, k2 = 0, k
+            while k2 < min(len(toks), k + 32):
+                if toks[k2].text == "<":
+                    depth += 1
+                elif toks[k2].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        k = k2 + 1
+                        break
+                elif toks[k2].text in (";", "{", "}"):
+                    break
+                k2 += 1
+        # Declarations like `GuardedLock<X> g(m, mu);` put a variable name
+        # between the type and '('.
+        if (
+            chain[-1] in POLLING_CTORS
+            and k < len(toks)
+            and toks[k].kind == "id"
+        ):
+            k += 1
+        if k < len(toks) and toks[k].text == "(":
+            close = statement_end(toks, k + 1)
+            has_mut = any(
+                x.kind == "id" and x.text in mut_names for x in toks[k + 1 : close]
+            )
+            if chain[-1] in POLLING_CTORS and has_mut:
+                fn.polls_directly = True
+                fn.poll_sites.append(close)
+            else:
+                fn.calls.append((tuple(chain), close, has_mut))
+        i = j if j > i + 1 else i + 1
+
+
+def resolve_polling(functions):
+    """Fixpoint: a function polls if it polls directly or calls (passing a
+    mutator) a function that polls. Calls resolve by qualified-name suffix."""
+    by_suffix = {}
+    for fn in functions:
+        parts = fn.qualname
+        for s in range(len(parts)):
+            by_suffix.setdefault(parts[s:], []).append(fn)
+    for fn in functions:
+        fn.polls = fn.polls_directly
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.polls:
+                continue
+            for chain, close, has_mut in fn.calls:
+                if not has_mut:
+                    continue
+                for callee in by_suffix.get(chain, []):
+                    if callee.polls:
+                        fn.polls = True
+                        fn.poll_sites.append(close)
+                        changed = True
+                        break
+                if fn.polls:
+                    break
+    # Poll sites for transitive calls of already-polling functions need a
+    # final pass (a function marked polling early may gain sites later).
+    for fn in functions:
+        for chain, close, has_mut in fn.calls:
+            if not has_mut:
+                continue
+            if any(c.polls for c in by_suffix.get(chain, [])):
+                if close not in fn.poll_sites:
+                    fn.poll_sites.append(close)
+    for fn in functions:
+        fn.poll_sites.sort()
+
+
+def scope_close(toks, start, fn):
+    """Index of the '}' closing the innermost block open at `start`."""
+    depth = 0
+    for i in range(start, fn.body_end + 1):
+        t = toks[i].text
+        if t == "{":
+            depth += 1
+        elif t == "}":
+            if depth == 0:
+                return i
+            depth -= 1
+    return fn.body_end
+
+
+def raw_obj_locals(fn):
+    """(name, decl_idx, def_idx, scope_end_idx) for each `Obj* x` local or
+    parameter. The scope ends at the '}' closing the block the declaration
+    lives in — uses past it are a different (shadowing or unrelated)
+    variable."""
+    toks = fn.src.toks
+    out = []
+    i = fn.decl_start
+    while i < fn.body_end:
+        t = toks[i]
+        if t.kind == "id" and t.text == "Obj":
+            j = i + 1
+            stars = 0
+            while j < fn.body_end and toks[j].text in ("*", "const"):
+                if toks[j].text == "*":
+                    stars += 1
+                j += 1
+            nxt = toks[j + 1].text if j + 1 < fn.body_end else ""
+            if (
+                stars == 1
+                and j < fn.body_end
+                and toks[j].kind == "id"
+                and nxt not in ("(", "::")  # function declarator, not a var
+            ):
+                name = toks[j].text
+                if i < fn.body_start:
+                    # Parameter: defined at body entry, dies with the body.
+                    out.append((name, j, fn.body_start, fn.body_end))
+                else:
+                    d = statement_end(toks, j + 1)
+                    out.append((name, j, d, scope_close(toks, d, fn)))
+        i += 1
+    return out
+
+
+def check_raw_across_safepoint(fn, findings):
+    if fn.gc_unsafe or fn.src.gc_unsafe_file or not fn.poll_sites:
+        return
+    toks = fn.src.toks
+    for name, decl_idx, decl_end, scope_end in raw_obj_locals(fn):
+        # Definition points: declaration plus plain reassignments.
+        defs = [decl_end]
+        uses = []
+        for i in range(max(fn.body_start, decl_idx), min(fn.body_end, scope_end)):
+            t = toks[i]
+            if t.kind != "id" or t.text != name or i == decl_idx:
+                continue
+            if i > 0 and toks[i - 1].text in (".", "->", "::"):
+                continue  # member of something else
+            nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+            if nxt == "::":
+                continue  # qualified name (namespace/class), not a value use
+            if nxt == "=" and toks[i + 2].text != "=":
+                defs.append(statement_end(toks, i + 2))
+            else:
+                uses.append(i)
+        for u in uses:
+            d = max((x for x in defs if x < u), default=None)
+            if d is None:
+                continue
+            poll = next((p for p in fn.poll_sites if d < p < u), None)
+            if poll is not None:
+                line = toks[u].line
+                if not fn.src.suppressed(line, CHECK_RAW):
+                    findings.append(
+                        Finding(
+                            fn.src.path,
+                            line,
+                            CHECK_RAW,
+                            f"raw Obj* '{name}' (defined line "
+                            f"{toks[d].line}) used after a safepoint poll on "
+                            f"line {toks[poll].line}; a moving GC may have "
+                            f"relocated it — hold it in a Local",
+                        )
+                    )
+                break  # one finding per variable
+
+
+def check_unbarriered_store(src, functions, findings):
+    if src.gc_unsafe_file:
+        return
+    toks = src.toks
+
+    def covering_fn(idx):
+        for fn in functions:
+            if fn.src is src and fn.decl_start <= idx <= fn.body_end:
+                return fn
+        return None
+
+    for i, t in enumerate(toks):
+        hit = None
+        if t.kind == "id" and t.text == "set_ref_raw":
+            if i + 1 < len(toks) and toks[i + 1].text == "(":
+                hit = "Obj::set_ref_raw bypasses the write barrier"
+        elif (
+            t.kind == "id"
+            and t.text == "refs"
+            and i + 3 < len(toks)
+            and toks[i + 1].text == "("
+            and toks[i + 2].text == ")"
+            and toks[i + 3].text == "["
+        ):
+            # refs()[i].store(...) — a raw RefSlot store.
+            j = i + 4
+            depth = 1
+            while j < len(toks) and depth:
+                if toks[j].text == "[":
+                    depth += 1
+                elif toks[j].text == "]":
+                    depth -= 1
+                j += 1
+            if (
+                j + 1 < len(toks)
+                and toks[j].text == "."
+                and toks[j + 1].text == "store"
+            ):
+                hit = "raw RefSlot::store bypasses the write barrier"
+        if hit is None:
+            continue
+        fn = covering_fn(i)
+        if fn is not None and fn.gc_unsafe:
+            continue
+        if src.suppressed(t.line, CHECK_BARRIER):
+            continue
+        findings.append(
+            Finding(
+                src.path,
+                t.line,
+                CHECK_BARRIER,
+                f"{hit}; use Mutator::set_ref so card-table / remembered-set "
+                f"state stays complete",
+            )
+        )
+
+
+def check_alloc_under_lock(src, functions, findings):
+    toks = src.toks
+    for fn in functions:
+        if fn.src is not src or not fn.poll_sites:
+            continue
+        i = fn.body_start
+        while i < fn.body_end:
+            t = toks[i]
+            if t.kind == "id" and t.text in LOCK_WRAPPERS:
+                # Require a SpinLock template argument.
+                j = i + 1
+                is_spin = False
+                if j < len(toks) and toks[j].text == "<":
+                    depth = 0
+                    while j < min(fn.body_end, i + 16):
+                        if toks[j].text == "<":
+                            depth += 1
+                        elif toks[j].text == ">":
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        elif toks[j].kind == "id" and toks[j].text == "SpinLock":
+                            is_spin = True
+                        j += 1
+                if is_spin:
+                    # Critical section: from here to the end of the
+                    # enclosing block.
+                    depth = 0
+                    end = fn.body_end
+                    for k in range(j, fn.body_end):
+                        if toks[k].text == "{":
+                            depth += 1
+                        elif toks[k].text == "}":
+                            if depth == 0:
+                                end = k
+                                break
+                            depth -= 1
+                    for p in fn.poll_sites:
+                        if j < p < end:
+                            line = toks[p].line
+                            if not src.suppressed(line, CHECK_LOCK):
+                                findings.append(
+                                    Finding(
+                                        src.path,
+                                        line,
+                                        CHECK_LOCK,
+                                        f"allocation / safepoint poll while "
+                                        f"holding a GC-internal SpinLock "
+                                        f"(acquired line {t.line}): the pause "
+                                        f"would deadlock against threads "
+                                        f"spinning on this lock",
+                                    )
+                                )
+                            break
+            i += 1
+
+
+def is_mutator_file(path):
+    rel = path.replace("\\", "/")
+    return any(d in rel for d in MUTATOR_DIRS) or "/corpus/" in rel
+
+
+def run_lex(paths, root):
+    sources = []
+    for p in paths:
+        try:
+            with open(p, "r", encoding="utf-8", errors="replace") as f:
+                sources.append(SourceFile(p, f.read()))
+        except OSError as e:
+            print(f"gclint: cannot read {p}: {e}", file=sys.stderr)
+            return None
+    all_fns = []
+    per_src_fns = {}
+    for src in sources:
+        fns = extract_functions(src)
+        muts = mutator_idents(src)
+        for fn in fns:
+            analyze_calls(fn, muts)
+        per_src_fns[src.path] = fns
+        all_fns.extend(fns)
+    resolve_polling(all_fns)
+    findings = []
+    for src in sources:
+        fns = per_src_fns[src.path]
+        if is_mutator_file(src.path):
+            for fn in fns:
+                check_raw_across_safepoint(fn, findings)
+            check_unbarriered_store(src, fns, findings)
+        check_alloc_under_lock(src, fns, findings)
+    return findings
+
+
+# --- libclang engine --------------------------------------------------------
+
+
+def run_libclang(paths, root, compile_commands):
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+
+    index = cindex.Index.create()
+    args_by_file = {}
+    default_args = ["-std=c++20", f"-I{os.path.join(root, 'src')}"]
+    if compile_commands and os.path.exists(compile_commands):
+        try:
+            db = json.load(open(compile_commands))
+            for entry in db:
+                fp = os.path.normpath(
+                    os.path.join(entry.get("directory", "."), entry["file"])
+                )
+                raw = entry.get("arguments") or entry.get("command", "").split()
+                args = [
+                    a
+                    for a in raw[1:]
+                    if a.startswith(("-I", "-D", "-std", "-f", "-W"))
+                ]
+                args_by_file[fp] = args
+        except (OSError, ValueError, KeyError):
+            pass
+
+    findings = []
+    # Pass 1: build the polling call graph across all TUs by USR.
+    polls = {}  # usr -> bool
+    calls = {}  # usr -> set of callee usrs (mutator-arg calls only)
+    fn_nodes = []  # (cursor, usr, path)
+
+    def fq(cur):
+        return cur.spelling
+
+    def is_mutator_type(t):
+        return "Mutator" in t.spelling
+
+    def walk_tu(tu, path):
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind in (
+                cindex.CursorKind.FUNCTION_DECL,
+                cindex.CursorKind.CXX_METHOD,
+                cindex.CursorKind.CONSTRUCTOR,
+            ) and cur.is_definition():
+                floc = cur.location.file
+                if floc is None or os.path.normpath(floc.name) != os.path.normpath(
+                    path
+                ):
+                    continue
+                usr = cur.get_usr()
+                fn_nodes.append((cur, usr, path))
+                polls.setdefault(usr, False)
+                callees = calls.setdefault(usr, set())
+                for c in cur.walk_preorder():
+                    if c.kind != cindex.CursorKind.CALL_EXPR:
+                        continue
+                    ref = c.referenced
+                    if ref is None:
+                        continue
+                    if (
+                        ref.spelling in POLLING_METHODS
+                        and ref.semantic_parent is not None
+                        and ref.semantic_parent.spelling == "Mutator"
+                    ):
+                        polls[usr] = True
+                    elif ref.spelling in POLLING_CTORS:
+                        polls[usr] = True
+                    else:
+                        has_mut = any(
+                            is_mutator_type(a.type) for a in c.get_arguments()
+                        )
+                        if has_mut:
+                            callees.add(ref.get_usr())
+
+    tus = []
+    for p in paths:
+        args = args_by_file.get(os.path.normpath(os.path.abspath(p)), default_args)
+        try:
+            tu = index.parse(p, args=args)
+        except cindex.TranslationUnitLoadError:
+            print(f"gclint: libclang failed to parse {p}", file=sys.stderr)
+            continue
+        tus.append((tu, p))
+        walk_tu(tu, p)
+
+    changed = True
+    while changed:
+        changed = False
+        for usr, callees in calls.items():
+            if not polls.get(usr) and any(polls.get(c) for c in callees):
+                polls[usr] = True
+                changed = True
+
+    def has_gc_unsafe(cur):
+        return any(
+            ch.kind == cindex.CursorKind.ANNOTATE_ATTR
+            and ch.spelling == "mgc::gc_unsafe"
+            for ch in cur.get_children()
+        )
+
+    def poll_offsets(cur, usr):
+        offs = []
+        for c in cur.walk_preorder():
+            if c.kind != cindex.CursorKind.CALL_EXPR:
+                continue
+            ref = c.referenced
+            if ref is None:
+                continue
+            is_poll = (
+                ref.spelling in POLLING_METHODS
+                and ref.semantic_parent is not None
+                and ref.semantic_parent.spelling == "Mutator"
+            ) or ref.spelling in POLLING_CTORS
+            if not is_poll:
+                ru = ref.get_usr()
+                if polls.get(ru) and any(
+                    is_mutator_type(a.type) for a in c.get_arguments()
+                ):
+                    is_poll = True
+            if is_poll:
+                offs.append(c.extent.end.offset)
+        return sorted(offs)
+
+    # Pass 2: the three checks.
+    for cur, usr, path in fn_nodes:
+        src_lines_suppress = _suppress_map(path)
+        gc_unsafe_file = _is_unsafe_file(path)
+        mutator_file = is_mutator_file(path)
+        unsafe = has_gc_unsafe(cur)
+        offs = poll_offsets(cur, usr)
+
+        if mutator_file and not unsafe and not gc_unsafe_file and offs:
+            # raw-across-safepoint: Obj* locals/params, linear offset order.
+            for c in cur.walk_preorder():
+                if c.kind not in (
+                    cindex.CursorKind.VAR_DECL,
+                    cindex.CursorKind.PARM_DECL,
+                ):
+                    continue
+                t = c.type
+                if t.kind != cindex.TypeKind.POINTER:
+                    continue
+                if t.get_pointee().spelling.replace("const ", "").strip() not in (
+                    "Obj",
+                    "mgc::Obj",
+                ):
+                    continue
+                def_off = c.extent.end.offset
+                uses = [
+                    r.extent.start.offset
+                    for r in cur.walk_preorder()
+                    if r.kind == cindex.CursorKind.DECL_REF_EXPR
+                    and r.referenced == c
+                ]
+                for u in sorted(uses):
+                    p = next((x for x in offs if def_off < x < u), None)
+                    if p is not None:
+                        line = _line_of(path, u)
+                        if not _sup(src_lines_suppress, line, CHECK_RAW):
+                            findings.append(
+                                Finding(
+                                    path,
+                                    line,
+                                    CHECK_RAW,
+                                    f"raw Obj* '{c.spelling}' used after a "
+                                    f"safepoint poll; hold it in a Local",
+                                )
+                            )
+                        break
+
+        if mutator_file and not unsafe and not gc_unsafe_file:
+            for c in cur.walk_preorder():
+                if c.kind != cindex.CursorKind.CALL_EXPR:
+                    continue
+                ref = c.referenced
+                if ref is None:
+                    continue
+                bad = None
+                if ref.spelling == "set_ref_raw":
+                    bad = "Obj::set_ref_raw bypasses the write barrier"
+                elif (
+                    ref.spelling == "store"
+                    and ref.semantic_parent is not None
+                    and "atomic" in ref.semantic_parent.spelling
+                ):
+                    toks = " ".join(
+                        t.spelling for t in c.get_tokens()
+                    )
+                    if "refs" in toks:
+                        bad = "raw RefSlot::store bypasses the write barrier"
+                if bad:
+                    line = c.location.line
+                    if not _sup(src_lines_suppress, line, CHECK_BARRIER):
+                        findings.append(Finding(path, line, CHECK_BARRIER, bad))
+
+        # alloc-under-gc-lock, all files.
+        if offs:
+            for c in cur.walk_preorder():
+                if c.kind != cindex.CursorKind.VAR_DECL:
+                    continue
+                ts = c.type.spelling
+                if not any(w in ts for w in LOCK_WRAPPERS) or "SpinLock" not in ts:
+                    continue
+                start = c.extent.end.offset
+                parent_end = cur.extent.end.offset
+                for p in offs:
+                    if start < p < parent_end:
+                        line = _line_of(path, p)
+                        if not _sup(src_lines_suppress, line, CHECK_LOCK):
+                            findings.append(
+                                Finding(
+                                    path,
+                                    line,
+                                    CHECK_LOCK,
+                                    "allocation / safepoint poll while holding "
+                                    "a GC-internal SpinLock",
+                                )
+                            )
+                        break
+    return findings
+
+
+_file_cache = {}
+
+
+def _file_text(path):
+    if path not in _file_cache:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            _file_cache[path] = f.read()
+    return _file_cache[path]
+
+
+def _line_of(path, offset):
+    return _file_text(path).count("\n", 0, offset) + 1
+
+
+def _suppress_map(path):
+    sup = {}
+    for i, ln in enumerate(_file_text(path).splitlines(), 1):
+        for m in SUPPRESS_RE.finditer(ln):
+            sup.setdefault(i, set()).add(m.group(1))
+        for m in SUPPRESS_MACRO_RE.finditer(ln):
+            sup.setdefault(i, set()).add(m.group(1))
+    return sup
+
+
+def _sup(sup, line, check):
+    return any(check in sup.get(ln, ()) for ln in (line, line - 1))
+
+
+def _is_unsafe_file(path):
+    return UNSAFE_FILE_RE.search(_file_text(path)) is not None
+
+
+# --- driver -----------------------------------------------------------------
+
+
+def gather_files(root):
+    out = []
+    for base in ("src",):
+        for dirpath, _, names in os.walk(os.path.join(root, base)):
+            for n in sorted(names):
+                if n.endswith((".cpp", ".h", ".cc", ".hpp")):
+                    out.append(os.path.join(dirpath, n))
+    return out
+
+
+def self_test(engine, root):
+    corpus = os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+    files = sorted(
+        os.path.join(corpus, f) for f in os.listdir(corpus) if f.endswith(".cpp")
+    )
+    expected = set()
+    for p in files:
+        with open(p) as f:
+            for i, ln in enumerate(f, 1):
+                m = EXPECT_RE.search(ln)
+                if m:
+                    expected.add((p, i, m.group(1)))
+    findings = run_engine(engine, files, root, None)
+    if findings is None:
+        return 2
+    got = {f.key() for f in findings}
+    ok = True
+    for miss in sorted(expected - got):
+        print(f"SELF-TEST FAIL: expected finding not reported: "
+              f"{miss[0]}:{miss[1]} [{miss[2]}]")
+        ok = False
+    for extra in sorted(got - expected):
+        print(f"SELF-TEST FAIL: unexpected finding: {extra[0]}:{extra[1]} "
+              f"[{extra[2]}]")
+        ok = False
+    n_bad = len(expected)
+    n_good = sum(1 for p in files if "good_" in os.path.basename(p))
+    if ok:
+        print(
+            f"gclint self-test OK ({engine} engine): {n_bad} seeded violations "
+            f"flagged, {n_good} known-good files clean"
+        )
+        return 0
+    return 1
+
+
+def run_engine(engine, files, root, compile_commands):
+    if engine == "libclang":
+        return run_libclang(files, root, compile_commands)
+    return run_lex(files, root)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("files", nargs="*", help="files to lint (default: sweep --root)")
+    ap.add_argument("--root", default=".", help="repo root (default: cwd)")
+    ap.add_argument(
+        "--engine",
+        choices=("auto", "lex", "libclang"),
+        default="auto",
+        help="analysis engine (auto prefers libclang when available)",
+    )
+    ap.add_argument(
+        "--compile-commands",
+        default=None,
+        help="compile_commands.json for the libclang engine "
+        "(default: <root>/build/compile_commands.json)",
+    )
+    ap.add_argument("--self-test", action="store_true", help="run the corpus")
+    args = ap.parse_args()
+
+    engine = args.engine
+    if engine == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+
+            engine = "libclang"
+        except ImportError:
+            engine = "lex"
+
+    cc = args.compile_commands or os.path.join(
+        args.root, "build", "compile_commands.json"
+    )
+
+    if args.self_test:
+        sys.exit(self_test(engine, args.root))
+
+    files = args.files or gather_files(args.root)
+    findings = run_engine(engine, files, args.root, cc)
+    if findings is None:
+        print("gclint: engine unavailable", file=sys.stderr)
+        sys.exit(2)
+    for f in sorted(findings, key=lambda x: (x.path, x.line)):
+        print(f)
+    if findings:
+        print(f"gclint ({engine}): {len(findings)} violation(s)")
+        sys.exit(1)
+    print(f"gclint ({engine}): {len(files)} file(s) clean")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()
