@@ -15,8 +15,12 @@ int main() {
               << " ---\n";
     Table summary(std::string("xalan pause summary, system GC ") +
                   (system_gc ? "on" : "off"));
+    // The three failure columns stay zero on a healthy run; non-zero counts
+    // mean the cascade engaged (degraded-mode pauses are part of the
+    // timeline, so a fault experiment reads straight off this table).
     summary.header({"GC", "pauses", "full", "max pause (ms)", "avg pause (ms)",
                     "roots (us)", "cards (us)", "evac (us)",
+                    "promo-fail", "cms-fail", "evac-fail",
                     "total exec (s)"});
     for (GcKind gc : all_gc_kinds()) {
       HarnessOptions opts;
@@ -30,6 +34,7 @@ int main() {
       // averaged over the run's young pauses). The classic scavengers
       // report it; collectors without the breakdown print zeros.
       RunningStats roots_us, cards_us, evac_us;
+      GcFailureCounters fails;
       for (const PauseEvent& e : res.pause_events) {
         pts.push_back({ns_to_s(e.start_ns - res.vm_origin_ns),
                        e.duration_ms()});
@@ -38,6 +43,9 @@ int main() {
           cards_us.add(static_cast<double>(e.phases.card_scan_ns) / 1e3);
           evac_us.add(static_cast<double>(e.phases.evac_drain_ns) / 1e3);
         }
+        fails.promotion_failures += e.failures.promotion_failures;
+        fails.concurrent_mode_failures += e.failures.concurrent_mode_failures;
+        fails.evacuation_failures += e.failures.evacuation_failures;
       }
       print_series(std::cout,
                    std::string(gc_name(gc)) + (system_gc ? "/sysgc" : "/nosysgc"),
@@ -48,6 +56,9 @@ int main() {
                    Table::num(res.pauses.avg_s * 1e3),
                    Table::num(roots_us.mean(), 1), Table::num(cards_us.mean(), 1),
                    Table::num(evac_us.mean(), 1),
+                   std::to_string(fails.promotion_failures),
+                   std::to_string(fails.concurrent_mode_failures),
+                   std::to_string(fails.evacuation_failures),
                    Table::num(res.total_s, 3)});
     }
     summary.print(std::cout);

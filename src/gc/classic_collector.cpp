@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/vm.h"
+#include "support/fault.h"
 
 namespace mgc {
 
@@ -50,7 +51,11 @@ PauseOutcome ClassicCollector::collect_young(GcCause cause) {
     // HotSpot semantics: finish with a full collection in the same pause.
     // The aborted cycle's copied volume is unrepresentative — skip the
     // PLAB EWMA update.
-    out = run_full(escalate_cause(GcCause::kPromotionFailure));
+    const GcCause escalated = escalate_cause(GcCause::kPromotionFailure);
+    out = run_full(escalated);
+    out.failures.promotion_failures = 1;
+    if (escalated == GcCause::kConcurrentModeFailure)
+      out.failures.concurrent_mode_failures = 1;
     return out;
   }
 
@@ -105,8 +110,39 @@ BarrierDescriptor ClassicCollector::barrier_descriptor() {
   bd.kind = BarrierDescriptor::Kind::kCardTable;
   bd.card_table = &heap_.cards();
   bd.old_base = heap_.old_base();
-  bd.old_end = heap_.old_end();
+  // old_limit, not old_end: descriptors are cached per mutator, and the
+  // old generation may expand while they are live. Nothing is ever
+  // allocated between old_end and old_limit before an expansion commits
+  // the range, so the wider test only dirties cards that matter.
+  bd.old_end = heap_.old_limit();
   return bd;
+}
+
+bool ClassicCollector::try_expand(std::size_t min_bytes) {
+  if (heap_.old_reserve_available() == 0) return false;
+  if (fault::should_fire(fault::Site::kHeapExpand)) return false;
+  bool grew = false;
+  vm_.run_vm_op(GcCause::kAllocFailure, true, [&]() -> PauseOutcome {
+    // Grow by at least one quantum so repeated ladder trips don't
+    // nickel-and-dime the reserve into fragments.
+    const std::size_t quantum = std::max(min_bytes, std::size_t{1} * MiB);
+    grew = heap_.expand_old(quantum) > 0;
+    PauseOutcome out;
+    out.kind = PauseKind::kHeapExpand;
+    out.cause = GcCause::kAllocFailure;
+    out.skipped = !grew;
+    return out;
+  });
+  return grew;
+}
+
+std::size_t ClassicCollector::max_alloc_bytes() const {
+  // Largest single allocation that could ever succeed: the whole old
+  // generation after maximal expansion (the large-object path), or half
+  // the eden (the young path), whichever is larger.
+  const std::size_t old_max =
+      heap_.old_capacity() + heap_.old_reserve_available();
+  return std::max(old_max, heap_.eden().capacity() / 2);
 }
 
 }  // namespace mgc

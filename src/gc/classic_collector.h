@@ -29,6 +29,10 @@ class ClassicCollector : public Collector {
   bool contains(const void* p) const override { return heap_.contains(p); }
   BarrierDescriptor barrier_descriptor() override;
 
+  // --- degraded-mode support -------------------------------------------------
+  bool try_expand(std::size_t min_bytes) override;
+  std::size_t max_alloc_bytes() const override;
+
   ClassicHeap& heap() { return heap_; }
 
  protected:

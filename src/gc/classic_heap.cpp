@@ -5,7 +5,8 @@
 namespace mgc {
 
 ClassicHeap::ClassicHeap(const VmConfig& cfg, bool free_list_old)
-    : free_list_old_(free_list_old), arena_(cfg.heap_bytes) {
+    : free_list_old_(free_list_old),
+      arena_(cfg.heap_bytes + cfg.heap_reserve_bytes) {
   const std::size_t survivor = cfg.survivor_bytes();
   const std::size_t eden_sz = cfg.eden_bytes();
   char* p = arena_.base();
@@ -20,21 +21,42 @@ ClassicHeap::ClassicHeap(const VmConfig& cfg, bool free_list_old)
   young_base_ = arena_.base();
   young_end_ = p;
 
-  const auto old_sz = static_cast<std::size_t>(arena_.end() - p);
+  // The old generation commits [p, base + heap_bytes); the reserve tail
+  // [old_end_, arena_.end()) stays uncommitted until expand_old. Both side
+  // tables cover the whole reservation so expansion never resizes them.
+  char* committed_end = arena_.base() + cfg.heap_bytes;
+  const auto old_sz = static_cast<std::size_t>(committed_end - p);
+  const auto old_max = static_cast<std::size_t>(arena_.end() - p);
   MGC_CHECK(old_sz >= 16 * KiB);
   old_base_ = p;
-  old_end_ = arena_.end();
+  old_end_ = committed_end;
 
-  old_bot_.initialize(old_base_, old_sz);
+  old_bot_.initialize(old_base_, old_max);
   if (free_list_old_) {
     cms_old_.initialize("cms-old", p, old_sz, &old_bot_);
-    cms_bits_.initialize(old_base_, old_sz);
+    cms_bits_.initialize(old_base_, old_max);
     cms_old_.set_live_bitmap(&cms_bits_);
   } else {
     old_.initialize("old", p, old_sz);
   }
 
   cards_.initialize(arena_.base(), arena_.size());
+}
+
+std::size_t ClassicHeap::expand_old(std::size_t bytes) {
+  bytes = align_up(bytes, kObjAlignment);
+  const std::size_t avail = old_reserve_available();
+  std::size_t grow = bytes < avail ? bytes : avail;
+  grow &= ~(kObjAlignment - 1);  // a partial final grab stays aligned
+  if (grow == 0) return 0;
+  if (free_list_old_) {
+    if (grow / kWordSize < FreeListSpace::kMinChunkWords) return 0;
+    cms_old_.expand(grow);
+  } else {
+    old_.expand(grow);
+  }
+  old_end_ += grow;
+  return grow;
 }
 
 char* ClassicHeap::old_alloc(std::size_t bytes) {

@@ -47,6 +47,10 @@ class ClassicHeap {
   char* young_end() const { return young_end_; }
   char* old_base() const { return old_base_; }
   char* old_end() const { return old_end_; }
+  // Farthest the old generation can ever grow (committed end + reserve).
+  // The write barrier uses this, not old_end(), so cached per-mutator
+  // barrier descriptors stay correct across expansion.
+  char* old_limit() const { return arena_.end(); }
 
   bool in_young(const void* p) const {
     const char* c = static_cast<const char*>(p);
@@ -67,6 +71,15 @@ class ClassicHeap {
   std::size_t old_free() const;
   std::size_t young_used() const;
   std::size_t young_capacity() const;
+
+  // Uncommitted reservation still available for expansion.
+  std::size_t old_reserve_available() const {
+    return static_cast<std::size_t>(arena_.end() - old_end_);
+  }
+  // Grows the old generation by up to `bytes` (clamped to the remaining
+  // reserve). Pause-time only: in_old()/old_end() readers must not race.
+  // Returns the number of bytes actually committed.
+  std::size_t expand_old(std::size_t bytes);
 
   // Walks every old-generation cell in address order (pause-time only).
   void walk_old(const std::function<void(Obj*)>& fn) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "runtime/vm.h"
+#include "support/fault.h"
 
 namespace mgc {
 namespace {
@@ -159,6 +160,7 @@ bool CmsGc::concurrent_preclean() {
   const std::size_t last = cards.index_of(heap_.old_end() - 1) + 1;
   for (std::size_t blk = first; blk < last; blk += kBlockCards) {
     vm_.safepoints().poll();
+    maybe_inject_concurrent_failure();
     if (abort_cycle_.load(std::memory_order_acquire)) return false;
     const std::size_t blk_end = std::min(last, blk + kBlockCards);
     cards.visit_dirty(blk, blk_end, [&](std::size_t idx) {
@@ -227,6 +229,27 @@ PauseOutcome CmsGc::do_remark() {
   return out;
 }
 
+bool CmsGc::maybe_inject_concurrent_failure() {
+  if (!fault::should_fire(fault::Site::kCmsConcurrentFail)) return false;
+  vm_.run_vm_op(GcCause::kConcurrentModeFailure, /*caller_is_registered=*/true,
+                [this]() -> PauseOutcome {
+                  // The cycle may have been aborted by a real concurrent
+                  // mode failure between the fire and this pause.
+                  if (!cycle_active_.load(std::memory_order_relaxed)) {
+                    PauseOutcome out;
+                    out.skipped = true;
+                    return out;
+                  }
+                  cm_failures_.fetch_add(1, std::memory_order_acq_rel);
+                  // run_full -> before_full_compact aborts this cycle, so
+                  // the concurrent caller bails at its next aborted() check.
+                  PauseOutcome out = run_full(GcCause::kConcurrentModeFailure);
+                  out.failures.concurrent_mode_failures = 1;
+                  return out;
+                });
+  return true;
+}
+
 void CmsGc::bg_main() {
   SafepointCoordinator& sp = vm_.safepoints();
   sp.register_thread();
@@ -259,6 +282,7 @@ void CmsGc::run_cycle() {
   // Concurrent mark: trace the old generation while mutators run.
   while (true) {
     vm_.safepoints().poll();
+    maybe_inject_concurrent_failure();
     if (aborted()) {
       mark_stack_.clear();
       return;
@@ -292,6 +316,7 @@ void CmsGc::run_cycle() {
   heap_.cms_old().begin_sweep();
   while (true) {
     vm_.safepoints().poll();
+    maybe_inject_concurrent_failure();
     if (aborted()) {
       if (heap_.cms_old().sweep_in_progress()) heap_.cms_old().abort_sweep();
       return;

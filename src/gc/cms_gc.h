@@ -53,6 +53,11 @@ class CmsGc final : public ClassicCollector {
  private:
   void bg_main();
   void run_cycle();
+  // kCmsConcurrentFail fault site: when armed and fired, runs the serial
+  // mark-sweep-compact in a pause exactly as a mid-cycle promotion failure
+  // would, aborting the concurrent cycle. Checked between batches of every
+  // concurrent phase (mark, preclean, sweep). Returns true if it fired.
+  bool maybe_inject_concurrent_failure();
 
   // Pause bodies (run on the VM thread).
   PauseOutcome do_initial_mark();

@@ -60,21 +60,32 @@ FullCompactResult full_compact(const FullCompactConfig& cfg) {
 
   // Phase 2 (serial): assign forwarding addresses in compaction order and
   // collect the live list. Sources: old generation first, then the young
-  // spaces; destinations: old generation, then eden, then survivors.
-  // Destinations are old gen then eden only: eden-resident survivors are
-  // re-evacuated by the next young collection, but objects left in a
-  // survivor space would be invisible to future scavenges, so a live set
-  // exceeding old+eden is a (fatal) out-of-memory condition.
+  // spaces; destinations: old generation, then eden, then from-space.
+  // Eden- and from-resident spill is re-evacuated by the next young
+  // collection (the scavenge sources are exactly eden + from-space), so
+  // both are legal overflow targets when a promotion-failure pile-up
+  // pushes the live set past old+eden. Only to-space must stay empty — and
+  // it always is outside a scavenge (the post-scavenge swap drains it), so
+  // a live set exceeding old+eden+from cannot occur; the cursor check
+  // below is a backstop for that impossible state, not a policy.
+  //
+  // Slide safety with the from-space range: old sources always fit in the
+  // old range and eden sources in old+eden (live <= used per space), so
+  // only from/to sources can be assigned from-space destinations — and
+  // those are processed after every from-space source has itself been
+  // assigned (and, in the slide, moved) in the same order.
   DestinationCursor dest;
   dest.add_range(heap.old_base(), heap.old_end());
   dest.add_range(heap.eden().base(), heap.eden().end());
+  dest.add_range(heap.from_space().base(), heap.from_space().end());
   // The slide writes through these raw ranges, bypassing the space
   // allocators: past the current tops and (for CMS) through poisoned
-  // free-chunk payloads. Re-admit both destination ranges wholesale; the
+  // free-chunk payloads. Re-admit the destination ranges wholesale; the
   // phase-5 boundary commit re-zaps whatever ends up dead.
   poison::unpoison(heap.old_base(),
                    static_cast<std::size_t>(heap.old_end() - heap.old_base()));
   poison::unpoison(heap.eden().base(), heap.eden().capacity());
+  poison::unpoison(heap.from_space().base(), heap.from_space().capacity());
 
   std::vector<Obj*> live;
   live.reserve(marked.live_objects);
@@ -82,7 +93,8 @@ FullCompactResult full_compact(const FullCompactConfig& cfg) {
     if (!o->is_marked()) return;
     char* d = dest.alloc(o->size_bytes());
     MGC_CHECK_MSG(d != nullptr,
-                  "OutOfMemory: live data exceeds old generation + eden");
+                  "live data exceeds old+eden+from: to-space held objects "
+                  "outside a scavenge");
     o->set_forward(reinterpret_cast<Obj*>(d));
     live.push_back(o);
   };
@@ -173,7 +185,7 @@ FullCompactResult full_compact(const FullCompactConfig& cfg) {
     heap.old_space().set_top(old_top);
   }
   heap.eden().set_top(dest.level(1));
-  heap.from_space().reset();
+  heap.from_space().set_top(dest.level(2));
   heap.to_space().reset();
 
   FullCompactResult res;

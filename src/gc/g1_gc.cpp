@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "gc/marking.h"
 #include "gc/parallel_work.h"
 #include "gc/plab.h"
 #include "heap/poison.h"
 #include "runtime/vm.h"
+#include "support/fault.h"
 
 namespace mgc {
 namespace {
@@ -183,13 +186,22 @@ struct G1EvacShared {
     const std::uint8_t age = o->age();
     char* dest = nullptr;
     bool to_old = false;
-    if (age < tenuring) {
-      dest = wk.surv_plab.alloc_refill(
-          bytes, [&](std::size_t b) { return surv_alloc.alloc(b); });
+    // kG1EvacFail forces this object down the to-space-exhausted path
+    // without consuming any destination region.
+    const bool forced_fail = fault::should_fire(fault::Site::kG1EvacFail);
+    if (!forced_fail && age < tenuring) {
+      dest = fault::should_fire(fault::Site::kPlabRefill)
+                 ? nullptr
+                 : wk.surv_plab.alloc_refill(bytes, [&](std::size_t b) {
+                     return surv_alloc.alloc(b);
+                   });
     }
-    if (dest == nullptr) {
-      dest = wk.old_plab.alloc_refill(
-          bytes, [&](std::size_t b) { return old_alloc.alloc(b); });
+    if (!forced_fail && dest == nullptr) {
+      dest = fault::should_fire(fault::Site::kOldAlloc)
+                 ? nullptr
+                 : wk.old_plab.alloc_refill(bytes, [&](std::size_t b) {
+                     return old_alloc.alloc(b);
+                   });
       to_old = dest != nullptr;
     }
     if (dest == nullptr) {
@@ -334,6 +346,11 @@ PauseOutcome G1Gc::evacuate_pause(GcCause cause, bool initial_mark) {
 
   const std::int64_t t0 = now_ns();
   auto worker_body = [&](int w) {
+    // Simulated slow worker: stretches the pause without touching heap
+    // state (the pause's critical path is its slowest worker).
+    if (fault::should_fire(fault::Site::kGcWorkerStall)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     EvacWorker wk(8 * KiB, &bot_);
     std::size_t b, e;
     while (root_claimer.claim(&b, &e)) {
@@ -406,9 +423,12 @@ PauseOutcome G1Gc::evacuate_pause(GcCause cause, bool initial_mark) {
   PauseOutcome out;
   out.kind = initial_mark ? PauseKind::kInitialMark
                           : (mixed ? PauseKind::kMixedGc : PauseKind::kYoungGc);
-  out.cause = sh.any_failure.load(std::memory_order_acquire)
-                  ? GcCause::kEvacuationFailure
-                  : cause;
+  if (sh.any_failure.load(std::memory_order_acquire)) {
+    out.cause = GcCause::kEvacuationFailure;
+    out.failures.evacuation_failures = 1;
+  } else {
+    out.cause = cause;
+  }
   out.full = false;
   return out;
 }

@@ -50,6 +50,11 @@ class G1Gc final : public Collector {
   HeapUsage usage() const override;
   bool contains(const void* p) const override { return rm_.contains(p); }
   BarrierDescriptor barrier_descriptor() override;
+  // Optimistic ceiling: a humongous allocation spanning every region. No
+  // expansion support (try_expand stays false — the region count is fixed).
+  std::size_t max_alloc_bytes() const override {
+    return rm_.num_regions() * rm_.region_bytes();
+  }
 
   void start_background() override;
   void stop_background() override;

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "gc/parallel_work.h"
 #include "gc/plab.h"
 #include "runtime/vm.h"
 #include "support/clock.h"
+#include "support/fault.h"
 
 namespace mgc {
 namespace {
@@ -74,14 +77,24 @@ Obj* evacuate(Shared& sh, Worker& wk, int w, Obj* o) {
 
   char* dest_mem = nullptr;
   bool promoted = false;
-  if (age < sh.cfg.tenuring_threshold) {
-    dest_mem = wk.to_plab.alloc_refill(
-        bytes, [&](std::size_t b) { return sh.heap.to_space().par_alloc(b); });
+  // kPromotionFail forces this object down the failure path without
+  // touching either destination space — the deterministic analogue of a
+  // genuinely exhausted to-space + old generation.
+  const bool forced_fail = fault::should_fire(fault::Site::kPromotionFail);
+  if (!forced_fail && age < sh.cfg.tenuring_threshold) {
+    dest_mem = fault::should_fire(fault::Site::kPlabRefill)
+                   ? nullptr
+                   : wk.to_plab.alloc_refill(bytes, [&](std::size_t b) {
+                       return sh.heap.to_space().par_alloc(b);
+                     });
   }
-  if (dest_mem == nullptr) {
+  if (!forced_fail && dest_mem == nullptr) {
     // Tenured by age, or survivor overflow: promote to the old generation.
-    dest_mem = wk.old_plab.alloc_refill(
-        bytes, [&](std::size_t b) { return sh.heap.old_alloc(b); });
+    dest_mem = fault::should_fire(fault::Site::kOldAlloc)
+                   ? nullptr
+                   : wk.old_plab.alloc_refill(bytes, [&](std::size_t b) {
+                       return sh.heap.old_alloc(b);
+                     });
     promoted = dest_mem != nullptr;
   }
   if (dest_mem == nullptr) {
@@ -239,6 +252,12 @@ ScavengeResult scavenge(const ScavengeConfig& cfg) {
   ChunkClaimer strip_claimer(sh.last_card - sh.first_card, kCardsPerStrip);
 
   auto worker_body = [&](int w) {
+    // Simulated slow worker: the pause's critical path is its slowest
+    // worker, so a stall here stretches the pause without touching any
+    // heap state (the fingerprint stays deterministic).
+    if (fault::should_fire(fault::Site::kGcWorkerStall)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
     // The free-list old generation uses parsable PLABs: concurrent card
     // scanners may walk the space while promotion carves it up, so the
     // PLAB keeps its unused tail covered by a filler at every step.

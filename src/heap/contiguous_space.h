@@ -36,6 +36,10 @@ class ContiguousSpace {
   // Unsynchronized bump allocation for serial GC phases.
   char* serial_alloc(std::size_t bytes);
 
+  // Grows the space by `bytes`; the caller owns the backing memory beyond
+  // the current end. Pause-time only: readers of end() must not race.
+  void expand(std::size_t bytes) { end_ += bytes; }
+
   // Drops everything; debug/ASan builds zap the vacated range.
   void reset();
   // Used by compaction, which rebuilds the space contents in place. A

@@ -183,6 +183,14 @@ void FreeListSpace::free_chunk(char* start, std::size_t bytes) {
     free_bytes_.fetch_add(bytes, std::memory_order_acq_rel);
 }
 
+void FreeListSpace::expand(std::size_t bytes) {
+  MGC_CHECK(bytes % kObjAlignment == 0);
+  MGC_CHECK(bytes / kWordSize >= kMinChunkWords);
+  char* start = end_;
+  end_ = start + bytes;
+  free_chunk(start, bytes);
+}
+
 void FreeListSpace::walk(const std::function<void(Obj*)>& fn) const {
   char* cur = base_;
   while (cur < end_) {

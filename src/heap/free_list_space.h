@@ -72,6 +72,11 @@ class FreeListSpace {
   // Inserts [start, start+bytes) as free. Small remainders become fillers.
   void free_chunk(char* start, std::size_t bytes);
 
+  // Grows the space by `bytes` past the current end (caller owns the
+  // backing memory) and inserts the new range as one free chunk.
+  // Pause-time only: readers of end() must not race the update.
+  void expand(std::size_t bytes);
+
   // Walks all cells in address order. Only valid inside a pause.
   void walk(const std::function<void(Obj*)>& fn) const;
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "kvstore/row_codec.h"
+#include "support/fault.h"
 
 namespace mgc::kv {
 
@@ -14,10 +15,30 @@ CommitLog::CommitLog(Vm& vm, std::size_t segment_bytes,
   active_root_ = vm.create_global_root();
   Vm::MutatorScope scope(vm, "commitlog-init");
   vm.set_global_root(active_root_, managed::list::create(scope.mutator()));
+  // Last-ditch memory pressure: drop every archived segment ("already on
+  // disk") before the VM declares OutOfMemory. Runs on the allocating
+  // mutator's thread between collections, so it must not touch the managed
+  // heap and must not block on mu_ — a holder of mu_ may be parked inside a
+  // GC pause, and waiting here would keep this mutator out of the safepoint
+  // that pause needs. try_lock and walk away instead (best effort).
+  pressure_hook_id_ = vm.add_memory_pressure_hook([this] {
+    std::unique_lock<std::mutex> l(mu_, std::try_to_lock);
+    if (!l.owns_lock()) return;
+    while (!archived_.empty()) {
+      auto [root, seg_bytes] = archived_.front();
+      archived_.erase(archived_.begin());
+      vm_.set_global_root(root, nullptr);
+      free_roots_.push_back(root);
+      bytes_.fetch_sub(seg_bytes, std::memory_order_acq_rel);
+    }
+  });
 }
 
-void CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
+CommitLog::~CommitLog() { vm_.remove_memory_pressure_hook(pressure_hook_id_); }
+
+bool CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
                        std::size_t value_len) {
+  if (fault::should_fire(fault::Site::kCommitLogWrite)) return false;
   // Build the record before taking the log lock.
   Local record(m, encode_row(m, key, /*version=*/0, value, value_len));
   const std::size_t rec_bytes = row_heap_bytes(value_len) + 48;  // + list node
@@ -28,6 +49,7 @@ void CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
   active_bytes_ += rec_bytes;
   bytes_.fetch_add(rec_bytes, std::memory_order_acq_rel);
   if (active_bytes_ >= segment_bytes_) rotate_locked(m);
+  return true;
 }
 
 void CommitLog::rotate_locked(Mutator& m) {

@@ -18,10 +18,14 @@ namespace mgc::kv {
 class CommitLog {
  public:
   CommitLog(Vm& vm, std::size_t segment_bytes, std::size_t retention_bytes);
+  ~CommitLog();
 
   // Appends a mutation record; rotates the segment when full and drops the
-  // oldest segments beyond the retention budget. May GC.
-  void append(Mutator& m, std::uint64_t key, const char* value,
+  // oldest segments beyond the retention budget. May GC. Returns false —
+  // without mutating the log — when the write is refused (fault site
+  // kCommitLogWrite models a failed/slow log device); callers surface that
+  // as a retryable failure rather than asserting.
+  bool append(Mutator& m, std::uint64_t key, const char* value,
               std::size_t value_len);
 
   // Drops all segments (after a memtable flush made them redundant).
@@ -57,6 +61,10 @@ class CommitLog {
   std::vector<std::pair<std::size_t, std::size_t>> archived_;  // root, bytes
   std::vector<std::size_t> free_roots_;
   std::atomic<std::size_t> bytes_{0};
+  // Registered with the Vm: the last-ditch collection rung drops archived
+  // segments ("flushed to disk") before declaring OutOfMemory — the
+  // SoftReference-clearing analogue of this heap.
+  std::size_t pressure_hook_id_ = 0;
 };
 
 }  // namespace mgc::kv

@@ -1,6 +1,7 @@
 #include "kvstore/server.h"
 
 #include "support/env.h"
+#include "support/fault.h"
 
 namespace mgc::kv {
 
@@ -30,10 +31,24 @@ void Server::shutdown() {
   MGC_CHECK_MSG(queue_.empty(), "server stopped with queued requests");
 }
 
+bool Server::under_gc_pressure() const {
+  const HeapUsage u = vm_.usage();
+  return u.used > (u.capacity / 100) * 95;
+}
+
 Response Server::execute(const Request& req) {
   Pending p;
   p.req = req;
   std::unique_lock<std::mutex> l(mu_);
+  // Load shedding: a full queue is normally back-pressured by blocking, but
+  // when the heap is also near capacity every queued request deepens the
+  // collection spiral. Reject immediately with a typed status instead.
+  if (fault::should_fire(fault::Site::kKvQueueFull) ||
+      (queue_.size() >= capacity_ && under_gc_pressure())) {
+    Response r;
+    r.status = ExecStatus::kOverloaded;
+    return r;
+  }
   space_cv_.wait(l, [&] { return queue_.size() < capacity_ || stopping_; });
   if (stopping_) {
     Response r;
@@ -46,7 +61,7 @@ Response Server::execute(const Request& req) {
   return p.resp;
 }
 
-bool Server::try_submit(const Request& req, CompletionFn done) {
+SubmitResult Server::try_submit(const Request& req, CompletionFn done) {
   auto* p = new Pending;
   p->req = req;
   p->completion = std::move(done);
@@ -54,12 +69,17 @@ bool Server::try_submit(const Request& req, CompletionFn done) {
     std::lock_guard<std::mutex> g(mu_);
     if (stopping_) {
       delete p;
-      return false;
+      return SubmitResult::kShutdown;
+    }
+    if (fault::should_fire(fault::Site::kKvQueueFull) ||
+        (queue_.size() >= capacity_ && under_gc_pressure())) {
+      delete p;
+      return SubmitResult::kOverloaded;
     }
     queue_.push_back(p);
   }
   queue_cv_.notify_one();
-  return true;
+  return SubmitResult::kAccepted;
 }
 
 void Server::worker_main(int idx) {
@@ -84,24 +104,31 @@ void Server::worker_main(int idx) {
     }
 
     Response resp;
-    switch (p->req.op) {
-      case OpType::kRead: {
-        std::size_t len = 0;
-        resp.found = store_.get(m, p->req.key, scratch.data(), scratch.size(),
-                                &len);
-        break;
-      }
-      case OpType::kUpdate:
-      case OpType::kInsert: {
-        const std::size_t len = std::min(p->req.value_len, scratch.size());
-        // Deterministic value bytes derived from the key.
-        for (std::size_t i = 0; i < std::min<std::size_t>(len, 16); ++i) {
-          scratch[i] = static_cast<char>(p->req.key >> (i % 8));
+    try {
+      switch (p->req.op) {
+        case OpType::kRead: {
+          std::size_t len = 0;
+          resp.found = store_.get(m, p->req.key, scratch.data(),
+                                  scratch.size(), &len);
+          break;
         }
-        store_.put(m, p->req.key, scratch.data(), len);
-        resp.found = true;
-        break;
+        case OpType::kUpdate:
+        case OpType::kInsert: {
+          const std::size_t len = std::min(p->req.value_len, scratch.size());
+          // Deterministic value bytes derived from the key.
+          for (std::size_t i = 0; i < std::min<std::size_t>(len, 16); ++i) {
+            scratch[i] = static_cast<char>(p->req.key >> (i % 8));
+          }
+          resp.found = store_.put(m, p->req.key, scratch.data(), len);
+          if (!resp.found) resp.status = ExecStatus::kOverloaded;
+          break;
+        }
       }
+    } catch (const OutOfMemoryError&) {
+      // The allocation ladder ran dry mid-request. The request is lost but
+      // the worker survives: degrade to a typed rejection, don't die.
+      resp.found = false;
+      resp.status = ExecStatus::kOverloaded;
     }
     completed_.fetch_add(1, std::memory_order_acq_rel);
 

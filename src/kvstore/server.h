@@ -12,9 +12,12 @@
 //   * try_submit() — asynchronous, used by the net::NetServer front-end;
 //                    enqueues and returns immediately, the completion
 //                    callback runs on the worker thread. Async submissions
-//                    are not gated on queue_capacity — the net layer
-//                    applies its own bounded in-flight admission control
-//                    and must not block its event loop here.
+//                    are not flow-controlled on queue_capacity — the net
+//                    layer applies its own bounded in-flight admission
+//                    control and must not block its event loop here — but
+//                    both paths SHED (kOverloaded) when the queue is full
+//                    while the heap is near capacity, so a GC death spiral
+//                    degrades into typed rejections instead of a convoy.
 #pragma once
 
 #include <atomic>
@@ -40,12 +43,23 @@ struct Request {
 
 enum class ExecStatus : std::uint8_t {
   kOk = 0,
-  kShutdown = 1,  // rejected: server was stopping
+  kShutdown = 1,    // rejected: server was stopping
+  kOverloaded = 2,  // shed: queue full under GC pressure, or the request
+                    // failed in a retryable way (commit-log write failure,
+                    // worker OutOfMemoryError). Clients should back off.
 };
 
 struct Response {
   bool found = false;
   ExecStatus status = ExecStatus::kOk;
+};
+
+// Outcome of an asynchronous try_submit(). On kAccepted the completion runs
+// exactly once on a worker thread; on any rejection it never runs.
+enum class SubmitResult : std::uint8_t {
+  kAccepted = 0,
+  kShutdown = 1,    // server is stopping
+  kOverloaded = 2,  // shed: queue at capacity while the heap is near-full
 };
 
 class Server {
@@ -70,12 +84,17 @@ class Server {
   // If the server starts stopping while the caller is blocked on a full
   // queue, returns a Response with status == ExecStatus::kShutdown instead
   // of hanging (requests already queued are still drained and completed).
+  // Sheds load (ExecStatus::kOverloaded, without blocking) when the queue
+  // is full while the heap is near capacity — admission control must not
+  // convert a GC death spiral into an unbounded client convoy.
   Response execute(const Request& req);
 
-  // Asynchronous submission for the socket front-end. Returns false (and
-  // never runs `done`) if the server is stopping; otherwise `done` is
-  // invoked exactly once on a worker thread after the request executes.
-  bool try_submit(const Request& req, CompletionFn done);
+  // Asynchronous submission for the socket front-end. On kAccepted, `done`
+  // is invoked exactly once on a worker thread after the request executes;
+  // on kShutdown/kOverloaded it never runs. The net layer applies its own
+  // bounded in-flight admission control, so the queue-capacity gate here
+  // only engages under GC pressure (load shedding, not flow control).
+  SubmitResult try_submit(const Request& req, CompletionFn done);
 
   std::uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
@@ -91,6 +110,9 @@ class Server {
   };
 
   void worker_main(int idx);
+  // True when the heap is close enough to capacity that queueing more work
+  // would only deepen the collection spiral (shed instead).
+  bool under_gc_pressure() const;
 
   Vm& vm_;
   Store& store_;

@@ -32,13 +32,16 @@ Store::Store(Vm& vm, const StoreConfig& cfg)
       memtable_(vm, /*buckets=*/16384),
       log_(vm, cfg.commitlog_segment_bytes, cfg.commitlog_retention_bytes) {}
 
-void Store::put(Mutator& m, std::uint64_t key, const char* value,
+bool Store::put(Mutator& m, std::uint64_t key, const char* value,
                 std::size_t value_len) {
+  // Log first (write-ahead): a refused log write fails the whole put before
+  // the memtable sees the row, preserving "memtable ⊆ log ∪ sstables".
+  if (!log_.append(m, key, value, value_len)) return false;
   const std::uint64_t version =
       version_.fetch_add(1, std::memory_order_acq_rel);
-  log_.append(m, key, value, value_len);
   memtable_.put(m, key, version, value, value_len);
   maybe_flush(m);
+  return true;
 }
 
 bool Store::get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,

@@ -34,7 +34,10 @@ class Store {
   Store(Vm& vm, const StoreConfig& cfg);
 
   // All operations run on a mutator (server worker) thread.
-  void put(Mutator& m, std::uint64_t key, const char* value,
+  // put() returns false — with neither the log nor the memtable mutated —
+  // when the commit-log write is refused (injected device failure); the
+  // server maps that to ExecStatus::kOverloaded.
+  bool put(Mutator& m, std::uint64_t key, const char* value,
            std::size_t value_len);
   bool get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
            std::size_t* value_len);

@@ -1,11 +1,29 @@
 #include "net/blocking_client.h"
 
-#include "support/check.h"
+#include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace mgc::net {
 
-BlockingClient::BlockingClient(const std::string& host, std::uint16_t port)
-    : fd_(connect_tcp(host, port)), next_tag_(1) {}
+BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
+                               RetryPolicy policy)
+    : host_(host), port_(port), policy_(policy), next_tag_(1) {
+  fd_ = connect_tcp(host_, port_);
+  if (fd_.valid()) set_timeouts(fd_.get(), policy_.timeout_ms);
+}
+
+bool BlockingClient::reconnect() {
+  fd_.reset();
+  // Any buffered bytes belong to the dead connection's response stream.
+  rbuf_.clear();
+  roff_ = 0;
+  fd_ = connect_tcp(host_, port_);
+  if (!fd_.valid()) return false;
+  set_timeouts(fd_.get(), policy_.timeout_ms);
+  ++reconnects_;
+  return true;
+}
 
 bool BlockingClient::call(const kv::Request& req, ResponseFrame* out) {
   if (!fd_.valid()) return false;
@@ -40,7 +58,8 @@ bool BlockingClient::call(const kv::Request& req, ResponseFrame* out) {
       fd_.reset();
       return false;
     }
-    // kNeedMore: pull more bytes off the socket (blocking).
+    // kNeedMore: pull more bytes off the socket (blocking, bounded by the
+    // socket timeout — a wedged server surfaces as a failed call here).
     std::uint8_t chunk[4096];
     const ssize_t n = recv_some(fd_.get(), chunk, sizeof(chunk));
     if (n <= 0) {
@@ -52,12 +71,28 @@ bool BlockingClient::call(const kv::Request& req, ResponseFrame* out) {
 }
 
 kv::Response BlockingClient::execute(const kv::Request& req) {
-  ResponseFrame f;
-  MGC_CHECK_MSG(call(req, &f), "net: remote execute failed");
-  kv::Response r;
-  r.found = f.found;
-  r.status = f.status;
-  return r;
+  kv::Response last;
+  last.status = kv::ExecStatus::kShutdown;  // transport never answered
+  int delay_ms = policy_.backoff_initial_ms;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      delay_ms = std::min(delay_ms * 2, policy_.backoff_cap_ms);
+    }
+    if (!fd_.valid() && !reconnect()) continue;
+    ResponseFrame f;
+    if (!call(req, &f)) continue;  // transport failure: reconnect and retry
+    last.found = f.found;
+    last.status = f.status;
+    if (last.status != kv::ExecStatus::kOverloaded) return last;
+    // Overloaded: the server shed this request under GC pressure. Backing
+    // off and retrying is the contract; if every attempt is shed, the
+    // caller sees the typed kOverloaded response.
+  }
+  return last;
 }
 
 }  // namespace mgc::net

@@ -4,6 +4,12 @@
 // closed-loop model), blocking send/recv — the round-trip the caller
 // times therefore includes the socket path plus whatever the server-side
 // GC is doing.
+//
+// Failure handling mirrors a real YCSB client box: every socket op runs
+// under a timeout, a transport failure tears the connection down, and
+// execute() retries with a fresh connection under capped exponential
+// backoff. kOverloaded responses (server-side load shedding) are also
+// backed off and retried — they are the server asking for exactly that.
 #pragma once
 
 #include <cstdint>
@@ -16,9 +22,19 @@
 
 namespace mgc::net {
 
+// Governs execute()'s retry loop. The defaults keep tests fast while still
+// riding out a multi-second server-side full GC.
+struct RetryPolicy {
+  int max_attempts = 5;         // total call attempts before giving up
+  int timeout_ms = 2000;        // per-socket-op SO_RCVTIMEO/SO_SNDTIMEO
+  int backoff_initial_ms = 10;  // delay before the first retry
+  int backoff_cap_ms = 500;     // exponential backoff ceiling
+};
+
 class BlockingClient {
  public:
-  BlockingClient(const std::string& host, std::uint16_t port);
+  BlockingClient(const std::string& host, std::uint16_t port,
+                 RetryPolicy policy = {});
 
   BlockingClient(const BlockingClient&) = delete;
   BlockingClient& operator=(const BlockingClient&) = delete;
@@ -26,22 +42,39 @@ class BlockingClient {
   bool connected() const { return fd_.valid(); }
 
   // One round trip: sends `req` with a fresh tag, blocks for the response.
-  // Returns false on transport failure (connection reset / EOF / protocol
-  // violation from the server side); *out is filled on success, including
-  // the echoed tag so callers can verify responses are not cross-wired.
+  // Returns false on transport failure (connection reset / EOF / timeout /
+  // protocol violation from the server side) and invalidates the
+  // connection; *out is filled on success, including the echoed tag so
+  // callers can verify responses are not cross-wired. No retries — this is
+  // the single-attempt primitive execute() builds on.
   bool call(const kv::Request& req, ResponseFrame* out);
 
-  // Convenience wrapper for callers that only want the kv::Response shape.
+  // Retrying wrapper: reconnects and backs off on transport failure, backs
+  // off and resends on kOverloaded. Returns the last server response, or a
+  // Response with status == ExecStatus::kShutdown if the transport never
+  // produced one — it never aborts the process.
   kv::Response execute(const kv::Request& req);
 
   std::uint64_t last_tag() const { return next_tag_ - 1; }
+  // Retry-loop introspection for tests and stats.
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t reconnects() const { return reconnects_; }
 
  private:
+  // Drops the current connection (and any half-read response bytes) and
+  // dials a new one. False if the server is unreachable.
+  bool reconnect();
+
+  std::string host_;
+  std::uint16_t port_;
+  RetryPolicy policy_;
   UniqueFd fd_;
   std::uint64_t next_tag_;
   std::vector<std::uint8_t> wbuf_;
   std::vector<std::uint8_t> rbuf_;
   std::size_t roff_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace mgc::net

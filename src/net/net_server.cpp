@@ -12,6 +12,7 @@
 #include "net/wire.h"
 #include "support/check.h"
 #include "support/clock.h"
+#include "support/fault.h"
 
 namespace mgc::net {
 
@@ -195,6 +196,13 @@ void NetServer::accept_ready() {
       if (errno == EINTR) continue;
       return;  // EAGAIN or a transient accept error: back to epoll
     }
+    if (fault::should_fire(fault::Site::kNetAccept)) {
+      // Injected accept failure (fd exhaustion / transient ECONNABORTED):
+      // the connection is dropped before registration; the client's retry
+      // logic owns recovery.
+      ::close(fd);
+      continue;
+    }
     set_nodelay(fd);
     auto conn = std::make_unique<Conn>();
     conn->fd = UniqueFd(fd);
@@ -217,8 +225,12 @@ void NetServer::on_readable(Conn* c) {
   while (!c->read_closed) {
     if (c->in_pending() >= cfg_.max_input_buffer) break;  // backpressure
     const std::size_t old = c->in.size();
-    c->in.resize(old + kReadChunk);
-    const ssize_t n = ::recv(c->fd.get(), c->in.data() + old, kReadChunk, 0);
+    // Injected short read: the kernel returns one byte at a time, forcing
+    // the frame decoder through every resume-from-partial-prefix path.
+    const std::size_t chunk =
+        fault::should_fire(fault::Site::kNetReadShort) ? 1 : kReadChunk;
+    c->in.resize(old + chunk);
+    const ssize_t n = ::recv(c->fd.get(), c->in.data() + old, chunk, 0);
     if (n > 0) {
       c->in.resize(old + static_cast<std::size_t>(n));
       continue;
@@ -270,15 +282,19 @@ void NetServer::process_input(Conn* c) {
     const std::uint64_t conn_id = c->id;
     const std::uint64_t tag = rf.tag;
     std::shared_ptr<CompletionSink> sink = sink_;
-    const bool ok = backend_.try_submit(
+    const kv::SubmitResult sr = backend_.try_submit(
         rf.req, [sink, conn_id, tag](const kv::Response& resp) {
           sink->post(Completion{conn_id, tag, resp});
         });
-    if (!ok) {
-      // Backend stopping under us: answer kShutdown directly.
+    if (sr != kv::SubmitResult::kAccepted) {
+      // Rejected without executing: answer directly with the typed status —
+      // kShutdown (backend stopping under us) or kOverloaded (load shed
+      // under GC pressure; the client backs off and retries).
       c->inflight--;
       kv::Response resp;
-      resp.status = kv::ExecStatus::kShutdown;
+      resp.status = sr == kv::SubmitResult::kShutdown
+                        ? kv::ExecStatus::kShutdown
+                        : kv::ExecStatus::kOverloaded;
       enqueue_response(c, tag, resp);
     }
   }
@@ -307,8 +323,21 @@ void NetServer::enqueue_response(Conn* c, std::uint64_t tag,
 
 void NetServer::flush_out(Conn* c) {
   while (c->out_pending() > 0 && !c->broken) {
-    const ssize_t n = ::send(c->fd.get(), c->out.data() + c->out_off,
-                             c->out_pending(), MSG_NOSIGNAL);
+    if (fault::should_fire(fault::Site::kNetEpipe)) {
+      // Injected EPIPE: the peer reset mid-write. Same path as a real send
+      // failure below — the rest of the output is discarded.
+      c->broken = true;
+      c->out.clear();
+      c->out_off = 0;
+      return;
+    }
+    // Injected short write: a one-byte send window forces clients through
+    // their partial-frame reassembly paths.
+    const std::size_t len = fault::should_fire(fault::Site::kNetWriteShort)
+                                ? 1
+                                : c->out_pending();
+    const ssize_t n = ::send(c->fd.get(), c->out.data() + c->out_off, len,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       c->out_off += static_cast<std::size_t>(n);
       continue;

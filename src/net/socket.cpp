@@ -30,6 +30,18 @@ bool set_nodelay(int fd) {
   return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
 }
 
+bool set_timeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return true;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  const bool rcv =
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+  const bool snd =
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+  return rcv && snd;
+}
+
 UniqueFd listen_loopback(std::uint16_t port, int backlog,
                          std::uint16_t* bound_port) {
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));

@@ -55,6 +55,12 @@ UniqueFd connect_tcp(const std::string& host, std::uint16_t port);
 bool set_nonblocking(int fd);
 bool set_nodelay(int fd);
 
+// Applies SO_RCVTIMEO and SO_SNDTIMEO so blocking send/recv fail with
+// EAGAIN after timeout_ms instead of hanging forever (a stalled or
+// GC-wedged server must surface as a client-side transport failure the
+// retry policy can act on). timeout_ms <= 0 is a no-op.
+bool set_timeouts(int fd, int timeout_ms);
+
 // Blocking full-buffer send (MSG_NOSIGNAL, retries on EINTR / short
 // writes). False on any hard error.
 bool send_all(int fd, const void* data, std::size_t len);

@@ -86,7 +86,7 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
   if (kind == static_cast<std::uint8_t>(MsgKind::kResponse)) {
     if (payload_len != kResponsePayloadSize) return DecodeResult::kError;
     const std::uint8_t status = p[3];
-    if (status > static_cast<std::uint8_t>(kv::ExecStatus::kShutdown))
+    if (status > static_cast<std::uint8_t>(kv::ExecStatus::kOverloaded))
       return DecodeResult::kError;
     const std::uint8_t found = p[12];
     if (found > 1) return DecodeResult::kError;

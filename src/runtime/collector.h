@@ -33,6 +33,7 @@ struct PauseOutcome {
   bool full = false;
   bool skipped = false;  // another thread's GC already satisfied the request
   GcPhaseBreakdown phases;  // young-pause breakdown (zeros otherwise)
+  GcFailureCounters failures;  // degraded-mode transitions in this pause
 };
 
 // Inline data consulted by the mutator write barrier on every reference
@@ -95,6 +96,23 @@ class Collector {
   virtual void rset_record(void* slot_addr, Obj* value) {
     (void)slot_addr;
     (void)value;
+  }
+
+  // --- degraded-mode support ------------------------------------------------
+  // Attempts to grow the committed heap by at least `min_bytes` (runs its
+  // own stop-the-world op). Step 3 of the allocation ladder; collectors
+  // without expansion support return false. The kHeapExpand fault site
+  // models expansion refusal.
+  virtual bool try_expand(std::size_t min_bytes) {
+    (void)min_bytes;
+    return false;
+  }
+  // Upper bound on a single allocation that could ever succeed, after a
+  // full collection and maximal expansion. Requests above this are
+  // *hopeless*: the allocation ladder fails them fast with a structured
+  // OutOfMemoryError instead of running useless collections.
+  virtual std::size_t max_alloc_bytes() const {
+    return ~static_cast<std::size_t>(0);
   }
 
   virtual BarrierDescriptor barrier_descriptor() = 0;

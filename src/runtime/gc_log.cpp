@@ -13,6 +13,7 @@ const char* pause_kind_name(PauseKind k) {
     case PauseKind::kRemark: return "Remark";
     case PauseKind::kCleanup: return "Cleanup";
     case PauseKind::kMixedGc: return "MixedGC";
+    case PauseKind::kHeapExpand: return "ExpandHeap";
   }
   return "?";
 }
@@ -45,6 +46,12 @@ void GcLog::add(const PauseEvent& e) {
                    static_cast<double>(e.phases.root_scan_ns) / 1e3,
                    static_cast<double>(e.phases.card_scan_ns) / 1e3,
                    static_cast<double>(e.phases.evac_drain_ns) / 1e3);
+    }
+    if (e.failures.any()) {
+      std::fprintf(stderr, " [promo-fail %u cms-fail %u evac-fail %u]",
+                   e.failures.promotion_failures,
+                   e.failures.concurrent_mode_failures,
+                   e.failures.evacuation_failures);
     }
     std::fputc('\n', stderr);
   }

@@ -20,6 +20,7 @@ enum class PauseKind {
   kRemark,       // CMS/G1 final marking pause
   kCleanup,      // G1 liveness accounting pause
   kMixedGc,      // G1 young + old evacuation
+  kHeapExpand,   // allocation-ladder heap expansion (stop-the-world, no GC)
 };
 
 enum class GcCause {
@@ -49,6 +50,21 @@ struct GcPhaseBreakdown {
   }
 };
 
+// Degraded-mode transitions observed during a pause: promotion failure
+// (classic collectors), concurrent-mode failure (CMS), evacuation failure
+// (G1). All zero in healthy pauses; the paper's worst-case tails come from
+// exactly these transitions, so they are first-class log data.
+struct GcFailureCounters {
+  std::uint32_t promotion_failures = 0;
+  std::uint32_t concurrent_mode_failures = 0;
+  std::uint32_t evacuation_failures = 0;
+
+  bool any() const {
+    return (promotion_failures | concurrent_mode_failures |
+            evacuation_failures) != 0;
+  }
+};
+
 struct PauseEvent {
   std::int64_t start_ns = 0;  // absolute, Clock epoch
   std::int64_t end_ns = 0;
@@ -58,6 +74,7 @@ struct PauseEvent {
   std::size_t used_before = 0;
   std::size_t used_after = 0;
   GcPhaseBreakdown phases;  // young-pause breakdown (zeros otherwise)
+  GcFailureCounters failures;  // degraded-mode transitions in this pause
 
   double duration_s() const { return ns_to_s(end_ns - start_ns); }
   double duration_ms() const { return ns_to_ms(end_ns - start_ns); }

@@ -4,6 +4,7 @@
 
 #include "heap/poison.h"
 #include "runtime/vm.h"
+#include "support/fault.h"
 
 namespace mgc {
 
@@ -97,7 +98,9 @@ Obj* Mutator::try_alloc_once(std::size_t size_words, std::uint16_t num_refs) {
     maybe_resize_tlab();
     if (bytes <= tlab_direct_limit_) {
       retire_tlab();
-      char* t = c.alloc_tlab(desired_tlab_bytes_);
+      char* t = fault::should_fire(fault::Site::kTlabRefill)
+                    ? nullptr
+                    : c.alloc_tlab(desired_tlab_bytes_);
       if (t == nullptr) return nullptr;
       tlab_top_ = t;
       tlab_end_ = t + desired_tlab_bytes_;
@@ -111,44 +114,71 @@ Obj* Mutator::try_alloc_once(std::size_t size_words, std::uint16_t num_refs) {
 }
 
 Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
-  // Classic HotSpot retry ladder: try, young GC, try, ..., full GC, try.
-  // Under heavy multi-thread contention another mutator can drain the eden
-  // between our collection and our retry, so OutOfMemory is only declared
-  // after several full collections each failed to make this allocation
-  // succeed — never from losing refill races.
+  const std::size_t bytes = words_to_bytes(size_words);
+  Collector& c = vm_.collector();
+
+  // Hopeless requests fail fast: no rung of the ladder — not a full
+  // collection, not maximal expansion — can ever fit this size, so no
+  // collection runs on its behalf.
+  const std::size_t ceiling = c.max_alloc_bytes();
+  if (bytes > ceiling) {
+    throw OutOfMemoryError(
+        name_ + ": requested " + std::to_string(bytes) +
+            " bytes exceeds the largest satisfiable allocation (" +
+            std::to_string(ceiling) + " bytes)",
+        bytes, /*hopeless=*/true);
+  }
+
+  // The allocation ladder: young GCs → full GCs → heap expansion →
+  // last-ditch full GC with memory-pressure hooks run (the SoftReference-
+  // clearing analogue) → structured OutOfMemoryError. Never an abort, never
+  // an unbounded loop: each rung bounds its own work, and the attempt cap
+  // is a backstop against multi-thread refill races only. Collections are
+  // counted only when they *actually ran* (coalesced requests mean someone
+  // else collected for us), so losing a post-GC race never burns a rung.
   int young_collections = 0;
   int full_collections = 0;
+  bool expand_tried = false;
+  bool last_ditch_tried = false;
   for (int attempt = 0; attempt < 256; ++attempt) {
-    Obj* o = try_alloc_once(size_words, num_refs);
-    if (o != nullptr) {
-      vm_.collector().maybe_start_concurrent();
-      return o;
-    }
-    // Escalate to a full collection only once several young collections
-    // have *actually run* without this allocation succeeding (coalesced
-    // requests don't count — they mean someone else collected for us).
-    const bool full = young_collections >= 3;
-    if (full) {
-      const std::uint64_t before = vm_.full_gc_epoch();
-      vm_.collect(this, true, GcCause::kAllocFailure);
-      // Count only requests that actually ran (not coalesced away).
-      // Saturated multi-thread heaps can need many rounds before this
-      // thread wins the post-GC race; genuine exhaustion still converges
-      // because every counted iteration ran a real full collection.
-      if (vm_.full_gc_epoch() != before && ++full_collections >= 12) {
-        Obj* last = try_alloc_once(size_words, num_refs);
-        if (last != nullptr) return last;
-        break;
+    // The kHeapAlloc fault site models forced space exhaustion: an armed
+    // fire skips the attempt entirely, driving this thread down the ladder.
+    if (!fault::should_fire(fault::Site::kHeapAlloc)) {
+      Obj* o = try_alloc_once(size_words, num_refs);
+      if (o != nullptr) {
+        vm_.collector().maybe_start_concurrent();
+        return o;
       }
-    } else {
+    }
+    if (young_collections < 3) {
       const std::uint64_t before = vm_.gc_epoch();
       vm_.collect(this, false, GcCause::kAllocFailure);
       if (vm_.gc_epoch() != before) ++young_collections;
+      continue;
     }
+    if (full_collections < 8) {
+      const std::uint64_t before = vm_.full_gc_epoch();
+      vm_.collect(this, true, GcCause::kAllocFailure);
+      if (vm_.full_gc_epoch() != before) ++full_collections;
+      continue;
+    }
+    if (!expand_tried) {
+      expand_tried = true;
+      // Retry against the grown heap; refusal falls through to the last
+      // rung on the next iteration.
+      if (c.try_expand(bytes)) continue;
+    }
+    if (!last_ditch_tried) {
+      last_ditch_tried = true;
+      vm_.run_memory_pressure_hooks();
+      vm_.collect(this, true, GcCause::kAllocFailure);
+      continue;
+    }
+    break;
   }
-  throw OutOfMemoryError(name_ + ": allocation of " +
-                         std::to_string(words_to_bytes(size_words)) +
-                         " bytes failed after repeated full GCs");
+  throw OutOfMemoryError(name_ + ": allocation of " + std::to_string(bytes) +
+                             " bytes failed after repeated full GCs",
+                         bytes, /*hopeless=*/false);
 }
 
 void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {

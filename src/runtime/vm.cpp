@@ -1,10 +1,14 @@
 #include "runtime/vm.h"
 
 #include "support/env.h"
+#include "support/fault.h"
 
 namespace mgc {
 
 Vm::Vm(VmConfig cfg) : cfg_(cfg) {
+  // Apply MGC_FAULT / MGC_FAULT_SEED before any subsystem can hit a fault
+  // site (once per process; later Vms see the same armed state).
+  fault::init_from_env();
   cfg_.validate();
   log_.set_verbose(cfg_.verbose_gc || env::verbose_gc());
   workers_ = std::make_unique<GcWorkerPool>(cfg_.effective_gc_threads());
@@ -92,6 +96,25 @@ void Vm::set_global_root(std::size_t idx, Obj* o) {
   global_roots_[idx] = o;
 }
 
+// --- memory-pressure hooks ------------------------------------------------------
+
+std::size_t Vm::add_memory_pressure_hook(std::function<void()> fn) {
+  std::lock_guard<std::mutex> g(pressure_mu_);
+  const std::size_t id = next_pressure_id_++;
+  pressure_hooks_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Vm::remove_memory_pressure_hook(std::size_t id) {
+  std::lock_guard<std::mutex> g(pressure_mu_);
+  std::erase_if(pressure_hooks_, [id](const auto& h) { return h.first == id; });
+}
+
+void Vm::run_memory_pressure_hooks() {
+  std::lock_guard<std::mutex> g(pressure_mu_);
+  for (auto& h : pressure_hooks_) h.second();
+}
+
 // --- collection ------------------------------------------------------------------
 
 void Vm::collect(Mutator* requester, bool full, GcCause cause) {
@@ -162,6 +185,7 @@ void Vm::vm_thread_main() {
       ev.full = out.full;
       ev.cause = out.cause;
       ev.phases = out.phases;
+      ev.failures = out.failures;
       log_.add(ev);
       epoch_.fetch_add(1, std::memory_order_acq_rel);
       if (out.full) full_epoch_.fetch_add(1, std::memory_order_acq_rel);

@@ -22,11 +22,28 @@
 
 namespace mgc {
 
-// Thrown when allocation fails even after a full collection.
+// Thrown when the allocation ladder is exhausted: every rung (young GC,
+// full GC, expansion, last-ditch full GC with pressure hooks run) failed,
+// or the request was hopeless to begin with. A structured status, not an
+// abort: callers (kv worker threads, workload drivers) catch it and shed
+// the operation.
 class OutOfMemoryError : public std::runtime_error {
  public:
-  explicit OutOfMemoryError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit OutOfMemoryError(const std::string& what,
+                            std::size_t requested_bytes = 0,
+                            bool hopeless = false)
+      : std::runtime_error(what),
+        requested_bytes_(requested_bytes),
+        hopeless_(hopeless) {}
+
+  std::size_t requested_bytes() const { return requested_bytes_; }
+  // True when the request exceeded what the heap could ever satisfy; no
+  // collections were run on its behalf.
+  bool hopeless() const { return hopeless_; }
+
+ private:
+  std::size_t requested_bytes_ = 0;
+  bool hopeless_ = false;
 };
 
 class Vm {
@@ -97,6 +114,16 @@ class Vm {
   std::vector<std::vector<Obj*>*> root_vectors();
   void retire_all_tlabs();
 
+  // --- memory-pressure hooks ---------------------------------------------
+  // Callbacks that release droppable managed memory (e.g. the commit log's
+  // archived segments) — the runtime's analogue of clearing SoftReferences.
+  // The allocation ladder runs them immediately before its last-ditch full
+  // collection. Hooks must not allocate and must not block on mutator
+  // work. Returns an id for remove_memory_pressure_hook.
+  std::size_t add_memory_pressure_hook(std::function<void()> fn);
+  void remove_memory_pressure_hook(std::size_t id);
+  void run_memory_pressure_hooks();
+
   // Registration hooks used by Mutator's ctor/dtor.
   void add_mutator(Mutator* m);
   void remove_mutator(Mutator* m);
@@ -126,6 +153,10 @@ class Vm {
 
   mutable std::mutex groots_mu_;
   std::vector<Obj*> global_roots_;
+
+  std::mutex pressure_mu_;
+  std::size_t next_pressure_id_ = 0;
+  std::vector<std::pair<std::size_t, std::function<void()>>> pressure_hooks_;
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> full_epoch_{0};

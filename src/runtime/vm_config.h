@@ -18,6 +18,11 @@ struct VmConfig {
   std::size_t heap_bytes = 16 * scale::GB;
   std::size_t young_bytes = 5734 * scale::MB;  // ~5.6 GB
 
+  // Extra reservation beyond heap_bytes that the allocation ladder may
+  // commit to the old generation under pressure (the heap-expand rung).
+  // 0 = fixed-size heap, the paper's measurement configuration.
+  std::size_t heap_reserve_bytes = 0;
+
   bool tlab_enabled = true;
   std::size_t tlab_bytes = 16 * KiB;  // initial (and fixed, if !adaptive) size
 

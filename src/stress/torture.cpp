@@ -1,10 +1,12 @@
 #include "stress/torture.h"
 
 #include <atomic>
+#include <optional>
 
 #include "runtime/managed.h"
 #include "runtime/vm.h"
 #include "support/barrier.h"
+#include "support/fault.h"
 #include "support/rng.h"
 #include "support/units.h"
 
@@ -63,6 +65,13 @@ TortureResult run_torture(const TortureConfig& cfg) {
   MGC_CHECK(cfg.mutators >= 2);
   MGC_CHECK(cfg.rounds >= 1 && cfg.retained_per_thread >= 4 &&
             cfg.published_per_thread >= 1);
+
+  // Arm before the Vm exists so even startup-path allocations are covered;
+  // ScopedSpec disarms everything when the run (and its Vm) are gone.
+  std::optional<fault::ScopedSpec> faults;
+  if (!cfg.fault_spec.empty()) {
+    faults.emplace(cfg.fault_spec, cfg.fault_seed);
+  }
 
   Vm vm(cfg.vm);
   const int K = cfg.mutators;

@@ -44,6 +44,14 @@ struct TortureConfig {
   std::size_t huge_payload_words = 12000;  // periodic humongous/large-direct alloc
   int full_every = 3;               // every Nth forced GC is full (0 = never)
 
+  // Optional fault injection, armed for the whole run and disarmed at exit
+  // (MGC_FAULT spec grammar; see support/fault.h). The fingerprint is
+  // content-invariant, so a run with faults armed must still reproduce the
+  // fingerprint of a second run with the same config — injected failures
+  // may add collections, they may not corrupt the reachable graph.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
+
   VerifyOptions verify;             // passed to verify_heap_at_safepoint
 };
 

@@ -1,0 +1,292 @@
+// Failure-cascade recovery tests, one ctest entry per collector: an
+// injected promotion / evacuation / concurrent-mode failure must degrade
+// exactly as HotSpot would (full GC in the same pause, cycle abort + serial
+// compact, region retain + fixup), after which the expanded cross-layer
+// verifier must pass and the VM must keep allocating. Poisoning is enabled
+// for every test in this binary (own executable for that reason — the
+// global switch must not leak into the tier-1 binary), so a collector that
+// "recovers" by leaking a stale pointer into zapped memory fails loudly.
+//
+// Also the structured-OOM negative tests: a hopeless allocation must fail
+// fast with OutOfMemoryError(hopeless) and run zero collections; heap
+// exhaustion must walk the whole ladder and then throw — never abort,
+// never hang — leaving a VM that still works once the load is dropped.
+#include <gtest/gtest.h>
+
+#include "gc/cms_gc.h"
+#include "heap/poison.h"
+#include "runtime/heap_verifier.h"
+#include "runtime/managed.h"
+#include "runtime/vm.h"
+#include "support/fault.h"
+#include "support/units.h"
+
+namespace mgc {
+namespace {
+
+VmConfig small_vm(GcKind gc) {
+  VmConfig cfg;
+  cfg.gc = gc;
+  cfg.heap_bytes = 10 * MiB;
+  cfg.young_bytes = 3 * MiB;
+  cfg.gc_threads = 2;
+  if (gc == GcKind::kG1) cfg.g1_region_bytes = 128 * KiB;
+  return cfg;
+}
+
+// Sums the degraded-mode counters over every pause logged so far.
+GcFailureCounters total_failures(const Vm& vm) {
+  GcFailureCounters total;
+  for (const PauseEvent& e : vm.gc_log().snapshot()) {
+    total.promotion_failures += e.failures.promotion_failures;
+    total.concurrent_mode_failures += e.failures.concurrent_mode_failures;
+    total.evacuation_failures += e.failures.evacuation_failures;
+  }
+  return total;
+}
+
+class FaultRecovery : public ::testing::TestWithParam<GcKind> {
+ protected:
+  void SetUp() override {
+    poison::set_enabled(true);
+    fault::disarm_all();
+  }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+INSTANTIATE_TEST_SUITE_P(Collectors, FaultRecovery,
+                         ::testing::ValuesIn(all_gc_kinds()),
+                         [](const ::testing::TestParamInfo<GcKind>& info) {
+                           return gc_traits(info.param).short_name;
+                         });
+
+TEST_P(FaultRecovery, InjectedEvacuationFailureRecoversToConsistentHeap) {
+  Vm vm(small_vm(GetParam()));
+  Vm::MutatorScope scope(vm, "promo-fail");
+  Mutator& m = scope.mutator();
+
+  // A live young graph big enough that the scavenge has real copying to do.
+  Local retained(m, managed::ref_array::create(m, 512));
+  for (std::size_t j = 0; j < 512; ++j) {
+    Local node(m, m.alloc(1, 16));
+    node->set_field(0, j * 31);
+    managed::ref_array::set(m, retained.get(), j, node.get());
+  }
+
+  {
+    fault::Policy p;
+    p.limit = 3;  // a few objects fail to copy, then the cascade takes over
+    fault::ScopedFault inject(GetParam() == GcKind::kG1
+                                  ? fault::Site::kG1EvacFail
+                                  : fault::Site::kPromotionFail,
+                              p);
+    vm.collect(&m, /*full=*/false, GcCause::kSystemGc);
+  }
+
+  const GcFailureCounters fc = total_failures(vm);
+  if (GetParam() == GcKind::kG1) {
+    EXPECT_GE(fc.evacuation_failures, 1u);
+  } else {
+    EXPECT_GE(fc.promotion_failures, 1u);
+  }
+
+  // The degraded pause must have left a fully consistent heap...
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+
+  // ...with the graph intact...
+  for (std::size_t j = 0; j < 512; ++j) {
+    Obj* node = managed::ref_array::get(retained.get(), j);
+    ASSERT_NE(node, nullptr) << j;
+    EXPECT_EQ(node->field(0), j * 31) << j;
+  }
+
+  // ...and the VM still collects cleanly with the fault gone.
+  m.system_gc();
+  const VerifyReport after = verify_heap_at_safepoint(m);
+  for (const auto& p : after.problems) ADD_FAILURE() << p;
+}
+
+TEST_P(FaultRecovery, HopelessAllocationFailsFastWithoutCollecting) {
+  Vm vm(small_vm(GetParam()));
+  Vm::MutatorScope scope(vm, "hopeless");
+  Mutator& m = scope.mutator();
+
+  const std::size_t pauses_before = vm.gc_log().count();
+  const std::uint64_t epoch_before = vm.gc_epoch();
+  bool threw = false;
+  try {
+    // ~64 MB payload against a 10 MiB heap: no ladder rung can ever fit it.
+    m.alloc(0, 8 * MiB);
+  } catch (const OutOfMemoryError& e) {
+    threw = true;
+    EXPECT_TRUE(e.hopeless());
+    EXPECT_GT(e.requested_bytes(), vm.config().heap_bytes);
+  }
+  EXPECT_TRUE(threw);
+  // Fail fast means exactly that: no collection ran on the request's behalf.
+  EXPECT_EQ(vm.gc_log().count(), pauses_before);
+  EXPECT_EQ(vm.gc_epoch(), epoch_before);
+
+  // The mutator is still usable.
+  Local ok(m, m.alloc(0, 8));
+  ok->set_field(0, 7);
+  EXPECT_EQ(ok->field(0), 7u);
+}
+
+TEST_P(FaultRecovery, HeapExhaustionWalksTheLadderThenThrowsStructuredOom) {
+  Vm vm(small_vm(GetParam()));
+  Vm::MutatorScope scope(vm, "exhaust");
+  Mutator& m = scope.mutator();
+
+  bool threw = false;
+  {
+    // Retain 16 KiB blobs until nothing fits. Bounded loop: if the ladder
+    // ever turned into an infinite collect-retry cycle, the test times out
+    // instead of spinning forever.
+    Local list(m, managed::list::create(m));
+    try {
+      for (int i = 0; i < 4000; ++i) {
+        Local blob(m, m.alloc(0, 2048));
+        blob->set_field(0, static_cast<std::uint64_t>(i));
+        managed::list::push(m, list, blob);
+      }
+    } catch (const OutOfMemoryError& e) {
+      threw = true;
+      EXPECT_FALSE(e.hopeless());
+      EXPECT_GT(e.requested_bytes(), 0u);
+    }
+  }
+  ASSERT_TRUE(threw) << "4000 x 16KiB must overrun a 10MiB heap";
+  // The ladder must have burned real full collections before giving up.
+  EXPECT_GT(vm.full_gc_epoch(), 0u);
+
+  // Dropping the load (the list Local is gone) must make the VM whole again.
+  m.system_gc();
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  for (int i = 0; i < 64; ++i) {
+    Local blob(m, m.alloc(0, 2048));
+    blob->set_field(0, 1);
+  }
+}
+
+TEST_P(FaultRecovery, ReserveBackedHeapExpandsInsteadOfThrowing) {
+  if (GetParam() == GcKind::kG1) {
+    GTEST_SKIP() << "G1 has a fixed region count; no expansion support";
+  }
+  VmConfig cfg = small_vm(GetParam());
+  cfg.heap_reserve_bytes = 6 * MiB;
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "expand");
+  Mutator& m = scope.mutator();
+
+  const std::size_t old_cap_before = vm.usage().old_capacity;
+
+  // ~11.5 MiB live against a 10 MiB heap: only expansion can satisfy this.
+  Local list(m, managed::list::create(m));
+  for (int i = 0; i < 704; ++i) {
+    Local blob(m, m.alloc(0, 2048));
+    blob->set_field(0, static_cast<std::uint64_t>(i));
+    managed::list::push(m, list, blob);
+  }
+
+  EXPECT_GT(vm.usage().old_capacity, old_cap_before);
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+
+  // The expansion pause is visible in the log.
+  bool saw_expand = false;
+  for (const PauseEvent& e : vm.gc_log().snapshot()) {
+    if (e.kind == PauseKind::kHeapExpand) saw_expand = true;
+  }
+  EXPECT_TRUE(saw_expand);
+}
+
+TEST_P(FaultRecovery, RefusedExpansionStillEndsInStructuredOom) {
+  if (GetParam() == GcKind::kG1) {
+    GTEST_SKIP() << "G1 has a fixed region count; no expansion support";
+  }
+  VmConfig cfg = small_vm(GetParam());
+  cfg.heap_reserve_bytes = 6 * MiB;
+  Vm vm(cfg);
+  Vm::MutatorScope scope(vm, "expand-refused");
+  Mutator& m = scope.mutator();
+
+  fault::ScopedFault refuse(fault::Site::kHeapExpand);
+  bool threw = false;
+  {
+    Local list(m, managed::list::create(m));
+    try {
+      for (int i = 0; i < 4000; ++i) {
+        Local blob(m, m.alloc(0, 2048));
+        managed::list::push(m, list, blob);
+      }
+    } catch (const OutOfMemoryError& e) {
+      threw = true;
+      EXPECT_FALSE(e.hopeless());
+    }
+  }
+  ASSERT_TRUE(threw);
+  // The reserve was never committed: the refusal held.
+  EXPECT_EQ(fault::fire_count(fault::Site::kHeapExpand), 1u);
+  m.system_gc();
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+}
+
+TEST(CmsFaultRecovery, InjectedConcurrentModeFailureAbortsCycleAndCompacts) {
+  poison::set_enabled(true);
+  fault::disarm_all();
+  VmConfig cfg;
+  cfg.gc = GcKind::kCms;
+  cfg.heap_bytes = 12 * MiB;
+  cfg.young_bytes = 2 * MiB;
+  cfg.gc_threads = 2;
+  cfg.cms_trigger_occupancy = 0.10;  // cycle early and often
+  Vm vm(cfg);
+  const std::size_t root = vm.create_global_root();
+  {
+    Vm::MutatorScope s(vm, "init");
+    vm.set_global_root(root, managed::hash_map::create(s.mutator(), 1024));
+  }
+
+  {
+    fault::Policy p;
+    p.after = 4;  // let the cycle get into its stride first
+    p.limit = 1;
+    fault::ScopedFault inject(fault::Site::kCmsConcurrentFail, p);
+
+    Vm::MutatorScope scope(vm, "churn");
+    Mutator& m = scope.mutator();
+    for (int i = 0; i < 60000; ++i) {
+      const auto key = static_cast<std::uint64_t>(i) % 4000;
+      Local value(m, m.alloc(1, 24));
+      value->set_field(0, key * 7);
+      Local map(m, vm.global_root(root));
+      managed::hash_map::put(m, map, key, value);
+    }
+  }
+  fault::disarm_all();
+
+  auto& cms = static_cast<CmsGc&>(vm.collector());
+  EXPECT_GE(cms.concurrent_mode_failures(), 1u)
+      << "the injected concurrent-phase failure never engaged";
+  const GcFailureCounters fc = total_failures(vm);
+  EXPECT_GE(fc.concurrent_mode_failures, 1u)
+      << "the failure must be first-class log data";
+
+  Vm::MutatorScope s(vm, "verify");
+  Mutator& m = s.mutator();
+  Obj* map = vm.global_root(root);
+  for (std::uint64_t k = 0; k < 4000; k += 13) {
+    Obj* v = managed::hash_map::get(map, k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(v->field(0), k * 7);
+  }
+  const VerifyReport rep = verify_heap_at_safepoint(m);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,114 @@
+// Fault-matrix torture battery: every collector runs the multi-threaded
+// torture loop with a fault spec armed — one spec aimed at the GC's own
+// failure transitions (forced promotion/evacuation failure, PLAB refill
+// failure, stalled workers), one at the allocation front end (TLAB refill
+// and slow-path failures, a CMS concurrent-mode failure) — 12 configs in
+// all. Armed or not, the run must end with zero verifier problems, zero
+// payload errors, and every forced collection accounted for: injected
+// failures may add collections, they may not corrupt the reachable graph.
+//
+// The replay check reruns each collector with a trigger-count spec (after/
+// limit policies, so the fire schedule is independent of thread timing) and
+// demands bit-identical fingerprints: same spec + same seed => same
+// surviving graph, which is what makes fault experiments debuggable.
+#include <gtest/gtest.h>
+
+#include "stress/torture.h"
+
+namespace mgc::stress {
+namespace {
+
+struct MatrixParam {
+  GcKind gc;
+  const char* label;
+  const char* spec;
+};
+
+// Probabilities are kept low and limits tight so every config stays
+// survivable: the cascade must degrade (extra GCs, failed refills ridden
+// out by the ladder), not tip into OutOfMemory.
+constexpr const char* kGcFaultSpec =
+    "promotion-fail=0.02:limit=3;g1-evac-fail=0.02:limit=6;"
+    "plab-refill=0.01:limit=6;old-alloc=0.01:limit=4;"
+    "gc-worker-stall=0.05:limit=4";
+constexpr const char* kAllocFaultSpec =
+    "tlab-refill=0.02:limit=8;heap-alloc=0.01:limit=4;"
+    "cms-concurrent-fail:after=2:limit=1";
+
+std::vector<MatrixParam> matrix() {
+  std::vector<MatrixParam> ps;
+  for (GcKind gc : all_gc_kinds()) {
+    ps.push_back({gc, "gcfaults", kGcFaultSpec});
+    ps.push_back({gc, "allocfaults", kAllocFaultSpec});
+  }
+  return ps;
+}
+
+class FaultMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectors, FaultMatrix, ::testing::ValuesIn(matrix()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return std::string(gc_traits(info.param.gc).short_name) + "_" +
+             info.param.label;
+    });
+
+TEST_P(FaultMatrix, ChurnSurvivesArmedFaultsWithConsistentHeap) {
+  TortureConfig cfg;
+  cfg.vm = small_stress_vm(GetParam().gc, /*tlab_enabled=*/true);
+  cfg.mutators = 4;
+  cfg.seed = 42;
+  cfg.rounds = 4;
+  cfg.churn_per_round = 1200;
+  cfg.fault_spec = GetParam().spec;
+  cfg.fault_seed = 7;
+
+  const TortureResult res = run_torture(cfg);
+  EXPECT_EQ(res.payload_errors, 0u);
+  EXPECT_TRUE(res.problems.empty())
+      << res.problems.size()
+      << " verifier problems, first: " << res.problems.front();
+  EXPECT_GT(res.young_gcs_forced, 0u);
+  EXPECT_GT(res.cells_walked, 0u) << "verifier short-circuited";
+}
+
+class FaultReplay : public ::testing::TestWithParam<GcKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllCollectors, FaultReplay,
+                         ::testing::ValuesIn(all_gc_kinds()),
+                         [](const ::testing::TestParamInfo<GcKind>& info) {
+                           return gc_traits(info.param).short_name;
+                         });
+
+TEST_P(FaultReplay, SameSpecAndSeedReproduceTheSameSurvivingGraph) {
+  TortureConfig cfg;
+  cfg.vm = small_stress_vm(GetParam(), /*tlab_enabled=*/true);
+  cfg.mutators = 4;
+  cfg.seed = 42;
+  cfg.rounds = 3;
+  cfg.churn_per_round = 800;
+  // Trigger-count policies only: check N fires regardless of which thread
+  // performs it, so the injected-failure sequence replays even though the
+  // OS schedule differs between runs.
+  cfg.fault_spec =
+      "promotion-fail:after=2:limit=2;g1-evac-fail:after=2:limit=4;"
+      "tlab-refill:after=10:limit=3";
+  cfg.fault_seed = 9;
+
+  const TortureResult a = run_torture(cfg);
+  const TortureResult b = run_torture(cfg);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.objects_allocated, b.objects_allocated);
+  EXPECT_TRUE(a.ok() && b.ok());
+
+  // The armed run must still reproduce the *clean* run's surviving graph:
+  // injected failures add collections, never change reachable content.
+  TortureConfig clean = cfg;
+  clean.fault_spec.clear();
+  const TortureResult c = run_torture(clean);
+  EXPECT_EQ(a.fingerprint, c.fingerprint)
+      << "fault injection altered the reachable graph";
+}
+
+}  // namespace
+}  // namespace mgc::stress

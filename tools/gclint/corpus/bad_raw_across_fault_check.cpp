@@ -1,0 +1,34 @@
+// Known-bad corpus: raw Obj* values held across a fault-injection check
+// point. The fault framework's armed paths fail allocations and refills,
+// which sends the mutator down the slow path — collections included — so
+// any helper that consults a fault site and reacts on the mutator must be
+// treated exactly like a safepoint poll. Holding a raw pointer across it
+// is the same use-after-evacuation bug as holding it across m.poll().
+#include "mock_runtime.h"
+
+namespace mgc {
+
+// Stand-in for a guarded operation: when the site is armed the helper
+// rides the degradation cascade (here: a poll, in the tree: a failed
+// refill that escalates into a collection).
+inline void fault_check_point(Mutator& m) { m.poll(); }
+
+// The check point can move `node`; the read after it is stale.
+word_t stale_across_fault_check(Mutator& m) {
+  Obj* node = m.alloc(1, 2);
+  node->set_field(0, 11);  // fine: no poll since the definition
+  fault_check_point(m);
+  return node->field(0);  // gclint-expect: raw-across-safepoint
+}
+
+// Same shape, but the check point hides one call deeper — the transitive
+// poll resolution must still see it.
+inline void guarded_operation(Mutator& m) { fault_check_point(m); }
+
+word_t stale_across_nested_fault_check(Mutator& m) {
+  Obj* node = m.alloc(1, 2);
+  guarded_operation(m);
+  return node->field(0);  // gclint-expect: raw-across-safepoint
+}
+
+}  // namespace mgc
