@@ -1,70 +1,23 @@
 // Figure 1: GC pause durations over the execution of the xalan benchmark,
 // for all six collectors, (a) with a forced full GC between iterations and
 // (b) without. Prints one gnuplot-ready series per collector per mode.
+// With --json <path> the run also persists the guarded BENCH_fig1 report
+// (see bench_json.h); the report builder lives in bench_reports.cpp so the
+// perf regression guard regenerates the identical metrics.
 #include "bench_common.h"
+#include "bench_reports.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
-  using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Figure 1: GC pause time for xalan, with and without a "
                 "system GC between iterations",
                 "Figure 1(a,b)");
 
-  for (const bool system_gc : {true, false}) {
-    std::cout << "\n--- Figure 1(" << (system_gc ? "a) System GC" : "b) No System GC")
-              << " ---\n";
-    Table summary(std::string("xalan pause summary, system GC ") +
-                  (system_gc ? "on" : "off"));
-    // The three failure columns stay zero on a healthy run; non-zero counts
-    // mean the cascade engaged (degraded-mode pauses are part of the
-    // timeline, so a fault experiment reads straight off this table).
-    summary.header({"GC", "pauses", "full", "max pause (ms)", "avg pause (ms)",
-                    "roots (us)", "cards (us)", "evac (us)",
-                    "promo-fail", "cms-fail", "evac-fail",
-                    "total exec (s)"});
-    for (GcKind gc : all_gc_kinds()) {
-      HarnessOptions opts;
-      opts.iterations = 10;
-      opts.system_gc_between_iterations = system_gc;
-      const HarnessResult res =
-          run_benchmark(bench::paper_baseline(gc), "xalan", opts);
+  const Json report = bench::make_fig1_report(args);
 
-      std::vector<SeriesPoint> pts;
-      // Young-pause critical-path phase breakdown (max across GC workers,
-      // averaged over the run's young pauses). The classic scavengers
-      // report it; collectors without the breakdown print zeros.
-      RunningStats roots_us, cards_us, evac_us;
-      GcFailureCounters fails;
-      for (const PauseEvent& e : res.pause_events) {
-        pts.push_back({ns_to_s(e.start_ns - res.vm_origin_ns),
-                       e.duration_ms()});
-        if (e.phases.any()) {
-          roots_us.add(static_cast<double>(e.phases.root_scan_ns) / 1e3);
-          cards_us.add(static_cast<double>(e.phases.card_scan_ns) / 1e3);
-          evac_us.add(static_cast<double>(e.phases.evac_drain_ns) / 1e3);
-        }
-        fails.promotion_failures += e.failures.promotion_failures;
-        fails.concurrent_mode_failures += e.failures.concurrent_mode_failures;
-        fails.evacuation_failures += e.failures.evacuation_failures;
-      }
-      print_series(std::cout,
-                   std::string(gc_name(gc)) + (system_gc ? "/sysgc" : "/nosysgc"),
-                   pts);
-      summary.row({gc_name(gc), std::to_string(res.pauses.pauses),
-                   std::to_string(res.pauses.full_pauses),
-                   Table::num(res.pauses.max_s * 1e3),
-                   Table::num(res.pauses.avg_s * 1e3),
-                   Table::num(roots_us.mean(), 1), Table::num(cards_us.mean(), 1),
-                   Table::num(evac_us.mean(), 1),
-                   std::to_string(fails.promotion_failures),
-                   std::to_string(fails.concurrent_mode_failures),
-                   std::to_string(fails.evacuation_failures),
-                   Table::num(res.total_s, 3)});
-    }
-    summary.print(std::cout);
-  }
   std::cout << "Expected shape: with the forced full collections G1 shows the\n"
                "longest pauses and execution time (its full GC is serial);\n"
                "without them G1 pauses all but vanish and Serial is worst.\n";
-  return 0;
+  return bench::write_report(report, args.json_path) ? 0 : 1;
 }

@@ -1,13 +1,18 @@
 // Figure 2: per-iteration execution time of xalan (iterations 4-10, after
 // warm-up) for all six collectors, with and without the forced system GC.
+// --json persists per-collector final-iteration times into the perf
+// trajectory; --quick smoke-scales the workload.
 #include "bench_common.h"
+#include "bench_json.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Figure 2: execution time for xalan per iteration",
                 "Figure 2(a,b)");
 
+  bench::BenchReport report("fig2", args);
   for (const bool system_gc : {true, false}) {
     std::cout << "\n--- Figure 2(" << (system_gc ? "a) System GC" : "b) No System GC")
               << ") ---\n";
@@ -19,7 +24,7 @@ int main() {
 
     std::vector<std::pair<double, std::string>> finals;
     std::vector<std::vector<std::string>> rows;
-    for (GcKind gc : all_gc_kinds()) {
+    for (GcKind gc : bench::bench_gc_kinds()) {
       HarnessOptions opts;
       opts.iterations = 10;
       opts.system_gc_between_iterations = system_gc;
@@ -31,6 +36,12 @@ int main() {
       }
       finals.emplace_back(res.final_iteration_s, gc_name(gc));
       rows.push_back(row);
+      report.set_collector_metric(
+          gc, std::string(system_gc ? "sysgc" : "nosysgc") + "_final_iter_ms",
+          res.final_iteration_s * 1e3);
+      report.set_collector_metric(
+          gc, std::string(system_gc ? "sysgc" : "nosysgc") + "_total_cpu_s",
+          res.total_cpu_s);
     }
     std::sort(finals.begin(), finals.end());
     for (auto& row : rows) {
@@ -43,11 +54,12 @@ int main() {
       t.row(row);
     }
     t.print(std::cout);
+    report.add_table(t);
     std::cout << "fastest final iteration: " << finals.front().second
               << ", slowest: " << finals.back().second << "\n";
   }
   std::cout << "Expected shape: with system GC, ParallelOld has the best final\n"
                "iteration and G1 the worst (Parallel second worst: serial full\n"
                "GC); without system GC all collectors converge.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -3,14 +3,18 @@
 // execution time "wins". The chart reports the percentage of experiments
 // each collector won, with the system GC enabled (a) and disabled (b).
 #include "bench_common.h"
+#include "bench_json.h"
 
 #include <map>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Figure 3: GC ranking by number of experiments won",
                 "Figure 3(a,b) / §3.5");
+
+  bench::BenchReport report("fig3", args);
 
   struct Geometry {
     double heap_gb;
@@ -60,9 +64,22 @@ int main() {
              std::to_string(w)});
     }
     t.print(std::cout);
+    report.add_table(t);
+    // Win shares are zero-sum ranking noise, not lower-is-better costs; the
+    // trajectory records them as config entries so humans can diff, while
+    // the guard only checks the experiment-count fingerprint.
+    Json shares = Json::object();
+    for (const auto& [name, w] : wins) {
+      shares.set(name, Json(100.0 * w / experiments));
+    }
+    report.set_config(system_gc ? "win_share_sysgc" : "win_share_nosysgc",
+                      std::move(shares));
+    report.set_metric(std::string(system_gc ? "sysgc" : "nosysgc") +
+                          "_experiments_exact",
+                      static_cast<double>(experiments));
   }
   std::cout << "Expected shape: with system GC enabled G1 wins nothing (its\n"
                "forced full collections are serial and slow); ParallelOld is\n"
                "consistently near the top in both modes.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -2,14 +2,18 @@
 // the YCSB load. First the ParallelOld narrative (default vs stress
 // configuration), then the Figure 4 pause timelines for CMS and G1 under
 // the stress configuration.
+#include "bench_json.h"
 #include "cassandra_common.h"
 
 int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
   banner("Figure 4 + §4.1: GC pauses on the Cassandra-like server",
          "Figure 4 / §4.1");
   const bool use_net = net_flag(argc, argv);
+
+  BenchReport report("fig4", args);
 
   const std::uint64_t records = cassandra_records();
   const std::uint64_t ops = cassandra_operations();
@@ -31,6 +35,10 @@ int main(int argc, char** argv) {
                  Table::num(r.pauses.max_s * 1e3),
                  Table::num(r.pauses.avg_s * 1e3),
                  Table::num(r.pauses.total_s * 1e3), std::to_string(r.flushes)});
+    report.set_collector_metric(GcKind::kParallelOld, "default_max_pause_ms",
+                                r.pauses.max_s * 1e3);
+    report.set_collector_metric(GcKind::kParallelOld, "default_avg_pause_ms",
+                                r.pauses.avg_s * 1e3);
   }
 
   // ... and the three main collectors under the stress configuration.
@@ -42,6 +50,12 @@ int main(int argc, char** argv) {
                  Table::num(r.pauses.max_s * 1e3),
                  Table::num(r.pauses.avg_s * 1e3),
                  Table::num(r.pauses.total_s * 1e3), std::to_string(r.flushes)});
+    report.set_collector_metric(gc, "stress_max_pause_ms",
+                                r.pauses.max_s * 1e3);
+    report.set_collector_metric(gc, "stress_avg_pause_ms",
+                                r.pauses.avg_s * 1e3);
+    report.set_collector_metric(gc, "stress_total_pause_ms",
+                                r.pauses.total_s * 1e3);
     if (gc == GcKind::kCms || gc == GcKind::kG1) {
       // Figure 4's scatter: pause duration vs elapsed time.
       std::vector<SeriesPoint> pts;
@@ -52,9 +66,10 @@ int main(int argc, char** argv) {
     }
   }
   summary.print(std::cout);
+  report.add_table(summary);
   std::cout << "Expected shape: under stress, ParallelOld's full collections\n"
                "dwarf every other pause in the study (the paper saw minutes);\n"
                "CMS and G1 stay an order of magnitude lower but still far\n"
                "above their DaCapo-scale pauses.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

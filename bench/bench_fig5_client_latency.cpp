@@ -2,14 +2,18 @@
 // read / 50% update workload for ParallelOld, CMS and G1. For each
 // collector the binary prints the latency scatter (top 10000 points, as
 // the paper plots), the GC pause overlay, and the latency band statistics.
+#include "bench_json.h"
 #include "cassandra_common.h"
 
 int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::bench;
+  const BenchArgs args = parse_bench_args(argc, argv);
   banner("Figure 5 + Tables 5-7: client response time per GC strategy",
          "Figure 5(a,b,c), Tables 5, 6, 7 / §4.2");
   const bool use_net = net_flag(argc, argv);
+
+  BenchReport report("fig5", args);
   std::cout << "transport: "
             << (use_net ? "loopback TCP (--net)" : "in-process") << "\n";
 
@@ -48,6 +52,10 @@ int main(int argc, char** argv) {
     t.row({"AVG(ms)", Table::num(rs.avg_ms, 3), Table::num(us.avg_ms, 3)});
     t.row({"MAX(ms)", Table::num(rs.max_ms, 3), Table::num(us.max_ms, 3)});
     t.row({"MIN(ms)", Table::num(rs.min_ms, 3), Table::num(us.min_ms, 3)});
+    report.set_collector_metric(gc, "read_avg_ms", rs.avg_ms);
+    report.set_collector_metric(gc, "update_avg_ms", us.avg_ms);
+    report.set_collector_metric(gc, "read_max_ms", rs.max_ms);
+    report.set_collector_metric(gc, "update_max_ms", us.max_ms);
     for (std::size_t b = 0; b < rs.bands.size(); ++b) {
       t.row({rs.bands[b].label + " (%reqs)", Table::num(rs.bands[b].pct_reqs, 3),
              Table::num(us.bands[b].pct_reqs, 3)});
@@ -55,6 +63,7 @@ int main(int argc, char** argv) {
              Table::num(us.bands[b].pct_gcs, 1)});
     }
     t.print(std::cout);
+    report.add_table(t);
 
     // Pause-visibility check (the reason the network path exists at all):
     // a request in flight across a stop-the-world pause cannot finish
@@ -87,5 +96,5 @@ int main(int argc, char** argv) {
   std::cout << "Expected shape: most operations sit on a low-latency line and\n"
                "fall in the 0.5x-1.5x band with 0% GC overlap; the >2x/4x/8x\n"
                "spike bands are attributed to GC pauses at (or near) 100%.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

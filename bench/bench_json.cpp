@@ -1,0 +1,241 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "support/env.h"
+
+namespace mgc::bench {
+
+BenchArgs parse_bench_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      args.quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
+    }
+  }
+  if (args.quick) {
+    // Before the first env::scale() read (mains parse args first), so the
+    // cached value picks this up; an explicit MGC_SCALE still wins.
+    setenv("MGC_SCALE", "0.05", /*overwrite=*/0);  // NOLINT(concurrency-mt-unsafe)
+  }
+  return args;
+}
+
+std::string git_sha() {
+  FILE* p = popen("git rev-parse --short=12 HEAD 2>/dev/null", "r");
+  if (p == nullptr) return "unknown";
+  char buf[64] = {0};
+  const bool ok = std::fgets(buf, sizeof buf, p) != nullptr;
+  pclose(p);
+  if (!ok) return "unknown";
+  std::string sha(buf);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+    sha.pop_back();
+  return sha.empty() ? "unknown" : sha;
+}
+
+std::vector<GcKind> bench_gc_kinds() {
+  GcKind k{};
+  if (env::gc_override(&k)) return {k};
+  return all_gc_kinds();
+}
+
+BenchReport::BenchReport(std::string bench_name, BenchArgs args)
+    : name_(std::move(bench_name)), args_(std::move(args)) {
+  config_.set("scale", Json(env::scale()));
+  config_.set("threads", Json(env::threads()));
+  config_.set("seed", Json(env::seed()));
+  config_.set("quick", Json(args_.quick));
+}
+
+void BenchReport::set_metric(const std::string& name, double value) {
+  metrics_.set(name, Json(value));
+}
+
+void BenchReport::set_collector_metric(GcKind gc, const std::string& name,
+                                       double value) {
+  const std::string key = gc_name(gc);
+  const Json* existing = collectors_.find(key);
+  Json obj = existing != nullptr ? *existing : Json::object();
+  obj.set(name, Json(value));
+  collectors_.set(key, std::move(obj));
+}
+
+void BenchReport::set_config(const std::string& key, Json value) {
+  config_.set(key, std::move(value));
+}
+
+void BenchReport::add_table(const Table& t) {
+  Json jt = Json::object();
+  jt.set("title", Json(t.title()));
+  Json header = Json::array();
+  for (const std::string& h : t.header_cells()) header.push_back(Json(h));
+  jt.set("header", std::move(header));
+  Json rows = Json::array();
+  for (const auto& r : t.rows()) {
+    Json row = Json::array();
+    for (const std::string& c : r) row.push_back(Json(c));
+    rows.push_back(std::move(row));
+  }
+  jt.set("rows", std::move(rows));
+  tables_.push_back(std::move(jt));
+}
+
+Json BenchReport::to_json() const {
+  Json j = Json::object();
+  j.set("schema", Json(kBenchSchemaName));
+  j.set("schema_version", Json(kBenchSchemaVersion));
+  j.set("bench", Json(name_));
+  j.set("git_sha", Json(git_sha()));
+  j.set("config", config_);
+  j.set("metrics", metrics_);
+  j.set("collectors", collectors_);
+  j.set("tables", tables_);
+  return j;
+}
+
+bool BenchReport::write() const { return write_report(to_json(), args_.json_path); }
+
+bool write_report(const Json& report, const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << report.dump();
+  out.close();
+  if (!out.good()) {
+    std::fprintf(stderr, "bench_json: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+bool load_report(const std::string& path, Json* out, std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) *err = "cannot read " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string parse_err;
+  if (!Json::parse(ss.str(), out, &parse_err)) {
+    if (err != nullptr) *err = path + ": " + parse_err;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Checks one flat metrics object; `where` prefixes messages ("metrics" or
+// "collectors.G1").
+void compare_metric_set(const Json& base, const Json& fresh,
+                        const std::string& where, double threshold_pct,
+                        std::vector<std::string>* out) {
+  for (const auto& [key, bval] : base.members()) {
+    if (!bval.is_number()) continue;
+    const Json* fval = fresh.find(key);
+    if (fval == nullptr || !fval->is_number()) {
+      out->push_back(where + "." + key + ": present in baseline, missing in fresh run");
+      continue;
+    }
+    const double b = bval.as_double();
+    const double f = fval->as_double();
+    // "_exact" metrics are structural fingerprints (trait bits, schema
+    // constants): any drift in either direction is a violation.
+    if (key.size() > 6 && key.compare(key.size() - 6, 6, "_exact") == 0) {
+      if (f != b) {
+        out->push_back(where + "." + key + ": expected exactly " +
+                       std::to_string(b) + ", fresh run has " +
+                       std::to_string(f));
+      }
+      continue;
+    }
+    if (b == 0.0) {
+      // A plain zero baseline has no ratio to compare against, and many
+      // zero counters are timing luck (a concurrent cycle that happened
+      // not to trigger), so it is skipped. Structural must-stay-zero
+      // invariants (Epsilon pause counts) use the "_exact" suffix.
+      continue;
+    }
+    const double limit = b * (1.0 + threshold_pct / 100.0);
+    if (f > limit) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "%s.%s: %.6g exceeds baseline %.6g by more than %.0f%% "
+                    "(limit %.6g)",
+                    where.c_str(), key.c_str(), f, b, threshold_pct, limit);
+      out->push_back(buf);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> compare_reports(const Json& baseline,
+                                         const Json& fresh,
+                                         double threshold_pct) {
+  std::vector<std::string> v;
+  if (!baseline.is_object()) {
+    v.push_back("baseline is not a JSON object");
+    return v;
+  }
+  if (!fresh.is_object()) {
+    v.push_back("fresh report is not a JSON object");
+    return v;
+  }
+  if (baseline.string_or("schema", "") != kBenchSchemaName) {
+    v.push_back("baseline schema is not '" + std::string(kBenchSchemaName) +
+                "' — malformed or wrong file");
+    return v;
+  }
+  if (fresh.string_or("schema", "") != kBenchSchemaName) {
+    v.push_back("fresh report schema is not '" +
+                std::string(kBenchSchemaName) + "'");
+    return v;
+  }
+  if (baseline.number_or("schema_version", -1) !=
+      fresh.number_or("schema_version", -2)) {
+    v.push_back("schema_version mismatch: baseline v" +
+                std::to_string(static_cast<int>(
+                    baseline.number_or("schema_version", -1))) +
+                " vs fresh v" +
+                std::to_string(
+                    static_cast<int>(fresh.number_or("schema_version", -2))) +
+                " — re-baseline (see EXPERIMENTS.md)");
+    return v;
+  }
+  if (baseline.string_or("bench", "?") != fresh.string_or("bench", "??")) {
+    v.push_back("bench name mismatch: baseline '" +
+                baseline.string_or("bench", "?") + "' vs fresh '" +
+                fresh.string_or("bench", "??") + "'");
+    return v;
+  }
+
+  compare_metric_set(baseline.at("metrics"), fresh.at("metrics"), "metrics",
+                     threshold_pct, &v);
+  const Json& bcol = baseline.at("collectors");
+  const Json& fcol = fresh.at("collectors");
+  for (const auto& [gc, bmetrics] : bcol.members()) {
+    const Json* fmetrics = fcol.find(gc);
+    if (fmetrics == nullptr) {
+      v.push_back("collectors." + gc + ": missing from fresh run");
+      continue;
+    }
+    compare_metric_set(bmetrics, *fmetrics, "collectors." + gc, threshold_pct,
+                       &v);
+  }
+  return v;
+}
+
+}  // namespace mgc::bench

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "gc/parallel_work.h"
 #include "heap/card_table.h"
 #include "support/clock.h"
@@ -118,10 +119,9 @@ SweepTimes measure(CardTable& cards, std::size_t n, double density, int reps,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
+  const bool quick = args.quick;
+  bench::BenchReport report("cardscan", args);
 
   // The table never touches the covered memory, only its own card bytes,
   // so the covered "old generation" is pure address space.
@@ -156,13 +156,24 @@ int main(int argc, char** argv) {
              Table::num(t.serial_ms, 3), Table::num(t.word_ms, 3),
              Table::num(t.striped_ms, 3), Table::num(su_word, 1) + "x",
              Table::num(su_striped, 1) + "x"});
+    // Guarded as a *ratio* so the trajectory is machine-independent:
+    // losing the word-wise sweep (PR 2's critical-path optimization)
+    // drives word/serial from ~0.1-0.5 toward 1.0 at low density, a
+    // many-fold jump. Only the low-density points are guarded — that is
+    // the young-GC common case — and only the word sweep: the striped
+    // scan is dominated by thread-spawn noise at --quick table sizes.
+    if (pct <= 1.0 && t.serial_ms > 0) {
+      report.set_metric("word_over_serial_at_" + Table::pct(pct, 1),
+                        t.word_ms / t.serial_ms);
+    }
   }
   std::cout << tbl.to_string();
+  report.add_table(tbl);
 
   // Acceptance: at low density (the common young-GC case) the word-wise
   // sweep must beat byte-at-a-time by >= 4x.
   std::cout << (word_speedup_ok
                     ? "PASS: word-wise sweep >= 4x serial at <= 1% density\n"
                     : "WARN: word-wise sweep below 4x target at low density\n");
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -1,0 +1,29 @@
+// Shared report builders: the fig1 pause-timeline report and the
+// distilled-cost report are produced both by their bench_* binaries and
+// by the perf regression guard test (tests/perf/), so the logic lives in
+// one place. Each builder prints its tables/series to stdout (the bench
+// binaries' normal output) and returns the schema-versioned JSON report.
+#pragma once
+
+#include "bench_json.h"
+
+namespace mgc::bench {
+
+// Figure 1 (xalan pause timelines, system GC on/off) with the PR 2
+// critical-path counters the guard watches: per-collector pause count,
+// max/avg/p99 pause, and the young-pause root-scan / card-scan phase
+// averages.
+Json make_fig1_report(const BenchArgs& args);
+
+// The distilled-cost study: every collector's total GC cost — STW pauses
+// + allocation slow path + write-barrier work + concurrent cycles — over
+// dacapo kernels and a YCSB kv run, against an Epsilon baseline whose
+// heap is sized to each workload's full allocation volume.
+Json make_distilled_report(const BenchArgs& args);
+
+// Measures the card-table write barrier's per-operation cost: the same
+// reference-store loop timed under Serial (card barrier) and Epsilon (no
+// barrier); the delta prices the barrier-op counters in nanoseconds.
+double calibrate_barrier_ns_per_op();
+
+}  // namespace mgc::bench

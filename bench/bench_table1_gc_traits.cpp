@@ -1,14 +1,19 @@
 // Table 1: the list of garbage collectors and their structural
 // characteristics. Printed from the implementations' own trait metadata so
-// the table is, by construction, what the code actually does.
+// the table is, by construction, what the code actually does. The --json
+// report captures the table plus a per-kind trait fingerprint — a purely
+// structural (machine-independent) entry in the perf trajectory.
 #include "bench_common.h"
+#include "bench_json.h"
 #include "runtime/gc_kind.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Table 1: garbage collectors and their characteristics",
                 "Table 1");
 
+  bench::BenchReport report("table1", args);
   auto yn = [](bool b) { return b ? std::string("Yes") : std::string("No"); };
   Table t("GCs: Young generation / Old generation collection structure");
   t.header({"GC", "Y.Parallel", "Y.Copying", "Y.Conc.Mark", "Y.Conc.Copy",
@@ -19,10 +24,23 @@ int main() {
            yn(tr.young_concurrent_mark), yn(tr.young_concurrent_copy),
            yn(tr.old_parallel), yn(tr.old_compacting),
            yn(tr.old_concurrent_mark), yn(tr.old_concurrent_sweep)});
+    // 8-bit trait fingerprint: any structural drift fails the guard.
+    const unsigned bits =
+        (tr.young_parallel << 7) | (tr.young_copying << 6) |
+        (tr.young_concurrent_mark << 5) | (tr.young_concurrent_copy << 4) |
+        (tr.old_parallel << 3) | (tr.old_compacting << 2) |
+        (tr.old_concurrent_mark << 1) |
+        static_cast<unsigned>(tr.old_concurrent_sweep);
+    report.set_collector_metric(k, "trait_bits_exact", static_cast<double>(bits));
   }
   t.print(std::cout);
+  report.add_table(t);
+  report.set_metric("paper_collectors_exact",
+                    static_cast<double>(all_gc_kinds().size()));
+  report.set_metric("every_collector_exact",
+                    static_cast<double>(every_gc_kind().size()));
   std::cout << "(CMS row: old compaction is 'No'/irrelevant — the free-list\n"
                " space never compacts outside the concurrent-mode-failure\n"
                " fallback, matching the paper's footnote.)\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -4,15 +4,19 @@
 // iteration and of the total execution time decides the stable subset
 // (<= 5% in at least one metric). Crashing benchmarks are reported as such.
 #include "bench_common.h"
+#include "bench_json.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Table 2: relative standard deviation of total execution "
                 "time and final iteration",
                 "Table 2 / §3.2");
 
+  bench::BenchReport report("table2", args);
   const int runs = bench::repeat_count(10);
+  report.set_config("runs", Json(runs));
   const VmConfig cfg = bench::paper_baseline(GcKind::kParallelOld);
 
   Table t("RSD over " + std::to_string(runs) +
@@ -40,21 +44,30 @@ int main() {
     }
     if (crashed) {
       t.row({name, "-", "-", "crashed (excluded)"});
+      report.set_metric(name + "_crashed_exact", 1.0);
       continue;
     }
     const double rsd_final = rsd_percent_of(finals);
     const double rsd_total = rsd_percent_of(totals);
     const bool stable = rsd_final <= 5.0 || rsd_total <= 5.0;
     if (stable) selected.push_back(name);
+    // RSDs are noise measurements; guard them with the wall-time threshold
+    // rather than exactly. A benchmark leaving the subset shows up via the
+    // selected-count fingerprint below.
+    report.set_metric(name + "_rsd_final_pct", rsd_final);
+    report.set_metric(name + "_rsd_total_pct", rsd_total);
     t.row({name, Table::num(rsd_final, 1), Table::num(rsd_total, 1),
            stable ? "selected" : "excluded (>5% both)"});
   }
   t.print(std::cout);
+  report.add_table(t);
+  report.set_metric("selected_count",
+                    static_cast<double>(selected.size()));
 
   std::cout << "Selected subset:";
   for (const auto& n : selected) std::cout << ' ' << n;
   std::cout << "\nPaper's subset:  ";
   for (const auto& n : stable_subset()) std::cout << ' ' << n;
   std::cout << "\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 // heaps drown in collections (>50% of wall time paused at 250MB).
 // ParallelOld is printed alongside, as §3.3 notes it behaved as expected.
 #include "bench_common.h"
+#include "bench_json.h"
 
 namespace {
 
@@ -14,12 +15,15 @@ struct SweepPoint {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Table 3: h2 statistics with different heap and young "
                 "generation sizes",
                 "Table 3 / §3.3");
+
+  bench::BenchReport report("table3", args);
 
   const SweepPoint points[] = {
       {64, 6},        {64, 12},       {64, 24},      {64, 48},
@@ -42,7 +46,11 @@ int main() {
       const HarnessResult res = run_benchmark(cfg, "h2", opts);
       const double pct =
           res.total_s > 0 ? 100.0 * res.pauses.total_s / res.total_s : 0.0;
-      t.row({scale::label(cfg.heap_bytes, cfg.young_bytes),
+      const std::string label = scale::label(cfg.heap_bytes, cfg.young_bytes);
+      report.set_collector_metric(gc, label + "_avg_pause_ms",
+                                  res.pauses.avg_s * 1e3);
+      report.set_collector_metric(gc, label + "_pct_paused", pct);
+      t.row({label,
              std::to_string(res.pauses.pauses) + "(" +
                  std::to_string(res.pauses.full_pauses) + ")",
              Table::num(res.pauses.avg_s * 1e3, 3),
@@ -50,11 +58,12 @@ int main() {
              Table::num(res.total_s * 1e3, 1), Table::num(pct, 1)});
     }
     t.print(std::cout);
+    report.add_table(t);
   }
   std::cout << "Expected shape (CMS): at the 64GB heap the smallest young\n"
                "generation shows a *longer* average pause than larger ones\n"
                "(higher survival fraction + free-list promotion); the 250MB\n"
                "rows collapse into hundreds of mostly-full collections with\n"
                "a large fraction of wall time paused.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

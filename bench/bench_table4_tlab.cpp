@@ -4,14 +4,23 @@
 // "helped" (+) or "hurt" (-), otherwise it is indifferent (=) — the exact
 // decision rule of §3.4.
 #include "bench_common.h"
+#include "bench_json.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::dacapo;
+  const bench::BenchArgs args = bench::parse_bench_args(argc, argv);
   bench::banner("Table 4: TLAB influence over all GCs and the stable subset",
                 "Table 4 / §3.4");
 
+  bench::BenchReport report("table4", args);
   const int runs = bench::repeat_count(3);
+  report.set_config("runs", Json(runs));
+  // Accumulated wall time with/without TLABs, per collector: the guarded
+  // trajectory entry (verdict letters are too close to the 5% band to be
+  // stable across hosts, so the guard watches the underlying times).
+  std::vector<double> tlab_on_s(every_gc_kind().size(), 0.0);
+  std::vector<double> tlab_off_s(every_gc_kind().size(), 0.0);
 
   Table t("TLAB influence (+ helps, - hurts, = indifferent at 5% deviation)");
   std::vector<std::string> head = {"Benchmark"};
@@ -39,6 +48,8 @@ int main() {
       }
       with_tlab /= runs;
       without_tlab /= runs;
+      tlab_on_s[static_cast<std::size_t>(gc)] += with_tlab;
+      tlab_off_s[static_cast<std::size_t>(gc)] += without_tlab;
       const double deviation = 0.05 * mean_of(all);
       std::string verdict = "=";
       if (without_tlab > with_tlab + deviation) verdict = "+";
@@ -48,6 +59,13 @@ int main() {
     t.row(row);
   }
   t.print(std::cout);
+  report.add_table(t);
+  for (GcKind gc : all_gc_kinds()) {
+    report.set_collector_metric(gc, "tlab_on_total_s",
+                                tlab_on_s[static_cast<std::size_t>(gc)]);
+    report.set_collector_metric(gc, "tlab_off_total_s",
+                                tlab_off_s[static_cast<std::size_t>(gc)]);
+  }
   std::cout << "Expected shape: mostly '=' — the TLAB rarely moves total time\n"
                "beyond the 5% band — with scattered '-' entries where TLAB\n"
                "waste raises GC frequency (the paper saw e.g. G1/pmd, G1/xalan).\n";
@@ -86,9 +104,10 @@ int main() {
     t2.row(row);
   }
   t2.print(std::cout);
+  report.add_table(t2);
   std::cout << "Expected shape: mostly '=' at DaCapo thread counts; adaptive\n"
                "sizing pays off ('+') where many mutators share a small eden\n"
                "(fixed TLABs over-reserve) and where idle threads would\n"
                "otherwise pin large TLAB tails as floating garbage.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

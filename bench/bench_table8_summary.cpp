@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "bench_json.h"
 #include "cassandra_common.h"
 
 namespace {
@@ -18,12 +19,15 @@ struct Measured {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mgc;
   using namespace mgc::bench;
   using namespace mgc::dacapo;
+  const BenchArgs args = parse_bench_args(argc, argv);
   banner("Table 8: advantages and disadvantages of the three main GCs",
          "Table 8 / §6");
+
+  BenchReport report("table8", args);
 
   std::map<GcKind, Measured> results;
 
@@ -82,11 +86,17 @@ int main() {
            rate_pause(mres.cass_max_pause / least_cass_pause),
            Table::num(mres.cass_ops_s, 0) + " ops/s / " +
                Table::num(mres.cass_max_pause * 1e3, 1)});
+    report.set_collector_metric(gc, "dacapo_total_s", mres.dacapo_total_s);
+    report.set_collector_metric(gc, "dacapo_max_pause_ms",
+                                mres.dacapo_max_pause * 1e3);
+    report.set_collector_metric(gc, "cassandra_max_pause_ms",
+                                mres.cass_max_pause * 1e3);
   }
   t.print(std::cout);
+  report.add_table(t);
   std::cout << "Paper's verdicts: ParallelOld {DaCapo: good/short, Cassandra:\n"
                "good/unacceptable}; CMS {fairly good/acceptable, fairly\n"
                "good/significant}; G1 {bad/unacceptable (with system GC),\n"
                "fairly good/significant}.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -21,6 +21,9 @@ struct CassandraRun {
   ycsb::PhaseResult load;
   ycsb::PhaseResult run;
   std::uint64_t flushes = 0;
+  // Distilled GC cost channels for the whole run (runtime/gc_cost.h).
+  GcCostSnapshot cost;
+  std::uint64_t allocated_bytes = 0;
 };
 
 inline VmConfig cassandra_vm_config(GcKind gc) {
@@ -45,8 +48,14 @@ inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
                                        double read_prop = 0.5,
                                        double update_prop = 0.5,
                                        double insert_prop = 0.0,
-                                       bool use_net = false) {
-  const VmConfig cfg = cassandra_vm_config(gc);
+                                       bool use_net = false,
+                                       std::size_t heap_bytes_override = 0) {
+  VmConfig cfg = cassandra_vm_config(gc);
+  if (heap_bytes_override != 0) {
+    // The distilled-cost bench hands Epsilon a heap sized to the
+    // workload's full allocation volume (nothing is ever reclaimed).
+    cfg.heap_bytes = heap_bytes_override;
+  }
   Vm vm(cfg);
   kv::StoreConfig scfg = stress
                              ? kv::StoreConfig::stress_config(cfg.heap_bytes)
@@ -82,6 +91,8 @@ inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
   out.pauses = vm.gc_log().summarize();
   out.pause_events = vm.gc_log().snapshot();
   out.flushes = store.flush_count();
+  out.cost = vm.cost_snapshot();
+  out.allocated_bytes = vm.total_allocated_bytes();
   return out;
 }
 

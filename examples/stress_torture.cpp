@@ -12,6 +12,7 @@
 #include <string>
 
 #include "stress/torture.h"
+#include "support/env.h"
 #include "support/units.h"
 
 namespace {
@@ -21,7 +22,8 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--gc NAME] [--seed N] [--threads K] [--rounds R]\n"
       "          [--churn N] [--heap-mb N] [--young-mb N] [--no-tlab]\n"
-      "  --gc       Serial|ParNew|Parallel|ParallelOld|CMS|G1 (default CMS)\n"
+      "  --gc       Serial|ParNew|Parallel|ParallelOld|CMS|G1|Epsilon\n"
+      "             (default: $MGC_GC if set, else CMS)\n"
       "  --seed     base RNG seed reproducing the whole run (default 42)\n"
       "  --threads  mutator threads, >= 2 (default 4)\n"
       "  --rounds   churn/verify rounds (default 6)\n"
@@ -38,8 +40,12 @@ int main(int argc, char** argv) {
   using namespace mgc;
 
   stress::TortureConfig cfg;
-  cfg.vm = stress::small_stress_vm(GcKind::kCms, /*tlab_enabled=*/true);
+  // MGC_GC picks the default collector; an explicit --gc still wins.
+  GcKind default_gc = GcKind::kCms;
+  env::gc_override(&default_gc);
+  cfg.vm = stress::small_stress_vm(default_gc, /*tlab_enabled=*/true);
   std::size_t heap_mb = 10, young_mb = 3;
+  bool heap_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -67,6 +73,7 @@ int main(int argc, char** argv) {
       cfg.churn_per_round = std::atoi(value());
     } else if (arg == "--heap-mb") {
       heap_mb = std::strtoull(value(), nullptr, 10);
+      heap_set = true;
     } else if (arg == "--young-mb") {
       young_mb = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--no-tlab") {
@@ -80,6 +87,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--threads must be >= 2\n");
     usage(argv[0]);
     return 2;
+  }
+  if (cfg.vm.gc == GcKind::kEpsilon && !heap_set) {
+    // Epsilon never reclaims: the default torture heap must hold the whole
+    // run's allocation volume, not the 10 MiB pressure-cooker geometry.
+    heap_mb = 2048;
   }
   cfg.vm.heap_bytes = heap_mb * MiB;
   cfg.vm.young_bytes = young_mb * MiB;

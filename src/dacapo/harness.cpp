@@ -50,6 +50,8 @@ HarnessResult run_benchmark(const VmConfig& cfg, const std::string& name,
   }
   res.pauses = vm.gc_log().summarize();
   res.pause_events = vm.gc_log().snapshot();
+  res.cost = vm.cost_snapshot();
+  res.allocated_bytes = vm.total_allocated_bytes();
   return res;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dacapo/workload.h"
+#include "runtime/gc_cost.h"
 #include "runtime/gc_log.h"
 #include "runtime/vm_config.h"
 
@@ -33,6 +34,10 @@ struct HarnessResult {
   PauseSummary pauses;
   std::vector<PauseEvent> pause_events;
   std::int64_t vm_origin_ns = 0;  // for relative pause timelines
+  // Distilled GC cost channels for the whole run (see runtime/gc_cost.h).
+  GcCostSnapshot cost;
+  // Total bytes allocated across the run; sizes the Epsilon baseline heap.
+  std::uint64_t allocated_bytes = 0;
 };
 
 // Runs `name` under a fresh VM configured by `cfg`.

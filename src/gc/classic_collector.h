@@ -34,6 +34,7 @@ class ClassicCollector : public Collector {
   std::size_t max_alloc_bytes() const override;
 
   ClassicHeap& heap() { return heap_; }
+  const ClassicHeap& heap() const { return heap_; }
 
  protected:
   // Hooks for CMS.

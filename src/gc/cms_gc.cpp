@@ -261,6 +261,7 @@ void CmsGc::bg_main() {
       if (bg_stop_) break;
       cycle_requested_ = false;
     }
+    GcCostCounters::CycleScope cost(vm_.cost_counters());
     run_cycle();
   }
   sp.unregister_thread();

@@ -1,0 +1,46 @@
+#include "gc/epsilon_gc.h"
+
+#include <algorithm>
+
+namespace mgc {
+
+char* EpsilonGc::alloc_tlab(std::size_t bytes) {
+  if (char* p = heap().eden().par_alloc(bytes)) return p;
+  // Eden exhausted: keep bumping through the old generation. old_alloc
+  // also records the block-offset-table entry, which keeps the space
+  // parsable for the heap verifier.
+  return heap().old_alloc(bytes);
+}
+
+Obj* EpsilonGc::alloc_direct(std::size_t size_words, std::uint16_t num_refs) {
+  const std::size_t bytes = words_to_bytes(size_words);
+  char* p = heap().eden().par_alloc(bytes);
+  if (p == nullptr) p = heap().old_alloc(bytes);
+  if (p == nullptr) return nullptr;
+  return Obj::init(p, size_words, num_refs);
+}
+
+PauseOutcome EpsilonGc::collect_young(GcCause cause) {
+  (void)cause;
+  PauseOutcome out;
+  out.skipped = true;  // no collection ran; log nothing, advance no epoch
+  return out;
+}
+
+PauseOutcome EpsilonGc::collect_full(GcCause cause) {
+  return collect_young(cause);
+}
+
+BarrierDescriptor EpsilonGc::barrier_descriptor() {
+  return BarrierDescriptor{};  // Kind::kNone — reference stores run bare
+}
+
+std::size_t EpsilonGc::max_alloc_bytes() const {
+  // A single allocation needs contiguous space in one of the two bump
+  // regions; the old generation can additionally grow into the reserve.
+  const ClassicHeap& h = heap();
+  return std::max(h.eden().free_bytes(),
+                  h.old_free() + h.old_reserve_available());
+}
+
+}  // namespace mgc

@@ -1,0 +1,49 @@
+// EpsilonGC: the no-op collector of the cost-distillation experiments
+// ("Distilling the Real Cost of Production Garbage Collectors"). It
+// bump-allocates across the whole heap — eden first, then straight through
+// the old generation — never collects, and runs no write barrier, so a run
+// under Epsilon is the empirical lower bound every real collector's total
+// cost is distilled against.
+//
+// Exhaustion semantics: a collection can never make a request satisfiable,
+// so the allocation ladder (see Mutator::alloc_slow) skips its collection
+// rungs for Epsilon — it retries the allocation, takes the heap-expansion
+// rung if a reserve exists, and otherwise throws a structured, *hopeless*
+// OutOfMemoryError. Never an abort, never a pause-loop hang, and the GC
+// log stays empty (zero cycles) for the whole run.
+#pragma once
+
+#include "gc/classic_collector.h"
+
+namespace mgc {
+
+class EpsilonGc final : public ClassicCollector {
+ public:
+  EpsilonGc(Vm& vm, const VmConfig& cfg)
+      : ClassicCollector(vm, cfg, /*free_list_old=*/false,
+                         /*young_workers=*/1, /*full_workers=*/1) {}
+
+  GcKind kind() const override { return GcKind::kEpsilon; }
+  bool collects() const override { return false; }
+
+  // Bump allocation across the whole heap: eden until it runs dry, then
+  // the old generation (which for Epsilon is just more bump space).
+  char* alloc_tlab(std::size_t bytes) override;
+  Obj* alloc_direct(std::size_t size_words, std::uint16_t num_refs) override;
+
+  // Forced collections (System.gc, harness-forced full GCs, the torture
+  // driver's round boundaries) are no-ops: nothing is logged, no epoch
+  // advances, and the heap is untouched.
+  PauseOutcome collect_young(GcCause cause) override;
+  PauseOutcome collect_full(GcCause cause) override;
+
+  // No generational invariant to maintain — stores run bare.
+  BarrierDescriptor barrier_descriptor() override;
+
+  // The largest request that could *ever* succeed is bounded by what is
+  // still free right now (plus the uncommitted reserve): nothing is ever
+  // reclaimed, so exhaustion makes every further request hopeless.
+  std::size_t max_alloc_bytes() const override;
+};
+
+}  // namespace mgc

@@ -1,4 +1,5 @@
 #include "gc/cms_gc.h"
+#include "gc/epsilon_gc.h"
 #include "gc/g1_gc.h"
 #include "gc/parallel_gc.h"
 #include "gc/parallel_old_gc.h"
@@ -22,6 +23,8 @@ std::unique_ptr<Collector> make_collector(Vm& vm, const VmConfig& cfg) {
       return std::make_unique<CmsGc>(vm, cfg);
     case GcKind::kG1:
       return std::make_unique<G1Gc>(vm, cfg);
+    case GcKind::kEpsilon:
+      return std::make_unique<EpsilonGc>(vm, cfg);
   }
   MGC_UNREACHABLE("bad GcKind");
 }

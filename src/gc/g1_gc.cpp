@@ -866,6 +866,7 @@ void G1Gc::start_background() {
         if (bg_stop_) break;
         cycle_requested_ = false;
       }
+      GcCostCounters::CycleScope cost(vm_.cost_counters());
       // Initial mark piggybacks a young evacuation pause.
       vm_.run_vm_op(GcCause::kOccupancyTrigger, /*caller_is_registered=*/true,
                     [this] {

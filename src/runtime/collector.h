@@ -98,6 +98,12 @@ class Collector {
     (void)value;
   }
 
+  // False for collectors that never reclaim memory (Epsilon): the
+  // allocation ladder skips its collection rungs entirely and walks
+  // straight from expansion to a structured, *hopeless* OutOfMemoryError —
+  // no pause could ever make the request satisfiable.
+  virtual bool collects() const { return true; }
+
   // --- degraded-mode support ------------------------------------------------
   // Attempts to grow the committed heap by at least `min_bytes` (runs its
   // own stop-the-world op). Step 3 of the allocation ladder; collectors

@@ -1,0 +1,21 @@
+#include "runtime/gc_cost.h"
+
+#include "runtime/gc_log.h"
+
+namespace mgc {
+
+GcCostSnapshot GcCostCounters::snapshot(const GcLog& log) const {
+  GcCostSnapshot s;
+  s.pause_ns = log.total_pause_ns();
+  s.pauses = log.count();
+  s.alloc_slow_ns = alloc_slow_ns_.load(std::memory_order_relaxed);
+  s.alloc_slow_calls = alloc_slow_calls_.load(std::memory_order_relaxed);
+  s.barrier_card_ops = barrier_card_ops_.load(std::memory_order_relaxed);
+  s.barrier_satb_ops = barrier_satb_ops_.load(std::memory_order_relaxed);
+  s.barrier_rset_ops = barrier_rset_ops_.load(std::memory_order_relaxed);
+  s.concurrent_ns = concurrent_ns_.load(std::memory_order_relaxed);
+  s.concurrent_cycles = concurrent_cycles_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace mgc

@@ -1,0 +1,119 @@
+// Distilled GC cost accounting ("Distilling the Real Cost of Production
+// Garbage Collectors"): the total cost a collector imposes on the
+// application is attributed to four channels —
+//
+//   1. stop-the-world pause time       (from the GcLog; wall time)
+//   2. allocation slow-path time       (mutator time burnt outside the
+//                                       TLAB bump: refills, direct old/
+//                                       humongous allocation, the ladder)
+//   3. write-barrier work              (counted in *operations*: card
+//                                       dirties, SATB records, remembered-
+//                                       set insertions; converted to time
+//                                       with a calibrated ns/op when a
+//                                       report needs one number)
+//   4. concurrent cycles               (CPU time the CMS/G1 background
+//                                       threads steal from mutators)
+//
+// Epsilon pays none of these, which is what makes it the empirical lower
+// bound: distilled overhead = (collector total cost) relative to an
+// Epsilon run of the same workload.
+//
+// The counters live on the Vm; mutators batch their contributions in
+// thread-local fields (relaxed atomics, folded on detach and on demand),
+// the background collector threads add their cycle CPU time directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/clock.h"
+
+namespace mgc {
+
+class GcLog;
+
+// A point-in-time copy of the accounting, with pause totals folded in
+// from the GcLog. Plain data: benches serialize it into BENCH_*.json.
+struct GcCostSnapshot {
+  // 1. stop-the-world pauses (young, full, remark, cleanup, expansion).
+  std::int64_t pause_ns = 0;
+  std::uint64_t pauses = 0;
+
+  // 2. allocation slow path (excludes time spent waiting inside pauses —
+  // that is channel 1; this is pure allocation work).
+  std::int64_t alloc_slow_ns = 0;
+  std::uint64_t alloc_slow_calls = 0;
+
+  // 3. write-barrier operations.
+  std::uint64_t barrier_card_ops = 0;  // generational post-barrier dirties
+  std::uint64_t barrier_satb_ops = 0;  // G1 SATB pre-barrier records
+  std::uint64_t barrier_rset_ops = 0;  // G1 cross-region rset insertions
+
+  // 4. concurrent collector work (thread CPU time of background cycles).
+  std::int64_t concurrent_ns = 0;
+  std::uint64_t concurrent_cycles = 0;
+
+  std::uint64_t barrier_ops() const {
+    return barrier_card_ops + barrier_satb_ops + barrier_rset_ops;
+  }
+  // Total attributed cost. The barrier channel is counted in ops, so the
+  // caller supplies the calibrated per-op cost (see
+  // bench::calibrate_barrier_ns_per_op); 0 drops the channel.
+  std::int64_t total_ns(double barrier_ns_per_op) const {
+    return pause_ns + alloc_slow_ns + concurrent_ns +
+           static_cast<std::int64_t>(barrier_ns_per_op *
+                                     static_cast<double>(barrier_ops()));
+  }
+};
+
+// The live accumulator. All adds are relaxed: channels are statistics, and
+// every reader (snapshot) tolerates being a few operations stale.
+class GcCostCounters {
+ public:
+  void add_alloc_slow(std::int64_t ns, std::uint64_t calls) {
+    alloc_slow_ns_.fetch_add(ns, std::memory_order_relaxed);
+    alloc_slow_calls_.fetch_add(calls, std::memory_order_relaxed);
+  }
+  void add_barrier_ops(std::uint64_t card, std::uint64_t satb,
+                       std::uint64_t rset) {
+    if (card != 0) barrier_card_ops_.fetch_add(card, std::memory_order_relaxed);
+    if (satb != 0) barrier_satb_ops_.fetch_add(satb, std::memory_order_relaxed);
+    if (rset != 0) barrier_rset_ops_.fetch_add(rset, std::memory_order_relaxed);
+  }
+  void add_concurrent_cycle(std::int64_t cpu_ns) {
+    concurrent_ns_.fetch_add(cpu_ns, std::memory_order_relaxed);
+    concurrent_cycles_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Folds the counters plus the log's pause totals into a snapshot.
+  GcCostSnapshot snapshot(const GcLog& log) const;
+
+  // RAII: charges the enclosing scope's *thread CPU* time as one
+  // concurrent cycle on destruction. CMS/G1 background threads wrap each
+  // cycle body with one of these; the thread-CPU clock naturally excludes
+  // the stop-the-world pauses the cycle requests (the thread is parked
+  // while the VM thread runs them), leaving only the work genuinely
+  // concurrent with — and stolen from — the mutators.
+  class CycleScope {
+   public:
+    explicit CycleScope(GcCostCounters& c) : c_(c), cpu0_(thread_cpu_ns()) {}
+    ~CycleScope() { c_.add_concurrent_cycle(thread_cpu_ns() - cpu0_); }
+    CycleScope(const CycleScope&) = delete;
+    CycleScope& operator=(const CycleScope&) = delete;
+
+   private:
+    GcCostCounters& c_;
+    std::int64_t cpu0_;
+  };
+
+ private:
+  std::atomic<std::int64_t> alloc_slow_ns_{0};
+  std::atomic<std::uint64_t> alloc_slow_calls_{0};
+  std::atomic<std::uint64_t> barrier_card_ops_{0};
+  std::atomic<std::uint64_t> barrier_satb_ops_{0};
+  std::atomic<std::uint64_t> barrier_rset_ops_{0};
+  std::atomic<std::int64_t> concurrent_ns_{0};
+  std::atomic<std::uint64_t> concurrent_cycles_{0};
+};
+
+}  // namespace mgc

@@ -17,7 +17,12 @@ constexpr GcTraits kTraits[] = {
     /* ParallelOld */ {"ParallelOldGC", "ParallelOld", true, true, false, false, true, true, false, false},
     /* CMS         */ {"ConcMarkSweepGC", "CMS", true, true, false, false, true, false, true, true},
     /* G1          */ {"G1GC", "G1", true, true, false, false, true, true, true, false},
+    /* Epsilon     */ {"EpsilonGC", "Epsilon", false, false, false, false, false, false, false, false},
 };
+
+static_assert(sizeof(kTraits) / sizeof(kTraits[0]) ==
+                  static_cast<std::size_t>(GcKind::kEpsilon) + 1,
+              "every GcKind needs a kTraits row");
 
 }  // namespace
 
@@ -41,11 +46,19 @@ const std::vector<GcKind>& main_gc_kinds() {
   return kMain;
 }
 
+const std::vector<GcKind>& every_gc_kind() {
+  static const std::vector<GcKind> kEvery = {
+      GcKind::kSerial, GcKind::kParNew,  GcKind::kParallel, GcKind::kParallelOld,
+      GcKind::kCms,    GcKind::kG1,      GcKind::kEpsilon,
+  };
+  return kEvery;
+}
+
 bool try_gc_kind_from_name(const std::string& name, GcKind* out) {
   std::string lower = name;
   std::transform(lower.begin(), lower.end(), lower.begin(),
                  [](unsigned char c) { return std::tolower(c); });
-  for (GcKind k : all_gc_kinds()) {
+  for (GcKind k : every_gc_kind()) {
     std::string full = gc_traits(k).name;
     std::string shrt = gc_traits(k).short_name;
     std::transform(full.begin(), full.end(), full.begin(),

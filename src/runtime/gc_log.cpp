@@ -81,6 +81,13 @@ PauseSummary GcLog::summarize() const {
   return s;
 }
 
+std::int64_t GcLog::total_pause_ns() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::int64_t total = 0;
+  for (const PauseEvent& e : events_) total += e.end_ns - e.start_ns;
+  return total;
+}
+
 bool GcLog::pause_overlaps(std::int64_t start_ns, std::int64_t end_ns) const {
   std::lock_guard<std::mutex> g(mu_);
   for (const PauseEvent& e : events_) {

@@ -104,6 +104,10 @@ class GcLog {
   std::size_t count() const;
   PauseSummary summarize() const;
 
+  // Sum of all pause durations, in ns — the stop-the-world channel of the
+  // distilled GC cost accounting (see runtime/gc_cost.h).
+  std::int64_t total_pause_ns() const;
+
   // True if any pause overlaps [start_ns, end_ns] (absolute). Used by the
   // client-side study to attribute latency spikes to collections.
   bool pause_overlaps(std::int64_t start_ns, std::int64_t end_ns) const;

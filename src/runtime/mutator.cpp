@@ -113,6 +113,15 @@ Obj* Mutator::try_alloc_once(std::size_t size_words, std::uint16_t num_refs) {
   return c.alloc_direct(size_words, num_refs);
 }
 
+Obj* Mutator::timed_alloc_once(std::size_t size_words,
+                               std::uint16_t num_refs) {
+  const std::int64_t t0 = now_ns();
+  Obj* o = try_alloc_once(size_words, num_refs);
+  cost_alloc_slow_ns_.fetch_add(now_ns() - t0, std::memory_order_relaxed);
+  cost_alloc_slow_calls_.fetch_add(1, std::memory_order_relaxed);
+  return o;
+}
+
 Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
   const std::size_t bytes = words_to_bytes(size_words);
   Collector& c = vm_.collector();
@@ -127,6 +136,27 @@ Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
             " bytes exceeds the largest satisfiable allocation (" +
             std::to_string(ceiling) + " bytes)",
         bytes, /*hopeless=*/true);
+  }
+
+  // A collector that never reclaims (Epsilon) gets no collection rungs:
+  // its skipped pauses advance no epoch, so the ladder below would burn
+  // all 256 attempts spinning. Instead: retry (another thread may have
+  // raced us to a refill), take the expansion rung while a reserve
+  // remains, try the object directly (a TLAB-sized refill can fail where
+  // the object itself still fits), then exhaustion is *hopeless* — by
+  // definition no collection could ever help.
+  if (!c.collects()) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (!fault::should_fire(fault::Site::kHeapAlloc)) {
+        if (Obj* o = timed_alloc_once(size_words, num_refs)) return o;
+      }
+      if (!c.try_expand(bytes)) break;
+    }
+    if (Obj* o = c.alloc_direct(size_words, num_refs)) return o;
+    throw OutOfMemoryError(name_ + ": allocation of " + std::to_string(bytes) +
+                               " bytes failed and " + gc_traits(c.kind()).name +
+                               " never reclaims memory",
+                           bytes, /*hopeless=*/true);
   }
 
   // The allocation ladder: young GCs → full GCs → heap expansion →
@@ -144,7 +174,7 @@ Obj* Mutator::alloc_slow(std::size_t size_words, std::uint16_t num_refs) {
     // The kHeapAlloc fault site models forced space exhaustion: an armed
     // fire skips the attempt entirely, driving this thread down the ladder.
     if (!fault::should_fire(fault::Site::kHeapAlloc)) {
-      Obj* o = try_alloc_once(size_words, num_refs);
+      Obj* o = timed_alloc_once(size_words, num_refs);
       if (o != nullptr) {
         vm_.collector().maybe_start_concurrent();
         return o;
@@ -192,6 +222,7 @@ void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {
     // sees the snapshot-at-the-beginning object graph.
     if (Obj* old = slot.load(std::memory_order_acquire)) {
       vm_.collector().satb_record(*this, old);
+      cost_barrier_satb_ops_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -204,7 +235,10 @@ void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {
       // Generational post-barrier: stores into the old generation dirty the
       // slot's card (also feeds CMS incremental-update remark).
       const char* h = holder->start();
-      if (h >= bd.old_base && h < bd.old_end) bd.card_table->dirty(&slot);
+      if (h >= bd.old_base && h < bd.old_end) {
+        bd.card_table->dirty(&slot);
+        cost_barrier_card_ops_.fetch_add(1, std::memory_order_relaxed);
+      }
       break;
     }
     case BarrierDescriptor::Kind::kG1: {
@@ -213,6 +247,7 @@ void Mutator::set_ref(Obj* holder, std::size_t i, Obj* value) {
       const auto voff = static_cast<std::size_t>(value->start() - bd.heap_base);
       if ((hoff >> bd.region_shift) != (voff >> bd.region_shift)) {
         vm_.collector().rset_record(&slot, value);
+        cost_barrier_rset_ops_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
     }

@@ -17,8 +17,11 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "heap/object.h"
 #include "runtime/collector.h"
+#include "runtime/gc_cost.h"
 #include "support/check.h"
 #include "support/gc_annotations.h"
 #include "support/rng.h"
@@ -80,6 +83,19 @@ class Mutator {
   // TLAB instrumentation.
   std::uint64_t tlab_refills() const { return tlab_refills_; }
   std::uint64_t allocated_bytes() const { return allocated_bytes_; }
+
+  // Adds this thread's distilled-cost contributions (allocation slow-path
+  // time, write-barrier operation counts — see runtime/gc_cost.h) to the
+  // accumulator. Called by Vm::cost_snapshot for live mutators and by
+  // Vm::remove_mutator on detach; the fields are relaxed atomics because
+  // the snapshot thread reads them while this thread keeps mutating.
+  void fold_cost_into(GcCostCounters& c) const {
+    c.add_alloc_slow(cost_alloc_slow_ns_.load(std::memory_order_relaxed),
+                     cost_alloc_slow_calls_.load(std::memory_order_relaxed));
+    c.add_barrier_ops(cost_barrier_card_ops_.load(std::memory_order_relaxed),
+                      cost_barrier_satb_ops_.load(std::memory_order_relaxed),
+                      cost_barrier_rset_ops_.load(std::memory_order_relaxed));
+  }
   // Current adaptive TLAB size (== config().tlab_bytes when adaptation is
   // off or has not kicked in yet).
   std::size_t desired_tlab_bytes() const { return desired_tlab_bytes_; }
@@ -89,6 +105,10 @@ class Mutator {
 
   Obj* alloc_slow(std::size_t size_words, std::uint16_t num_refs);
   Obj* try_alloc_once(std::size_t size_words, std::uint16_t num_refs);
+  // try_alloc_once with the elapsed time charged to the allocation
+  // slow-path cost channel. Only the allocation work itself is timed —
+  // waits inside vm_.collect are pauses, already accounted by the GcLog.
+  Obj* timed_alloc_once(std::size_t size_words, std::uint16_t num_refs);
   // Refill-time hook: when one or more young cycles completed since the
   // last refill, fold the finished window's allocation volume into the
   // EWMA and re-derive the TLAB size (HotSpot-style ResizeTLAB: target
@@ -122,6 +142,14 @@ class Mutator {
 
   std::uint64_t tlab_refills_ = 0;
   std::uint64_t allocated_bytes_ = 0;
+
+  // Distilled-cost channels. Written only by the owning thread, read by
+  // Vm::cost_snapshot from any thread.
+  std::atomic<std::int64_t> cost_alloc_slow_ns_{0};
+  std::atomic<std::uint64_t> cost_alloc_slow_calls_{0};
+  std::atomic<std::uint64_t> cost_barrier_card_ops_{0};
+  std::atomic<std::uint64_t> cost_barrier_satb_ops_{0};
+  std::atomic<std::uint64_t> cost_barrier_rset_ops_{0};
 
   // Adaptive-sizing window: allocation volume since the young cycle at
   // which the TLAB was last resized.

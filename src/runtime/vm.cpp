@@ -73,9 +73,38 @@ int Vm::mutator_count() {
 void Vm::remove_mutator(Mutator* m) {
   {
     std::lock_guard<std::mutex> g(mutators_mu_);
+    // Bank the thread's cost contributions before it disappears from the
+    // scan list; cost_snapshot holds the same lock, so a detach is never
+    // double-counted (still listed + already folded).
+    m->fold_cost_into(cost_);
+    detached_allocated_bytes_.fetch_add(m->allocated_bytes(),
+                                        std::memory_order_relaxed);
     std::erase(mutators_, m);
   }
   sp_.unregister_thread();
+}
+
+std::uint64_t Vm::total_allocated_bytes() {
+  std::lock_guard<std::mutex> g(mutators_mu_);
+  std::uint64_t total =
+      detached_allocated_bytes_.load(std::memory_order_relaxed);
+  for (Mutator* m : mutators_) total += m->allocated_bytes();
+  return total;
+}
+
+GcCostSnapshot Vm::cost_snapshot() {
+  std::lock_guard<std::mutex> g(mutators_mu_);
+  GcCostCounters folded;
+  for (Mutator* m : mutators_) m->fold_cost_into(folded);
+  GcCostSnapshot live = folded.snapshot(log_);
+  GcCostSnapshot s = cost_.snapshot(log_);
+  // Both snapshots folded the log's pause totals; keep one copy.
+  s.alloc_slow_ns += live.alloc_slow_ns;
+  s.alloc_slow_calls += live.alloc_slow_calls;
+  s.barrier_card_ops += live.barrier_card_ops;
+  s.barrier_satb_ops += live.barrier_satb_ops;
+  s.barrier_rset_ops += live.barrier_rset_ops;
+  return s;
 }
 
 // --- global roots --------------------------------------------------------------

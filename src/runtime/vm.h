@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "runtime/collector.h"
+#include "runtime/gc_cost.h"
 #include "runtime/gc_log.h"
 #include "runtime/mutator.h"
 #include "runtime/safepoint.h"
@@ -63,6 +64,14 @@ class Vm {
   const BarrierDescriptor& barrier() const { return barrier_; }
 
   HeapUsage usage() const { return collector_->usage(); }
+
+  // --- distilled cost accounting ---------------------------------------------
+  // The accumulator for cost channels reported by non-mutator threads
+  // (CMS/G1 background cycles) and by detaching mutators.
+  GcCostCounters& cost_counters() { return cost_; }
+  // Point-in-time total across all channels: detached contributions, live
+  // mutators, and the GcLog's pause total. See runtime/gc_cost.h.
+  GcCostSnapshot cost_snapshot();
 
   // --- mutators -------------------------------------------------------------
   // Attaches the calling thread as a mutator for the scope's lifetime.
@@ -131,6 +140,12 @@ class Vm {
   // Number of currently attached mutators (adaptive TLAB clamp input).
   int mutator_count();
 
+  // Total bytes allocated by all mutators over the VM's lifetime (detached
+  // ones included). The distilled-cost bench sizes the Epsilon baseline
+  // heap from a pilot run's value: Epsilon must hold a workload's *entire*
+  // allocation volume, nothing ever being reclaimed.
+  std::uint64_t total_allocated_bytes();
+
  private:
   struct VmOp {
     const std::function<PauseOutcome()>* fn = nullptr;
@@ -150,6 +165,9 @@ class Vm {
 
   std::mutex mutators_mu_;
   std::vector<Mutator*> mutators_;
+
+  GcCostCounters cost_;
+  std::atomic<std::uint64_t> detached_allocated_bytes_{0};
 
   mutable std::mutex groots_mu_;
   std::vector<Obj*> global_roots_;

@@ -10,4 +10,10 @@ std::int64_t process_cpu_ns() {
   return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
 }
 
+std::int64_t thread_cpu_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
 }  // namespace mgc

@@ -23,6 +23,13 @@ inline std::int64_t now_ns() {
 // while CPU time still reflects mutator and collector work faithfully.
 std::int64_t process_cpu_ns();
 
+// CPU time of the *calling thread* in nanoseconds. The cost-accounting
+// layer wraps each CMS/G1 background cycle with a delta of this clock:
+// unlike wall time it excludes the stop-the-world pauses the cycle itself
+// requests (the thread is blocked, burning no CPU), so the delta is the
+// concurrent work genuinely stolen from mutator cores.
+std::int64_t thread_cpu_ns();
+
 inline double ns_to_ms(std::int64_t ns) { return static_cast<double>(ns) / 1e6; }
 inline double ns_to_s(std::int64_t ns) { return static_cast<double>(ns) / 1e9; }
 

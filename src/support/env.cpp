@@ -56,6 +56,29 @@ bool verbose_gc() {
   return v;
 }
 
+namespace {
+struct GcOverride {
+  bool set = false;
+  GcKind kind = GcKind::kSerial;
+};
+}  // namespace
+
+bool gc_override(GcKind* out) {
+  // gc_kind_from_name aborts on junk, which is exactly the behavior we
+  // want for an env knob: MGC_GC=Epislon must not silently run all six.
+  static const GcOverride o = [] {
+    GcOverride g;
+    const char* v = std::getenv("MGC_GC");  // NOLINT(concurrency-mt-unsafe)
+    if (v != nullptr && *v != '\0') {
+      g.set = true;
+      g.kind = gc_kind_from_name(v);
+    }
+    return g;
+  }();
+  if (o.set && out != nullptr) *out = o.kind;
+  return o.set;
+}
+
 std::uint64_t scaled(std::uint64_t base_count) {
   const double s = scale();
   const auto v = static_cast<std::uint64_t>(static_cast<double>(base_count) * s);

@@ -5,10 +5,15 @@
 //   MGC_THREADS    — overrides the hardware-thread count the harness uses.
 //   MGC_SEED       — base RNG seed for workloads.
 //   MGC_VERBOSE_GC — if set (non-zero), VMs print per-pause log lines.
+//   MGC_GC         — restricts bench/example runs to one collector (any
+//                    name gc_kind_from_name accepts, incl. "Epsilon");
+//                    aborts on junk so a typo can't silently run all six.
 #pragma once
 
 #include <cstdint>
 #include <string>
+
+#include "runtime/gc_kind.h"
 
 namespace mgc::env {
 
@@ -16,6 +21,10 @@ double scale();          // workload scale factor, default 1.0
 int threads();           // default: std::thread::hardware_concurrency()
 std::uint64_t seed();    // default 42
 bool verbose_gc();       // default false
+
+// True (and *out filled) when MGC_GC selects a collector. Aborts with a
+// clear message when MGC_GC is set but names no collector.
+bool gc_override(GcKind* out);
 
 // Scales an iteration/op count by MGC_SCALE with a floor of 1.
 std::uint64_t scaled(std::uint64_t base_count);

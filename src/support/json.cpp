@@ -1,0 +1,341 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mgc {
+
+namespace {
+
+const Json kNullJson;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  // Integral values (every counter in a bench report) print as integers;
+  // true fractions keep enough digits to round-trip.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else if (std::isfinite(d)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  } else {
+    out += "null";  // JSON has no Inf/NaN; a null stands out in review
+  }
+}
+
+}  // namespace
+
+void Json::set(const std::string& key, Json v) {
+  for (auto& kv : obj_) {
+    if (kv.first == key) {
+      kv.second = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& kv : obj_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* j = find(key);
+  return j != nullptr ? *j : kNullJson;
+}
+
+double Json::number_or(const std::string& key, double dflt) const {
+  const Json* j = find(key);
+  return (j != nullptr && j->is_number()) ? j->as_double() : dflt;
+}
+
+std::string Json::string_or(const std::string& key,
+                            const std::string& dflt) const {
+  const Json* j = find(key);
+  return (j != nullptr && j->is_string()) ? j->as_string() : dflt;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, num_); break;
+    case Type::kString: append_escaped(out, str_); break;
+    case Type::kArray:
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        out += pad_in;
+        arr_[i].dump_to(out, indent + 1);
+        if (i + 1 < arr_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      break;
+    case Type::kObject:
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        out += pad_in;
+        append_escaped(out, obj_[i].first);
+        out += ": ";
+        obj_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < obj_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out, 0);
+  out += '\n';
+  return out;
+}
+
+// --- parser --------------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t pos = 0;
+  std::string err;
+
+  bool fail(const std::string& what) {
+    if (err.empty())
+      err = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s.compare(pos, n, lit) != 0) return fail("bad literal");
+    pos += n;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos < s.size()) {
+      char c = s[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= s.size()) return fail("dangling escape");
+        char e = s[pos++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) return fail("short \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s[pos++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Bench reports are ASCII; encode BMP code points as UTF-8.
+            if (v < 0x80) {
+              *out += static_cast<char>(v);
+            } else if (v < 0x800) {
+              *out += static_cast<char>(0xC0 | (v >> 6));
+              *out += static_cast<char>(0x80 | (v & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (v >> 12));
+              *out += static_cast<char>(0x80 | ((v >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default: return fail("bad escape");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json* out) {
+    skip_ws();
+    if (pos >= s.size()) return fail("unexpected end of input");
+    char c = s[pos];
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      *out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      *out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      *out = Json(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string str;
+      if (!parse_string(&str)) return false;
+      *out = Json(std::move(str));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      *out = Json::array();
+      skip_ws();
+      if (pos < s.size() && s[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Json v;
+        if (!parse_value(&v)) return false;
+        out->push_back(std::move(v));
+        skip_ws();
+        if (pos < s.size() && s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      *out = Json::object();
+      skip_ws();
+      if (pos < s.size() && s[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        if (!consume(':')) return false;
+        Json v;
+        if (!parse_value(&v)) return false;
+        out->set(key, std::move(v));
+        skip_ws();
+        if (pos < s.size() && s[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      // Validate against the JSON number grammar before converting:
+      // strtod alone would also accept hex, "inf"/"nan", and leading zeros.
+      const auto digit = [&](std::size_t i) {
+        return i < s.size() && s[i] >= '0' && s[i] <= '9';
+      };
+      std::size_t q = pos;
+      if (s[q] == '-') ++q;
+      if (!digit(q)) return fail("bad number");
+      if (s[q] == '0' && digit(q + 1)) return fail("leading zero in number");
+      while (digit(q)) ++q;
+      if (q < s.size() && s[q] == '.') {
+        ++q;
+        if (!digit(q)) return fail("bad number: missing fraction digits");
+        while (digit(q)) ++q;
+      }
+      if (q < s.size() && (s[q] == 'e' || s[q] == 'E')) {
+        ++q;
+        if (q < s.size() && (s[q] == '+' || s[q] == '-')) ++q;
+        if (!digit(q)) return fail("bad number: missing exponent digits");
+        while (digit(q)) ++q;
+      }
+      const double d = std::strtod(s.substr(pos, q - pos).c_str(), nullptr);
+      pos = q;
+      *out = Json(d);
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+bool Json::parse(const std::string& text, Json* out, std::string* err) {
+  Parser p{text, 0, {}};
+  if (!p.parse_value(out)) {
+    if (err != nullptr) *err = p.err;
+    return false;
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (err != nullptr)
+      *err = "trailing garbage at offset " + std::to_string(p.pos);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mgc

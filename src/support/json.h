@@ -1,0 +1,101 @@
+// Minimal JSON value, writer, and parser for the persisted benchmark
+// reports (BENCH_*.json) and the perf regression guard.
+//
+// Deliberately small: objects preserve insertion order (so dumps are
+// deterministic and diffs are readable), numbers are doubles (an IEEE
+// double holds integers exactly up to 2^53 ≈ 9.0e15, which covers every
+// nanosecond counter a bench run can produce), and the parser accepts
+// exactly the JSON this writer emits plus ordinary hand-edits. No
+// external dependency — the toolchain image is all we get.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mgc {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int i) : type_(Type::kNumber), num_(i) {}
+  Json(std::int64_t i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  std::int64_t as_int64() const { return static_cast<std::int64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+
+  // --- arrays ---------------------------------------------------------------
+  void push_back(Json v) { arr_.push_back(std::move(v)); }
+  const std::vector<Json>& items() const { return arr_; }
+  std::size_t size() const {
+    return type_ == Type::kArray ? arr_.size() : obj_.size();
+  }
+
+  // --- objects (insertion-ordered) -------------------------------------------
+  // set() replaces an existing key in place, keeping its position.
+  void set(const std::string& key, Json v);
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  // nullptr when absent.
+  const Json* find(const std::string& key) const;
+  // Missing-key access returns a shared null (safe to chain on).
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return obj_;
+  }
+
+  // Typed accessors with defaults — baseline files are hand-rebased, so
+  // readers stay tolerant of missing fields.
+  double number_or(const std::string& key, double dflt) const;
+  std::string string_or(const std::string& key, const std::string& dflt) const;
+
+  // --- serialization ----------------------------------------------------------
+  // Deterministic pretty print: 2-space indent, insertion order, '\n'
+  // line ends, integral numbers without a trailing ".0".
+  std::string dump() const;
+
+  // Strict parse of a complete document; trailing garbage is an error.
+  // Returns false and fills *err (with an offset) on malformed input.
+  static bool parse(const std::string& text, Json* out, std::string* err);
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace mgc

@@ -23,6 +23,12 @@ class Table {
   void print(std::ostream& os) const;
   std::string to_string() const;
 
+  // Structured access for serializers (bench_json turns a Table into the
+  // "tables" section of a BENCH_*.json report).
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& header_cells() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

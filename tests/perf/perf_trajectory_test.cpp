@@ -1,0 +1,240 @@
+// Perf-trajectory regression tests (ctest label: perf).
+//
+// Two halves:
+//  * guard self-tests — compare_reports must catch an injected fake
+//    regression, flag structural (_exact / zero-baseline) drift in both
+//    directions, and fail loud on malformed or mismatched baselines;
+//  * live trajectory — each guarded bench binary runs in --quick mode,
+//    writes a fresh BENCH_*.json, and is compared against the committed
+//    baseline in bench/baselines/.
+//
+// Thresholds are generous by default (quick-mode wall times are noisy) and
+// overridable with MGC_PERF_THRESHOLD=<pct>. Re-baselining workflow:
+// EXPERIMENTS.md, "Perf trajectory".
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+
+#ifndef MGC_BASELINE_DIR
+#error "MGC_BASELINE_DIR must point at the committed bench/baselines dir"
+#endif
+#ifndef MGC_BENCH_DIR
+#error "MGC_BENCH_DIR must point at the built bench binaries"
+#endif
+#ifndef MGC_GUARD_BIN
+#error "MGC_GUARD_BIN must point at the bench_guard binary"
+#endif
+
+namespace mgc::bench {
+namespace {
+
+Json minimal_report(double pause_ms) {
+  Json metrics = Json::object();
+  metrics.set("pause_p99_ms", Json(pause_ms));
+  metrics.set("trait_bits_exact", Json(166));
+  metrics.set("epsilon_pauses_exact", Json(0.0));
+  metrics.set("lucky_zero_counter", Json(0.0));
+  Json j = Json::object();
+  j.set("schema", Json(kBenchSchemaName));
+  j.set("schema_version", Json(kBenchSchemaVersion));
+  j.set("bench", Json("selftest"));
+  j.set("metrics", metrics);
+  j.set("collectors", Json::object());
+  return j;
+}
+
+void set_metric(Json* report, const std::string& key, double value) {
+  Json metrics = report->at("metrics");
+  metrics.set(key, Json(value));
+  report->set("metrics", std::move(metrics));
+}
+
+TEST(PerfGuardSelfTest, InjectedRegressionFails) {
+  const Json baseline = minimal_report(10.0);
+  Json fresh = minimal_report(10.9);  // within 25%
+  EXPECT_TRUE(compare_reports(baseline, fresh, 25.0).empty());
+
+  // The acceptance self-test: a fake 2x regression must trip the guard.
+  set_metric(&fresh, "pause_p99_ms", 20.0);
+  const std::vector<std::string> v = compare_reports(baseline, fresh, 25.0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("pause_p99_ms"), std::string::npos) << v.front();
+  EXPECT_NE(v.front().find("exceeds baseline"), std::string::npos);
+}
+
+TEST(PerfGuardSelfTest, ImprovementsAndThresholdHeadroomPass) {
+  const Json baseline = minimal_report(10.0);
+  Json fresh = minimal_report(3.0);  // big improvement: fine
+  EXPECT_TRUE(compare_reports(baseline, fresh, 25.0).empty());
+  set_metric(&fresh, "pause_p99_ms", 12.4);  // just under the 25% limit
+  EXPECT_TRUE(compare_reports(baseline, fresh, 25.0).empty());
+}
+
+TEST(PerfGuardSelfTest, ExactMetricDriftFailsBothDirections) {
+  const Json baseline = minimal_report(10.0);
+  for (const double drifted : {165.0, 167.0}) {
+    Json fresh = minimal_report(10.0);
+    set_metric(&fresh, "trait_bits_exact", drifted);
+    const std::vector<std::string> v = compare_reports(baseline, fresh, 25.0);
+    ASSERT_EQ(v.size(), 1u) << "drift to " << drifted;
+    EXPECT_NE(v.front().find("trait_bits_exact"), std::string::npos);
+  }
+}
+
+TEST(PerfGuardSelfTest, ZeroExactBaselineIsAStructuralInvariant) {
+  const Json baseline = minimal_report(10.0);
+  Json fresh = minimal_report(10.0);
+  set_metric(&fresh, "epsilon_pauses_exact", 1.0);
+  const std::vector<std::string> v = compare_reports(baseline, fresh, 25.0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("epsilon_pauses_exact"), std::string::npos);
+}
+
+TEST(PerfGuardSelfTest, PlainZeroBaselineIsSkipped) {
+  // A zero counter without the "_exact" marker is timing luck (e.g. a
+  // concurrent cycle that didn't fire in the baseline run), not a bound.
+  const Json baseline = minimal_report(10.0);
+  Json fresh = minimal_report(10.0);
+  set_metric(&fresh, "lucky_zero_counter", 3.0);
+  EXPECT_TRUE(compare_reports(baseline, fresh, 25.0).empty());
+}
+
+TEST(PerfGuardSelfTest, MissingMetricFails) {
+  const Json baseline = minimal_report(10.0);
+  Json fresh = minimal_report(10.0);
+  Json metrics = Json::object();  // drop everything
+  fresh.set("metrics", std::move(metrics));
+  const std::vector<std::string> v = compare_reports(baseline, fresh, 25.0);
+  EXPECT_EQ(v.size(), 4u);
+  for (const std::string& s : v) {
+    EXPECT_NE(s.find("missing in fresh"), std::string::npos) << s;
+  }
+}
+
+TEST(PerfGuardSelfTest, MalformedBaselineFailsLoud) {
+  const std::string path = ::testing::TempDir() + "mgc_malformed_baseline.json";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{ \"schema\": \"mgc-bench-report\", ";  // truncated document
+  }
+  Json loaded;
+  std::string err;
+  EXPECT_FALSE(load_report(path, &loaded, &err));
+  EXPECT_FALSE(err.empty());
+
+  // A parseable file with the wrong schema is just as fatal.
+  Json wrong = Json::object();
+  wrong.set("schema", Json("something-else"));
+  const std::vector<std::string> v =
+      compare_reports(wrong, minimal_report(1.0), 25.0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v.front().find("malformed or wrong file"), std::string::npos);
+
+  // So is a baseline for a different bench.
+  Json other = minimal_report(1.0);
+  other.set("bench", Json("other"));
+  const std::vector<std::string> w =
+      compare_reports(other, minimal_report(1.0), 25.0);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w.front().find("bench name mismatch"), std::string::npos);
+}
+
+// --- bench_guard CLI ---------------------------------------------------------
+
+int run_guard(const std::string& baseline, const std::string& fresh) {
+  const std::string cmd = std::string(MGC_GUARD_BIN) + " --baseline " +
+                          baseline + " --fresh " + fresh +
+                          " --threshold-pct 25 >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());  // NOLINT(concurrency-mt-unsafe)
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(PerfGuardCliTest, ExitCodesReflectComparison) {
+  const std::string dir = ::testing::TempDir();
+  const std::string base_path = dir + "mgc_guard_base.json";
+  const std::string good_path = dir + "mgc_guard_good.json";
+  const std::string bad_path = dir + "mgc_guard_bad.json";
+  ASSERT_TRUE(write_report(minimal_report(10.0), base_path));
+  ASSERT_TRUE(write_report(minimal_report(10.0), good_path));
+  ASSERT_TRUE(write_report(minimal_report(100.0), bad_path));
+
+  EXPECT_EQ(run_guard(base_path, good_path), 0);
+  EXPECT_EQ(run_guard(base_path, bad_path), 1) << "regression must exit 1";
+  EXPECT_EQ(run_guard(dir + "does_not_exist.json", good_path), 1);
+}
+
+// --- live trajectory: fresh --quick run vs committed baseline ----------------
+
+double threshold_for(double dflt) {
+  const char* env = std::getenv("MGC_PERF_THRESHOLD");
+  if (env == nullptr || *env == '\0') return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  return (end != nullptr && *end == '\0' && v >= 0.0) ? v : dflt;
+}
+
+void run_trajectory(const std::string& binary, const std::string& bench_name,
+                    double default_threshold_pct) {
+  // MGC_GC narrows bench collector loops; a narrowed fresh run would
+  // legitimately miss baseline metrics, so level the field.
+  unsetenv("MGC_GC");  // NOLINT(concurrency-mt-unsafe)
+
+  const std::string baseline_path =
+      std::string(MGC_BASELINE_DIR) + "/BENCH_" + bench_name + ".json";
+  const std::string fresh_path =
+      ::testing::TempDir() + "BENCH_" + bench_name + ".fresh.json";
+  const std::string cmd = std::string(MGC_BENCH_DIR) + "/" + binary +
+                          " --quick --json " + fresh_path + " >/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0)  // NOLINT(concurrency-mt-unsafe)
+      << "bench run failed: " << cmd;
+
+  Json baseline;
+  Json fresh;
+  std::string err;
+  ASSERT_TRUE(load_report(baseline_path, &baseline, &err))
+      << err << " — generate it with `" << binary << " --quick --json "
+      << baseline_path << "` and commit (see EXPERIMENTS.md)";
+  ASSERT_TRUE(load_report(fresh_path, &fresh, &err)) << err;
+
+  const double pct = threshold_for(default_threshold_pct);
+  const std::vector<std::string> violations =
+      compare_reports(baseline, fresh, pct);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " violation(s) at threshold " << pct
+      << "% (override with MGC_PERF_THRESHOLD), first: " << violations.front();
+}
+
+// Structural only (trait bits, list sizes): tight threshold.
+TEST(PerfTrajectoryTest, Table1GcTraits) {
+  run_trajectory("bench_table1_gc_traits", "table1", 25.0);
+}
+
+// Machine-independent ratios (word/serial, striped/serial card sweeps):
+// losing the word-wise sweep is a many-fold jump, so 150% headroom still
+// catches it while riding out scheduler noise.
+TEST(PerfTrajectoryTest, CardscanRatios) {
+  run_trajectory("bench_micro_cardscan", "cardscan", 150.0);
+}
+
+// Wall-clock pause statistics at --quick scale are the noisiest guarded
+// metrics; the default headroom is wide and the real tripwires are the
+// order-of-magnitude ones (lost card-scan optimization, runaway pauses).
+TEST(PerfTrajectoryTest, Fig1PauseTimeline) {
+  run_trajectory("bench_fig1_pause_timeline", "fig1", 500.0);
+}
+
+// Distilled costs vs the Epsilon baseline; Epsilon's zero-pause /
+// zero-barrier entries are exact invariants regardless of the threshold.
+TEST(PerfTrajectoryTest, DistilledCost) {
+  run_trajectory("bench_distilled_cost", "distilled", 500.0);
+}
+
+}  // namespace
+}  // namespace mgc::bench

@@ -1,0 +1,106 @@
+// Collector-kind audit: the paper's six collectors keep their Table 1
+// traits bit-for-bit, and the Epsilon baseline is excluded from the
+// default benchmark lists while staying selectable by name everywhere.
+#include "runtime/gc_kind.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mgc {
+namespace {
+
+bool kind_in(const std::vector<GcKind>& v, GcKind k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+struct ExpectedTraits {
+  GcKind kind;
+  const char* name;
+  const char* short_name;
+  bool young_parallel, young_copying;
+  bool old_parallel, old_compacting, old_concurrent_mark, old_concurrent_sweep;
+};
+
+// Table 1 of the paper plus the Epsilon row; the source of truth the
+// implementation's kTraits table must keep matching.
+constexpr ExpectedTraits kExpected[] = {
+    {GcKind::kSerial, "SerialGC", "Serial", false, true, false, true, false,
+     false},
+    {GcKind::kParNew, "ParNewGC", "ParNew", true, true, false, true, false,
+     false},
+    {GcKind::kParallel, "ParallelGC", "Parallel", true, true, false, true,
+     false, false},
+    {GcKind::kParallelOld, "ParallelOldGC", "ParallelOld", true, true, true,
+     true, false, false},
+    {GcKind::kCms, "ConcMarkSweepGC", "CMS", true, true, true, false, true,
+     true},
+    {GcKind::kG1, "G1GC", "G1", true, true, true, true, true, false},
+    {GcKind::kEpsilon, "EpsilonGC", "Epsilon", false, false, false, false,
+     false, false},
+};
+
+TEST(GcKindTest, TraitsMatchTableOne) {
+  ASSERT_EQ(std::size(kExpected), every_gc_kind().size());
+  for (const ExpectedTraits& e : kExpected) {
+    const GcTraits& t = gc_traits(e.kind);
+    SCOPED_TRACE(t.name);
+    EXPECT_STREQ(t.name, e.name);
+    EXPECT_STREQ(t.short_name, e.short_name);
+    EXPECT_EQ(t.young_parallel, e.young_parallel);
+    EXPECT_EQ(t.young_copying, e.young_copying);
+    // No collector in the study marks or copies the young gen concurrently.
+    EXPECT_FALSE(t.young_concurrent_mark);
+    EXPECT_FALSE(t.young_concurrent_copy);
+    EXPECT_EQ(t.old_parallel, e.old_parallel);
+    EXPECT_EQ(t.old_compacting, e.old_compacting);
+    EXPECT_EQ(t.old_concurrent_mark, e.old_concurrent_mark);
+    EXPECT_EQ(t.old_concurrent_sweep, e.old_concurrent_sweep);
+  }
+}
+
+TEST(GcKindTest, EpsilonExcludedFromPaperLists) {
+  EXPECT_EQ(all_gc_kinds().size(), 6u);   // the paper's Table 1 rows
+  EXPECT_EQ(main_gc_kinds().size(), 3u);  // the client-server study's three
+  EXPECT_EQ(every_gc_kind().size(), 7u);
+  EXPECT_FALSE(kind_in(all_gc_kinds(), GcKind::kEpsilon));
+  EXPECT_FALSE(kind_in(main_gc_kinds(), GcKind::kEpsilon));
+  EXPECT_TRUE(kind_in(every_gc_kind(), GcKind::kEpsilon));
+  // every_gc_kind() is exactly the paper list plus Epsilon, same order.
+  for (std::size_t i = 0; i < all_gc_kinds().size(); ++i) {
+    EXPECT_EQ(every_gc_kind()[i], all_gc_kinds()[i]);
+  }
+  // main_gc_kinds is a subset of all_gc_kinds.
+  for (GcKind k : main_gc_kinds()) {
+    EXPECT_TRUE(kind_in(all_gc_kinds(), k));
+  }
+}
+
+TEST(GcKindTest, NamesRoundTripThroughParser) {
+  for (GcKind k : every_gc_kind()) {
+    GcKind parsed{};
+    ASSERT_TRUE(try_gc_kind_from_name(gc_traits(k).name, &parsed));
+    EXPECT_EQ(parsed, k);
+    ASSERT_TRUE(try_gc_kind_from_name(gc_traits(k).short_name, &parsed));
+    EXPECT_EQ(parsed, k);
+  }
+}
+
+TEST(GcKindTest, ParserIsCaseInsensitiveAndRejectsJunk) {
+  GcKind k{};
+  ASSERT_TRUE(try_gc_kind_from_name("epsilon", &k));
+  EXPECT_EQ(k, GcKind::kEpsilon);
+  ASSERT_TRUE(try_gc_kind_from_name("EPSILONGC", &k));
+  EXPECT_EQ(k, GcKind::kEpsilon);
+  ASSERT_TRUE(try_gc_kind_from_name("concurrentmarksweep", &k));
+  EXPECT_EQ(k, GcKind::kCms);
+
+  k = GcKind::kSerial;
+  EXPECT_FALSE(try_gc_kind_from_name("ZGC", &k));
+  EXPECT_FALSE(try_gc_kind_from_name("", &k));
+  EXPECT_FALSE(try_gc_kind_from_name("Epsilon ", &k));
+  EXPECT_EQ(k, GcKind::kSerial);  // *out untouched on failure
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,152 @@
+// Tests for the minimal JSON value/writer/parser behind the persisted
+// BENCH_*.json reports: golden formatting, round-trips, determinism, and
+// loud failures on malformed input.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mgc {
+namespace {
+
+Json sample_report() {
+  Json j = Json::object();
+  j.set("schema", Json("mgc-bench-report"));
+  j.set("schema_version", Json(1));
+  j.set("bench", Json("unit"));
+  Json metrics = Json::object();
+  metrics.set("pause_ns", Json(std::int64_t{1234567891234}));
+  metrics.set("ratio", Json(0.125));
+  metrics.set("zero", Json(0.0));
+  j.set("metrics", metrics);
+  Json rows = Json::array();
+  rows.push_back(Json("a"));
+  rows.push_back(Json(true));
+  rows.push_back(Json(nullptr));
+  j.set("rows", rows);
+  return j;
+}
+
+TEST(JsonTest, GoldenDump) {
+  // The exact serialized form is part of the bench-report contract:
+  // insertion order, two-space indent, no trailing ".0" on integers.
+  const std::string expected =
+      "{\n"
+      "  \"schema\": \"mgc-bench-report\",\n"
+      "  \"schema_version\": 1,\n"
+      "  \"bench\": \"unit\",\n"
+      "  \"metrics\": {\n"
+      "    \"pause_ns\": 1234567891234,\n"
+      "    \"ratio\": 0.125,\n"
+      "    \"zero\": 0\n"
+      "  },\n"
+      "  \"rows\": [\n"
+      "    \"a\",\n"
+      "    true,\n"
+      "    null\n"
+      "  ]\n"
+      "}\n";
+  EXPECT_EQ(sample_report().dump(), expected);
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  EXPECT_EQ(sample_report().dump(), sample_report().dump());
+}
+
+TEST(JsonTest, RoundTripPreservesDump) {
+  const std::string text = sample_report().dump();
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse(text, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.dump(), text);
+}
+
+TEST(JsonTest, ParsedValuesAreTyped) {
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse(sample_report().dump(), &parsed, &err)) << err;
+  EXPECT_EQ(parsed.string_or("schema", ""), "mgc-bench-report");
+  EXPECT_EQ(parsed.number_or("schema_version", -1), 1.0);
+  const Json& metrics = parsed.at("metrics");
+  ASSERT_TRUE(metrics.is_object());
+  // An IEEE double holds this exactly; as_int64 must give it back.
+  EXPECT_EQ(metrics.at("pause_ns").as_int64(), 1234567891234);
+  EXPECT_EQ(metrics.at("ratio").as_double(), 0.125);
+  const Json& rows = parsed.at("rows");
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(rows.items()[1].as_bool());
+  EXPECT_TRUE(rows.items()[2].is_null());
+}
+
+TEST(JsonTest, SetReplacesInPlace) {
+  Json j = Json::object();
+  j.set("a", Json(1));
+  j.set("b", Json(2));
+  j.set("c", Json(3));
+  j.set("b", Json(20));
+  ASSERT_EQ(j.members().size(), 3u);
+  EXPECT_EQ(j.members()[1].first, "b");  // position kept
+  EXPECT_EQ(j.members()[1].second.as_double(), 20.0);
+}
+
+TEST(JsonTest, MissingKeyAccessIsSafe) {
+  const Json j = Json::object();
+  EXPECT_FALSE(j.contains("nope"));
+  EXPECT_EQ(j.find("nope"), nullptr);
+  EXPECT_TRUE(j.at("nope").is_null());
+  EXPECT_TRUE(j.at("nope").at("deeper").is_null());  // chains on shared null
+  EXPECT_EQ(j.number_or("nope", 7.5), 7.5);
+  EXPECT_EQ(j.string_or("nope", "dflt"), "dflt");
+}
+
+TEST(JsonTest, StringEscapesRoundTrip) {
+  Json j = Json::object();
+  j.set("s", Json(std::string("quote\" back\\ nl\n tab\t bell\x07")));
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse(j.dump(), &parsed, &err)) << err;
+  EXPECT_EQ(parsed.at("s").as_string(), j.at("s").as_string());
+}
+
+TEST(JsonTest, ParseAcceptsUnicodeEscapes) {
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse("{\"s\": \"\\u00e9\\u0041\"}", &parsed, &err))
+      << err;
+  EXPECT_EQ(parsed.at("s").as_string(), "\xc3\xa9"
+                                        "A");
+}
+
+TEST(JsonTest, MalformedInputFailsLoud) {
+  const char* bad[] = {
+      "",            // empty document
+      "{",           // unterminated object
+      "[1, ]",       // trailing comma
+      "{\"a\" 1}",   // missing colon
+      "{\"a\": 1} trailing",  // trailing garbage
+      "\"\\q\"",     // bad escape
+      "nul",         // truncated keyword
+      "01",          // leading zero
+      "1.2.3",       // bad number
+  };
+  for (const char* text : bad) {
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse(text, &out, &err)) << "accepted: " << text;
+    EXPECT_FALSE(err.empty()) << "no error message for: " << text;
+  }
+}
+
+TEST(JsonTest, NonFiniteNumbersSerializeAsNull) {
+  Json j = Json::object();
+  j.set("inf", Json(1.0 / 0.0));
+  Json parsed;
+  std::string err;
+  ASSERT_TRUE(Json::parse(j.dump(), &parsed, &err)) << err;
+  EXPECT_TRUE(parsed.at("inf").is_null());
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,87 @@
+// bench_guard: compare a fresh BENCH_*.json report against a committed
+// baseline and exit non-zero on regression.
+//
+//   bench_guard --baseline bench/baselines/BENCH_fig1.json
+//               --fresh build/BENCH_fig1.json [--threshold-pct 25]
+//
+// The comparison rules live in bench/bench_json.cpp (compare_reports):
+// plain metrics are lower-is-better within the threshold, "_exact"
+// metrics must match bit-for-bit, zero baselines are structural
+// invariants, and schema/bench-name mismatches or malformed files fail
+// loudly. Re-baselining workflow: EXPERIMENTS.md, "Perf trajectory".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_json.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --baseline <BENCH_x.json> --fresh <BENCH_x.json> "
+               "[--threshold-pct <pct>]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string fresh_path;
+  double threshold_pct = 25.0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--fresh") == 0 && i + 1 < argc) {
+      fresh_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threshold-pct") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      threshold_pct = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || threshold_pct < 0.0) {
+        std::fprintf(stderr, "bench_guard: bad --threshold-pct '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  using mgc::Json;
+  Json baseline;
+  Json fresh;
+  std::string err;
+  if (!mgc::bench::load_report(baseline_path, &baseline, &err)) {
+    std::fprintf(stderr, "bench_guard: baseline: %s\n", err.c_str());
+    return 1;
+  }
+  if (!mgc::bench::load_report(fresh_path, &fresh, &err)) {
+    std::fprintf(stderr, "bench_guard: fresh: %s\n", err.c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> violations =
+      mgc::bench::compare_reports(baseline, fresh, threshold_pct);
+  if (violations.empty()) {
+    std::printf("bench_guard: PASS (%s vs %s, threshold %.0f%%)\n",
+                fresh_path.c_str(), baseline_path.c_str(), threshold_pct);
+    return 0;
+  }
+  std::fprintf(stderr, "bench_guard: FAIL — %zu violation(s):\n",
+               violations.size());
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "  %s\n", v.c_str());
+  }
+  std::fprintf(stderr,
+               "If this movement is intended, re-baseline (see "
+               "EXPERIMENTS.md, 'Perf trajectory').\n");
+  return 1;
+}
