@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   banner("Figure 4 + §4.1: GC pauses on the Cassandra-like server",
          "Figure 4 / §4.1");
   const bool use_net = net_flag(argc, argv);
+  const int loops = loops_flag(argc, argv);
 
   BenchReport report("fig4", args);
 
@@ -29,7 +30,8 @@ int main(int argc, char** argv) {
   {
     const CassandraRun r = run_cassandra_ycsb(GcKind::kParallelOld,
                                               /*stress=*/false, records, ops,
-                                              0.5, 0.5, 0.0, use_net);
+                                              0.5, 0.5, 0.0, use_net,
+                                              /*heap_bytes_override=*/0, loops);
     summary.row({"ParallelOldGC", "default", std::to_string(r.pauses.pauses),
                  std::to_string(r.pauses.full_pauses),
                  Table::num(r.pauses.max_s * 1e3),
@@ -44,7 +46,8 @@ int main(int argc, char** argv) {
   // ... and the three main collectors under the stress configuration.
   for (GcKind gc : main_gc_kinds()) {
     const CassandraRun r = run_cassandra_ycsb(gc, /*stress=*/true, records,
-                                              ops, 0.5, 0.5, 0.0, use_net);
+                                              ops, 0.5, 0.5, 0.0, use_net,
+                                              /*heap_bytes_override=*/0, loops);
     summary.row({gc_name(gc), "stress", std::to_string(r.pauses.pauses),
                  std::to_string(r.pauses.full_pauses),
                  Table::num(r.pauses.max_s * 1e3),

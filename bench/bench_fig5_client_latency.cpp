@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   banner("Figure 5 + Tables 5-7: client response time per GC strategy",
          "Figure 5(a,b,c), Tables 5, 6, 7 / §4.2");
   const bool use_net = net_flag(argc, argv);
+  const int loops = loops_flag(argc, argv);
 
   BenchReport report("fig5", args);
   std::cout << "transport: "
@@ -23,7 +24,8 @@ int main(int argc, char** argv) {
   for (GcKind gc : main_gc_kinds()) {
     std::cout << "\n####### " << gc_name(gc) << " #######\n";
     const CassandraRun r = run_cassandra_ycsb(gc, /*stress=*/true, records,
-                                              ops, 0.5, 0.5, 0.0, use_net);
+                                              ops, 0.5, 0.5, 0.0, use_net,
+                                              /*heap_bytes_override=*/0, loops);
 
     // Figure 5 series: READ latency, UPDATE latency, GC pauses.
     std::vector<SeriesPoint> reads, updates, gcs;

@@ -4,6 +4,7 @@
 // and commit log in memory so the old generation saturates.
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -49,7 +50,8 @@ inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
                                        double update_prop = 0.5,
                                        double insert_prop = 0.0,
                                        bool use_net = false,
-                                       std::size_t heap_bytes_override = 0) {
+                                       std::size_t heap_bytes_override = 0,
+                                       int net_loops = 1) {
   VmConfig cfg = cassandra_vm_config(gc);
   if (heap_bytes_override != 0) {
     // The distilled-cost bench hands Epsilon a heap sized to the
@@ -76,7 +78,9 @@ inline CassandraRun run_cassandra_ycsb(GcKind gc, bool stress,
   std::unique_ptr<net::NetServer> net_server;
   std::unique_ptr<ycsb::Client> client;
   if (use_net) {
-    net_server = std::make_unique<net::NetServer>(server);
+    net::NetServerConfig ncfg;
+    ncfg.loops = net_loops;
+    net_server = std::make_unique<net::NetServer>(server, ncfg);
     ycsb::RemoteEndpoint ep;
     ep.port = net_server->port();
     client = std::make_unique<ycsb::Client>(ep, spec, env::seed());
@@ -103,6 +107,19 @@ inline bool net_flag(int argc, char** argv) {
     if (std::strcmp(argv[i], "--net") == 0) return true;
   }
   return false;
+}
+
+// "--loops N": event-loop count for the --net front-end (default 1, the
+// pre-sharding shape). CI's asan-net job smokes fig4/fig5 with
+// `--net --loops 2` to cover the multi-loop path under sanitizers.
+inline int loops_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--loops") == 0) {
+      const int n = std::atoi(argv[i + 1]);
+      if (n >= 1 && n <= 64) return n;
+    }
+  }
+  return 1;
 }
 
 inline std::uint64_t cassandra_records() {

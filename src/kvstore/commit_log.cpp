@@ -8,10 +8,11 @@
 namespace mgc::kv {
 
 CommitLog::CommitLog(Vm& vm, std::size_t segment_bytes,
-                     std::size_t retention_bytes)
+                     std::size_t retention_bytes, std::uint32_t fault_scope)
     : vm_(vm),
       segment_bytes_(segment_bytes),
-      retention_bytes_(retention_bytes) {
+      retention_bytes_(retention_bytes),
+      fault_scope_(fault_scope) {
   active_root_ = vm.create_global_root();
   Vm::MutatorScope scope(vm, "commitlog-init");
   vm.set_global_root(active_root_, managed::list::create(scope.mutator()));
@@ -38,7 +39,8 @@ CommitLog::~CommitLog() { vm_.remove_memory_pressure_hook(pressure_hook_id_); }
 
 bool CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
                        std::size_t value_len) {
-  if (fault::should_fire(fault::Site::kCommitLogWrite)) return false;
+  if (fault::should_fire(fault::Site::kCommitLogWrite, fault_scope_))
+    return false;
   // Build the record before taking the log lock.
   Local record(m, encode_row(m, key, /*version=*/0, value, value_len));
   const std::size_t rec_bytes = row_heap_bytes(value_len) + 48;  // + list node

@@ -17,7 +17,11 @@ namespace mgc::kv {
 
 class CommitLog {
  public:
-  CommitLog(Vm& vm, std::size_t segment_bytes, std::size_t retention_bytes);
+  // `fault_scope` tags this log's kCommitLogWrite fault checks (the shard
+  // index under ShardedStore), so MGC_FAULT="commitlog-write:shard=K"
+  // injects append failures into exactly one shard's log.
+  CommitLog(Vm& vm, std::size_t segment_bytes, std::size_t retention_bytes,
+            std::uint32_t fault_scope = 0);
   ~CommitLog();
 
   // Appends a mutation record; rotates the segment when full and drops the
@@ -52,6 +56,7 @@ class CommitLog {
   Vm& vm_;
   std::size_t segment_bytes_;
   std::size_t retention_bytes_;
+  std::uint32_t fault_scope_;
 
   std::mutex mu_;
   // Active segment: a managed list of record blobs.

@@ -1,34 +1,71 @@
 #include "kvstore/server.h"
 
+#include <algorithm>
+
+#include "support/affinity.h"
 #include "support/env.h"
 #include "support/fault.h"
 
 namespace mgc::kv {
 
 Server::Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity)
-    : vm_(vm), store_(store), capacity_(queue_capacity) {
+    : vm_(vm) {
   MGC_CHECK(workers >= 1);
-  workers_.reserve(static_cast<std::size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this, i] { worker_main(i); });
+  cfg_.workers_per_shard = workers;
+  cfg_.queue_capacity = queue_capacity;
+  cfg_.pin_workers = false;
+  auto s = std::make_unique<Shard>();
+  s->index = 0;
+  s->store = &store;
+  shards_.push_back(std::move(s));
+  start_shard_workers(*shards_[0], workers);
+}
+
+Server::Server(Vm& vm, ShardedStore& store, ServerConfig cfg)
+    : vm_(vm), sharded_(&store), cfg_(cfg) {
+  MGC_CHECK(cfg.workers_per_shard >= 1);
+  const std::size_t n = store.shard_count();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->index = static_cast<std::uint32_t>(i);
+    s->store = &store.shard(i);
+    shards_.push_back(std::move(s));
   }
+  for (auto& s : shards_) start_shard_workers(*s, cfg.workers_per_shard);
 }
 
 Server::~Server() { shutdown(); }
 
+void Server::start_shard_workers(Shard& s, int workers) {
+  s.workers.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    s.workers.emplace_back([this, &s, i] { worker_main(s, i); });
+  }
+}
+
 void Server::shutdown() {
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stopping_ = true;
+  std::lock_guard<std::mutex> outer(shutdown_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& s : shards_) {
+    {
+      std::lock_guard<std::mutex> g(s->mu);
+      s->stopping = true;
+    }
+    s->queue_cv.notify_all();
+    // Wake clients blocked on a full queue too: they observe stopping and
+    // return ExecStatus::kShutdown instead of hanging forever.
+    s->space_cv.notify_all();
   }
-  queue_cv_.notify_all();
-  // Wake clients blocked on a full queue too: they observe stopping_ and
-  // return ExecStatus::kShutdown instead of hanging forever.
-  space_cv_.notify_all();
-  for (auto& t : workers_) {
-    if (t.joinable()) t.join();
+  // Join every shard's workers only after all shards were told to stop, so
+  // shutdown latency is the slowest shard's drain, not the sum of drains.
+  for (auto& s : shards_) {
+    for (auto& t : s->workers) {
+      if (t.joinable()) t.join();
+    }
+    MGC_CHECK_MSG(s->queue.empty(), "server stopped with queued requests");
   }
-  MGC_CHECK_MSG(queue_.empty(), "server stopped with queued requests");
 }
 
 bool Server::under_gc_pressure() const {
@@ -36,67 +73,96 @@ bool Server::under_gc_pressure() const {
   return u.used > (u.capacity / 100) * 95;
 }
 
+std::size_t Server::shard_of_key(std::uint64_t key) const {
+  if (sharded_ == nullptr) return 0;
+  return sharded_->shard_of(key);
+}
+
+std::uint64_t Server::shed_count(std::size_t shard) const {
+  return shards_[shard]->shed.load(std::memory_order_acquire);
+}
+
 Response Server::execute(const Request& req) {
+  Shard& s = *shards_[shard_of_key(req.key)];
   Pending p;
   p.req = req;
-  std::unique_lock<std::mutex> l(mu_);
+  std::unique_lock<std::mutex> l(s.mu);
   // Load shedding: a full queue is normally back-pressured by blocking, but
   // when the heap is also near capacity every queued request deepens the
-  // collection spiral. Reject immediately with a typed status instead.
+  // collection spiral. Reject immediately with a typed status instead. The
+  // decision is per shard: a hot shard sheds while its siblings keep
+  // serving.
   if (fault::should_fire(fault::Site::kKvQueueFull) ||
-      (queue_.size() >= capacity_ && under_gc_pressure())) {
+      fault::should_fire(fault::Site::kKvShardQueueFull, s.index) ||
+      (s.queue.size() >= cfg_.queue_capacity && under_gc_pressure())) {
+    s.shed.fetch_add(1, std::memory_order_acq_rel);
     Response r;
     r.status = ExecStatus::kOverloaded;
     return r;
   }
-  space_cv_.wait(l, [&] { return queue_.size() < capacity_ || stopping_; });
-  if (stopping_) {
+  s.space_cv.wait(
+      l, [&] { return s.queue.size() < cfg_.queue_capacity || s.stopping; });
+  if (s.stopping) {
     Response r;
     r.status = ExecStatus::kShutdown;
     return r;
   }
-  queue_.push_back(&p);
-  queue_cv_.notify_one();
+  s.queue.push_back(&p);
+  s.queue_cv.notify_one();
   p.cv.wait(l, [&] { return p.done; });
   return p.resp;
 }
 
 SubmitResult Server::try_submit(const Request& req, CompletionFn done) {
+  Shard& s = *shards_[shard_of_key(req.key)];
   auto* p = new Pending;
   p->req = req;
   p->completion = std::move(done);
   {
-    std::lock_guard<std::mutex> g(mu_);
-    if (stopping_) {
+    std::lock_guard<std::mutex> g(s.mu);
+    if (s.stopping) {
       delete p;
       return SubmitResult::kShutdown;
     }
     if (fault::should_fire(fault::Site::kKvQueueFull) ||
-        (queue_.size() >= capacity_ && under_gc_pressure())) {
+        fault::should_fire(fault::Site::kKvShardQueueFull, s.index) ||
+        (s.queue.size() >= cfg_.queue_capacity && under_gc_pressure())) {
+      s.shed.fetch_add(1, std::memory_order_acq_rel);
       delete p;
       return SubmitResult::kOverloaded;
     }
-    queue_.push_back(p);
+    s.queue.push_back(p);
   }
-  queue_cv_.notify_one();
+  s.queue_cv.notify_one();
   return SubmitResult::kAccepted;
 }
 
-void Server::worker_main(int idx) {
-  Mutator m(vm_, "kv-worker-" + std::to_string(idx),
-            env::seed() + 0x517cc1b727220a95ULL * static_cast<std::uint64_t>(idx + 1));
+void Server::worker_main(Shard& s, int widx) {
+  if (cfg_.pin_workers) {
+    // Best effort: shard i's workers share core i so each shard's working
+    // set stays core-local. Refusal (no affinity syscall, 1-core box) just
+    // leaves the worker floating.
+    (void)pin_this_thread(static_cast<int>(s.index));
+  }
+  Mutator m(vm_,
+            "kv-worker-s" + std::to_string(s.index) + "-" +
+                std::to_string(widx),
+            env::seed() +
+                0x517cc1b727220a95ULL *
+                    static_cast<std::uint64_t>(
+                        s.index * 64 + static_cast<std::uint32_t>(widx) + 1));
   std::vector<char> scratch(64 * 1024);
   while (true) {
     Pending* p = nullptr;
     {
       // Blocked while waiting: GC pauses proceed without this worker.
       m.enter_blocked();
-      std::unique_lock<std::mutex> l(mu_);
-      queue_cv_.wait(l, [&] { return stopping_ || !queue_.empty(); });
-      if (!queue_.empty()) {
-        p = queue_.front();
-        queue_.pop_front();
-        space_cv_.notify_one();
+      std::unique_lock<std::mutex> l(s.mu);
+      s.queue_cv.wait(l, [&] { return s.stopping || !s.queue.empty(); });
+      if (!s.queue.empty()) {
+        p = s.queue.front();
+        s.queue.pop_front();
+        s.space_cv.notify_one();
       }
       l.unlock();
       m.leave_blocked();
@@ -108,8 +174,8 @@ void Server::worker_main(int idx) {
       switch (p->req.op) {
         case OpType::kRead: {
           std::size_t len = 0;
-          resp.found = store_.get(m, p->req.key, scratch.data(),
-                                  scratch.size(), &len);
+          resp.found = s.store->get(m, p->req.key, scratch.data(),
+                                    scratch.size(), &len);
           break;
         }
         case OpType::kUpdate:
@@ -119,7 +185,7 @@ void Server::worker_main(int idx) {
           for (std::size_t i = 0; i < std::min<std::size_t>(len, 16); ++i) {
             scratch[i] = static_cast<char>(p->req.key >> (i % 8));
           }
-          resp.found = store_.put(m, p->req.key, scratch.data(), len);
+          resp.found = s.store->put(m, p->req.key, scratch.data(), len);
           if (!resp.found) resp.status = ExecStatus::kOverloaded;
           break;
         }
@@ -134,14 +200,15 @@ void Server::worker_main(int idx) {
 
     if (p->completion) {
       // Async path: the worker owns the Pending. Run the completion outside
-      // mu_ — it only posts to the net layer's completion queue, but must
-      // never be able to deadlock against submit paths taking mu_.
+      // the shard mutex — it only posts to the net layer's completion
+      // queue, but must never be able to deadlock against submit paths
+      // taking shard mutexes.
       p->completion(resp);
       delete p;
     } else {
       // Notify under the lock: the client owns `p` and destroys it as soon
       // as it observes done (see Vm::vm_thread_main for the same pattern).
-      std::lock_guard<std::mutex> g(mu_);
+      std::lock_guard<std::mutex> g(s.mu);
       p->resp = resp;
       p->done = true;
       p->cv.notify_one();

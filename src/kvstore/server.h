@@ -1,23 +1,35 @@
-// The database server: a pool of worker threads (VM mutators) draining a
-// bounded request queue. Clients (plain, non-mutator threads — they model
-// the remote YCSB box) submit requests synchronously and measure latency
-// around the call, so server-side stop-the-world pauses surface directly
-// as client-visible latency spikes (paper §4.2).
+// The database server: shard-per-core worker groups (VM mutators), each
+// draining its own bounded request queue in front of its own store shard.
+// Clients (plain, non-mutator threads — they model the remote YCSB box)
+// submit requests synchronously and measure latency around the call, so
+// server-side stop-the-world pauses surface directly as client-visible
+// latency spikes (paper §4.2).
 //
-// Two submission paths share the queue and workers:
-//   * execute()    — synchronous in-process call; blocks while the queue is
-//                    full (admission control), then until the request ran.
-//                    Wakes with ExecStatus::kShutdown if the server stops
-//                    while the caller is blocked.
+// Sharding model: requests are routed by key hash to the shard that owns
+// the key (ShardedStore::shard_of). Each shard is shared-nothing — its
+// queue, its condition variables, its workers, and its store (memtable +
+// commit log + sstables) are touched by no other shard — so the request
+// path scales with cores instead of serializing on one queue mutex. The
+// single-store constructor is the degenerate one-shard case and behaves
+// exactly like the pre-sharding server.
+//
+// Two submission paths share each shard's queue and workers:
+//   * execute()    — synchronous in-process call; blocks while the shard's
+//                    queue is full (admission control), then until the
+//                    request ran. Wakes with ExecStatus::kShutdown if the
+//                    server stops while the caller is blocked.
 //   * try_submit() — asynchronous, used by the net::NetServer front-end;
 //                    enqueues and returns immediately, the completion
-//                    callback runs on the worker thread. Async submissions
-//                    are not flow-controlled on queue_capacity — the net
-//                    layer applies its own bounded in-flight admission
-//                    control and must not block its event loop here — but
-//                    both paths SHED (kOverloaded) when the queue is full
-//                    while the heap is near capacity, so a GC death spiral
-//                    degrades into typed rejections instead of a convoy.
+//                    callback runs on a worker thread of the owning shard.
+//                    Async submissions are not flow-controlled on the
+//                    queue capacity — the net layer applies its own
+//                    bounded in-flight admission control and must not
+//                    block its event loops here — but both paths SHED
+//                    (kOverloaded) per shard when that shard's queue is
+//                    full while the heap is near capacity, so a GC death
+//                    spiral degrades into typed rejections instead of a
+//                    convoy, and a single hot shard sheds without taking
+//                    the healthy shards down with it.
 #pragma once
 
 #include <atomic>
@@ -25,10 +37,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "kvstore/sharded_store.h"
 #include "kvstore/store.h"
 
 namespace mgc::kv {
@@ -59,46 +73,69 @@ struct Response {
 enum class SubmitResult : std::uint8_t {
   kAccepted = 0,
   kShutdown = 1,    // server is stopping
-  kOverloaded = 2,  // shed: queue at capacity while the heap is near-full
+  kOverloaded = 2,  // shed: the owning shard's queue is at capacity while
+                    // the heap is near-full
+};
+
+// Sharded-mode tuning. The single-store constructor ignores it.
+struct ServerConfig {
+  int workers_per_shard = 1;
+  std::size_t queue_capacity = 256;  // per shard
+  // Pin shard i's workers to core i (mod allowed cores; support/affinity).
+  // Best effort — refusals fall back to floating workers.
+  bool pin_workers = false;
 };
 
 class Server {
  public:
   using CompletionFn = std::function<void(const Response&)>;
 
+  // Single-shard server over an externally owned store (the pre-sharding
+  // shape; every original call site still works).
   Server(Vm& vm, Store& store, int workers, std::size_t queue_capacity = 256);
+
+  // Shard-per-core server: one worker group and one bounded queue per
+  // shard of `store`. The ShardedStore must outlive the server.
+  Server(Vm& vm, ShardedStore& store, ServerConfig cfg = {});
+
   ~Server();
 
-  // Stops accepting work, wakes clients blocked on a full queue (they get
+  // Stops accepting work, wakes clients blocked on full queues (they get
   // ExecStatus::kShutdown), drains requests already queued, and joins the
-  // workers. Idempotent; the destructor calls it. Callers that keep client
-  // threads running may invoke it explicitly and only destroy the server
-  // once those threads have observed the rejection.
+  // workers of every shard. Idempotent; the destructor calls it. Callers
+  // that keep client threads running may invoke it explicitly and only
+  // destroy the server once those threads have observed the rejection.
   void shutdown();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Synchronous call from a client thread. Blocks while the queue is full
-  // (admission control), then until a worker has executed the request.
-  // If the server starts stopping while the caller is blocked on a full
-  // queue, returns a Response with status == ExecStatus::kShutdown instead
-  // of hanging (requests already queued are still drained and completed).
-  // Sheds load (ExecStatus::kOverloaded, without blocking) when the queue
-  // is full while the heap is near capacity — admission control must not
-  // convert a GC death spiral into an unbounded client convoy.
+  // Synchronous call from a client thread; routed to the owning shard.
+  // Blocks while that shard's queue is full (admission control), then
+  // until a worker has executed the request. If the server starts stopping
+  // while the caller is blocked on a full queue, returns a Response with
+  // status == ExecStatus::kShutdown instead of hanging (requests already
+  // queued are still drained and completed). Sheds load per shard
+  // (ExecStatus::kOverloaded, without blocking) when the shard's queue is
+  // full while the heap is near capacity.
   Response execute(const Request& req);
 
-  // Asynchronous submission for the socket front-end. On kAccepted, `done`
-  // is invoked exactly once on a worker thread after the request executes;
-  // on kShutdown/kOverloaded it never runs. The net layer applies its own
-  // bounded in-flight admission control, so the queue-capacity gate here
-  // only engages under GC pressure (load shedding, not flow control).
+  // Asynchronous submission for the socket front-end; routed to the owning
+  // shard. On kAccepted, `done` is invoked exactly once on one of that
+  // shard's worker threads after the request executes; on kShutdown /
+  // kOverloaded it never runs.
   SubmitResult try_submit(const Request& req, CompletionFn done);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  // The shard execute()/try_submit() would route `key` to.
+  std::size_t shard_of_key(std::uint64_t key) const;
 
   std::uint64_t completed() const {
     return completed_.load(std::memory_order_acquire);
   }
+  // Requests shed (kOverloaded at admission) by one shard — the per-shard
+  // isolation tests and the scaling bench read these.
+  std::uint64_t shed_count(std::size_t shard) const;
 
  private:
   struct Pending {
@@ -109,22 +146,33 @@ class Server {
     CompletionFn completion;     // async path: set => heap-owned, worker frees
   };
 
-  void worker_main(int idx);
+  // One shared-nothing shard: queue + cvs + workers + store. Never touched
+  // by another shard's workers.
+  struct Shard {
+    std::uint32_t index = 0;
+    Store* store = nullptr;
+    std::mutex mu;
+    std::condition_variable queue_cv;  // workers wait for work
+    std::condition_variable space_cv;  // sync clients wait for queue space
+    std::deque<Pending*> queue;
+    bool stopping = false;
+    std::atomic<std::uint64_t> shed{0};
+    std::vector<std::thread> workers;
+  };
+
+  void start_shard_workers(Shard& s, int workers);
+  void worker_main(Shard& s, int widx);
   // True when the heap is close enough to capacity that queueing more work
   // would only deepen the collection spiral (shed instead).
   bool under_gc_pressure() const;
 
   Vm& vm_;
-  Store& store_;
-  std::size_t capacity_;
-
-  std::mutex mu_;
-  std::condition_variable queue_cv_;   // workers wait for work
-  std::condition_variable space_cv_;   // clients wait for queue space
-  std::deque<Pending*> queue_;
-  bool stopping_ = false;
+  ShardedStore* sharded_ = nullptr;  // null => single external store
+  ServerConfig cfg_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> completed_{0};
-  std::vector<std::thread> workers_;
+  std::mutex shutdown_mu_;  // serializes shutdown() callers
+  bool stopped_ = false;
 };
 
 }  // namespace mgc::kv

@@ -1,0 +1,48 @@
+#include "kvstore/sharded_store.h"
+
+#include "runtime/managed.h"
+#include "support/check.h"
+
+namespace mgc::kv {
+
+ShardedStore::ShardedStore(Vm& vm, const StoreConfig& cfg,
+                           std::size_t shards) {
+  MGC_CHECK(shards >= 1);
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(
+        std::make_unique<Store>(vm, cfg.shard_slice(shards, i)));
+  }
+}
+
+std::size_t ShardedStore::shard_of(std::uint64_t key) const {
+  // The memtable stripes hash with managed::hash_u64 too; reusing it keeps
+  // the shard split as well-mixed as the stripe split.
+  return managed::hash_u64(key) % shards_.size();
+}
+
+bool ShardedStore::put(Mutator& m, std::uint64_t key, const char* value,
+                       std::size_t value_len) {
+  return shards_[shard_of(key)]->put(m, key, value, value_len);
+}
+
+bool ShardedStore::get(Mutator& m, std::uint64_t key, char* out,
+                       std::size_t out_cap, std::size_t* value_len) {
+  return shards_[shard_of(key)]->get(m, key, out, out_cap, value_len);
+}
+
+std::uint64_t ShardedStore::flush_count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->flush_count();
+  return total;
+}
+
+std::size_t ShardedStore::approx_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s->memtable().approx_bytes() + s->commit_log().approx_bytes();
+  }
+  return total;
+}
+
+}  // namespace mgc::kv

@@ -1,5 +1,7 @@
 #include "kvstore/store.h"
 
+#include <algorithm>
+
 #include "support/units.h"
 
 namespace mgc::kv {
@@ -26,11 +28,29 @@ StoreConfig StoreConfig::stress_config(std::size_t heap_bytes) {
   return cfg;
 }
 
+StoreConfig StoreConfig::shard_slice(std::size_t shards,
+                                     std::size_t shard) const {
+  StoreConfig cfg = *this;
+  if (shards > 1) {
+    cfg.memtable_flush_bytes = std::max<std::size_t>(
+        memtable_flush_bytes / shards, 64 * 1024);
+    cfg.commitlog_segment_bytes = std::max<std::size_t>(
+        commitlog_segment_bytes / shards, 16 * 1024);
+    cfg.commitlog_retention_bytes = std::max<std::size_t>(
+        commitlog_retention_bytes / shards, 64 * 1024);
+    cfg.memtable_buckets =
+        std::max<std::size_t>(memtable_buckets / shards, 1024);
+  }
+  cfg.fault_scope = static_cast<std::uint32_t>(shard);
+  return cfg;
+}
+
 Store::Store(Vm& vm, const StoreConfig& cfg)
     : vm_(vm),
       cfg_(cfg),
-      memtable_(vm, /*buckets=*/16384),
-      log_(vm, cfg.commitlog_segment_bytes, cfg.commitlog_retention_bytes) {}
+      memtable_(vm, cfg.memtable_buckets),
+      log_(vm, cfg.commitlog_segment_bytes, cfg.commitlog_retention_bytes,
+           cfg.fault_scope) {}
 
 bool Store::put(Mutator& m, std::uint64_t key, const char* value,
                 std::size_t value_len) {

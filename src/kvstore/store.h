@@ -24,9 +24,17 @@ struct StoreConfig {
   std::size_t commitlog_segment_bytes;
   std::size_t commitlog_retention_bytes;
   std::size_t value_len = 1024;  // YCSB-style ~1 KB rows (scaled with heap)
+  std::size_t memtable_buckets = 16384;
+  // Tags this store's commit-log fault checks (shard index under
+  // ShardedStore); see CommitLog.
+  std::uint32_t fault_scope = 0;
 
   static StoreConfig default_config(std::size_t heap_bytes);
   static StoreConfig stress_config(std::size_t heap_bytes);
+  // The per-shard slice of this configuration: byte budgets divided by the
+  // shard count (shards are shared-nothing, so their budgets must sum to
+  // the original), bucket counts scaled down, fault scope set to `shard`.
+  StoreConfig shard_slice(std::size_t shards, std::size_t shard) const;
 };
 
 class Store {

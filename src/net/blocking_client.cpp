@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <unordered_map>
 
 namespace mgc::net {
 
@@ -68,6 +69,133 @@ bool BlockingClient::call(const kv::Request& req, ResponseFrame* out) {
     }
     rbuf_.insert(rbuf_.end(), chunk, chunk + n);
   }
+}
+
+bool BlockingClient::submit_batch(const std::vector<kv::Request>& reqs,
+                                  std::vector<ResponseFrame>* out) {
+  if (!fd_.valid() || reqs.empty()) return false;
+  wbuf_.clear();
+  std::vector<RequestFrame> frames;
+  frames.reserve(reqs.size());
+  for (const kv::Request& r : reqs) {
+    RequestFrame rf;
+    rf.req = r;
+    rf.tag = next_tag_++;
+    frames.push_back(rf);
+  }
+  // One batch frame per kMaxBatchCount window; all windows go out in a
+  // single send so the whole pipeline costs one syscall on this side.
+  for (std::size_t off = 0; off < frames.size(); off += kMaxBatchCount) {
+    const std::size_t n =
+        std::min<std::size_t>(kMaxBatchCount, frames.size() - off);
+    const std::vector<RequestFrame> chunk(
+        frames.begin() + static_cast<std::ptrdiff_t>(off),
+        frames.begin() + static_cast<std::ptrdiff_t>(off + n));
+    encode_request_batch(chunk, wbuf_);
+  }
+  if (!send_all(fd_.get(), wbuf_.data(), wbuf_.size())) {
+    fd_.reset();
+    return false;
+  }
+
+  out->assign(reqs.size(), ResponseFrame{});
+  std::unordered_map<std::uint64_t, std::size_t> pending;  // tag -> index
+  pending.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    pending.emplace(frames[i].tag, i);
+  }
+  // A response with a tag we are not waiting for — never issued, or already
+  // answered — means the stream is cross-wired: transport failure.
+  const auto deliver = [&](const ResponseFrame& f) {
+    auto it = pending.find(f.tag);
+    if (it == pending.end()) return false;
+    (*out)[it->second] = f;
+    pending.erase(it);
+    return true;
+  };
+  while (!pending.empty()) {
+    DecodedFrame df;
+    std::size_t consumed = 0;
+    const DecodeResult r = decode_any(rbuf_.data() + roff_,
+                                      rbuf_.size() - roff_, &consumed, &df);
+    bool ok = true;
+    switch (r) {
+      case DecodeResult::kResponse:
+        roff_ += consumed;
+        ok = deliver(df.resp);
+        break;
+      case DecodeResult::kBatchResponse:
+        roff_ += consumed;
+        for (const ResponseFrame& f : df.batch_resp) {
+          if (!deliver(f)) {
+            ok = false;
+            break;
+          }
+        }
+        break;
+      case DecodeResult::kNeedMore: {
+        std::uint8_t chunk[4096];
+        const ssize_t n = recv_some(fd_.get(), chunk, sizeof(chunk));
+        if (n <= 0) {
+          fd_.reset();
+          return false;
+        }
+        rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+        break;
+      }
+      default:  // kError, or the server sending request frames
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      fd_.reset();
+      return false;
+    }
+    if (roff_ >= rbuf_.size()) {
+      rbuf_.clear();
+      roff_ = 0;
+    }
+  }
+  return true;
+}
+
+std::vector<kv::Response> BlockingClient::execute_batch(
+    const std::vector<kv::Request>& reqs) {
+  std::vector<kv::Response> out(reqs.size());
+  for (kv::Response& r : out) r.status = kv::ExecStatus::kShutdown;
+  if (reqs.empty()) return out;
+
+  std::vector<std::size_t> todo(reqs.size());
+  for (std::size_t i = 0; i < todo.size(); ++i) todo[i] = i;
+  int delay_ms = policy_.backoff_initial_ms;
+  for (int attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      if (delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      delay_ms = std::min(delay_ms * 2, policy_.backoff_cap_ms);
+    }
+    if (!fd_.valid() && !reconnect()) continue;
+    std::vector<kv::Request> window;
+    window.reserve(todo.size());
+    for (std::size_t idx : todo) window.push_back(reqs[idx]);
+    std::vector<ResponseFrame> frames;
+    if (!submit_batch(window, &frames)) continue;  // transport: retry window
+    std::vector<std::size_t> still;
+    for (std::size_t i = 0; i < todo.size(); ++i) {
+      out[todo[i]].found = frames[i].found;
+      out[todo[i]].status = frames[i].status;
+      // Shed under GC pressure: only the shed subset is resent after the
+      // backoff, answered entries keep their responses.
+      if (frames[i].status == kv::ExecStatus::kOverloaded) {
+        still.push_back(todo[i]);
+      }
+    }
+    todo = std::move(still);
+    if (todo.empty()) return out;
+  }
+  return out;
 }
 
 kv::Response BlockingClient::execute(const kv::Request& req) {

@@ -1,9 +1,14 @@
 // Synchronous one-connection client for the kv wire protocol: the remote
 // transport behind ycsb::Client's --net mode. One BlockingClient per
-// client thread, one request in flight at a time (exactly the YCSB
-// closed-loop model), blocking send/recv — the round-trip the caller
-// times therefore includes the socket path plus whatever the server-side
-// GC is doing.
+// client thread, blocking send/recv — the round-trip the caller times
+// therefore includes the socket path plus whatever the server-side GC is
+// doing. Two shapes of in-flight window:
+//
+//   * call()/execute()            — one request in flight (exactly the
+//     YCSB closed-loop model);
+//   * submit_batch()/execute_batch() — a pipelined window: one version-2
+//     batch frame carries the whole window, responses stream back in any
+//     order (the sharded server answers per shard) and are matched by tag.
 //
 // Failure handling mirrors a real YCSB client box: every socket op runs
 // under a timeout, a transport failure tears the connection down, and
@@ -54,6 +59,23 @@ class BlockingClient {
   // Response with status == ExecStatus::kShutdown if the transport never
   // produced one — it never aborts the process.
   kv::Response execute(const kv::Request& req);
+
+  // Pipelined round trip: sends all of `reqs` as version-2 batch frames
+  // (windows larger than kMaxBatchCount are split), then blocks until every
+  // tag has been answered — responses may arrive as any mix of single and
+  // batch frames, in any order. On success *out holds one ResponseFrame per
+  // request, index-aligned with `reqs` (re-ordered by tag). Returns false
+  // on transport failure or a response carrying an unknown/duplicate tag,
+  // and invalidates the connection. Single-attempt primitive, like call().
+  bool submit_batch(const std::vector<kv::Request>& reqs,
+                    std::vector<ResponseFrame>* out);
+
+  // Retrying wrapper over submit_batch: reconnects and resends the whole
+  // outstanding window on transport failure, backs off and resends only the
+  // shed (kOverloaded) subset otherwise. Returns one Response per request,
+  // index-aligned; entries the transport never answered carry
+  // ExecStatus::kShutdown. Never aborts the process.
+  std::vector<kv::Response> execute_batch(const std::vector<kv::Request>& reqs);
 
   std::uint64_t last_tag() const { return next_tag_ - 1; }
   // Retry-loop introspection for tests and stats.

@@ -5,11 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <vector>
 
 #include "net/wire.h"
+#include "support/affinity.h"
 #include "support/check.h"
 #include "support/clock.h"
 #include "support/fault.h"
@@ -49,7 +51,8 @@ struct NetServer::Completion {
 // Worker-thread completion callbacks post here. The sink is shared_ptr-held
 // by every callback, so even if the NetServer dies while a request is still
 // executing, the late completion lands on a live (but closed) sink and is
-// dropped instead of touching freed memory.
+// dropped instead of touching freed memory. One sink per loop: a completion
+// always wakes the loop that owns the connection.
 struct NetServer::CompletionSink {
   std::mutex mu;
   std::vector<Completion> items;
@@ -68,28 +71,80 @@ struct NetServer::CompletionSink {
 };
 
 NetServer::NetServer(kv::Server& backend, NetServerConfig cfg)
-    : backend_(backend), cfg_(cfg), next_conn_id_(kFirstConnId) {
-  listen_fd_ = listen_loopback(cfg_.port, cfg_.backlog, &port_);
-  MGC_CHECK_MSG(listen_fd_.valid(), "net: cannot listen on loopback");
-  epoll_fd_ = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
-  MGC_CHECK_MSG(epoll_fd_.valid(), "net: epoll_create1 failed");
-  wake_fd_ = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
-  MGC_CHECK_MSG(wake_fd_.valid(), "net: eventfd failed");
+    : backend_(backend), cfg_(cfg) {
+  const int nloops = std::max(1, cfg_.loops);
+  loops_.reserve(static_cast<std::size_t>(nloops));
+  for (int i = 0; i < nloops; ++i) {
+    auto lp = std::make_unique<Loop>();
+    lp->index = static_cast<std::uint32_t>(i);
+    lp->next_conn_id = kFirstConnId;
+    loops_.push_back(std::move(lp));
+  }
 
-  sink_ = std::make_shared<CompletionSink>();
-  sink_->wake_fd = wake_fd_.get();
+  // Preferred front-end: every loop binds its own SO_REUSEPORT listener on
+  // the same port. All-or-nothing — if any bind fails we fall back rather
+  // than run a lopsided mix.
+  if (nloops > 1 && cfg_.allow_reuseport && reuseport_supported()) {
+    std::vector<UniqueFd> fds;
+    std::uint16_t port = cfg_.port;
+    UniqueFd first = listen_loopback(port, cfg_.backlog, &port, true);
+    bool ok = first.valid();
+    if (ok) {
+      fds.push_back(std::move(first));
+      for (int i = 1; i < nloops && ok; ++i) {
+        UniqueFd f = listen_loopback(port, cfg_.backlog, nullptr, true);
+        if (f.valid()) {
+          fds.push_back(std::move(f));
+        } else {
+          ok = false;
+        }
+      }
+    }
+    if (ok) {
+      reuseport_ = true;
+      port_ = port;
+      for (int i = 0; i < nloops; ++i) {
+        loops_[static_cast<std::size_t>(i)]->listen_fd = std::move(
+            fds[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  if (!reuseport_) {
+    // Fallback: loop 0 owns the only listener and hands accepted fds to
+    // its siblings round-robin.
+    loops_[0]->listen_fd = listen_loopback(cfg_.port, cfg_.backlog, &port_);
+    MGC_CHECK_MSG(loops_[0]->listen_fd.valid(),
+                  "net: cannot listen on loopback");
+  }
 
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.u64 = kListenKey;
-  MGC_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, listen_fd_.get(),
-                        &ev) == 0);
-  ev.events = EPOLLIN;
-  ev.data.u64 = kWakeKey;
-  MGC_CHECK(::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) ==
-            0);
+  for (auto& lpp : loops_) {
+    Loop& lp = *lpp;
+    lp.epoll_fd = UniqueFd(::epoll_create1(EPOLL_CLOEXEC));
+    MGC_CHECK_MSG(lp.epoll_fd.valid(), "net: epoll_create1 failed");
+    lp.wake_fd = UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+    MGC_CHECK_MSG(lp.wake_fd.valid(), "net: eventfd failed");
 
-  loop_ = std::thread([this] { loop_main(); });
+    lp.sink = std::make_shared<CompletionSink>();
+    lp.sink->wake_fd = lp.wake_fd.get();
+
+    epoll_event ev{};
+    if (lp.listen_fd.valid()) {
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenKey;
+      MGC_CHECK(::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_ADD,
+                            lp.listen_fd.get(), &ev) == 0);
+    }
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeKey;
+    MGC_CHECK(::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_ADD, lp.wake_fd.get(),
+                          &ev) == 0);
+  }
+  // Spawn only after every loop is fully wired: loop 0 may hand an fd to a
+  // sibling the moment it starts accepting.
+  for (auto& lpp : loops_) {
+    Loop& lp = *lpp;
+    lp.thread = std::thread([this, &lp] { loop_main(lp); });
+  }
 }
 
 NetServer::~NetServer() { shutdown(); }
@@ -100,36 +155,71 @@ void NetServer::shutdown() {
   stopped_ = true;
   stop_requested_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
-  [[maybe_unused]] ssize_t rc = ::write(wake_fd_.get(), &one, sizeof(one));
-  loop_.join();
-  // Detach the sink before closing the eventfd: late worker completions
-  // must see a dead sink, not a recycled fd.
-  {
-    std::lock_guard<std::mutex> sg(sink_->mu);
-    sink_->wake_fd = -1;
+  for (auto& lp : loops_) {
+    [[maybe_unused]] ssize_t rc =
+        ::write(lp->wake_fd.get(), &one, sizeof(one));
   }
-  wake_fd_.reset();
-  epoll_fd_.reset();
-  listen_fd_.reset();
+  for (auto& lp : loops_) lp->thread.join();
+  for (auto& lp : loops_) {
+    // Detach the sink before closing the eventfd: late worker completions
+    // must see a dead sink, not a recycled fd.
+    {
+      std::lock_guard<std::mutex> sg(lp->sink->mu);
+      lp->sink->wake_fd = -1;
+    }
+    // Handoff fds pushed after the receiving loop exited: close them here
+    // (nothing was ever registered for them).
+    {
+      std::lock_guard<std::mutex> hg(lp->handoff_mu);
+      for (int fd : lp->handoff) ::close(fd);
+      lp->handoff.clear();
+    }
+    lp->wake_fd.reset();
+    lp->epoll_fd.reset();
+    lp->listen_fd.reset();
+  }
 }
 
 NetServerStats NetServer::stats() const {
-  NetServerStats s;
-  s.accepted = accepted_.load(std::memory_order_acquire);
-  s.closed = closed_.load(std::memory_order_acquire);
-  s.frames_in = frames_in_.load(std::memory_order_acquire);
-  s.frames_out = frames_out_.load(std::memory_order_acquire);
-  s.protocol_errors = protocol_errors_.load(std::memory_order_acquire);
-  s.dropped_responses = dropped_responses_.load(std::memory_order_acquire);
-  return s;
+  NetServerStats total;
+  for (const NetServerStats& s : per_loop_stats()) {
+    total.accepted += s.accepted;
+    total.closed += s.closed;
+    total.frames_in += s.frames_in;
+    total.frames_out += s.frames_out;
+    total.protocol_errors += s.protocol_errors;
+    total.dropped_responses += s.dropped_responses;
+  }
+  return total;
 }
 
-void NetServer::loop_main() {
+std::vector<NetServerStats> NetServer::per_loop_stats() const {
+  std::vector<NetServerStats> out;
+  out.reserve(loops_.size());
+  for (const auto& lp : loops_) {
+    NetServerStats s;
+    s.accepted = lp->accepted.load(std::memory_order_acquire);
+    s.closed = lp->closed.load(std::memory_order_acquire);
+    s.frames_in = lp->frames_in.load(std::memory_order_acquire);
+    s.frames_out = lp->frames_out.load(std::memory_order_acquire);
+    s.protocol_errors = lp->protocol_errors.load(std::memory_order_acquire);
+    s.dropped_responses =
+        lp->dropped_responses.load(std::memory_order_acquire);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void NetServer::loop_main(Loop& lp) {
+  if (cfg_.pin_loops) {
+    // Best effort — a refused pin just leaves the loop floating.
+    (void)pin_this_thread(static_cast<int>(lp.index));
+  }
   std::vector<epoll_event> events(64);
   for (;;) {
-    const int timeout_ms = draining_ ? 20 : -1;
+    const int timeout_ms = lp.draining ? 20 : -1;
     const int n =
-        ::epoll_wait(epoll_fd_.get(), events.data(),
+        ::epoll_wait(lp.epoll_fd.get(), events.data(),
                      static_cast<int>(events.size()), timeout_ms);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -139,17 +229,17 @@ void NetServer::loop_main() {
       const std::uint64_t key = events[i].data.u64;
       const std::uint32_t ev = events[i].events;
       if (key == kListenKey) {
-        accept_ready();
+        accept_ready(lp);
         continue;
       }
       if (key == kWakeKey) {
         std::uint64_t drain = 0;
         [[maybe_unused]] ssize_t rc =
-            ::read(wake_fd_.get(), &drain, sizeof(drain));
-        continue;  // completions and stop flag handled below
+            ::read(lp.wake_fd.get(), &drain, sizeof(drain));
+        continue;  // handoffs, completions and stop flag handled below
       }
-      auto it = conns_.find(key);
-      if (it == conns_.end()) continue;  // closed earlier this iteration
+      auto it = lp.conns.find(key);
+      if (it == lp.conns.end()) continue;  // closed earlier this iteration
       Conn* c = it->second.get();
       if (ev & (EPOLLHUP | EPOLLERR)) {
         c->read_closed = true;
@@ -158,70 +248,111 @@ void NetServer::loop_main() {
         c->out.clear();
         c->out_off = 0;
       }
-      if (ev & EPOLLIN) on_readable(c);
-      if (conns_.find(key) == conns_.end()) continue;  // closed by reader
-      if (ev & EPOLLOUT) flush_out(c);
-      if (maybe_close(c)) continue;
-      update_interest(c);
+      if (ev & EPOLLIN) on_readable(lp, c);
+      if (lp.conns.find(key) == lp.conns.end()) continue;  // closed by reader
+      if (ev & EPOLLOUT) flush_out(lp, c);
+      if (maybe_close(lp, c)) continue;
+      update_interest(lp, c);
     }
 
-    process_completions();
+    drain_handoff(lp);
+    process_completions(lp);
 
-    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
-      begin_drain();
+    if (stop_requested_.load(std::memory_order_acquire) && !lp.draining) {
+      begin_drain(lp);
     }
-    if (draining_) {
+    if (lp.draining) {
       // Reap connections that finished draining; force the rest past the
       // deadline so shutdown() always returns.
-      for (auto it = conns_.begin(); it != conns_.end();) {
+      for (auto it = lp.conns.begin(); it != lp.conns.end();) {
         Conn* c = it->second.get();
         ++it;  // destroy() erases — advance first
-        flush_out(c);
-        maybe_close(c);
+        flush_out(lp, c);
+        maybe_close(lp, c);
       }
-      if (conns_.empty()) break;
-      if (now_ns() >= drain_deadline_ns_) {
-        while (!conns_.empty()) destroy(conns_.begin()->second.get());
+      if (lp.conns.empty()) break;
+      if (now_ns() >= lp.drain_deadline_ns) {
+        while (!lp.conns.empty()) destroy(lp, lp.conns.begin()->second.get());
         break;
       }
     }
   }
 }
 
-void NetServer::accept_ready() {
+void NetServer::accept_ready(Loop& lp) {
   for (;;) {
-    const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+    const int fd = ::accept4(lp.listen_fd.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN or a transient accept error: back to epoll
     }
-    if (fault::should_fire(fault::Site::kNetAccept)) {
+    // Scoped to the loop index: MGC_FAULT="net-accept:...,loop=K" drops
+    // connections on exactly one loop of the multi-loop front-end.
+    if (fault::should_fire(fault::Site::kNetAccept, lp.index)) {
       // Injected accept failure (fd exhaustion / transient ECONNABORTED):
       // the connection is dropped before registration; the client's retry
       // logic owns recovery.
       ::close(fd);
       continue;
     }
-    set_nodelay(fd);
-    auto conn = std::make_unique<Conn>();
-    conn->fd = UniqueFd(fd);
-    conn->id = next_conn_id_++;
-    Conn* c = conn.get();
-    conns_.emplace(c->id, std::move(conn));
-    accepted_.fetch_add(1, std::memory_order_acq_rel);
-
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = c->id;
-    c->interest = EPOLLIN;
-    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
-      destroy(c);
+    if (reuseport_ || loops_.size() == 1) {
+      adopt_fd(lp, fd);
+      continue;
     }
+    // Fallback: only loop 0 accepts; spread connections round-robin. Local
+    // target adopts directly, siblings get the fd through their handoff
+    // queue + wakeup.
+    const std::size_t target = rr_next_++ % loops_.size();
+    if (target == lp.index) {
+      adopt_fd(lp, fd);
+      continue;
+    }
+    Loop& peer = *loops_[target];
+    {
+      std::lock_guard<std::mutex> g(peer.handoff_mu);
+      peer.handoff.push_back(fd);
+    }
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc =
+        ::write(peer.wake_fd.get(), &one, sizeof(one));
   }
 }
 
-void NetServer::on_readable(Conn* c) {
+void NetServer::adopt_fd(Loop& lp, int fd) {
+  set_nodelay(fd);
+  auto conn = std::make_unique<Conn>();
+  conn->fd = UniqueFd(fd);
+  conn->id = lp.next_conn_id++;
+  Conn* c = conn.get();
+  lp.conns.emplace(c->id, std::move(conn));
+  lp.accepted.fetch_add(1, std::memory_order_acq_rel);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = c->id;
+  c->interest = EPOLLIN;
+  if (::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    destroy(lp, c);
+  }
+}
+
+void NetServer::drain_handoff(Loop& lp) {
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> g(lp.handoff_mu);
+    fds.swap(lp.handoff);
+  }
+  for (int fd : fds) {
+    if (lp.draining) {
+      ::close(fd);  // arrived after this loop stopped taking connections
+      continue;
+    }
+    adopt_fd(lp, fd);
+  }
+}
+
+void NetServer::on_readable(Loop& lp, Conn* c) {
   while (!c->read_closed) {
     if (c->in_pending() >= cfg_.max_input_buffer) break;  // backpressure
     const std::size_t old = c->in.size();
@@ -252,51 +383,51 @@ void NetServer::on_readable(Conn* c) {
     c->out_off = 0;
     break;
   }
-  process_input(c);
+  process_input(lp, c);
 }
 
-void NetServer::process_input(Conn* c) {
-  while (!c->input_dead && c->inflight < cfg_.max_inflight_per_conn) {
-    RequestFrame rf;
-    ResponseFrame ignored;
+void NetServer::process_input(Loop& lp, Conn* c) {
+  while (!c->input_dead) {
+    DecodedFrame df;
     std::size_t consumed = 0;
-    const DecodeResult r = decode_frame(c->in.data() + c->in_off,
-                                        c->in_pending(), &consumed, &rf,
-                                        &ignored);
+    const DecodeResult r =
+        decode_any(c->in.data() + c->in_off, c->in_pending(), &consumed, &df);
     if (r == DecodeResult::kNeedMore) break;
-    if (r != DecodeResult::kRequest) {
-      // Malformed frame, or a client sending response frames: drop this
-      // connection (after flushing whatever it is still owed) without
-      // disturbing the rest of the loop.
-      protocol_errors_.fetch_add(1, std::memory_order_acq_rel);
-      c->read_closed = true;
-      c->input_dead = true;
-      c->in.clear();
-      c->in_off = 0;
-      break;
+    if (r == DecodeResult::kRequest) {
+      if (c->inflight >= cfg_.max_inflight_per_conn) break;
+      c->in_off += consumed;
+      lp.frames_in.fetch_add(1, std::memory_order_acq_rel);
+      c->inflight++;
+      submit_one(lp, c, df.req.tag, df.req.req);
+      continue;
     }
-    c->in_off += consumed;
-    frames_in_.fetch_add(1, std::memory_order_acq_rel);
-    c->inflight++;
-
-    const std::uint64_t conn_id = c->id;
-    const std::uint64_t tag = rf.tag;
-    std::shared_ptr<CompletionSink> sink = sink_;
-    const kv::SubmitResult sr = backend_.try_submit(
-        rf.req, [sink, conn_id, tag](const kv::Response& resp) {
-          sink->post(Completion{conn_id, tag, resp});
-        });
-    if (sr != kv::SubmitResult::kAccepted) {
-      // Rejected without executing: answer directly with the typed status —
-      // kShutdown (backend stopping under us) or kOverloaded (load shed
-      // under GC pressure; the client backs off and retries).
-      c->inflight--;
-      kv::Response resp;
-      resp.status = sr == kv::SubmitResult::kShutdown
-                        ? kv::ExecStatus::kShutdown
-                        : kv::ExecStatus::kOverloaded;
-      enqueue_response(c, tag, resp);
+    if (r == DecodeResult::kBatchRequest) {
+      // Admission is all-or-nothing per batch (sub-requests count like
+      // single frames). An idle connection may overshoot the in-flight cap
+      // so a window larger than the cap still makes progress; otherwise
+      // the batch stays buffered until completions free room.
+      const std::size_t n = df.batch_req.size();
+      if (c->inflight != 0 &&
+          c->inflight + n > cfg_.max_inflight_per_conn) {
+        break;
+      }
+      c->in_off += consumed;
+      lp.frames_in.fetch_add(n, std::memory_order_acq_rel);
+      c->inflight += n;
+      for (const RequestFrame& rf : df.batch_req) {
+        submit_one(lp, c, rf.tag, rf.req);
+      }
+      continue;
     }
+    // Malformed frame, or a client sending response frames: drop this
+    // connection (after flushing whatever it is still owed) without
+    // disturbing the rest of the loop.
+    lp.protocol_errors.fetch_add(1, std::memory_order_acq_rel);
+    c->read_closed = true;
+    c->input_dead = true;
+    c->in.clear();
+    c->in_off = 0;
+    break;
   }
   // Compact once the consumed prefix dominates the buffer.
   if (c->in_off > 0 && (c->in_off >= c->in.size() || c->in_off > kReadChunk)) {
@@ -306,10 +437,31 @@ void NetServer::process_input(Conn* c) {
   }
 }
 
-void NetServer::enqueue_response(Conn* c, std::uint64_t tag,
+void NetServer::submit_one(Loop& lp, Conn* c, std::uint64_t tag,
+                           const kv::Request& req) {
+  const std::uint64_t conn_id = c->id;
+  std::shared_ptr<CompletionSink> sink = lp.sink;
+  const kv::SubmitResult sr = backend_.try_submit(
+      req, [sink, conn_id, tag](const kv::Response& resp) {
+        sink->post(Completion{conn_id, tag, resp});
+      });
+  if (sr != kv::SubmitResult::kAccepted) {
+    // Rejected without executing: answer directly with the typed status —
+    // kShutdown (backend stopping under us) or kOverloaded (load shed
+    // under GC pressure; the client backs off and retries).
+    c->inflight--;
+    kv::Response resp;
+    resp.status = sr == kv::SubmitResult::kShutdown
+                      ? kv::ExecStatus::kShutdown
+                      : kv::ExecStatus::kOverloaded;
+    enqueue_response(lp, c, tag, resp);
+  }
+}
+
+void NetServer::enqueue_response(Loop& lp, Conn* c, std::uint64_t tag,
                                  const kv::Response& r) {
   if (c->broken) {
-    dropped_responses_.fetch_add(1, std::memory_order_acq_rel);
+    lp.dropped_responses.fetch_add(1, std::memory_order_acq_rel);
     return;
   }
   ResponseFrame f;
@@ -317,11 +469,11 @@ void NetServer::enqueue_response(Conn* c, std::uint64_t tag,
   f.status = r.status;
   f.found = r.found;
   encode_response(f, c->out);
-  frames_out_.fetch_add(1, std::memory_order_acq_rel);
-  flush_out(c);
+  lp.frames_out.fetch_add(1, std::memory_order_acq_rel);
+  flush_out(lp, c);
 }
 
-void NetServer::flush_out(Conn* c) {
+void NetServer::flush_out(Loop& lp, Conn* c) {
   while (c->out_pending() > 0 && !c->broken) {
     if (fault::should_fire(fault::Site::kNetEpipe)) {
       // Injected EPIPE: the peer reset mid-write. Same path as a real send
@@ -355,32 +507,32 @@ void NetServer::flush_out(Conn* c) {
   }
 }
 
-void NetServer::process_completions() {
+void NetServer::process_completions(Loop& lp) {
   std::vector<Completion> items;
   {
-    std::lock_guard<std::mutex> g(sink_->mu);
-    items.swap(sink_->items);
+    std::lock_guard<std::mutex> g(lp.sink->mu);
+    items.swap(lp.sink->items);
   }
   for (const Completion& comp : items) {
-    auto it = conns_.find(comp.conn_id);
-    if (it == conns_.end()) {
+    auto it = lp.conns.find(comp.conn_id);
+    if (it == lp.conns.end()) {
       // Client went away mid-request: the worker already freed the pending
       // slot; the response just has nowhere to go.
-      dropped_responses_.fetch_add(1, std::memory_order_acq_rel);
+      lp.dropped_responses.fetch_add(1, std::memory_order_acq_rel);
       continue;
     }
     Conn* c = it->second.get();
     MGC_CHECK(c->inflight > 0);
     c->inflight--;
-    enqueue_response(c, comp.tag, comp.resp);
+    enqueue_response(lp, c, comp.tag, comp.resp);
     // An in-flight slot freed: parked bytes in the input buffer may now be
     // decodable again.
-    process_input(c);
-    if (!maybe_close(c)) update_interest(c);
+    process_input(lp, c);
+    if (!maybe_close(lp, c)) update_interest(lp, c);
   }
 }
 
-void NetServer::update_interest(Conn* c) {
+void NetServer::update_interest(Loop& lp, Conn* c) {
   const bool want_read = !c->read_closed &&
                          c->inflight < cfg_.max_inflight_per_conn &&
                          c->in_pending() < cfg_.max_input_buffer;
@@ -391,43 +543,48 @@ void NetServer::update_interest(Conn* c) {
   epoll_event ev{};
   ev.events = mask;
   ev.data.u64 = c->id;
-  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, c->fd.get(), &ev) == 0) {
+  if (::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_MOD, c->fd.get(), &ev) == 0) {
     c->interest = mask;
   }
 }
 
-void NetServer::begin_drain() {
-  draining_ = true;
-  drain_deadline_ns_ =
+void NetServer::begin_drain(Loop& lp) {
+  lp.draining = true;
+  lp.drain_deadline_ns =
       now_ns() + static_cast<std::int64_t>(cfg_.drain_timeout_ms) * 1000000;
   // Stop accepting new connections.
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listen_fd_.get(), nullptr);
+  if (lp.listen_fd.valid()) {
+    ::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_DEL, lp.listen_fd.get(),
+                nullptr);
+  }
+  // Handed-off fds not yet adopted never got a connection: close unserved.
+  drain_handoff(lp);
   // Stop reading new requests; in-flight ones finish and get flushed. A
   // half-received request frame is simply discarded with the connection.
-  for (auto& [id, conn] : conns_) {
+  for (auto& [id, conn] : lp.conns) {
     Conn* c = conn.get();
     c->read_closed = true;
     c->input_dead = true;
     c->in.clear();
     c->in_off = 0;
     ::shutdown(c->fd.get(), SHUT_RD);
-    update_interest(c);
+    update_interest(lp, c);
   }
 }
 
-bool NetServer::maybe_close(Conn* c) {
+bool NetServer::maybe_close(Loop& lp, Conn* c) {
   const bool flushed = c->broken || c->out_pending() == 0;
   if (c->read_closed && c->inflight == 0 && flushed) {
-    destroy(c);
+    destroy(lp, c);
     return true;
   }
   return false;
 }
 
-void NetServer::destroy(Conn* c) {
-  closed_.fetch_add(1, std::memory_order_acq_rel);
-  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, c->fd.get(), nullptr);
-  conns_.erase(c->id);  // frees c (and closes the fd via UniqueFd)
+void NetServer::destroy(Loop& lp, Conn* c) {
+  lp.closed.fetch_add(1, std::memory_order_acq_rel);
+  ::epoll_ctl(lp.epoll_fd.get(), EPOLL_CTL_DEL, c->fd.get(), nullptr);
+  lp.conns.erase(c->id);  // frees c (and closes the fd via UniqueFd)
 }
 
 }  // namespace mgc::net

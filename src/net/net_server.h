@@ -1,22 +1,42 @@
 // Epoll-based TCP front-end for kv::Server (paper §4.2's network path).
 //
-// One event-loop thread owns all connections: non-blocking accept, read,
-// decode, submit, encode, write. Execution itself happens on the existing
-// kv::Server worker pool (the VM mutators); workers hand results back via
-// a completion queue + eventfd wakeup, so the loop thread never touches
-// the managed heap and never blocks a safepoint — it plays the role of the
-// paper's network stack, not of an application thread.
+// One or more event-loop threads own disjoint sets of connections:
+// non-blocking accept, read, decode, submit, encode, write. Execution
+// itself happens on the kv::Server's per-shard worker pools (the VM
+// mutators); workers hand results back via the owning loop's completion
+// queue + eventfd wakeup, so loop threads never touch the managed heap and
+// never block a safepoint — they play the role of the paper's network
+// stack, not of application threads.
+//
+// Multi-loop front-end (cfg.loops > 1): preferred shape is one
+// SO_REUSEPORT listener per loop on the same port — the kernel spreads
+// incoming connections across loops with no shared accept lock. When
+// SO_REUSEPORT is unavailable (or disabled via cfg.allow_reuseport), the
+// server falls back to a single accept loop that hands accepted fds to the
+// other loops round-robin through per-loop handoff queues. Either way a
+// connection lives and dies on exactly one loop: its buffers, its epoll
+// registration, and its completion sink are single-threaded state.
+//
+// Both protocol versions are served: single-op frames and version-2 batch
+// (pipelined) request frames. A batch of N sub-requests counts as N frames
+// for stats and admission control, and is answered with N single response
+// frames (possibly interleaved across shards, in any order) — the
+// per-loop drain invariant frames_out + dropped_responses == frames_in
+// counts sub-frames on both sides.
 //
 // Backpressure / admission control: each connection may have at most
 // max_inflight_per_conn requests submitted; past that the loop stops
 // decoding (and, once the input buffer fills, stops reading) until
-// completions drain. Total in-flight work is therefore bounded by
-// connections x max_inflight_per_conn, which is what keeps the worker
-// queue finite without ever blocking the event loop.
+// completions drain. A batch is admitted whole once the connection has
+// room for it (an idle connection may overshoot so an oversized window
+// still makes progress). Total in-flight work is therefore bounded per
+// loop, which is what keeps the shard queues finite without ever blocking
+// an event loop.
 //
-// Shutdown is graceful: stop accepting, stop reading new requests, let
-// in-flight requests finish, flush every response, then close. A drain
-// deadline force-closes stragglers so shutdown() always returns.
+// Shutdown is graceful: stop accepting, stop reading new requests, close
+// un-adopted handoff fds, let in-flight requests finish, flush every
+// response, then close. A drain deadline force-closes stragglers so
+// shutdown() always returns.
 #pragma once
 
 #include <atomic>
@@ -25,6 +45,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "kvstore/server.h"
 #include "net/socket.h"
@@ -37,12 +58,21 @@ struct NetServerConfig {
   std::size_t max_inflight_per_conn = 64;
   std::size_t max_input_buffer = 1 << 20;  // per-connection decode buffer cap
   int drain_timeout_ms = 5000;             // graceful-shutdown deadline
+  int loops = 1;                           // event-loop thread count
+  // Pin loop i to core i (mod allowed cores; support/affinity). Best
+  // effort.
+  bool pin_loops = false;
+  // When false, never bind SO_REUSEPORT listeners — exercise the
+  // single-accept-loop + round-robin handoff fallback even on kernels
+  // that support SO_REUSEPORT (tests rely on this switch).
+  bool allow_reuseport = true;
 };
 
 struct NetServerStats {
   std::uint64_t accepted = 0;
   std::uint64_t closed = 0;
   std::uint64_t frames_in = 0;          // well-formed requests decoded
+                                        // (batch sub-requests counted)
   std::uint64_t frames_out = 0;         // responses encoded for the wire
   std::uint64_t protocol_errors = 0;    // malformed frames (connection dropped)
   std::uint64_t dropped_responses = 0;  // completions whose connection died
@@ -50,8 +80,8 @@ struct NetServerStats {
 
 class NetServer {
  public:
-  // Binds and starts the event loop; aborts (MGC_CHECK) if the loopback
-  // listen socket cannot be created — tests and benches cannot proceed.
+  // Binds and starts the event loops; aborts (MGC_CHECK) if no loopback
+  // listen socket can be created — tests and benches cannot proceed.
   explicit NetServer(kv::Server& backend, NetServerConfig cfg = {});
   ~NetServer();
 
@@ -59,56 +89,83 @@ class NetServer {
   NetServer& operator=(const NetServer&) = delete;
 
   std::uint16_t port() const { return port_; }
+  std::size_t loop_count() const { return loops_.size(); }
+  // True when every loop owns its own SO_REUSEPORT listener; false in the
+  // single-accept-loop fallback.
+  bool using_reuseport() const { return reuseport_; }
 
   // Graceful shutdown (idempotent): drains in-flight requests, flushes
-  // responses, closes connections, joins the loop thread.
+  // responses, closes connections, joins every loop thread.
   void shutdown();
 
-  NetServerStats stats() const;
+  NetServerStats stats() const;  // summed across loops
+  // One entry per loop, index-aligned with the loop's fault scope. The
+  // per-loop drain invariant (frames_out + dropped_responses == frames_in
+  // after shutdown) holds entry by entry, not just in aggregate.
+  std::vector<NetServerStats> per_loop_stats() const;
 
  private:
   struct Conn;
   struct Completion;
   struct CompletionSink;
 
-  void loop_main();
-  void accept_ready();
-  void on_readable(Conn* c);
-  void process_input(Conn* c);
-  void flush_out(Conn* c);
-  void process_completions();
-  void update_interest(Conn* c);
-  void begin_drain();
-  bool maybe_close(Conn* c);  // true if the connection was destroyed
-  void destroy(Conn* c);
-  void enqueue_response(Conn* c, std::uint64_t tag, const kv::Response& r);
+  // One event loop: its own epoll, wakeup eventfd, listener (absent on
+  // loops > 0 in fallback mode), connection table, completion sink, and
+  // stats. Only its own thread touches any of it — except the handoff
+  // queue, which the accepting loop feeds under handoff_mu.
+  struct Loop {
+    std::uint32_t index = 0;
+    UniqueFd listen_fd;
+    UniqueFd epoll_fd;
+    UniqueFd wake_fd;
+    std::shared_ptr<CompletionSink> sink;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns;
+    std::uint64_t next_conn_id = 0;
+    bool draining = false;
+    std::int64_t drain_deadline_ns = 0;
+
+    // Fallback-mode fd handoff (accepting loop -> this loop).
+    std::mutex handoff_mu;
+    std::vector<int> handoff;
+
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> closed{0};
+    std::atomic<std::uint64_t> frames_in{0};
+    std::atomic<std::uint64_t> frames_out{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> dropped_responses{0};
+
+    std::thread thread;
+  };
+
+  void loop_main(Loop& lp);
+  void accept_ready(Loop& lp);
+  // Registers an accepted fd with `lp` (it becomes a Conn on lp's epoll).
+  void adopt_fd(Loop& lp, int fd);
+  // Moves pending handoff fds into the loop — adopted normally, or closed
+  // unserved when the loop is already draining.
+  void drain_handoff(Loop& lp);
+  void on_readable(Loop& lp, Conn* c);
+  void process_input(Loop& lp, Conn* c);
+  void submit_one(Loop& lp, Conn* c, std::uint64_t tag,
+                  const kv::Request& req);
+  void flush_out(Loop& lp, Conn* c);
+  void process_completions(Loop& lp);
+  void update_interest(Loop& lp, Conn* c);
+  void begin_drain(Loop& lp);
+  bool maybe_close(Loop& lp, Conn* c);  // true if the connection was destroyed
+  void destroy(Loop& lp, Conn* c);
+  void enqueue_response(Loop& lp, Conn* c, std::uint64_t tag,
+                        const kv::Response& r);
 
   kv::Server& backend_;
   NetServerConfig cfg_;
-  UniqueFd listen_fd_;
-  UniqueFd epoll_fd_;
-  UniqueFd wake_fd_;
   std::uint16_t port_ = 0;
-
-  // Shared with worker-thread completion callbacks; outlives the server if
-  // a callback is still in flight when we tear down (it then drops).
-  std::shared_ptr<CompletionSink> sink_;
-
-  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
-  std::uint64_t next_conn_id_;
+  bool reuseport_ = false;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::size_t rr_next_ = 0;  // fallback round-robin; accepting thread only
 
   std::atomic<bool> stop_requested_{false};
-  bool draining_ = false;
-  std::int64_t drain_deadline_ns_ = 0;
-
-  std::atomic<std::uint64_t> accepted_{0};
-  std::atomic<std::uint64_t> closed_{0};
-  std::atomic<std::uint64_t> frames_in_{0};
-  std::atomic<std::uint64_t> frames_out_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
-  std::atomic<std::uint64_t> dropped_responses_{0};
-
-  std::thread loop_;
   std::mutex shutdown_mu_;  // serializes shutdown() callers
   bool stopped_ = false;
 };

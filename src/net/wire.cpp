@@ -55,48 +55,210 @@ void encode_response(const ResponseFrame& f, std::vector<std::uint8_t>& out) {
   put_u8(out, f.found ? 1 : 0);
 }
 
-DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
-                          std::size_t* consumed, RequestFrame* req,
-                          ResponseFrame* resp) {
+void encode_request_batch(const std::vector<RequestFrame>& items,
+                          std::vector<std::uint8_t>& out) {
+  MGC_CHECK(!items.empty() && items.size() <= kMaxBatchCount);
+  const std::size_t payload =
+      kBatchHeaderSize + items.size() * kBatchRequestEntrySize;
+  out.reserve(out.size() + kLenPrefixSize + payload);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u8(out, kMagic);
+  put_u8(out, kBatchVersion);
+  put_u8(out, static_cast<std::uint8_t>(MsgKind::kBatchRequest));
+  put_u8(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const RequestFrame& f : items) {
+    MGC_CHECK(f.req.value_len <= kMaxValueLen);
+    put_u8(out, static_cast<std::uint8_t>(f.req.op));
+    put_u64(out, f.tag);
+    put_u64(out, f.req.key);
+    put_u32(out, static_cast<std::uint32_t>(f.req.value_len));
+  }
+}
+
+void encode_response_batch(const std::vector<ResponseFrame>& items,
+                           std::vector<std::uint8_t>& out) {
+  MGC_CHECK(!items.empty() && items.size() <= kMaxBatchCount);
+  const std::size_t payload =
+      kBatchHeaderSize + items.size() * kBatchResponseEntrySize;
+  out.reserve(out.size() + kLenPrefixSize + payload);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u8(out, kMagic);
+  put_u8(out, kBatchVersion);
+  put_u8(out, static_cast<std::uint8_t>(MsgKind::kBatchResponse));
+  put_u8(out, 0);  // reserved
+  put_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const ResponseFrame& f : items) {
+    put_u8(out, static_cast<std::uint8_t>(f.status));
+    put_u64(out, f.tag);
+    put_u8(out, f.found ? 1 : 0);
+  }
+}
+
+namespace {
+
+// Validates (magic, version, kind, payload_len) coherence as soon as the
+// three header bytes are visible, so a malformed frame is rejected before
+// the decoder buffers toward its claimed length.
+DecodeResult check_header(const std::uint8_t* p, std::uint32_t payload_len) {
+  if (p[0] != kMagic) return DecodeResult::kError;
+  const std::uint8_t version = p[1];
+  const std::uint8_t kind = p[2];
+  switch (kind) {
+    case static_cast<std::uint8_t>(MsgKind::kRequest):
+      if (version != kVersion || payload_len != kRequestPayloadSize)
+        return DecodeResult::kError;
+      return DecodeResult::kRequest;
+    case static_cast<std::uint8_t>(MsgKind::kResponse):
+      if (version != kVersion || payload_len != kResponsePayloadSize)
+        return DecodeResult::kError;
+      return DecodeResult::kResponse;
+    case static_cast<std::uint8_t>(MsgKind::kBatchRequest): {
+      if (version != kBatchVersion) return DecodeResult::kError;
+      if (payload_len < kBatchHeaderSize + kBatchRequestEntrySize ||
+          (payload_len - kBatchHeaderSize) % kBatchRequestEntrySize != 0) {
+        return DecodeResult::kError;
+      }
+      return DecodeResult::kBatchRequest;
+    }
+    case static_cast<std::uint8_t>(MsgKind::kBatchResponse): {
+      if (version != kBatchVersion) return DecodeResult::kError;
+      if (payload_len < kBatchHeaderSize + kBatchResponseEntrySize ||
+          (payload_len - kBatchHeaderSize) % kBatchResponseEntrySize != 0) {
+        return DecodeResult::kError;
+      }
+      return DecodeResult::kBatchResponse;
+    }
+    default:
+      return DecodeResult::kError;
+  }
+}
+
+bool decode_request_body(const std::uint8_t* p, RequestFrame* out) {
+  // p points at { op, tag, key, value_len } (21 bytes).
+  const std::uint8_t op = p[0];
+  if (op > static_cast<std::uint8_t>(kv::OpType::kInsert)) return false;
+  const std::uint32_t value_len = get_u32(p + 17);
+  if (value_len > kMaxValueLen) return false;
+  out->req.op = static_cast<kv::OpType>(op);
+  out->tag = get_u64(p + 1);
+  out->req.key = get_u64(p + 9);
+  out->req.value_len = value_len;
+  return true;
+}
+
+bool decode_response_body(const std::uint8_t* p, std::size_t found_off,
+                          ResponseFrame* out) {
+  // p points at { status, tag, ... found at found_off } — the single frame
+  // carries found at offset 9, the batch entry packs it at offset 9 too;
+  // the offset parameter keeps the two layouts honest if they diverge.
+  const std::uint8_t status = p[0];
+  if (status > static_cast<std::uint8_t>(kv::ExecStatus::kOverloaded))
+    return false;
+  const std::uint8_t found = p[found_off];
+  if (found > 1) return false;
+  out->status = static_cast<kv::ExecStatus>(status);
+  out->tag = get_u64(p + 1);
+  out->found = found != 0;
+  return true;
+}
+
+}  // namespace
+
+DecodeResult decode_any(const std::uint8_t* data, std::size_t len,
+                        std::size_t* consumed, DecodedFrame* out) {
   if (len < kLenPrefixSize) return DecodeResult::kNeedMore;
   const std::uint32_t payload_len = get_u32(data);
   // Bound the length *before* waiting for more bytes: an oversized prefix
   // must be rejected immediately, not buffered toward.
-  if (payload_len < 4 || payload_len > kMaxPayload) return DecodeResult::kError;
+  if (payload_len < 4 || payload_len > kMaxBatchPayload)
+    return DecodeResult::kError;
+  // With the three header bytes visible the (version, kind, length) triple
+  // is fully checkable — reject incoherent frames without buffering more.
+  if (len < kLenPrefixSize + 3) return DecodeResult::kNeedMore;
+  const std::uint8_t* p = data + kLenPrefixSize;
+  const DecodeResult kind = check_header(p, payload_len);
+  if (kind == DecodeResult::kError) return DecodeResult::kError;
   if (len < kLenPrefixSize + payload_len) return DecodeResult::kNeedMore;
 
-  const std::uint8_t* p = data + kLenPrefixSize;
-  if (p[0] != kMagic || p[1] != kVersion) return DecodeResult::kError;
-  const std::uint8_t kind = p[2];
+  switch (kind) {
+    case DecodeResult::kRequest: {
+      // Single request body: { op, tag, key, value_len } from offset 3.
+      if (!decode_request_body(p + 3, &out->req)) return DecodeResult::kError;
+      break;
+    }
+    case DecodeResult::kResponse: {
+      if (!decode_response_body(p + 3, /*found_off=*/9, &out->resp))
+        return DecodeResult::kError;
+      break;
+    }
+    case DecodeResult::kBatchRequest: {
+      if (p[3] != 0) return DecodeResult::kError;  // reserved byte
+      const std::uint32_t count = get_u32(p + 4);
+      if (count == 0 || count > kMaxBatchCount ||
+          payload_len !=
+              kBatchHeaderSize + count * kBatchRequestEntrySize) {
+        return DecodeResult::kError;
+      }
+      out->batch_req.clear();
+      out->batch_req.reserve(count);
+      const std::uint8_t* e = p + kBatchHeaderSize;
+      for (std::uint32_t i = 0; i < count;
+           ++i, e += kBatchRequestEntrySize) {
+        RequestFrame f;
+        if (!decode_request_body(e, &f)) return DecodeResult::kError;
+        out->batch_req.push_back(f);
+      }
+      break;
+    }
+    case DecodeResult::kBatchResponse: {
+      if (p[3] != 0) return DecodeResult::kError;  // reserved byte
+      const std::uint32_t count = get_u32(p + 4);
+      if (count == 0 || count > kMaxBatchCount ||
+          payload_len !=
+              kBatchHeaderSize + count * kBatchResponseEntrySize) {
+        return DecodeResult::kError;
+      }
+      out->batch_resp.clear();
+      out->batch_resp.reserve(count);
+      const std::uint8_t* e = p + kBatchHeaderSize;
+      for (std::uint32_t i = 0; i < count;
+           ++i, e += kBatchResponseEntrySize) {
+        ResponseFrame f;
+        if (!decode_response_body(e, /*found_off=*/9, &f))
+          return DecodeResult::kError;
+        out->batch_resp.push_back(f);
+      }
+      break;
+    }
+    default:
+      return DecodeResult::kError;
+  }
+  *consumed = kLenPrefixSize + payload_len;
+  return kind;
+}
 
-  if (kind == static_cast<std::uint8_t>(MsgKind::kRequest)) {
-    if (payload_len != kRequestPayloadSize) return DecodeResult::kError;
-    const std::uint8_t op = p[3];
-    if (op > static_cast<std::uint8_t>(kv::OpType::kInsert))
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t len,
+                          std::size_t* consumed, RequestFrame* req,
+                          ResponseFrame* resp) {
+  DecodedFrame f;
+  const DecodeResult r = decode_any(data, len, consumed, &f);
+  switch (r) {
+    case DecodeResult::kRequest:
+      *req = f.req;
+      return r;
+    case DecodeResult::kResponse:
+      *resp = f.resp;
+      return r;
+    case DecodeResult::kBatchRequest:
+    case DecodeResult::kBatchResponse:
+      // Version-1 callers do not speak batches: protocol violation. Nothing
+      // is consumed on kError, even though the batch decoded cleanly.
+      *consumed = 0;
       return DecodeResult::kError;
-    const std::uint32_t value_len = get_u32(p + 20);
-    if (value_len > kMaxValueLen) return DecodeResult::kError;
-    req->req.op = static_cast<kv::OpType>(op);
-    req->tag = get_u64(p + 4);
-    req->req.key = get_u64(p + 12);
-    req->req.value_len = value_len;
-    *consumed = kLenPrefixSize + payload_len;
-    return DecodeResult::kRequest;
+    default:
+      return r;
   }
-  if (kind == static_cast<std::uint8_t>(MsgKind::kResponse)) {
-    if (payload_len != kResponsePayloadSize) return DecodeResult::kError;
-    const std::uint8_t status = p[3];
-    if (status > static_cast<std::uint8_t>(kv::ExecStatus::kOverloaded))
-      return DecodeResult::kError;
-    const std::uint8_t found = p[12];
-    if (found > 1) return DecodeResult::kError;
-    resp->status = static_cast<kv::ExecStatus>(status);
-    resp->tag = get_u64(p + 4);
-    resp->found = found != 0;
-    *consumed = kLenPrefixSize + payload_len;
-    return DecodeResult::kResponse;
-  }
-  return DecodeResult::kError;
 }
 
 }  // namespace mgc::net

@@ -1,0 +1,65 @@
+#include "support/affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mgc {
+
+#if defined(__linux__)
+
+int hw_cores() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (::sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+bool affinity_supported() { return true; }
+
+bool pin_this_thread(int core) {
+  if (core < 0) return false;
+  // Pin to the core-th *allowed* cpu: under a restricted cpuset (CI
+  // containers) the allowed ids need not start at 0 or be contiguous.
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (::sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int n = CPU_COUNT(&allowed);
+  if (n <= 0) return false;
+  int want = core % n;
+  int cpu = -1;
+  for (int id = 0; id < CPU_SETSIZE; ++id) {
+    if (!CPU_ISSET(id, &allowed)) continue;
+    if (want-- == 0) {
+      cpu = id;
+      break;
+    }
+  }
+  if (cpu < 0) return false;
+  cpu_set_t one;
+  CPU_ZERO(&one);
+  CPU_SET(cpu, &one);
+  return ::pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+}
+
+#else  // !__linux__
+
+int hw_cores() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+bool affinity_supported() { return false; }
+
+bool pin_this_thread(int) { return false; }
+
+#endif
+
+}  // namespace mgc

@@ -1,0 +1,22 @@
+// Core-affinity helpers for the shard-per-core kvstore and the multi-loop
+// network front-end. Pinning is best effort: on kernels/configurations
+// where sched_setaffinity is unavailable (or the cpuset forbids the
+// requested core) the callers fall back to floating threads — correctness
+// never depends on placement, only the scaling curves do.
+#pragma once
+
+namespace mgc {
+
+// Number of cores this process may run on (sched_getaffinity when
+// available, std::thread::hardware_concurrency otherwise). Always >= 1.
+int hw_cores();
+
+// True when thread pinning is available on this platform.
+bool affinity_supported();
+
+// Pins the calling thread to `core` (modulo the allowed-core count, so
+// callers can pass a shard/loop index directly). Returns false when
+// pinning is unsupported or the kernel refused the mask.
+bool pin_this_thread(int core);
+
+}  // namespace mgc

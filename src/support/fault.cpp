@@ -48,15 +48,15 @@ bool hash_fires(std::uint64_t seed_v, Site s, std::uint64_t n, double p) {
 const char* const kSiteNames[kNumSites] = {
     "heap-alloc",     "tlab-refill",    "plab-refill",        "old-alloc",
     "heap-expand",    "promotion-fail", "g1-evac-fail",       "cms-concurrent-fail",
-    "gc-worker-stall","commitlog-write","kv-queue-full",      "net-accept",
-    "net-read-short", "net-write-short","net-epipe",
+    "gc-worker-stall","commitlog-write","kv-queue-full",      "shard-queue-full",
+    "net-accept",     "net-read-short", "net-write-short",    "net-epipe",
 };
 
 }  // namespace
 
 namespace internal {
 
-bool fire_slow(Site s) {
+bool fire_slow(Site s, std::uint32_t scope) {
   std::lock_guard<std::mutex> l(g_mu);
   SiteState& st = g_sites[idx(s)];
   // Re-check under the lock: the relaxed fast-path load may have raced a
@@ -65,7 +65,11 @@ bool fire_slow(Site s) {
        (1U << static_cast<unsigned>(s))) == 0) {
     return false;
   }
+  // Every check is counted (scoped or not) so fired-check numbers stay a
+  // pure function of the site's overall check sequence; a scoped policy
+  // then only fires at checks carrying the matching shard/loop index.
   const std::uint64_t n = st.checks++;
+  if (st.policy.scope != kScopeAny && scope != st.policy.scope) return false;
   if (n < st.policy.after) return false;
   if (st.fires >= st.policy.limit) return false;
   if (!hash_fires(g_seed, s, n, st.policy.probability)) return false;
@@ -202,6 +206,15 @@ bool parse_clause(const std::string& clause, std::string* error) {
         if (error != nullptr) *error = "bad option '" + opt + "'";
         return false;
       }
+    } else if (opt.rfind("scope=", 0) == 0 || opt.rfind("shard=", 0) == 0 ||
+               opt.rfind("loop=", 0) == 0) {
+      // 'shard=' and 'loop=' are readable aliases for the generic scope.
+      std::uint64_t v = 0;
+      if (!parse_u64(opt.substr(opt.find('=') + 1), &v) || v >= kScopeAny) {
+        if (error != nullptr) *error = "bad option '" + opt + "'";
+        return false;
+      }
+      p.scope = static_cast<std::uint32_t>(v);
     } else {
       if (error != nullptr) *error = "unknown option '" + opt + "'";
       return false;

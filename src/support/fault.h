@@ -28,8 +28,17 @@
 //   option  := 'after=' N        fire only from check number N on (0-based)
 //            | 'limit=' M        fire at most M times
 //            | 'oneshot'         shorthand for limit=1
+//            | 'scope=' K        fire only at scoped checks with scope K
+//                                ('shard=' and 'loop=' are aliases)
 //
 // A clause with no probability fires on every eligible check.
+//
+// Scopes: sharded subsystems (per-shard kv queues and commit logs, the
+// multi-loop accept path) pass their shard/loop index to the check, so a
+// spec like "commitlog-write:shard=2" injects failures into exactly one
+// shard while the rest of the fleet stays healthy. A clause without a
+// scope matches every check, scoped or not; a scoped clause never matches
+// checks from unscoped call sites.
 #pragma once
 
 #include <atomic>
@@ -52,10 +61,11 @@ enum class Site : std::uint8_t {
   kCmsConcurrentFail,// force CMS concurrent-mode failure in a concurrent phase
   kGcWorkerStall,    // simulate a slow/stalled parallel GC worker
   // kvstore
-  kCommitLogWrite,   // commit-log append fails
+  kCommitLogWrite,   // commit-log append fails (scoped: shard index)
   kKvQueueFull,      // request queue reports full (load shed)
+  kKvShardQueueFull, // one shard's submission queue reports full (scoped)
   // net
-  kNetAccept,        // accept() drops the incoming connection
+  kNetAccept,        // accept() drops the incoming connection (scoped: loop)
   kNetReadShort,     // recv() capped to 1 byte (short-count)
   kNetWriteShort,    // send() capped to 1 byte (short-count)
   kNetEpipe,         // send() fails as if the peer vanished (EPIPE)
@@ -65,28 +75,35 @@ enum class Site : std::uint8_t {
 inline constexpr std::size_t kNumSites =
     static_cast<std::size_t>(Site::kNumSites);
 
+// Scope wildcard: matches every check (and is what unscoped call sites
+// pass, so an unscoped policy keeps firing everywhere).
+inline constexpr std::uint32_t kScopeAny = 0xFFFFFFFFu;
+
 // Per-site firing policy. All fields are written only while the site is
 // disarmed; arming publishes them.
 struct Policy {
   double probability = 1.0;          // chance an eligible check fires
   std::uint64_t after = 0;           // first check number that may fire
   std::uint64_t limit = ~0ULL;       // max total fires
+  std::uint32_t scope = kScopeAny;   // only checks with this scope fire
 };
 
 namespace internal {
 // Bit i set <=> Site(i) is armed. The ONLY state the fast path touches.
 extern std::atomic<std::uint32_t> g_armed_mask;
 // Armed-path decision: counts the check, applies the policy. In fault.cpp.
-bool fire_slow(Site s);
+bool fire_slow(Site s, std::uint32_t scope);
 }  // namespace internal
 
 // The check point. Returns true when the guarded operation should fail.
-// Unarmed cost: one relaxed load + bit test.
-inline bool should_fire(Site s) {
+// Unarmed cost: one relaxed load + bit test. Sharded call sites pass their
+// shard/loop index as `scope` so policies can target a single shard; the
+// policy's scope (default: any) decides whether the check is eligible.
+inline bool should_fire(Site s, std::uint32_t scope = kScopeAny) {
   const std::uint32_t mask =
       internal::g_armed_mask.load(std::memory_order_relaxed);
   if ((mask & (1U << static_cast<unsigned>(s))) == 0) return false;
-  return internal::fire_slow(s);
+  return internal::fire_slow(s, scope);
 }
 
 // --- programmatic API -------------------------------------------------------

@@ -27,6 +27,19 @@ class Transport {
     return server_ != nullptr ? server_->execute(req) : remote_->execute(req);
   }
 
+  // A pipelined window: one batch round trip on the remote transport,
+  // back-to-back calls in-process (where there is no wire to pipeline).
+  std::vector<kv::Response> execute_window(
+      const std::vector<kv::Request>& reqs) {
+    if (server_ != nullptr) {
+      std::vector<kv::Response> out;
+      out.reserve(reqs.size());
+      for (const kv::Request& r : reqs) out.push_back(server_->execute(r));
+      return out;
+    }
+    return remote_->execute_batch(reqs);
+  }
+
  private:
   kv::Server* server_;
   std::unique_ptr<net::BlockingClient> remote_;
@@ -108,7 +121,11 @@ PhaseResult Client::run() {
       samples.reserve(per_thread_ops);
       std::uint64_t next_insert_key =
           spec_.record_count + static_cast<std::uint64_t>(t) * (1ULL << 40);
-      for (std::uint64_t i = 0; i < per_thread_ops; ++i) {
+      const std::size_t depth =
+          static_cast<std::size_t>(spec_.pipeline_depth);
+      std::vector<kv::Request> window;
+      window.reserve(depth);
+      const auto next_request = [&] {
         kv::Request req;
         const double roll = rng.unit();
         if (roll < spec_.read_proportion) {
@@ -126,12 +143,38 @@ PhaseResult Client::run() {
                         ? zipf.sample(rng)
                         : rng.below(spec_.record_count);
         }
-        OpSample s;
-        s.op = req.op;
-        s.start_ns = now_ns();
-        transport.execute(req);
-        s.latency_ns = now_ns() - s.start_ns;
-        samples.push_back(s);
+        return req;
+      };
+      for (std::uint64_t i = 0; i < per_thread_ops;) {
+        if (depth == 1) {
+          const kv::Request req = next_request();
+          OpSample s;
+          s.op = req.op;
+          s.start_ns = now_ns();
+          transport.execute(req);
+          s.latency_ns = now_ns() - s.start_ns;
+          samples.push_back(s);
+          ++i;
+          continue;
+        }
+        // Pipelined: a window of `depth` ops rides one batch round trip;
+        // every op in it is charged the window latency (that is what an op
+        // costs a client that keeps `depth` requests in flight).
+        window.clear();
+        while (window.size() < depth && i + window.size() < per_thread_ops) {
+          window.push_back(next_request());
+        }
+        const std::int64_t t0 = now_ns();
+        transport.execute_window(window);
+        const std::int64_t lat = now_ns() - t0;
+        for (const kv::Request& req : window) {
+          OpSample s;
+          s.op = req.op;
+          s.start_ns = t0;
+          s.latency_ns = lat;
+          samples.push_back(s);
+        }
+        i += window.size();
       }
     });
   }

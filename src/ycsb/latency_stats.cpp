@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/check.h"
 #include "support/clock.h"
 
 namespace mgc::ycsb {
@@ -70,6 +71,42 @@ LatencyStats compute_latency_stats(const std::vector<OpSample>& samples,
     st.bands.push_back(band);
   }
   return st;
+}
+
+LatencyStats merge_latency_stats(const std::vector<LatencyStats>& parts) {
+  LatencyStats merged;
+  for (const LatencyStats& p : parts) {
+    if (p.count == 0) continue;
+    const double w = static_cast<double>(p.count);
+    if (merged.count == 0) {
+      merged.min_ms = p.min_ms;
+      merged.max_ms = p.max_ms;
+      merged.bands.resize(p.bands.size());
+      for (std::size_t i = 0; i < p.bands.size(); ++i) {
+        merged.bands[i].label = p.bands[i].label;
+      }
+    } else {
+      merged.min_ms = std::min(merged.min_ms, p.min_ms);
+      merged.max_ms = std::max(merged.max_ms, p.max_ms);
+      MGC_CHECK_MSG(merged.bands.size() == p.bands.size(),
+                    "merge_latency_stats: mismatched band structure");
+    }
+    // Accumulate count-weighted sums; normalized once all parts are in.
+    merged.avg_ms += p.avg_ms * w;
+    for (std::size_t i = 0; i < p.bands.size(); ++i) {
+      merged.bands[i].pct_reqs += p.bands[i].pct_reqs * w;
+      merged.bands[i].pct_gcs += p.bands[i].pct_gcs * w;
+    }
+    merged.count += p.count;
+  }
+  if (merged.count == 0) return merged;
+  const double total = static_cast<double>(merged.count);
+  merged.avg_ms /= total;
+  for (LatencyBand& b : merged.bands) {
+    b.pct_reqs /= total;
+    b.pct_gcs /= total;
+  }
+  return merged;
 }
 
 }  // namespace mgc::ycsb

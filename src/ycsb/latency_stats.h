@@ -35,6 +35,12 @@ LatencyStats compute_latency_stats(const std::vector<OpSample>& samples,
                                    kv::OpType op,
                                    const std::vector<PauseEvent>& pauses);
 
+// Merges per-partition stats (per shard, per loop, per client slice) into
+// one: counts sum, avg/bands are count-weighted, min/max span the parts.
+// Parts must share the same band structure (they do when they all came
+// from compute_latency_stats); empty parts are skipped.
+LatencyStats merge_latency_stats(const std::vector<LatencyStats>& parts);
+
 // True if [start_ns, end_ns] overlaps any pause. `pauses` must be sorted
 // by start_ns (GcLog snapshots already are).
 bool overlaps_pause(const std::vector<PauseEvent>& pauses,

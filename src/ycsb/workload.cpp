@@ -23,6 +23,7 @@ WorkloadSpec WorkloadSpec::paper_custom(std::uint64_t records,
 void WorkloadSpec::validate() const {
   MGC_CHECK(record_count > 0);
   MGC_CHECK(client_threads >= 1);
+  MGC_CHECK(pipeline_depth >= 1);
   const double total =
       read_proportion + update_proportion + insert_proportion;
   MGC_CHECK_MSG(std::abs(total - 1.0) < 1e-9,

@@ -18,6 +18,13 @@ struct WorkloadSpec {
   KeyDistribution distribution = KeyDistribution::kZipfian;
   std::size_t value_len = 1024;
   int client_threads = 4;
+  // Requests kept in flight per client thread during the transaction
+  // phase. 1 = the classic closed loop (one op, one round trip); >1 sends
+  // windows of this many ops as pipelined batch frames (remote transport)
+  // or back-to-back calls (in-process), and each op in a window is charged
+  // the whole window's round-trip latency — the client-visible cost of an
+  // op inside a pipeline.
+  int pipeline_depth = 1;
 
   // The paper's custom client-side workload: 50% read / 50% update.
   static WorkloadSpec paper_custom(std::uint64_t records,

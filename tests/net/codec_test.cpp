@@ -139,9 +139,11 @@ TEST(NetCodec, TruncatedFramesAreNeverAccepted) {
 TEST(NetCodec, OversizedLengthPrefixRejectedImmediately) {
   Rng rng(3);
   for (int i = 0; i < 500; ++i) {
+    // Anything past the batch-frame ceiling (the overall cap since protocol
+    // version 2) must be rejected with only the 4 prefix bytes present.
     const std::uint32_t bogus =
-        kMaxPayload + 1 +
-        static_cast<std::uint32_t>(rng.below(0xFFFFFF00u - kMaxPayload));
+        kMaxBatchPayload + 1 +
+        static_cast<std::uint32_t>(rng.below(0xFFFFFF00u - kMaxBatchPayload));
     std::vector<std::uint8_t> bytes(4);
     for (int b = 0; b < 4; ++b)
       bytes[static_cast<std::size_t>(b)] =
@@ -166,6 +168,248 @@ TEST(NetCodec, OversizedLengthPrefixRejectedImmediately) {
     std::size_t consumed = 0;
     EXPECT_EQ(decode_exact(bytes, &consumed, &out, &rignored),
               DecodeResult::kError);
+  }
+}
+
+TEST(NetCodec, PlausibleLengthBadHeaderRejectedBeforeBuffering) {
+  // A length inside the batch envelope but an incoherent header: the
+  // decoder must reject as soon as the three header bytes are visible
+  // instead of buffering toward the claimed length (that would let a
+  // client park ~21 KB per connection behind a junk prefix).
+  const std::uint32_t claimed = kBatchHeaderSize + 40 * kBatchRequestEntrySize;
+  struct BadHeader {
+    std::uint8_t magic, version, kind;
+  };
+  const BadHeader cases[] = {
+      {0x00, kBatchVersion, 2},  // wrong magic
+      {kMagic, 9, 2},            // unknown version
+      {kMagic, kBatchVersion, 7},// unknown kind
+      {kMagic, kVersion, 2},     // batch kind under version 1
+      {kMagic, kBatchVersion, 0},// single-op kind with a batch-sized length
+  };
+  for (const BadHeader& bc : cases) {
+    std::vector<std::uint8_t> bytes;
+    for (int b = 0; b < 4; ++b)
+      bytes.push_back(static_cast<std::uint8_t>(claimed >> (8 * b)));
+    bytes.push_back(bc.magic);
+    bytes.push_back(bc.version);
+    bytes.push_back(bc.kind);
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> exact(bytes);
+    EXPECT_EQ(decode_any(exact.data(), exact.size(), &consumed, &out),
+              DecodeResult::kError)
+        << "magic=" << int(bc.magic) << " version=" << int(bc.version)
+        << " kind=" << int(bc.kind);
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(NetCodec, BatchRequestRoundTripByteExact) {
+  Rng rng(11);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{kMaxBatchCount}}) {
+    std::vector<RequestFrame> in(count);
+    for (RequestFrame& f : in) {
+      f.req.op = static_cast<kv::OpType>(rng.below(3));
+      f.req.key = rng.next();
+      f.req.value_len = static_cast<std::size_t>(rng.below(kMaxValueLen + 1));
+      f.tag = rng.next();
+    }
+    std::vector<std::uint8_t> bytes;
+    encode_request_batch(in, bytes);
+    ASSERT_EQ(bytes.size(), kLenPrefixSize + kBatchHeaderSize +
+                                count * kBatchRequestEntrySize);
+
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> exact(bytes);
+    ASSERT_EQ(decode_any(exact.data(), exact.size(), &consumed, &out),
+              DecodeResult::kBatchRequest);
+    EXPECT_EQ(consumed, bytes.size());
+    ASSERT_EQ(out.batch_req.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out.batch_req[i].req.op, in[i].req.op);
+      EXPECT_EQ(out.batch_req[i].req.key, in[i].req.key);
+      EXPECT_EQ(out.batch_req[i].req.value_len, in[i].req.value_len);
+      EXPECT_EQ(out.batch_req[i].tag, in[i].tag);
+    }
+    // Canonical: re-encoding reproduces the original bytes.
+    std::vector<std::uint8_t> again;
+    encode_request_batch(out.batch_req, again);
+    EXPECT_EQ(again, bytes);
+  }
+}
+
+TEST(NetCodec, BatchResponseRoundTripByteExact) {
+  Rng rng(12);
+  std::vector<ResponseFrame> in(33);
+  for (ResponseFrame& f : in) {
+    f.tag = rng.next();
+    f.status = static_cast<kv::ExecStatus>(rng.below(3));
+    f.found = rng.below(2) == 1;
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_response_batch(in, bytes);
+
+  DecodedFrame out;
+  std::size_t consumed = 0;
+  std::vector<std::uint8_t> exact(bytes);
+  ASSERT_EQ(decode_any(exact.data(), exact.size(), &consumed, &out),
+            DecodeResult::kBatchResponse);
+  EXPECT_EQ(consumed, bytes.size());
+  ASSERT_EQ(out.batch_resp.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out.batch_resp[i].tag, in[i].tag);
+    EXPECT_EQ(out.batch_resp[i].status, in[i].status);
+    EXPECT_EQ(out.batch_resp[i].found, in[i].found);
+  }
+  std::vector<std::uint8_t> again;
+  encode_response_batch(out.batch_resp, again);
+  EXPECT_EQ(again, bytes);
+}
+
+TEST(NetCodec, BatchCountMustMatchPayloadExactly) {
+  std::vector<RequestFrame> in(5);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i].tag = i;
+  std::vector<std::uint8_t> bytes;
+  encode_request_batch(in, bytes);
+
+  // Corrupt the count field (offset 4+4): every mismatch against the
+  // actual payload length must be rejected.
+  for (const std::uint32_t bad_count : {0u, 4u, 6u, 1024u, 0xFFFFFFFFu}) {
+    std::vector<std::uint8_t> mutated(bytes);
+    for (int b = 0; b < 4; ++b)
+      mutated[kLenPrefixSize + 4 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(bad_count >> (8 * b));
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_any(mutated.data(), mutated.size(), &consumed, &out),
+              DecodeResult::kError)
+        << "count " << bad_count;
+  }
+  // Nonzero reserved byte is equally malformed.
+  std::vector<std::uint8_t> mutated(bytes);
+  mutated[kLenPrefixSize + 3] = 1;
+  DecodedFrame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_any(mutated.data(), mutated.size(), &consumed, &out),
+            DecodeResult::kError);
+}
+
+TEST(NetCodec, TruncatedBatchFramesAreNeverAccepted) {
+  std::vector<RequestFrame> in(3);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i].tag = 100 + i;
+    in[i].req.key = i;
+  }
+  std::vector<std::uint8_t> full;
+  encode_request_batch(in, full);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::vector<std::uint8_t> prefix(full.begin(),
+                                     full.begin() + static_cast<long>(len));
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    EXPECT_EQ(decode_any(prefix.data(), prefix.size(), &consumed, &out),
+              DecodeResult::kNeedMore)
+        << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(NetCodec, DecodeFrameTreatsBatchesAsProtocolErrors) {
+  // The version-1 wrapper must refuse pipelined frames without consuming
+  // them — a v1-only peer treats batch traffic as a protocol violation.
+  std::vector<RequestFrame> in(2);
+  std::vector<std::uint8_t> bytes;
+  encode_request_batch(in, bytes);
+  RequestFrame req;
+  ResponseFrame resp;
+  std::size_t consumed = 0;
+  EXPECT_EQ(decode_frame(bytes.data(), bytes.size(), &consumed, &req, &resp),
+            DecodeResult::kError);
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(NetCodec, BatchBitFlipFuzzNeverReadsOutOfBoundsOrAborts) {
+  Rng rng(0xBA7C4);
+  int rejected = 0, still_valid = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t count = 1 + rng.below(16);
+    std::vector<RequestFrame> in(count);
+    for (RequestFrame& f : in) {
+      f.req.op = static_cast<kv::OpType>(rng.below(3));
+      f.req.key = rng.next();
+      f.req.value_len = static_cast<std::size_t>(rng.below(kMaxValueLen + 1));
+      f.tag = rng.next();
+    }
+    std::vector<std::uint8_t> bytes;
+    encode_request_batch(in, bytes);
+    const int flips = 1 + static_cast<int>(rng.below(3));
+    for (int b = 0; b < flips; ++b) {
+      const std::size_t bit = rng.below(bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> exact(bytes);
+    const DecodeResult r =
+        decode_any(exact.data(), exact.size(), &consumed, &out);
+    switch (r) {
+      case DecodeResult::kError:
+      case DecodeResult::kNeedMore:  // flip landed in the length prefix
+        ++rejected;
+        break;
+      case DecodeResult::kBatchRequest: {
+        // Flip landed in an entry's tag/key/value_len and still forms a
+        // valid batch: decoding must stay canonical.
+        ++still_valid;
+        EXPECT_EQ(consumed, bytes.size());
+        std::vector<std::uint8_t> again;
+        encode_request_batch(out.batch_req, again);
+        EXPECT_EQ(again, bytes);
+        break;
+      }
+      default:
+        // A batch frame cannot flip into a well-formed single frame: their
+        // payload lengths differ (8+21n vs 24/13) for every n.
+        ADD_FAILURE() << "batch flipped into kind " << static_cast<int>(r);
+        break;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(still_valid, 0);
+}
+
+TEST(NetCodec, BatchGarbageFuzzIsMemorySafe) {
+  Rng rng(0x6A5BA6E);
+  for (int iter = 0; iter < 4000; ++iter) {
+    // Garbage sized around the batch envelope, with a plausible prefix
+    // spliced in half the time so the fuzz reaches past the length check.
+    const std::size_t len = rng.below(600);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next());
+    if (len >= 7 && rng.below(2) == 0) {
+      const std::uint32_t claimed = static_cast<std::uint32_t>(
+          kBatchHeaderSize +
+          (1 + rng.below(kMaxBatchCount)) * kBatchRequestEntrySize);
+      for (int b = 0; b < 4; ++b)
+        bytes[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(claimed >> (8 * b));
+      bytes[4] = kMagic;
+      bytes[5] = kBatchVersion;
+      bytes[6] = 2 + static_cast<std::uint8_t>(rng.below(2));  // batch kinds
+    }
+    DecodedFrame out;
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> exact(bytes);
+    const DecodeResult r =
+        decode_any(exact.data(), exact.size(), &consumed, &out);
+    if (r == DecodeResult::kBatchRequest || r == DecodeResult::kBatchResponse) {
+      EXPECT_LE(consumed, bytes.size());
+      EXPECT_GT(consumed, 0u);
+    }
   }
 }
 
@@ -208,8 +452,12 @@ TEST(NetCodec, BitFlipFuzzNeverReadsOutOfBoundsOrAborts) {
         break;
       }
       case DecodeResult::kResponse:
-        ADD_FAILURE() << "a request frame cannot flip into a valid response "
-                         "(sizes differ)";
+      case DecodeResult::kBatchRequest:
+      case DecodeResult::kBatchResponse:
+        // A flipped request cannot become any other kind: sizes differ and
+        // the (version, kind) pair is checked jointly against the length.
+        ADD_FAILURE() << "a request frame cannot flip into kind "
+                      << static_cast<int>(r);
         break;
     }
   }

@@ -236,5 +236,14 @@ TEST(PerfTrajectoryTest, DistilledCost) {
   run_trajectory("bench_distilled_cost", "distilled", 500.0);
 }
 
+// Loop/shard scaling fingerprints. Everything guarded here is a
+// zero-baselined structural invariant (missing scaling points, per-loop
+// drain violations, non-monotone ops/s steps on >=4-core hosts); raw
+// throughput and latency live unguarded in the report's tables/config, so
+// the threshold barely matters.
+TEST(PerfTrajectoryTest, Scaling) {
+  run_trajectory("bench_scaling", "scaling", 25.0);
+}
+
 }  // namespace
 }  // namespace mgc::bench

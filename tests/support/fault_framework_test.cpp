@@ -117,6 +117,67 @@ TEST_F(FaultFramework, MalformedSpecsAreRejectedWithAnError) {
   }
 }
 
+TEST_F(FaultFramework, ScopedPolicyFiresOnlyOnMatchingScope) {
+  Policy p;
+  p.scope = 2;
+  arm(Site::kKvShardQueueFull, p);
+  // Only shard 2's checks fire; other shards and unscoped checks pass.
+  EXPECT_FALSE(should_fire(Site::kKvShardQueueFull, 0));
+  EXPECT_FALSE(should_fire(Site::kKvShardQueueFull, 1));
+  EXPECT_TRUE(should_fire(Site::kKvShardQueueFull, 2));
+  EXPECT_FALSE(should_fire(Site::kKvShardQueueFull, 3));
+  EXPECT_FALSE(should_fire(Site::kKvShardQueueFull));  // unscoped call site
+  // Every check is counted (scope filtering happens after counting, so the
+  // check numbering replays identically whatever the policy's scope).
+  EXPECT_EQ(check_count(Site::kKvShardQueueFull), 5u);
+  EXPECT_EQ(fire_count(Site::kKvShardQueueFull), 1u);
+}
+
+TEST_F(FaultFramework, UnscopedPolicyMatchesEveryScope) {
+  arm(Site::kCommitLogWrite);
+  EXPECT_TRUE(should_fire(Site::kCommitLogWrite, 0));
+  EXPECT_TRUE(should_fire(Site::kCommitLogWrite, 7));
+  EXPECT_TRUE(should_fire(Site::kCommitLogWrite));
+}
+
+TEST_F(FaultFramework, ScopeAndCountingComposeWithAfterAndLimit) {
+  // after/limit apply to the site's global check numbering, not to the
+  // per-scope subsequence — scope only gates whether an eligible check
+  // actually fires.
+  Policy p;
+  p.scope = 1;
+  p.after = 2;
+  p.limit = 2;
+  arm(Site::kNetAccept, p);
+  std::vector<int> fired;
+  for (int n = 0; n < 8; ++n) {
+    // Alternate scopes 0/1: checks 0,2,4,6 are scope 0; 1,3,5,7 scope 1.
+    if (should_fire(Site::kNetAccept, static_cast<std::uint32_t>(n % 2))) {
+      fired.push_back(n);
+    }
+  }
+  // Eligible from check 2 on, scope-1 checks are 3,5,7; limit 2 => {3, 5}.
+  EXPECT_EQ(fired, (std::vector<int>{3, 5}));
+}
+
+TEST_F(FaultFramework, ParseSpecScopeClause) {
+  std::string err;
+  ASSERT_TRUE(parse_spec("shard-queue-full:shard=1;net-accept:loop=0:oneshot",
+                         &err))
+      << err;
+  EXPECT_FALSE(should_fire(Site::kKvShardQueueFull, 0));
+  EXPECT_TRUE(should_fire(Site::kKvShardQueueFull, 1));
+  EXPECT_TRUE(should_fire(Site::kNetAccept, 0));
+  EXPECT_FALSE(should_fire(Site::kNetAccept, 0)) << "oneshot spent";
+  EXPECT_FALSE(should_fire(Site::kNetAccept, 1));
+  disarm_all();
+  // scope= is the generic spelling; the wildcard value is reserved.
+  ASSERT_TRUE(parse_spec("commitlog-write:scope=3", &err)) << err;
+  EXPECT_FALSE(should_fire(Site::kCommitLogWrite, 2));
+  EXPECT_TRUE(should_fire(Site::kCommitLogWrite, 3));
+  EXPECT_FALSE(parse_spec("commitlog-write:scope=4294967295", &err));
+}
+
 TEST_F(FaultFramework, ScopedHelpersDisarmOnExit) {
   {
     ScopedFault f(Site::kKvQueueFull);
