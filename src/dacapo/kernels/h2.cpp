@@ -6,6 +6,7 @@
 // its heap/young-generation sweep (Table 3).
 #include "dacapo/kernels/common.h"
 #include "dacapo/kernels/registry.h"
+#include "support/mutex.h"
 
 namespace mgc::dacapo {
 namespace {
@@ -43,7 +44,7 @@ class H2 final : public KernelBase {
     const double jitter = info_.jitter;
     const std::uint64_t rows = rows_;
     const std::size_t root = table_root_;
-    std::mutex table_mu;
+    Mutex table_mu{LockRank::kAppData, "h2-table"};
     vm.run_mutators(threads, [&, seed, threads](Mutator& m, int idx) {
       Rng rng(seed * 131 + static_cast<std::uint64_t>(idx));
       const std::uint64_t per_thread =
@@ -71,7 +72,7 @@ class H2 final : public KernelBase {
           std::memcpy(managed::blob::mutable_data(fresh.get()), &t, sizeof(t));
           Local undo(m, m.alloc(1, 4));  // transaction log scratch
           m.set_ref(undo.get(), 0, fresh.get());
-          GuardedLock<std::mutex> g(m, table_mu);
+          GuardedLock<Mutex> g(m, table_mu);
           Local table(m, vm.global_root(root));
           managed::hash_map::put(m, table, key, fresh);
         }

@@ -5,6 +5,7 @@
 // resident set.
 #include "dacapo/kernels/common.h"
 #include "dacapo/kernels/registry.h"
+#include "support/mutex.h"
 
 namespace mgc::dacapo {
 namespace {
@@ -38,7 +39,7 @@ class Tomcat final : public KernelBase {
     const double jitter = info_.jitter;
     const std::uint64_t sessions = sessions_;
     const std::size_t root = store_root_;
-    std::mutex store_mu;
+    Mutex store_mu{LockRank::kAppData, "tomcat-store"};
     vm.run_mutators(threads, [&, seed, threads](Mutator& m, int idx) {
       Rng rng(seed * 17 + static_cast<std::uint64_t>(idx));
       const std::uint64_t reqs =
@@ -60,7 +61,7 @@ class Tomcat final : public KernelBase {
         if (session != nullptr && rng.chance(0.1)) {
           Local sess(m, session);
           Local attrs(m, managed::blob::create_zeroed(m, 96));
-          GuardedLock<std::mutex> g(m, store_mu);
+          GuardedLock<Mutex> g(m, store_mu);
           m.set_ref(sess.get(), 0, attrs.get());
         }
         // Render the response.

@@ -29,7 +29,7 @@ void CmsGc::start_background() {
 
 void CmsGc::stop_background() {
   {
-    std::lock_guard<std::mutex> g(bg_mu_);
+    MutexLock g(bg_mu_);
     bg_stop_ = true;
   }
   bg_cv_.notify_all();
@@ -40,7 +40,7 @@ void CmsGc::maybe_start_concurrent() {
   if (cycle_active_.load(std::memory_order_acquire)) return;
   if (heap_.cms_old().occupancy() < cfg_.cms_trigger_occupancy) return;
   {
-    std::lock_guard<std::mutex> g(bg_mu_);
+    MutexLock g(bg_mu_);
     cycle_requested_ = true;
   }
   bg_cv_.notify_all();
@@ -256,8 +256,8 @@ void CmsGc::bg_main() {
   while (true) {
     {
       SafepointCoordinator::BlockedScope blocked(sp);
-      std::unique_lock<std::mutex> l(bg_mu_);
-      bg_cv_.wait(l, [&] { return bg_stop_ || cycle_requested_; });
+      MutexLock l(bg_mu_);
+      bg_cv_.wait(l, [&]() MGC_REQUIRES(bg_mu_) { return bg_stop_ || cycle_requested_; });
       if (bg_stop_) break;
       cycle_requested_ = false;
     }
@@ -271,7 +271,7 @@ void CmsGc::run_cycle() {
   auto aborted = [&] {
     return abort_cycle_.load(std::memory_order_acquire) ||
            [&] {
-             std::lock_guard<std::mutex> g(bg_mu_);
+             MutexLock g(bg_mu_);
              return bg_stop_;
            }();
   };

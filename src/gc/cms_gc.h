@@ -14,12 +14,11 @@
 // same pause (the long CMS pauses of the paper's Cassandra experiment).
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "gc/classic_collector.h"
+#include "support/mutex.h"
 
 namespace mgc {
 
@@ -76,10 +75,10 @@ class CmsGc final : public ClassicCollector {
   bool concurrent_preclean();
 
   std::thread bg_;
-  std::mutex bg_mu_;
-  std::condition_variable bg_cv_;
-  bool bg_stop_ = false;
-  bool cycle_requested_ = false;
+  Mutex bg_mu_{LockRank::kGcBackground, "cms-background"};
+  CondVar bg_cv_;
+  bool bg_stop_ MGC_GUARDED_BY(bg_mu_) = false;
+  bool cycle_requested_ MGC_GUARDED_BY(bg_mu_) = false;
 
   std::atomic<bool> cycle_active_{false};
   std::atomic<bool> abort_cycle_{false};

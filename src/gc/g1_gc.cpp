@@ -69,7 +69,7 @@ char* G1Gc::young_alloc_locked(std::size_t bytes) {
 }
 
 char* G1Gc::alloc_tlab(std::size_t bytes) {
-  std::lock_guard<SpinLock> g(alloc_lock_);
+  SpinLockGuard g(alloc_lock_);
   return young_alloc_locked(bytes);
 }
 
@@ -79,7 +79,7 @@ Obj* G1Gc::alloc_direct(std::size_t size_words, std::uint16_t num_refs) {
     // Humongous: contiguous whole regions, never moved by evacuation.
     const std::size_t nregions =
         (bytes + rm_.region_bytes() - 1) / rm_.region_bytes();
-    std::lock_guard<SpinLock> g(alloc_lock_);
+    SpinLockGuard g(alloc_lock_);
     Region* head = rm_.allocate_humongous(nregions);
     if (head == nullptr) return nullptr;
     char* const start = head->base;
@@ -94,7 +94,7 @@ Obj* G1Gc::alloc_direct(std::size_t size_words, std::uint16_t num_refs) {
     bot_.record_block(start, data_end);
     return o;
   }
-  std::lock_guard<SpinLock> g(alloc_lock_);
+  SpinLockGuard g(alloc_lock_);
   char* p = young_alloc_locked(bytes);
   if (p == nullptr) return nullptr;
   return Obj::init(p, size_words, num_refs);
@@ -118,7 +118,7 @@ void G1Gc::satb_record(Mutator& /*m*/, Obj* old_value) {
   if (!r->is_old_or_humongous()) return;
   if (old_value->start() >= r->tams()) return;  // implicitly live
   if (bits_.is_marked(old_value)) return;
-  std::lock_guard<SpinLock> g(satb_lock_);
+  SpinLockGuard g(satb_lock_);
   satb_buffer_.push_back(old_value);
 }
 
@@ -135,7 +135,7 @@ struct DestAlloc {
   std::vector<Region*> taken;
 
   char* alloc(std::size_t bytes) {
-    std::lock_guard<SpinLock> g(lock);
+    SpinLockGuard g(lock);
     while (true) {
       if (cur != nullptr) {
         if (char* p = cur->par_alloc(bytes)) return p;
@@ -493,7 +493,7 @@ void G1Gc::setup_marking_in_pause() {
     }
   });
   {
-    std::lock_guard<SpinLock> g(satb_lock_);
+    SpinLockGuard g(satb_lock_);
     satb_buffer_.clear();
   }
   mark_stack_.clear();
@@ -507,7 +507,7 @@ PauseOutcome G1Gc::do_remark() {
   vm_.retire_all_tlabs();
   // 1. SATB buffers.
   {
-    std::lock_guard<SpinLock> g(satb_lock_);
+    SpinLockGuard g(satb_lock_);
     for (Obj* t : satb_buffer_) mark_old_target(t);
     satb_buffer_.clear();
   }
@@ -702,7 +702,7 @@ void G1Gc::abort_cycle_in_pause() {
   abort_cycle_.store(true, std::memory_order_release);
   mixed_pending_.store(false, std::memory_order_release);
   mixed_candidates_.clear();
-  std::lock_guard<SpinLock> g(satb_lock_);
+  SpinLockGuard g(satb_lock_);
   satb_buffer_.clear();
 }
 
@@ -861,8 +861,8 @@ void G1Gc::start_background() {
     while (true) {
       {
         SafepointCoordinator::BlockedScope blocked(sp);
-        std::unique_lock<std::mutex> l(bg_mu_);
-        bg_cv_.wait(l, [&] { return bg_stop_ || cycle_requested_; });
+        MutexLock l(bg_mu_);
+        bg_cv_.wait(l, [&]() MGC_REQUIRES(bg_mu_) { return bg_stop_ || cycle_requested_; });
         if (bg_stop_) break;
         cycle_requested_ = false;
       }
@@ -878,7 +878,7 @@ void G1Gc::start_background() {
       while (true) {
         vm_.safepoints().poll();
         {
-          std::lock_guard<std::mutex> l(bg_mu_);
+          MutexLock l(bg_mu_);
           if (bg_stop_) aborted = true;
         }
         if (abort_cycle_.load(std::memory_order_acquire)) aborted = true;
@@ -909,7 +909,7 @@ void G1Gc::start_background() {
 
 void G1Gc::stop_background() {
   {
-    std::lock_guard<std::mutex> g(bg_mu_);
+    MutexLock g(bg_mu_);
     bg_stop_ = true;
   }
   bg_cv_.notify_all();
@@ -928,7 +928,7 @@ void G1Gc::maybe_start_concurrent() {
     return;
   }
   {
-    std::lock_guard<std::mutex> g(bg_mu_);
+    MutexLock g(bg_mu_);
     cycle_requested_ = true;
   }
   bg_cv_.notify_all();

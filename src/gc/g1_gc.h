@@ -18,8 +18,6 @@
 //                                bounded by the pause-time model
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -30,6 +28,7 @@
 #include "heap/region.h"
 #include "runtime/collector.h"
 #include "runtime/vm_config.h"
+#include "support/mutex.h"
 #include "support/spinlock.h"
 
 namespace mgc {
@@ -106,21 +105,23 @@ class G1Gc final : public Collector {
   MarkBitmap bits_;
   unsigned region_shift_;
 
-  SpinLock alloc_lock_;
+  // Guards the young-generation allocation path; ranked below the region
+  // manager's free-list lock, which allocate_region takes underneath it.
+  SpinLock alloc_lock_{LockRank::kEvacAlloc, "g1-alloc"};
   Region* mutator_region_ = nullptr;
   std::vector<Region*> eden_regions_;
   std::vector<Region*> survivor_regions_;
   std::size_t max_young_regions_;
 
   std::atomic<bool> satb_active_{false};
-  SpinLock satb_lock_;
-  std::vector<Obj*> satb_buffer_;
+  SpinLock satb_lock_{LockRank::kSatb, "g1-satb"};
+  std::vector<Obj*> satb_buffer_ MGC_GUARDED_BY(satb_lock_);
 
   std::thread bg_;
-  std::mutex bg_mu_;
-  std::condition_variable bg_cv_;
-  bool bg_stop_ = false;
-  bool cycle_requested_ = false;
+  Mutex bg_mu_{LockRank::kGcBackground, "g1-background"};
+  CondVar bg_cv_;
+  bool bg_stop_ MGC_GUARDED_BY(bg_mu_) = false;
+  bool cycle_requested_ MGC_GUARDED_BY(bg_mu_) = false;
   std::atomic<bool> cycle_active_{false};
   std::atomic<bool> abort_cycle_{false};
   std::vector<Obj*> mark_stack_;

@@ -45,7 +45,7 @@ struct Shared {
   std::atomic<std::int64_t> root_scan_ns{0};
   std::atomic<std::int64_t> card_scan_ns{0};
   std::atomic<std::int64_t> evac_drain_ns{0};
-  SpinLock promoted_lock;
+  SpinLock promoted_lock{LockRank::kPromotedList, "promoted-list"};
 
   explicit Shared(const ScavengeConfig& c)
       : cfg(c), heap(*c.heap), work(c.workers) {}
@@ -287,7 +287,7 @@ ScavengeResult scavenge(const ScavengeConfig& cfg) {
     sh.survivor_bytes.fetch_add(wk.survivor_bytes, std::memory_order_relaxed);
     sh.promoted_bytes.fetch_add(wk.promoted_bytes, std::memory_order_relaxed);
     if (cfg.promoted_list != nullptr && !wk.promoted.empty()) {
-      std::lock_guard<SpinLock> g(sh.promoted_lock);
+      SpinLockGuard g(sh.promoted_lock);
       cfg.promoted_list->insert(cfg.promoted_list->end(), wk.promoted.begin(),
                                 wk.promoted.end());
     }

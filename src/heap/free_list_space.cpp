@@ -40,7 +40,7 @@ void FreeListSpace::initialize(std::string name, char* base, std::size_t bytes,
   bins_.exact.assign((kMaxExactWords - kMinChunkWords) / 2 + 1, nullptr);
   bins_.dict.clear();
   free_bytes_.store(0, std::memory_order_relaxed);
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   insert_locked(base_, bytes);
   free_bytes_.store(bytes, std::memory_order_release);
 }
@@ -145,7 +145,7 @@ char* FreeListSpace::pop_fit_locked(std::size_t words) {
 char* FreeListSpace::alloc(std::size_t bytes) {
   bytes = align_up(bytes, kObjAlignment);
   const std::size_t words = bytes / kWordSize;
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   char* p = pop_fit_locked(words);
   if (p == nullptr) return nullptr;
   free_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
@@ -162,7 +162,7 @@ char* FreeListSpace::alloc(std::size_t bytes) {
 Obj* FreeListSpace::alloc_obj(std::size_t size_words, std::uint16_t num_refs,
                               bool black) {
   const std::size_t bytes = words_to_bytes(size_words);
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   char* p = pop_fit_locked(size_words);
   if (p == nullptr) return nullptr;
   free_bytes_.fetch_sub(bytes, std::memory_order_acq_rel);
@@ -177,7 +177,7 @@ Obj* FreeListSpace::alloc_obj(std::size_t size_words, std::uint16_t num_refs,
 }
 
 void FreeListSpace::free_chunk(char* start, std::size_t bytes) {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   insert_locked(start, bytes);
   if (bytes / kWordSize >= kMinChunkWords)
     free_bytes_.fetch_add(bytes, std::memory_order_acq_rel);
@@ -203,7 +203,7 @@ void FreeListSpace::walk(const std::function<void(Obj*)>& fn) const {
 }
 
 void FreeListSpace::begin_sweep() {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   MGC_CHECK(!sweeping_.load(std::memory_order_relaxed));
   sweep_cursor_ = base_;
   pending_run_start_ = nullptr;
@@ -212,7 +212,7 @@ void FreeListSpace::begin_sweep() {
 
 bool FreeListSpace::sweep_step(std::size_t max_cells,
                                std::size_t* reclaimed_bytes) {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   MGC_CHECK(sweeping_.load(std::memory_order_relaxed));
   std::size_t processed = 0;
   std::size_t reclaimed = 0;
@@ -249,21 +249,21 @@ bool FreeListSpace::sweep_step(std::size_t max_cells,
 }
 
 void FreeListSpace::abort_sweep() {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   pending_run_start_ = nullptr;
   sweep_cursor_ = end_;
   sweeping_.store(false, std::memory_order_release);
 }
 
 void FreeListSpace::end_sweep() {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   MGC_CHECK(sweep_cursor_ == end_);
   MGC_CHECK(pending_run_start_ == nullptr);
   sweeping_.store(false, std::memory_order_release);
 }
 
 void FreeListSpace::reset_after_compact(char* new_top) {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   MGC_CHECK(!sweeping_.load(std::memory_order_relaxed));
   bins_.exact.assign(bins_.exact.size(), nullptr);
   bins_.dict.clear();
@@ -277,7 +277,7 @@ void FreeListSpace::reset_after_compact(char* new_top) {
 
 std::size_t FreeListSpace::verify_integrity(std::vector<std::string>& problems,
                                             std::size_t max_problems) const {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   auto report = [&](const char* what, const void* at) {
     if (problems.size() >= max_problems) return;
     std::ostringstream oss;
@@ -353,7 +353,7 @@ std::size_t FreeListSpace::verify_integrity(std::vector<std::string>& problems,
 }
 
 std::size_t FreeListSpace::largest_free_chunk() const {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   if (!bins_.dict.empty()) {
     return words_to_bytes(bins_.dict.rbegin()->first);
   }

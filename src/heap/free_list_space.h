@@ -139,8 +139,8 @@ class FreeListSpace {
   char* end_ = nullptr;
   BlockOffsetTable* bot_ = nullptr;
 
-  mutable SpinLock lock_;
-  Bins bins_;
+  mutable SpinLock lock_{LockRank::kFreeListSpace, "free-list-space"};
+  Bins bins_ MGC_GUARDED_BY(lock_);
   std::atomic<std::size_t> free_bytes_{0};
 
   std::atomic<bool> sweeping_{false};

@@ -76,7 +76,7 @@ void RegionManager::initialize(char* base, std::size_t bytes,
 
 Region* RegionManager::allocate_region(RegionType type) {
   MGC_CHECK(type != RegionType::kFree);
-  std::lock_guard<SpinLock> g(free_lock_);
+  SpinLockGuard g(free_lock_);
   if (free_list_.empty()) return nullptr;
   Region& r = regions_[free_list_.back()];
   free_list_.pop_back();
@@ -88,7 +88,7 @@ Region* RegionManager::allocate_region(RegionType type) {
 
 Region* RegionManager::allocate_humongous(std::size_t count) {
   MGC_CHECK(count >= 1);
-  std::lock_guard<SpinLock> g(free_lock_);
+  SpinLockGuard g(free_lock_);
   // Find `count` physically contiguous free regions (linear scan; humongous
   // allocation is rare).
   std::size_t run = 0;
@@ -116,12 +116,12 @@ Region* RegionManager::allocate_humongous(std::size_t count) {
 void RegionManager::free_region(Region* r) {
   MGC_CHECK(r != nullptr && !r->is_free());
   r->reset_for_reuse();
-  std::lock_guard<SpinLock> g(free_lock_);
+  SpinLockGuard g(free_lock_);
   free_list_.push_back(r->index);
 }
 
 std::size_t RegionManager::free_region_count() const {
-  std::lock_guard<SpinLock> g(free_lock_);
+  SpinLockGuard g(free_lock_);
   return free_list_.size();
 }
 
@@ -138,7 +138,7 @@ void RegionManager::for_each_region(const std::function<void(Region&)>& fn) {
 }
 
 void RegionManager::rebuild(const std::function<bool(Region&)>& keep) {
-  std::lock_guard<SpinLock> g(free_lock_);
+  SpinLockGuard g(free_lock_);
   free_list_.clear();
   for (std::size_t i = regions_.size(); i-- > 0;) {
     Region& r = regions_[i];

@@ -153,8 +153,9 @@ class RegionManager {
   unsigned shift_ = 0;
   std::vector<Region> regions_;
 
-  mutable SpinLock free_lock_;
-  std::vector<std::uint32_t> free_list_;  // LIFO of free region indices
+  mutable SpinLock free_lock_{LockRank::kRegionFree, "region-free"};
+  // LIFO of free region indices
+  std::vector<std::uint32_t> free_list_ MGC_GUARDED_BY(free_lock_);
 };
 
 }  // namespace mgc

@@ -5,27 +5,27 @@
 namespace mgc {
 
 void RememberedSet::add_card(std::uint32_t card_index) {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   cards_.insert(card_index);
 }
 
 bool RememberedSet::contains(std::uint32_t card_index) const {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   return cards_.count(card_index) != 0;
 }
 
 void RememberedSet::clear() {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   cards_.clear();
 }
 
 std::size_t RememberedSet::size() const {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   return cards_.size();
 }
 
 std::vector<std::uint32_t> RememberedSet::snapshot() const {
-  std::lock_guard<SpinLock> g(lock_);
+  SpinLockGuard g(lock_);
   return std::vector<std::uint32_t>(cards_.begin(), cards_.end());
 }
 

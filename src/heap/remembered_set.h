@@ -25,8 +25,8 @@ class RememberedSet {
   std::vector<std::uint32_t> snapshot() const;
 
  private:
-  mutable SpinLock lock_;
-  std::unordered_set<std::uint32_t> cards_;
+  mutable SpinLock lock_{LockRank::kRemSet, "rem-set"};
+  std::unordered_set<std::uint32_t> cards_ MGC_GUARDED_BY(lock_);
 };
 
 }  // namespace mgc

@@ -23,8 +23,7 @@ CommitLog::CommitLog(Vm& vm, std::size_t segment_bytes,
   // GC pause, and waiting here would keep this mutator out of the safepoint
   // that pause needs. try_lock and walk away instead (best effort).
   pressure_hook_id_ = vm.add_memory_pressure_hook([this] {
-    std::unique_lock<std::mutex> l(mu_, std::try_to_lock);
-    if (!l.owns_lock()) return;
+    if (!mu_.try_lock()) return;
     while (!archived_.empty()) {
       auto [root, seg_bytes] = archived_.front();
       archived_.erase(archived_.begin());
@@ -32,6 +31,7 @@ CommitLog::CommitLog(Vm& vm, std::size_t segment_bytes,
       free_roots_.push_back(root);
       bytes_.fetch_sub(seg_bytes, std::memory_order_acq_rel);
     }
+    mu_.unlock();
   });
 }
 
@@ -45,7 +45,7 @@ bool CommitLog::append(Mutator& m, std::uint64_t key, const char* value,
   Local record(m, encode_row(m, key, /*version=*/0, value, value_len));
   const std::size_t rec_bytes = row_heap_bytes(value_len) + 48;  // + list node
 
-  GuardedLock<std::mutex> g(m, mu_);
+  GuardedLock<Mutex> g(m, mu_);
   Local segment(m, vm_.global_root(active_root_));
   managed::list::push(m, segment, record);
   active_bytes_ += rec_bytes;
@@ -84,7 +84,7 @@ void CommitLog::rotate_locked(Mutator& m) {
 void CommitLog::replay(Mutator& m,
                        const std::function<void(std::uint64_t, const char*,
                                                 std::size_t)>& fn) {
-  GuardedLock<std::mutex> g(m, mu_);
+  GuardedLock<Mutex> g(m, mu_);
   std::vector<char> scratch;
   auto replay_segment = [&](const Obj* segment) {
     // list::push prepends, so iteration order is newest-first; gather and
@@ -107,7 +107,7 @@ void CommitLog::replay(Mutator& m,
 }
 
 void CommitLog::truncate(Mutator& m) {
-  GuardedLock<std::mutex> g(m, mu_);
+  GuardedLock<Mutex> g(m, mu_);
   for (auto& [root, seg_bytes] : archived_) {
     vm_.set_global_root(root, nullptr);
     free_roots_.push_back(root);

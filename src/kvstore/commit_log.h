@@ -8,10 +8,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
 #include "runtime/vm.h"
+#include "support/mutex.h"
 
 namespace mgc::kv {
 
@@ -48,23 +48,25 @@ class CommitLog {
   std::size_t approx_bytes() const {
     return bytes_.load(std::memory_order_acquire);
   }
-  std::size_t segment_count() const;
+  // Approximate (unsynchronized) — tests and stats only; see the .cpp.
+  std::size_t segment_count() const MGC_NO_THREAD_SAFETY_ANALYSIS;
 
  private:
-  void rotate_locked(Mutator& m);
+  void rotate_locked(Mutator& m) MGC_REQUIRES(mu_);
 
   Vm& vm_;
   std::size_t segment_bytes_;
   std::size_t retention_bytes_;
   std::uint32_t fault_scope_;
 
-  std::mutex mu_;
+  Mutex mu_{LockRank::kCommitLog, "commit-log"};
   // Active segment: a managed list of record blobs.
   std::size_t active_root_;
-  std::size_t active_bytes_ = 0;
+  std::size_t active_bytes_ MGC_GUARDED_BY(mu_) = 0;
   // Archived segments, oldest first. Each owns a global root slot.
-  std::vector<std::pair<std::size_t, std::size_t>> archived_;  // root, bytes
-  std::vector<std::size_t> free_roots_;
+  std::vector<std::pair<std::size_t, std::size_t>> archived_
+      MGC_GUARDED_BY(mu_);  // root, bytes
+  std::vector<std::size_t> free_roots_ MGC_GUARDED_BY(mu_);
   std::atomic<std::size_t> bytes_{0};
   // Registered with the Vm: the last-ditch collection rung drops archived
   // segments ("flushed to disk") before declaring OutOfMemory — the

@@ -5,6 +5,7 @@
 namespace mgc::kv {
 
 Memtable::Memtable(Vm& vm, std::size_t buckets) : vm_(vm), buckets_(buckets) {
+  for (auto& s : stripes_) s.set_rank(LockRank::kMemtableStripe, "memtable-stripe");
   map_root_ = vm.create_global_root();
   Vm::MutatorScope scope(vm, "memtable-init");
   Mutator& m = scope.mutator();
@@ -15,7 +16,7 @@ void Memtable::put(Mutator& m, std::uint64_t key, std::uint64_t version,
                    const char* value, std::size_t value_len) {
   // Encode outside the stripe lock (allocation may collect).
   Local row(m, encode_row(m, key, version, value, value_len));
-  GuardedLock<std::mutex> g(m, stripe_for(key));
+  GuardedLock<Mutex> g(m, stripe_for(key));
   Local map(m, vm_.global_root(map_root_));
   const bool existed = managed::hash_map::get(map.get(), key) != nullptr;
   managed::hash_map::put(m, map, key, row);
@@ -27,7 +28,7 @@ void Memtable::put(Mutator& m, std::uint64_t key, std::uint64_t version,
 bool Memtable::get(Mutator& m, std::uint64_t key, char* out,
                    std::size_t out_cap, std::size_t* value_len,
                    std::uint64_t* version) {
-  GuardedLock<std::mutex> g(m, stripe_for(key));
+  GuardedLock<Mutex> g(m, stripe_for(key));
   Obj* row = managed::hash_map::get(vm_.global_root(map_root_), key);
   if (row == nullptr) return false;
   if (value_len != nullptr) *value_len = row_value_len(row);

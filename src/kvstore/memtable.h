@@ -7,10 +7,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "kvstore/row_codec.h"
 #include "runtime/vm.h"
+#include "support/mutex.h"
 
 namespace mgc::kv {
 
@@ -45,8 +45,11 @@ class Memtable {
 
   class AllStripesLock {
    public:
-    AllStripesLock(Mutator& m, Memtable& t);
-    ~AllStripesLock();
+    // Acquires the whole stripe array in index (= ascending address)
+    // order — the one same-rank nesting the lock-rank registry allows.
+    // Thread-safety analysis cannot express an array of capabilities.
+    AllStripesLock(Mutator& m, Memtable& t) MGC_NO_THREAD_SAFETY_ANALYSIS;
+    ~AllStripesLock() MGC_NO_THREAD_SAFETY_ANALYSIS;
 
    private:
     Memtable& t_;
@@ -54,14 +57,14 @@ class Memtable {
 
  private:
   static constexpr std::size_t kStripes = 16;
-  std::mutex& stripe_for(std::uint64_t key) {
+  Mutex& stripe_for(std::uint64_t key) {
     return stripes_[managed::hash_u64(key) % kStripes];
   }
 
   Vm& vm_;
   std::size_t buckets_;
   std::size_t map_root_;
-  mutable std::array<std::mutex, kStripes> stripes_;
+  mutable std::array<Mutex, kStripes> stripes_;
   std::atomic<std::size_t> bytes_{0};
 };
 

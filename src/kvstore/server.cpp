@@ -45,12 +45,12 @@ void Server::start_shard_workers(Shard& s, int workers) {
 }
 
 void Server::shutdown() {
-  std::lock_guard<std::mutex> outer(shutdown_mu_);
+  MutexLock outer(shutdown_mu_);
   if (stopped_) return;
   stopped_ = true;
   for (auto& s : shards_) {
     {
-      std::lock_guard<std::mutex> g(s->mu);
+      MutexLock g(s->mu);
       s->stopping = true;
     }
     s->queue_cv.notify_all();
@@ -64,6 +64,10 @@ void Server::shutdown() {
     for (auto& t : s->workers) {
       if (t.joinable()) t.join();
     }
+    // The drain invariant must be read under the shard lock: `stopping`
+    // rejects new submissions, but a try_submit caller that lost the race
+    // may still be inside its critical section when the last worker exits.
+    MutexLock g(s->mu);
     MGC_CHECK_MSG(s->queue.empty(), "server stopped with queued requests");
   }
 }
@@ -86,7 +90,7 @@ Response Server::execute(const Request& req) {
   Shard& s = *shards_[shard_of_key(req.key)];
   Pending p;
   p.req = req;
-  std::unique_lock<std::mutex> l(s.mu);
+  MutexLock l(s.mu);
   // Load shedding: a full queue is normally back-pressured by blocking, but
   // when the heap is also near capacity every queued request deepens the
   // collection spiral. Reject immediately with a typed status instead. The
@@ -100,8 +104,9 @@ Response Server::execute(const Request& req) {
     r.status = ExecStatus::kOverloaded;
     return r;
   }
-  s.space_cv.wait(
-      l, [&] { return s.queue.size() < cfg_.queue_capacity || s.stopping; });
+  s.space_cv.wait(l, [&]() MGC_REQUIRES(s.mu) {
+    return s.queue.size() < cfg_.queue_capacity || s.stopping;
+  });
   if (s.stopping) {
     Response r;
     r.status = ExecStatus::kShutdown;
@@ -109,7 +114,7 @@ Response Server::execute(const Request& req) {
   }
   s.queue.push_back(&p);
   s.queue_cv.notify_one();
-  p.cv.wait(l, [&] { return p.done; });
+  p.cv.wait(l, [&]() MGC_REQUIRES(s.mu) { return p.done; });
   return p.resp;
 }
 
@@ -119,7 +124,7 @@ SubmitResult Server::try_submit(const Request& req, CompletionFn done) {
   p->req = req;
   p->completion = std::move(done);
   {
-    std::lock_guard<std::mutex> g(s.mu);
+    MutexLock g(s.mu);
     if (s.stopping) {
       delete p;
       return SubmitResult::kShutdown;
@@ -157,8 +162,8 @@ void Server::worker_main(Shard& s, int widx) {
     {
       // Blocked while waiting: GC pauses proceed without this worker.
       m.enter_blocked();
-      std::unique_lock<std::mutex> l(s.mu);
-      s.queue_cv.wait(l, [&] { return s.stopping || !s.queue.empty(); });
+      MutexLock l(s.mu);
+      s.queue_cv.wait(l, [&]() MGC_REQUIRES(s.mu) { return s.stopping || !s.queue.empty(); });
       if (!s.queue.empty()) {
         p = s.queue.front();
         s.queue.pop_front();
@@ -208,7 +213,7 @@ void Server::worker_main(Shard& s, int widx) {
     } else {
       // Notify under the lock: the client owns `p` and destroys it as soon
       // as it observes done (see Vm::vm_thread_main for the same pattern).
-      std::lock_guard<std::mutex> g(s.mu);
+      MutexLock g(s.mu);
       p->resp = resp;
       p->done = true;
       p->cv.notify_one();

@@ -33,17 +33,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "kvstore/sharded_store.h"
 #include "kvstore/store.h"
+#include "support/mutex.h"
 
 namespace mgc::kv {
 
@@ -140,10 +139,10 @@ class Server {
  private:
   struct Pending {
     Request req;
-    Response resp;
+    Response resp;        // resp/done are guarded by the owning shard's mu
     bool done = false;
-    std::condition_variable cv;  // sync path: client waits here
-    CompletionFn completion;     // async path: set => heap-owned, worker frees
+    CondVar cv;           // sync path: client waits here (on the shard's mu)
+    CompletionFn completion;  // async path: set => heap-owned, worker frees
   };
 
   // One shared-nothing shard: queue + cvs + workers + store. Never touched
@@ -151,11 +150,11 @@ class Server {
   struct Shard {
     std::uint32_t index = 0;
     Store* store = nullptr;
-    std::mutex mu;
-    std::condition_variable queue_cv;  // workers wait for work
-    std::condition_variable space_cv;  // sync clients wait for queue space
-    std::deque<Pending*> queue;
-    bool stopping = false;
+    Mutex mu{LockRank::kKvShard, "kv-shard"};
+    CondVar queue_cv;  // workers wait for work
+    CondVar space_cv;  // sync clients wait for queue space
+    std::deque<Pending*> queue MGC_GUARDED_BY(mu);
+    bool stopping MGC_GUARDED_BY(mu) = false;
     std::atomic<std::uint64_t> shed{0};
     std::vector<std::thread> workers;
   };
@@ -171,8 +170,8 @@ class Server {
   ServerConfig cfg_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> completed_{0};
-  std::mutex shutdown_mu_;  // serializes shutdown() callers
-  bool stopped_ = false;
+  Mutex shutdown_mu_{LockRank::kKvShutdown, "kv-shutdown"};
+  bool stopped_ MGC_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace mgc::kv

@@ -8,13 +8,13 @@ namespace mgc::kv {
 
 void SsTableSet::add_table(
     std::unordered_map<std::uint64_t, StoredRow> rows) {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   tables_.push_back(std::move(rows));
 }
 
 bool SsTableSet::get(std::uint64_t key, char* out, std::size_t out_cap,
                      std::size_t* value_len, std::uint64_t* version) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
     simulate_io_cost();
     auto found = it->find(key);
@@ -34,19 +34,19 @@ bool SsTableSet::get(std::uint64_t key, char* out, std::size_t out_cap,
 
 void SsTableSet::for_each(
     const std::function<void(std::uint64_t, const StoredRow&)>& fn) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
     for (const auto& [key, row] : *it) fn(key, row);
   }
 }
 
 std::size_t SsTableSet::table_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return tables_.size();
 }
 
 std::size_t SsTableSet::total_rows() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::size_t n = 0;
   for (const auto& t : tables_) n += t.size();
   return n;

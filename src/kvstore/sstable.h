@@ -7,9 +7,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "support/mutex.h"
 
 namespace mgc::kv {
 
@@ -40,8 +41,9 @@ class SsTableSet {
   static void simulate_io_cost();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::unordered_map<std::uint64_t, StoredRow>> tables_;
+  mutable Mutex mu_{LockRank::kSsTable, "sstable"};
+  std::vector<std::unordered_map<std::uint64_t, StoredRow>> tables_
+      MGC_GUARDED_BY(mu_);
 };
 
 }  // namespace mgc::kv

@@ -72,7 +72,7 @@ bool Store::get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
 
 void Store::maybe_flush(Mutator& m) {
   if (memtable_.approx_bytes() < cfg_.memtable_flush_bytes) return;
-  GuardedLock<std::mutex> g(m, flush_mu_);
+  GuardedLock<Mutex> g(m, flush_mu_);
   if (memtable_.approx_bytes() < cfg_.memtable_flush_bytes) return;
 
   // Serialize the memtable to an sstable ("write to disk"), then swap in a

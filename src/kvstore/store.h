@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
 #include "kvstore/commit_log.h"
 #include "kvstore/memtable.h"
@@ -65,7 +64,7 @@ class Store {
   Memtable memtable_;
   CommitLog log_;
   SsTableSet sstables_;
-  std::mutex flush_mu_;
+  Mutex flush_mu_{LockRank::kStoreFlush, "store-flush"};
   std::atomic<std::uint64_t> version_{1};
   std::atomic<std::uint64_t> flushes_{0};
 };

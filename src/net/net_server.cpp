@@ -54,18 +54,19 @@ struct NetServer::Completion {
 // dropped instead of touching freed memory. One sink per loop: a completion
 // always wakes the loop that owns the connection.
 struct NetServer::CompletionSink {
-  std::mutex mu;
-  std::vector<Completion> items;
-  int wake_fd = -1;  // -1 once the server has torn down
+  Mutex mu{LockRank::kNetSink, "net-sink"};
+  std::vector<Completion> items MGC_GUARDED_BY(mu);
+  int wake_fd MGC_GUARDED_BY(mu) = -1;  // -1 once the server has torn down
 
   void post(Completion&& c) {
-    std::lock_guard<std::mutex> g(mu);
+    MutexLock g(mu);
     if (wake_fd < 0) return;  // server gone: drop the response
     items.push_back(std::move(c));
     const std::uint64_t one = 1;
     // Best effort: if the eventfd write fails the loop still sees the item
     // on its next wakeup (EAGAIN only happens with the counter saturated,
     // which itself guarantees a pending wakeup).
+    // gclint: suppress(loop-purity) eventfd is EFD_NONBLOCK; write never stalls
     [[maybe_unused]] ssize_t rc = ::write(wake_fd, &one, sizeof(one));
   }
 };
@@ -150,13 +151,14 @@ NetServer::NetServer(kv::Server& backend, NetServerConfig cfg)
 NetServer::~NetServer() { shutdown(); }
 
 void NetServer::shutdown() {
-  std::lock_guard<std::mutex> g(shutdown_mu_);
+  MutexLock g(shutdown_mu_);
   if (stopped_) return;
   stopped_ = true;
   stop_requested_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
   for (auto& lp : loops_) {
     [[maybe_unused]] ssize_t rc =
+        // gclint: suppress(loop-purity) eventfd is EFD_NONBLOCK; write never stalls
         ::write(lp->wake_fd.get(), &one, sizeof(one));
   }
   for (auto& lp : loops_) lp->thread.join();
@@ -164,13 +166,13 @@ void NetServer::shutdown() {
     // Detach the sink before closing the eventfd: late worker completions
     // must see a dead sink, not a recycled fd.
     {
-      std::lock_guard<std::mutex> sg(lp->sink->mu);
+      MutexLock sg(lp->sink->mu);
       lp->sink->wake_fd = -1;
     }
     // Handoff fds pushed after the receiving loop exited: close them here
     // (nothing was ever registered for them).
     {
-      std::lock_guard<std::mutex> hg(lp->handoff_mu);
+      MutexLock hg(lp->handoff_mu);
       for (int fd : lp->handoff) ::close(fd);
       lp->handoff.clear();
     }
@@ -235,6 +237,7 @@ void NetServer::loop_main(Loop& lp) {
       if (key == kWakeKey) {
         std::uint64_t drain = 0;
         [[maybe_unused]] ssize_t rc =
+            // gclint: suppress(loop-purity) eventfd is EFD_NONBLOCK; drain never stalls
             ::read(lp.wake_fd.get(), &drain, sizeof(drain));
         continue;  // handoffs, completions and stop flag handled below
       }
@@ -281,6 +284,7 @@ void NetServer::loop_main(Loop& lp) {
 
 void NetServer::accept_ready(Loop& lp) {
   for (;;) {
+    // gclint: suppress(loop-purity) listener is O_NONBLOCK; returns EAGAIN when drained
     const int fd = ::accept4(lp.listen_fd.get(), nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
@@ -310,11 +314,12 @@ void NetServer::accept_ready(Loop& lp) {
     }
     Loop& peer = *loops_[target];
     {
-      std::lock_guard<std::mutex> g(peer.handoff_mu);
+      MutexLock g(peer.handoff_mu);
       peer.handoff.push_back(fd);
     }
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t rc =
+        // gclint: suppress(loop-purity) eventfd is EFD_NONBLOCK; write never stalls
         ::write(peer.wake_fd.get(), &one, sizeof(one));
   }
 }
@@ -340,7 +345,7 @@ void NetServer::adopt_fd(Loop& lp, int fd) {
 void NetServer::drain_handoff(Loop& lp) {
   std::vector<int> fds;
   {
-    std::lock_guard<std::mutex> g(lp.handoff_mu);
+    MutexLock g(lp.handoff_mu);
     fds.swap(lp.handoff);
   }
   for (int fd : fds) {
@@ -361,6 +366,7 @@ void NetServer::on_readable(Loop& lp, Conn* c) {
     const std::size_t chunk =
         fault::should_fire(fault::Site::kNetReadShort) ? 1 : kReadChunk;
     c->in.resize(old + chunk);
+    // gclint: suppress(loop-purity) conn fd is SOCK_NONBLOCK; recv returns EAGAIN
     const ssize_t n = ::recv(c->fd.get(), c->in.data() + old, chunk, 0);
     if (n > 0) {
       c->in.resize(old + static_cast<std::size_t>(n));
@@ -488,6 +494,7 @@ void NetServer::flush_out(Loop& lp, Conn* c) {
     const std::size_t len = fault::should_fire(fault::Site::kNetWriteShort)
                                 ? 1
                                 : c->out_pending();
+    // gclint: suppress(loop-purity) conn fd is SOCK_NONBLOCK; send returns EAGAIN
     const ssize_t n = ::send(c->fd.get(), c->out.data() + c->out_off, len,
                              MSG_NOSIGNAL);
     if (n > 0) {
@@ -510,7 +517,7 @@ void NetServer::flush_out(Loop& lp, Conn* c) {
 void NetServer::process_completions(Loop& lp) {
   std::vector<Completion> items;
   {
-    std::lock_guard<std::mutex> g(lp.sink->mu);
+    MutexLock g(lp.sink->mu);
     items.swap(lp.sink->items);
   }
   for (const Completion& comp : items) {

@@ -42,13 +42,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "kvstore/server.h"
 #include "net/socket.h"
+#include "support/mutex.h"
 
 namespace mgc::net {
 
@@ -125,8 +125,8 @@ class NetServer {
     std::int64_t drain_deadline_ns = 0;
 
     // Fallback-mode fd handoff (accepting loop -> this loop).
-    std::mutex handoff_mu;
-    std::vector<int> handoff;
+    Mutex handoff_mu{LockRank::kNetHandoff, "net-handoff"};
+    std::vector<int> handoff MGC_GUARDED_BY(handoff_mu);
 
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> closed{0};
@@ -166,8 +166,8 @@ class NetServer {
   std::size_t rr_next_ = 0;  // fallback round-robin; accepting thread only
 
   std::atomic<bool> stop_requested_{false};
-  std::mutex shutdown_mu_;  // serializes shutdown() callers
-  bool stopped_ = false;
+  Mutex shutdown_mu_{LockRank::kNetShutdown, "net-shutdown"};
+  bool stopped_ MGC_GUARDED_BY(shutdown_mu_) = false;
 };
 
 }  // namespace mgc::net

@@ -33,7 +33,7 @@ const char* gc_cause_name(GcCause c) {
 
 void GcLog::add(const PauseEvent& e) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     events_.push_back(e);
   }
   if (verbose_) {
@@ -58,17 +58,17 @@ void GcLog::add(const PauseEvent& e) {
 }
 
 std::vector<PauseEvent> GcLog::snapshot() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return events_;
 }
 
 std::size_t GcLog::count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   return events_.size();
 }
 
 PauseSummary GcLog::summarize() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   PauseSummary s;
   for (const PauseEvent& e : events_) {
     ++s.pauses;
@@ -82,14 +82,14 @@ PauseSummary GcLog::summarize() const {
 }
 
 std::int64_t GcLog::total_pause_ns() const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   std::int64_t total = 0;
   for (const PauseEvent& e : events_) total += e.end_ns - e.start_ns;
   return total;
 }
 
 bool GcLog::pause_overlaps(std::int64_t start_ns, std::int64_t end_ns) const {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   for (const PauseEvent& e : events_) {
     if (e.start_ns <= end_ns && e.end_ns >= start_ns) return true;
   }
@@ -97,7 +97,7 @@ bool GcLog::pause_overlaps(std::int64_t start_ns, std::int64_t end_ns) const {
 }
 
 void GcLog::clear() {
-  std::lock_guard<std::mutex> g(mu_);
+  MutexLock g(mu_);
   events_.clear();
 }
 

@@ -5,11 +5,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "support/clock.h"
+#include "support/mutex.h"
 
 namespace mgc {
 
@@ -116,8 +116,8 @@ class GcLog {
   void set_verbose(bool v) { verbose_ = v; }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<PauseEvent> events_;
+  mutable Mutex mu_{LockRank::kGcLog, "gc-log"};
+  std::vector<PauseEvent> events_ MGC_GUARDED_BY(mu_);
   std::int64_t origin_ns_;
   bool verbose_ = false;
 };

@@ -26,6 +26,7 @@
 #include "support/gc_annotations.h"
 #include "support/rng.h"
 #include "support/stats.h"
+#include "support/thread_annotations.h"
 
 namespace mgc {
 
@@ -165,14 +166,17 @@ class Mutator {
 // declares the thread blocked for the duration of the lock *acquisition*,
 // exactly like HotSpot parks Java monitors.
 template <typename MutexT>
-class GuardedLock {
+class MGC_SCOPED_CAPABILITY GuardedLock {
  public:
-  GuardedLock(Mutator& m, MutexT& mu) : mu_(mu) {
+  GuardedLock(Mutator& m, MutexT& mu) MGC_ACQUIRE(mu) : mu_(mu) {
     m.enter_blocked();
     mu_.lock();
-    m.leave_blocked();  // waits out any active pause before continuing
+    // leave_blocked waits out any active pause — while already holding
+    // mu_, which is why every GuardedLock-wrapped mutex must rank below
+    // LockRank::kSafepoint.
+    m.leave_blocked();
   }
-  ~GuardedLock() { mu_.unlock(); }
+  ~GuardedLock() MGC_RELEASE() { mu_.unlock(); }
   GuardedLock(const GuardedLock&) = delete;
   GuardedLock& operator=(const GuardedLock&) = delete;
 

@@ -5,7 +5,7 @@
 namespace mgc {
 
 void SafepointCoordinator::register_thread() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   // Joining counts as leaving a blocked region: wait out any active stop.
   cv_resume_.wait(l, [&] { return !requested_.load(std::memory_order_relaxed); });
   ++managed_;
@@ -13,7 +13,7 @@ void SafepointCoordinator::register_thread() {
 
 void SafepointCoordinator::unregister_thread() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     --managed_;
     MGC_CHECK(managed_ >= 0);
   }
@@ -22,7 +22,7 @@ void SafepointCoordinator::unregister_thread() {
 
 void SafepointCoordinator::enter_blocked() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     --managed_;
     MGC_CHECK(managed_ >= 0);
   }
@@ -31,13 +31,13 @@ void SafepointCoordinator::enter_blocked() {
 }
 
 void SafepointCoordinator::leave_blocked() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   cv_resume_.wait(l, [&] { return !requested_.load(std::memory_order_relaxed); });
   ++managed_;
 }
 
 void SafepointCoordinator::poll_slow() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   while (requested_.load(std::memory_order_relaxed)) {
     ++parked_;
     cv_stopped_.notify_all();
@@ -47,16 +47,16 @@ void SafepointCoordinator::poll_slow() {
 }
 
 void SafepointCoordinator::begin() {
-  std::unique_lock<std::mutex> l(mu_);
+  MutexLock l(mu_);
   MGC_CHECK_MSG(!requested_.load(std::memory_order_relaxed),
                 "nested safepoint");
   requested_.store(true, std::memory_order_release);
-  cv_stopped_.wait(l, [&] { return parked_ == managed_; });
+  cv_stopped_.wait(l, [&]() MGC_REQUIRES(mu_) { return parked_ == managed_; });
 }
 
 void SafepointCoordinator::end() {
   {
-    std::lock_guard<std::mutex> l(mu_);
+    MutexLock l(mu_);
     MGC_CHECK(requested_.load(std::memory_order_relaxed));
     requested_.store(false, std::memory_order_release);
   }
@@ -64,7 +64,7 @@ void SafepointCoordinator::end() {
 }
 
 int SafepointCoordinator::registered_managed_threads() const {
-  std::lock_guard<std::mutex> l(mu_);
+  MutexLock l(mu_);
   return managed_;
 }
 

@@ -12,8 +12,8 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
+
+#include "support/mutex.h"
 
 namespace mgc {
 
@@ -61,11 +61,13 @@ class SafepointCoordinator {
   void poll_slow();
 
   std::atomic<bool> requested_{false};
-  mutable std::mutex mu_;
-  std::condition_variable cv_resume_;  // parked threads wait here
-  std::condition_variable cv_stopped_; // VM thread waits here
-  int managed_ = 0;  // registered threads currently in managed state
-  int parked_ = 0;   // managed threads parked at this safepoint
+  // Ranked above every GuardedLock-wrapped mutex: leave_blocked() takes
+  // mu_ while the caller still holds the mutex the GuardedLock wraps.
+  mutable Mutex mu_{LockRank::kSafepoint, "safepoint"};
+  CondVar cv_resume_;  // parked threads wait here
+  CondVar cv_stopped_; // VM thread waits here
+  int managed_ MGC_GUARDED_BY(mu_) = 0;  // threads currently in managed state
+  int parked_ MGC_GUARDED_BY(mu_) = 0;   // managed threads parked right now
 };
 
 }  // namespace mgc

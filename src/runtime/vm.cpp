@@ -22,13 +22,13 @@ Vm::Vm(VmConfig cfg) : cfg_(cfg) {
 Vm::~Vm() {
   collector_->stop_background();
   {
-    std::lock_guard<std::mutex> g(ops_mu_);
+    MutexLock g(ops_mu_);
     shutdown_ = true;
   }
   ops_cv_.notify_all();
   vm_thread_.join();
   {
-    std::lock_guard<std::mutex> g(mutators_mu_);
+    MutexLock g(mutators_mu_);
     MGC_CHECK_MSG(mutators_.empty(), "VM destroyed with attached mutators");
   }
 }
@@ -61,18 +61,18 @@ void Vm::add_mutator(Mutator* m) {
   // a registered-but-unlisted thread has no roots yet, which is safe; the
   // reverse order could deadlock against an in-progress pause.
   sp_.register_thread();
-  std::lock_guard<std::mutex> g(mutators_mu_);
+  MutexLock g(mutators_mu_);
   mutators_.push_back(m);
 }
 
 int Vm::mutator_count() {
-  std::lock_guard<std::mutex> g(mutators_mu_);
+  MutexLock g(mutators_mu_);
   return static_cast<int>(mutators_.size());
 }
 
 void Vm::remove_mutator(Mutator* m) {
   {
-    std::lock_guard<std::mutex> g(mutators_mu_);
+    MutexLock g(mutators_mu_);
     // Bank the thread's cost contributions before it disappears from the
     // scan list; cost_snapshot holds the same lock, so a detach is never
     // double-counted (still listed + already folded).
@@ -85,7 +85,7 @@ void Vm::remove_mutator(Mutator* m) {
 }
 
 std::uint64_t Vm::total_allocated_bytes() {
-  std::lock_guard<std::mutex> g(mutators_mu_);
+  MutexLock g(mutators_mu_);
   std::uint64_t total =
       detached_allocated_bytes_.load(std::memory_order_relaxed);
   for (Mutator* m : mutators_) total += m->allocated_bytes();
@@ -93,7 +93,7 @@ std::uint64_t Vm::total_allocated_bytes() {
 }
 
 GcCostSnapshot Vm::cost_snapshot() {
-  std::lock_guard<std::mutex> g(mutators_mu_);
+  MutexLock g(mutators_mu_);
   GcCostCounters folded;
   for (Mutator* m : mutators_) m->fold_cost_into(folded);
   GcCostSnapshot live = folded.snapshot(log_);
@@ -110,37 +110,37 @@ GcCostSnapshot Vm::cost_snapshot() {
 // --- global roots --------------------------------------------------------------
 
 std::size_t Vm::create_global_root() {
-  std::lock_guard<std::mutex> g(groots_mu_);
+  MutexLock g(groots_mu_);
   global_roots_.push_back(nullptr);
   return global_roots_.size() - 1;
 }
 
 Obj* Vm::global_root(std::size_t idx) const {
-  std::lock_guard<std::mutex> g(groots_mu_);
+  MutexLock g(groots_mu_);
   return global_roots_[idx];
 }
 
 void Vm::set_global_root(std::size_t idx, Obj* o) {
-  std::lock_guard<std::mutex> g(groots_mu_);
+  MutexLock g(groots_mu_);
   global_roots_[idx] = o;
 }
 
 // --- memory-pressure hooks ------------------------------------------------------
 
 std::size_t Vm::add_memory_pressure_hook(std::function<void()> fn) {
-  std::lock_guard<std::mutex> g(pressure_mu_);
+  MutexLock g(pressure_mu_);
   const std::size_t id = next_pressure_id_++;
   pressure_hooks_.emplace_back(id, std::move(fn));
   return id;
 }
 
 void Vm::remove_memory_pressure_hook(std::size_t id) {
-  std::lock_guard<std::mutex> g(pressure_mu_);
+  MutexLock g(pressure_mu_);
   std::erase_if(pressure_hooks_, [id](const auto& h) { return h.first == id; });
 }
 
 void Vm::run_memory_pressure_hooks() {
-  std::lock_guard<std::mutex> g(pressure_mu_);
+  MutexLock g(pressure_mu_);
   for (auto& h : pressure_hooks_) h.second();
 }
 
@@ -175,7 +175,7 @@ void Vm::run_vm_op(GcCause cause, bool caller_is_registered,
   op.fn = &fn;
   op.cause = cause;
   auto wait_done = [&] {
-    std::unique_lock<std::mutex> l(ops_mu_);
+    MutexLock l(ops_mu_);
     ops_.push_back(&op);
     ops_cv_.notify_all();
     op.cv.wait(l, [&] { return op.done; });
@@ -192,8 +192,8 @@ void Vm::vm_thread_main() {
   while (true) {
     VmOp* op = nullptr;
     {
-      std::unique_lock<std::mutex> l(ops_mu_);
-      ops_cv_.wait(l, [&] { return shutdown_ || !ops_.empty(); });
+      MutexLock l(ops_mu_);
+      ops_cv_.wait(l, [&]() MGC_REQUIRES(ops_mu_) { return shutdown_ || !ops_.empty(); });
       if (ops_.empty() && shutdown_) return;
       op = ops_.front();
       ops_.pop_front();
@@ -224,7 +224,7 @@ void Vm::vm_thread_main() {
       // Notify while holding the lock: the waiter owns the VmOp (and its
       // condition variable) and destroys it the moment it observes done,
       // so notifying after unlocking would race with that destruction.
-      std::lock_guard<std::mutex> l(ops_mu_);
+      MutexLock l(ops_mu_);
       op->done = true;
       op->cv.notify_all();
     }
@@ -235,13 +235,13 @@ void Vm::vm_thread_main() {
 
 void Vm::for_each_root_slot(const std::function<void(Obj**)>& fn) {
   {
-    std::lock_guard<std::mutex> g(mutators_mu_);
+    MutexLock g(mutators_mu_);
     for (Mutator* m : mutators_) {
       for (Obj*& r : m->roots_for_gc()) fn(&r);
     }
   }
   {
-    std::lock_guard<std::mutex> g(groots_mu_);
+    MutexLock g(groots_mu_);
     for (Obj*& r : global_roots_) fn(&r);
   }
 }
@@ -249,16 +249,22 @@ void Vm::for_each_root_slot(const std::function<void(Obj**)>& fn) {
 std::vector<std::vector<Obj*>*> Vm::root_vectors() {
   std::vector<std::vector<Obj*>*> out;
   {
-    std::lock_guard<std::mutex> g(mutators_mu_);
+    MutexLock g(mutators_mu_);
     out.reserve(mutators_.size() + 1);
     for (Mutator* m : mutators_) out.push_back(&m->roots_for_gc());
   }
-  out.push_back(&global_roots_);
+  {
+    // Taking groots_mu_ here is not optional politeness: create_global_root
+    // may be mid-push_back on another (blocked) thread, and reading the
+    // vector's internals unlocked races with its reallocation.
+    MutexLock g(groots_mu_);
+    out.push_back(&global_roots_);
+  }
   return out;
 }
 
 void Vm::retire_all_tlabs() {
-  std::lock_guard<std::mutex> g(mutators_mu_);
+  MutexLock g(mutators_mu_);
   for (Mutator* m : mutators_) m->retire_tlab();
 }
 

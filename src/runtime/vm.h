@@ -3,11 +3,9 @@
 // worker pool, registered mutator threads, and the GC event log.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -20,6 +18,7 @@
 #include "runtime/safepoint.h"
 #include "runtime/vm_config.h"
 #include "support/gc_worker_pool.h"
+#include "support/mutex.h"
 
 namespace mgc {
 
@@ -150,8 +149,8 @@ class Vm {
   struct VmOp {
     const std::function<PauseOutcome()>* fn = nullptr;
     GcCause cause = GcCause::kAllocFailure;
-    bool done = false;
-    std::condition_variable cv;
+    bool done = false;  // guarded by the Vm's ops_mu_
+    CondVar cv;
   };
 
   void vm_thread_main();
@@ -163,26 +162,27 @@ class Vm {
   std::unique_ptr<Collector> collector_;
   BarrierDescriptor barrier_;
 
-  std::mutex mutators_mu_;
-  std::vector<Mutator*> mutators_;
+  Mutex mutators_mu_{LockRank::kVmMutators, "vm-mutators"};
+  std::vector<Mutator*> mutators_ MGC_GUARDED_BY(mutators_mu_);
 
   GcCostCounters cost_;
   std::atomic<std::uint64_t> detached_allocated_bytes_{0};
 
-  mutable std::mutex groots_mu_;
-  std::vector<Obj*> global_roots_;
+  mutable Mutex groots_mu_{LockRank::kVmGlobalRoots, "vm-global-roots"};
+  std::vector<Obj*> global_roots_ MGC_GUARDED_BY(groots_mu_);
 
-  std::mutex pressure_mu_;
-  std::size_t next_pressure_id_ = 0;
-  std::vector<std::pair<std::size_t, std::function<void()>>> pressure_hooks_;
+  Mutex pressure_mu_{LockRank::kVmPressure, "vm-pressure"};
+  std::size_t next_pressure_id_ MGC_GUARDED_BY(pressure_mu_) = 0;
+  std::vector<std::pair<std::size_t, std::function<void()>>> pressure_hooks_
+      MGC_GUARDED_BY(pressure_mu_);
 
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> full_epoch_{0};
 
-  std::mutex ops_mu_;
-  std::condition_variable ops_cv_;
-  std::deque<VmOp*> ops_;
-  bool shutdown_ = false;
+  Mutex ops_mu_{LockRank::kVmOps, "vm-ops"};
+  CondVar ops_cv_;
+  std::deque<VmOp*> ops_ MGC_GUARDED_BY(ops_mu_);
+  bool shutdown_ MGC_GUARDED_BY(ops_mu_) = false;
   std::thread vm_thread_;
 };
 

@@ -4,10 +4,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 
 #include "support/check.h"
+#include "support/mutex.h"
 #include "support/spinlock.h"
 
 namespace mgc {
@@ -26,7 +25,7 @@ class SenseBarrier {
     if (waiting_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
       waiting_.store(0, std::memory_order_relaxed);
       {
-        std::lock_guard<std::mutex> g(mu_);
+        MutexLock g(mu_);
         sense_.store(next, std::memory_order_release);
       }
       cv_.notify_all();
@@ -36,7 +35,7 @@ class SenseBarrier {
         if (++spins < 2048) {
           cpu_relax();
         } else {
-          std::unique_lock<std::mutex> g(mu_);
+          MutexLock g(mu_);
           cv_.wait(g, [&] {
             return sense_.load(std::memory_order_acquire) == next;
           });
@@ -50,8 +49,8 @@ class SenseBarrier {
   const int parties_;
   std::atomic<int> waiting_;
   std::atomic<bool> sense_{false};
-  std::mutex mu_;
-  std::condition_variable cv_;
+  Mutex mu_{LockRank::kGcBarrier, "gc-barrier"};
+  CondVar cv_;
 };
 
 // Termination detector for work-stealing phases: workers that fail to find

@@ -1,9 +1,9 @@
 #include "support/fault.h"
 
 #include <cstdlib>
-#include <mutex>
 
 #include "support/check.h"
+#include "support/mutex.h"
 #include "support/rng.h"
 
 namespace mgc::fault {
@@ -27,10 +27,11 @@ struct SiteState {
 };
 
 // One mutex guards all slow-path state. Only armed checks take it; the
-// unarmed fast path never reaches here.
-std::mutex g_mu;
-SiteState g_sites[kNumSites];  // NOLINT(modernize-avoid-c-arrays)
-std::uint64_t g_seed = 0;
+// unarmed fast path never reaches here. Ranked as a global leaf: checks
+// run under shard queues, the commit-log lock, even heap spinlocks.
+Mutex g_mu{LockRank::kFault, "fault"};
+SiteState g_sites[kNumSites] MGC_GUARDED_BY(g_mu);  // NOLINT(modernize-avoid-c-arrays)
+std::uint64_t g_seed MGC_GUARDED_BY(g_mu) = 0;
 
 std::size_t idx(Site s) { return static_cast<std::size_t>(s); }
 
@@ -57,7 +58,7 @@ const char* const kSiteNames[kNumSites] = {
 namespace internal {
 
 bool fire_slow(Site s, std::uint32_t scope) {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   SiteState& st = g_sites[idx(s)];
   // Re-check under the lock: the relaxed fast-path load may have raced a
   // disarm; the lock makes policy reads consistent.
@@ -83,7 +84,7 @@ bool fire_slow(Site s, std::uint32_t scope) {
 void arm(Site s, const Policy& p) {
   MGC_CHECK(s < Site::kNumSites);
   {
-    std::lock_guard<std::mutex> l(g_mu);
+    MutexLock l(g_mu);
     SiteState& st = g_sites[idx(s)];
     st.policy = p;
     st.checks = 0;
@@ -101,7 +102,7 @@ void disarm(Site s) {
 
 void disarm_all() {
   internal::g_armed_mask.store(0, std::memory_order_release);
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   for (auto& st : g_sites) {
     st.policy = Policy{};
     st.checks = 0;
@@ -111,27 +112,27 @@ void disarm_all() {
 }
 
 void set_seed(std::uint64_t seed_v) {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   g_seed = seed_v;
 }
 
 std::uint64_t seed() {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   return g_seed;
 }
 
 std::uint64_t check_count(Site s) {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   return g_sites[idx(s)].checks;
 }
 
 std::uint64_t fire_count(Site s) {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   return g_sites[idx(s)].fires;
 }
 
 std::vector<std::uint64_t> fired_checks(Site s) {
-  std::lock_guard<std::mutex> l(g_mu);
+  MutexLock l(g_mu);
   return g_sites[idx(s)].fired_log;
 }
 

@@ -13,7 +13,7 @@ GcWorkerPool::GcWorkerPool(int num_workers) {
 
 GcWorkerPool::~GcWorkerPool() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     shutdown_ = true;
   }
   start_cv_.notify_all();
@@ -23,14 +23,14 @@ GcWorkerPool::~GcWorkerPool() {
 void GcWorkerPool::run(int workers, const std::function<void(int)>& fn) {
   if (workers > size()) workers = size();
   MGC_CHECK(workers >= 1);
-  std::unique_lock<std::mutex> g(mu_);
+  MutexLock g(mu_);
   MGC_CHECK_MSG(task_ == nullptr, "GcWorkerPool::run is not reentrant");
   task_ = &fn;
   active_workers_ = workers;
   finished_ = 0;
   ++epoch_;
   start_cv_.notify_all();
-  done_cv_.wait(g, [&] { return finished_ == active_workers_; });
+  done_cv_.wait(g, [&]() MGC_REQUIRES(mu_) { return finished_ == active_workers_; });
   task_ = nullptr;
 }
 
@@ -39,8 +39,8 @@ void GcWorkerPool::worker_main(int id) {
   while (true) {
     const std::function<void(int)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> g(mu_);
-      start_cv_.wait(g, [&] {
+      MutexLock g(mu_);
+      start_cv_.wait(g, [&]() MGC_REQUIRES(mu_) {
         return shutdown_ || (task_ != nullptr && epoch_ != seen_epoch && id < active_workers_);
       });
       if (shutdown_) return;
@@ -49,7 +49,7 @@ void GcWorkerPool::worker_main(int id) {
     }
     (*task)(id);
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       ++finished_;
     }
     done_cv_.notify_all();

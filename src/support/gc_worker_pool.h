@@ -5,12 +5,12 @@
 // every pause (CP.41).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.h"
 
 namespace mgc {
 
@@ -32,14 +32,14 @@ class GcWorkerPool {
  private:
   void worker_main(int id);
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  int active_workers_ = 0;
-  int finished_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_{LockRank::kGcWorkerPool, "gc-worker-pool"};
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* task_ MGC_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t epoch_ MGC_GUARDED_BY(mu_) = 0;
+  int active_workers_ MGC_GUARDED_BY(mu_) = 0;
+  int finished_ MGC_GUARDED_BY(mu_) = 0;
+  bool shutdown_ MGC_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,128 @@
+// Annotated, rank-checked mutex and friends.
+//
+// mgc::Mutex wraps std::mutex with (a) Clang Thread Safety Analysis
+// capability annotations, so -Wthread-safety can prove guarded fields
+// are only touched under their lock, and (b) an optional LockRank, so
+// the runtime registry can validate acquisition order per thread (see
+// support/lock_rank.h). libstdc++'s std::mutex carries neither, which
+// is why every long-lived lock in src/ is an mgc::Mutex (or the
+// annotated SpinLock) rather than a bare standard one.
+//
+// MutexLock is the scoped holder (lock_guard/unique_lock shaped: it
+// supports explicit unlock()/lock() mid-scope, which the VM-op loop and
+// the kv worker loop need). CondVar wraps condition_variable_any so
+// waits go through Mutex::lock()/unlock() and therefore re-validate the
+// rank order on every wakeup.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "support/check.h"
+#include "support/lock_rank.h"
+#include "support/thread_annotations.h"
+
+namespace mgc {
+
+class MGC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  // For locks that live in arrays (memtable stripes): rank them after
+  // construction, before any concurrent use.
+  void set_rank(LockRank rank, const char* name) {
+    rank_ = rank;
+    name_ = name;
+  }
+
+  void lock() MGC_ACQUIRE() {
+    mu_.lock();
+    lockrank::note_acquire(this, rank_, name_, /*trylock=*/false);
+  }
+
+  // A successful try_lock is recorded but exempt from order validation:
+  // an inverted try_lock fails instead of deadlocking, which is exactly
+  // why call sites chose try_lock (the commit log's pressure hook).
+  bool try_lock() MGC_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockrank::note_acquire(this, rank_, name_, /*trylock=*/true);
+    return true;
+  }
+
+  void unlock() MGC_RELEASE() {
+    lockrank::note_release(this, rank_);
+    mu_.unlock();
+  }
+
+  LockRank rank() const { return rank_; }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "unranked";
+};
+
+// Scoped holder. Satisfies BasicLockable so condition_variable_any can
+// drop/retake it across waits (via CondVar below).
+class MGC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MGC_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() MGC_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() MGC_RELEASE() {
+    MGC_DCHECK(owned_);
+    owned_ = false;
+    mu_.unlock();
+  }
+  void lock() MGC_ACQUIRE() {
+    MGC_DCHECK(!owned_);
+    mu_.lock();
+    owned_ = true;
+  }
+  bool owns() const { return owned_; }
+
+ private:
+  Mutex& mu_;
+  bool owned_;
+};
+
+// Condition variable over mgc::Mutex. Waits release and re-acquire the
+// Mutex itself, so the rank registry sees (and re-validates) the
+// re-acquisition. The waits are NO_THREAD_SAFETY_ANALYSIS because the
+// analysis cannot see that the capability is held again on return; from
+// the caller's perspective the lock is held before and after, which is
+// the contract the annotation-free signature expresses.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& l) MGC_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(l); }
+
+  template <typename Pred>
+  void wait(MutexLock& l, Pred pred) MGC_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(l, pred);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace mgc

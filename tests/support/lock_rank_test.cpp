@@ -1,0 +1,166 @@
+// Runtime lock-rank registry: the dynamic half of the concurrency
+// discipline (tools/gclint's lock-order pass is the static half; both
+// read the rank table in support/lock_rank.h). The positive tests assert
+// that every legal nesting pattern the runtime uses stays silent; the
+// death tests inject the inversions the registry exists to catch and
+// require it to die loudly at the exact acquisition.
+#include "support/lock_rank.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/mutex.h"
+#include "support/spinlock.h"
+
+namespace mgc {
+namespace {
+
+// Forces validation on for the body of a test regardless of build type
+// (tier-1 is NDEBUG, where the registry defaults off) and restores the
+// previous state afterwards so coexisting tests see their default.
+class ScopedRankValidation {
+ public:
+  ScopedRankValidation() : was_(lockrank::enabled()) {
+    lockrank::set_enabled(true);
+  }
+  ~ScopedRankValidation() { lockrank::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(LockRankRegistry, AscendingAcquisitionIsSilent) {
+  ScopedRankValidation v;
+  Mutex outer(LockRank::kKvShard, "test-shard");
+  Mutex mid(LockRank::kCommitLog, "test-log");
+  SpinLock inner(LockRank::kRemSet, "test-remset");
+  MutexLock a(outer);
+  MutexLock b(mid);
+  {
+    SpinLockGuard c(inner);
+    EXPECT_EQ(lockrank::held_count(), 3);
+  }
+  EXPECT_EQ(lockrank::held_count(), 2);
+}
+
+TEST(LockRankRegistry, UnrankedLocksNeverRegister) {
+  ScopedRankValidation v;
+  Mutex plain;  // kUnranked
+  MutexLock g(plain);
+  EXPECT_EQ(lockrank::held_count(), 0);
+}
+
+TEST(LockRankRegistry, ReleaseOutOfStackOrderIsTolerated) {
+  ScopedRankValidation v;
+  Mutex a(LockRank::kKvShard, "a");
+  Mutex b(LockRank::kCommitLog, "b");
+  a.lock();
+  b.lock();
+  a.unlock();  // not LIFO: condition-wait re-lock patterns do this
+  EXPECT_EQ(lockrank::held_count(), 1);
+  b.unlock();
+  EXPECT_EQ(lockrank::held_count(), 0);
+}
+
+TEST(LockRankRegistry, SameRankStripesAllowAscendingAddressOrder) {
+  ScopedRankValidation v;
+  // AllStripesLock's pattern: same rank, ascending address.
+  std::vector<Mutex> stripes(4);
+  for (auto& s : stripes) s.set_rank(LockRank::kMemtableStripe, "stripe");
+  for (auto& s : stripes) s.lock();
+  EXPECT_EQ(lockrank::held_count(), 4);
+  for (auto& s : stripes) s.unlock();
+}
+
+TEST(LockRankRegistry, TryLockIsExemptFromOrdering) {
+  ScopedRankValidation v;
+  // The commit log's pressure hook try_locks the commit-log mutex while
+  // arbitrary (higher-ranked) locks are held; a would-be inversion must
+  // simply record, not die.
+  Mutex high(LockRank::kGcLog, "test-high");
+  Mutex low(LockRank::kCommitLog, "test-low");
+  MutexLock g(high);
+  ASSERT_TRUE(low.try_lock());
+  EXPECT_EQ(lockrank::held_count(), 2);
+  low.unlock();
+}
+
+TEST(LockRankRegistry, HeldStacksAreThreadLocal) {
+  ScopedRankValidation v;
+  Mutex a(LockRank::kKvShard, "a");
+  MutexLock g(a);
+  int other_depth = -1;
+  std::thread t([&] { other_depth = lockrank::held_count(); });
+  t.join();
+  EXPECT_EQ(other_depth, 0);
+  EXPECT_EQ(lockrank::held_count(), 1);
+}
+
+TEST(LockRankRegistry, RankNamesCoverTheTable) {
+  EXPECT_STREQ(lockrank::rank_name(LockRank::kSafepoint), "safepoint");
+  EXPECT_STREQ(lockrank::rank_name(LockRank::kMemtableStripe),
+               "memtable-stripe");
+  EXPECT_STREQ(lockrank::rank_name(LockRank::kNetSink), "net-sink");
+  EXPECT_STREQ(lockrank::rank_name(LockRank::kUnranked), "unranked");
+}
+
+using LockRankDeath = ::testing::Test;
+
+TEST(LockRankDeath, InversionDiesWithBothLockNames) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        Mutex inner(LockRank::kRemSet, "death-inner");
+        Mutex outer(LockRank::kKvShard, "death-outer");
+        MutexLock a(inner);
+        MutexLock b(outer);  // rank 30 under rank 210: inversion
+      },
+      "lock-rank violation.*death-outer.*death-inner");
+}
+
+TEST(LockRankDeath, SameRankNonStripeDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        Mutex a(LockRank::kGcLog, "death-a");
+        Mutex b(LockRank::kGcLog, "death-b");
+        MutexLock ga(a);
+        MutexLock gb(b);  // same rank, not a stripe rank
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeath, StripeDescendingAddressDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        std::vector<Mutex> stripes(2);
+        for (auto& s : stripes)
+          s.set_rank(LockRank::kMemtableStripe, "death-stripe");
+        stripes[1].lock();
+        stripes[0].lock();  // descending address: deadlocks against the
+                            // ascending walk, so the registry dies
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeath, SpinLockInversionDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        lockrank::set_enabled(true);
+        SpinLock inner(LockRank::kPromotedList, "death-spin-inner");
+        SpinLock outer(LockRank::kEvacAlloc, "death-spin-outer");
+        SpinLockGuard a(inner);
+        SpinLockGuard b(outer);
+      },
+      "lock-rank violation");
+}
+
+}  // namespace
+}  // namespace mgc

@@ -1,0 +1,61 @@
+// Known-bad corpus: lock-order inversions. `fine_path` nests in declared
+// rank order; `cycle_path` nests the same pair the other way, completing a
+// cycle the lock-order pass must flag at the exact acquisition. `Deep`
+// hides the second acquisition one call deep to exercise the transitive
+// closure, and `BadGuard` wraps a lock ranked above kSafepoint in a
+// GuardedLock, which would deadlock against the pause protocol.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+class OrderPair {
+ public:
+  void fine_path() {
+    MutexLock a(shard_mu_);  // kKvShard (30)
+    MutexLock b(log_mu_);    // kGcLog (160): ascending, legal
+    hits_++;
+  }
+
+  void cycle_path() {
+    MutexLock b(log_mu_);
+    MutexLock a(shard_mu_);  // gclint-expect: lock-order
+    hits_++;
+  }
+
+ private:
+  Mutex shard_mu_{LockRank::kKvShard, "corpus-shard"};
+  Mutex log_mu_{LockRank::kGcLog, "corpus-log"};
+  int hits_ = 0;
+};
+
+class Deep {
+ public:
+  void top() {
+    MutexLock g(outer_mu_);  // kSsTable (80)
+    leaf();  // gclint-expect: lock-order
+  }
+
+ private:
+  void leaf() {
+    MutexLock g(inner_mu_);  // kCommitLog (60): below the caller's hold
+    depth_++;
+  }
+
+  Mutex outer_mu_{LockRank::kSsTable, "corpus-outer"};
+  Mutex inner_mu_{LockRank::kCommitLog, "corpus-inner"};
+  int depth_ = 0;
+};
+
+class BadGuard {
+ public:
+  void enter(Mutator& m) {
+    GuardedLock<Mutex> g(m, barrier_mu_);  // gclint-expect: lock-order
+    entries_++;
+  }
+
+ private:
+  Mutex barrier_mu_{LockRank::kGcBarrier, "corpus-barrier"};
+  int entries_ = 0;
+};
+
+}  // namespace mgc

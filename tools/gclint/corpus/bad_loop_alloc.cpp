@@ -1,0 +1,30 @@
+// Known-bad corpus: managed-heap activity on the event-loop thread. A
+// Mutator::alloc can trigger a stop-the-world collection, and GuardedLock
+// deliberately parks its thread blocked at a safepoint — either one turns
+// a GC pause into a stall for every connection on the loop.
+#include "mock_runtime.h"
+
+namespace altnet {
+using namespace mgc;
+
+class NetServer {
+ public:
+  explicit NetServer(Mutator& m) : mut_(m) {}
+
+  void loop_main() {
+    for (;;) handle_request(mut_);
+  }
+
+ private:
+  void handle_request(Mutator& m) {
+    Local row(m, m.alloc(2, 4));  // gclint-expect: loop-purity
+    GuardedLock<Mutex> g(m, table_mu_);  // gclint-expect: loop-purity
+    rows_++;
+  }
+
+  Mutator& mut_;
+  Mutex table_mu_{LockRank::kAppData, "corpus-table"};
+  int rows_ = 0;
+};
+
+}  // namespace altnet

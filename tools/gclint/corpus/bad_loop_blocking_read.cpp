@@ -1,0 +1,37 @@
+// Known-bad corpus: blocking calls on the event-loop thread. Everything
+// reachable from NetServer::loop_main runs with every connection on the
+// loop behind it, so a blocking ::read or an unbounded wait here stalls
+// the whole loop. The read is one call deep to exercise reachability.
+#include "mock_runtime.h"
+
+namespace mgc {
+
+struct WaitGate {
+  void wait(int) {}
+};
+
+class NetServer {
+ public:
+  void loop_main() {
+    for (;;) {
+      on_readable(7);
+      settle();
+    }
+  }
+
+ private:
+  void on_readable(int fd) {
+    char buf[64];
+    long n = ::read(fd, buf, sizeof(buf));  // gclint-expect: loop-purity
+    bytes_ += n > 0 ? n : 0;
+  }
+
+  void settle() {
+    gate_.wait(0);  // gclint-expect: loop-purity
+  }
+
+  WaitGate gate_;
+  long bytes_ = 0;
+};
+
+}  // namespace mgc

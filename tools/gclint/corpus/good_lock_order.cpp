@@ -1,0 +1,44 @@
+// Known-good corpus for the lock-order pass: strictly ascending nesting
+// across mutexes and spinlocks, plus a try_lock against the grain — which
+// is exempt by design (a failed try_lock just fails; it cannot deadlock).
+#include "mock_runtime.h"
+
+namespace mgc {
+
+class GoodOrder {
+ public:
+  void ascending() {
+    MutexLock a(front_mu_);     // kKvShard (30)
+    MutexLock b(sstable_mu_);   // kSsTable (80)
+    SpinLockGuard c(rs_lock_);  // kRemSet (210)
+    steps_++;
+  }
+
+  void opportunistic() {
+    MutexLock g(sstable_mu_);
+    // Against the declared order, but try_lock is exempt: on contention it
+    // returns false instead of deadlocking.
+    if (front_mu_.try_lock()) {
+      steps_++;
+      front_mu_.unlock();
+    }
+  }
+
+  void sequential_not_nested() {
+    {
+      MutexLock g(sstable_mu_);
+      steps_++;
+    }
+    // The previous guard is out of scope: this is not a nesting.
+    MutexLock g(front_mu_);
+    steps_++;
+  }
+
+ private:
+  Mutex front_mu_{LockRank::kKvShard, "corpus-front"};
+  Mutex sstable_mu_{LockRank::kSsTable, "corpus-sstable"};
+  SpinLock rs_lock_{LockRank::kRemSet, "corpus-rs"};
+  int steps_ = 0;
+};
+
+}  // namespace mgc

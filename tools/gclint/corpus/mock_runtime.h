@@ -30,10 +30,50 @@ struct Obj {
   std::atomic<Obj*> slots_[4];
 };
 
+// Rank table mirror: enumerator values match src/support/lock_rank.h (the
+// lexical engine reads the real header; these exist so the libclang engine
+// can compile the corpus standalone).
+enum class LockRank : unsigned {
+  kUnranked = 0,
+  kKvShard = 30,
+  kAppData = 40,
+  kCommitLog = 60,
+  kSsTable = 80,
+  kSafepoint = 130,
+  kGcLog = 160,
+  kGcBarrier = 170,
+  kRemSet = 210,
+  kNetHandoff = 240,
+};
+
 class SpinLock {
  public:
+  SpinLock() = default;
+  SpinLock(LockRank, const char*) {}
   void lock() {}
   bool try_lock() { return true; }
+  void unlock() {}
+};
+
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock&) {}
+};
+
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(LockRank, const char*) {}
+  void set_rank(LockRank, const char*) {}
+  void lock() {}
+  bool try_lock() { return true; }
+  void unlock() {}
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex&) {}
+  void lock() {}
   void unlock() {}
 };
 

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """gclint — GC-safety discipline checker for the mgc runtime.
 
-Enforces the three invariants every HotSpot-style runtime lints for:
+Enforces the GC-safety and concurrency-discipline invariants every
+HotSpot-style runtime lints for:
 
   raw-across-safepoint   No raw managed pointer (Obj*) may be live across a
                          safepoint-polling call (allocation, Mutator::poll,
@@ -22,6 +23,21 @@ Enforces the three invariants every HotSpot-style runtime lints for:
                          for a safepoint that can never be reached by
                          threads spinning on the same lock.
 
+  lock-order             Lock acquisitions (direct and through transitive
+                         calls) must follow the strictly ascending rank
+                         order declared in src/support/lock_rank.h, and
+                         GuardedLock targets must rank below kSafepoint
+                         (leave_blocked takes the safepoint lock while
+                         holding them). The runtime registry
+                         (support/lock_rank.cpp) checks the same table
+                         dynamically in debug builds.
+
+  loop-purity            Nothing reachable from NetServer::loop_main may
+                         block: no blocking syscalls, no unbounded waits,
+                         no GuardedLock, no managed-heap activity. A GC
+                         pause or a slow peer would stall every connection
+                         multiplexed on that loop.
+
 Two engines implement the checks:
 
   lex       A token-level analysis built into this script. No dependencies;
@@ -41,6 +57,7 @@ Usage:
   gclint.py --root src                         # sweep the runtime sources
   gclint.py src/runtime/managed.cpp            # lint specific files
   gclint.py --self-test                        # run the known-bad/known-good corpus
+  gclint.py --root . --json                    # machine-readable findings
 """
 
 import argparse
@@ -59,7 +76,9 @@ MUTATOR_DIRS = ("src/runtime", "src/stress", "src/kvstore")
 CHECK_RAW = "raw-across-safepoint"
 CHECK_BARRIER = "unbarriered-ref-store"
 CHECK_LOCK = "alloc-under-gc-lock"
-ALL_CHECKS = (CHECK_RAW, CHECK_BARRIER, CHECK_LOCK)
+CHECK_ORDER = "lock-order"
+CHECK_LOOP = "loop-purity"
+ALL_CHECKS = (CHECK_RAW, CHECK_BARRIER, CHECK_LOCK, CHECK_ORDER, CHECK_LOOP)
 
 # Mutator methods that can run a safepoint (and therefore a moving GC).
 POLLING_METHODS = {"alloc", "poll", "system_gc", "enter_blocked", "leave_blocked"}
@@ -643,7 +662,13 @@ def run_lex(paths, root):
                 check_raw_across_safepoint(fn, findings)
             check_unbarriered_store(src, fns, findings)
         check_alloc_under_lock(src, fns, findings)
-    return findings
+    run_shared_passes(sources, per_src_fns, all_fns, root, findings)
+    seen, out = set(), []
+    for f in findings:
+        if f.key() not in seen:
+            seen.add(f.key())
+            out.append(f)
+    return out
 
 
 # --- libclang engine --------------------------------------------------------
@@ -904,6 +929,612 @@ def _is_unsafe_file(path):
     return UNSAFE_FILE_RE.search(_file_text(path)) is not None
 
 
+
+# --- concurrency-discipline passes (engine-shared) ---------------------------
+#
+# Two token-level passes run from BOTH engines (the libclang engine reuses
+# them after its AST checks — they need cross-file name resolution, not
+# type info, so one implementation keeps the engines in agreement):
+#
+#   lock-order   Static lock-acquisition ordering against the declared rank
+#                table in src/support/lock_rank.h. A ranked lock may only
+#                be acquired while every held ranked lock has a strictly
+#                lower rank (the memtable stripes may self-nest). The pass
+#                follows acquisitions through transitive calls, so an
+#                inversion split across functions — the classic two-lock
+#                cycle — is still reported at the closing acquisition.
+#
+#   loop-purity  Event-loop thread discipline: functions reachable from
+#                NetServer::loop_main must not issue blocking syscalls,
+#                park on managed synchronization (GuardedLock, CondVar
+#                waits), or allocate on the managed heap. Nonblocking-fd
+#                syscalls are allowed via `// gclint: suppress(loop-purity)`
+#                on the call line, each annotated with why it cannot block.
+
+LOCK_CLASSES = {"Mutex", "SpinLock"}
+GUARD_CLASSES = {"MutexLock", "SpinLockGuard"}
+SAME_RANK_OK = {"kMemtableStripe"}
+SAFEPOINT_RANK = "kSafepoint"
+LOOP_ROOTS = {("NetServer", "loop_main")}
+# Blocking syscalls when invoked `::name(...)`. epoll_wait is the loop's
+# legitimate wait and is deliberately absent.
+BLOCKING_SYSCALLS = {
+    "read", "pread", "readv", "recv", "recvfrom", "recvmsg",
+    "write", "pwrite", "writev", "send", "sendto", "sendmsg",
+    "accept", "accept4", "connect", "poll", "ppoll", "select", "pselect",
+    "sleep", "usleep", "nanosleep", "fsync", "fdatasync", "msync",
+    "flock", "wait", "waitpid",
+}
+# Member calls excluded from the transitive call graph: lock primitives
+# (modeled as acquisition events instead) plus ubiquitous container /
+# smart-pointer / atomic method names whose one-identifier call chains
+# would suffix-collide with runtime methods (`items.clear()` is not
+# GcLog::clear, `fd.get()` is not Memtable::get). Distinctive method
+# names and all qualified free calls stay tracked.
+CALL_IGNORE = {
+    "lock", "unlock", "try_lock", "set_rank",
+    "get", "reset", "release", "clear", "size", "empty", "count",
+    "begin", "end", "rbegin", "rend", "contains", "find", "insert",
+    "erase", "push_back", "emplace_back", "emplace", "pop_back",
+    "pop_front", "push_front", "front", "back", "data", "reserve",
+    "resize", "swap", "at", "assign", "append", "substr", "c_str",
+    "load", "store", "exchange", "fetch_add", "fetch_sub",
+    "compare_exchange_weak", "compare_exchange_strong",
+    "notify_one", "notify_all",
+}
+
+
+def load_rank_table(root):
+    """LockRank enum -> value, parsed from src/support/lock_rank.h. The
+    runtime registry compiles the same header, so the static and dynamic
+    checkers cannot drift."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    for cand in (
+        os.path.join(root, "src", "support", "lock_rank.h"),
+        os.path.join(here, "..", "..", "src", "support", "lock_rank.h"),
+    ):
+        if not os.path.exists(cand):
+            continue
+        with open(cand, "r", encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        m = re.search(r"enum class LockRank[^{]*\{(.*?)\};", text, re.S)
+        if m is None:
+            continue
+        ranks = {
+            mm.group(1): int(mm.group(2))
+            for mm in re.finditer(r"(k\w+)\s*=\s*(\d+)", m.group(1))
+        }
+        if ranks:
+            return ranks
+    return {}
+
+
+def _match_pair(toks, open_idx):
+    """Index of the token closing the paren/brace/bracket at open_idx."""
+    pairs = {"(": ")", "{": "}", "[": "]"}
+    close = pairs[toks[open_idx].text]
+    opener = toks[open_idx].text
+    depth = 0
+    for i in range(open_idx, len(toks)):
+        t = toks[i].text
+        if t == opener:
+            depth += 1
+        elif t == close:
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(toks) - 1
+
+
+def _match_pair_angle(toks, open_idx):
+    """Best-effort skip of a template argument list; returns the index after
+    the closing '>', or open_idx on failure."""
+    depth = 0
+    for k in range(open_idx, min(len(toks), open_idx + 48)):
+        tt = toks[k].text
+        if tt == "<":
+            depth += 1
+        elif tt == ">":
+            depth -= 1
+            if depth == 0:
+                return k + 1
+        elif tt in (";", "{", "}"):
+            break
+    return open_idx
+
+
+def _stem(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+class LockEnv:
+    """Lock declarations (keyed by class and by name) plus rank values and
+    lock-returning accessor functions (`Mutex& stripe_for(...)`)."""
+
+    def __init__(self, ranks):
+        self.ranks = ranks
+        self.by_name = {}  # name -> list of (cls, rankname, path)
+        self.accessors = {}  # function name -> rankname
+
+    def add(self, cls, name, rankname, path):
+        if rankname in self.ranks:
+            self.by_name.setdefault(name, []).append((cls, rankname, path))
+
+    def resolve(self, name, enclosing_cls, path):
+        cands = self.by_name.get(name)
+        if not cands:
+            return None
+        if enclosing_cls:
+            cm = {r for c, r, _ in cands if c == enclosing_cls}
+            if len(cm) == 1:
+                return cm.pop()
+        sm = {r for _, r, p in cands if _stem(p) == _stem(path)}
+        if len(sm) == 1:
+            return sm.pop()
+        allr = {r for _, r, _ in cands}
+        if len(allr) == 1:
+            return allr.pop()
+        return None  # ambiguous: the runtime registry still covers it
+
+
+class _EmptyEnv:
+    ranks = {}
+    accessors = {}
+
+    def resolve(self, name, cls, path):
+        return None
+
+
+_EMPTY_ENV = _EmptyEnv()
+
+
+def collect_lock_decls(sources, ranks):
+    env = LockEnv(ranks)
+    pending_accessors = []  # (fname, body_open_idx, src)
+    for src in sources:
+        toks = src.toks
+        scope = []  # (kind, name) per open brace
+        stmt_start = 0
+        i = 0
+        while i < len(toks):
+            t = toks[i]
+            if t.kind == "id" and t.text in LOCK_CLASSES and i + 1 < len(toks):
+                nxt = toks[i + 1]
+                # Accessor: `Mutex& name(...) ... { return <lock>; }`
+                if (
+                    nxt.text == "&"
+                    and i + 3 < len(toks)
+                    and toks[i + 2].kind == "id"
+                    and toks[i + 3].text == "("
+                ):
+                    close = _match_pair(toks, i + 3)
+                    j = close + 1
+                    while j < len(toks) and toks[j].text not in ("{", ";"):
+                        j += 1
+                    if j < len(toks) and toks[j].text == "{":
+                        pending_accessors.append((toks[i + 2].text, j, src))
+                    i += 1
+                    continue
+                # Declaration: `Mutex name{LockRank::kX, ...}` / `(...)`.
+                if (
+                    nxt.kind == "id"
+                    and i + 2 < len(toks)
+                    and toks[i + 2].text in ("{", "(")
+                ):
+                    close = _match_pair(toks, i + 2)
+                    rankname = None
+                    for k in range(i + 3, close):
+                        if (
+                            toks[k].text == "LockRank"
+                            and k + 2 <= close
+                            and toks[k + 1].text == "::"
+                        ):
+                            rankname = toks[k + 2].text
+                            break
+                    if rankname is not None:
+                        cls = next(
+                            (n for k, n in reversed(scope) if k == "class"), None
+                        )
+                        env.add(cls, nxt.text, rankname, src.path)
+                        i = close + 1
+                        continue
+            # `x.set_rank(LockRank::kX, ...)` — arrays ranked in a loop.
+            if (
+                t.kind == "id"
+                and t.text == "set_rank"
+                and i + 4 < len(toks)
+                and toks[i + 1].text == "("
+                and toks[i + 2].text == "LockRank"
+                and toks[i + 3].text == "::"
+            ):
+                rankname = toks[i + 4].text
+                name = None
+                if i >= 2 and toks[i - 1].text in (".", "->"):
+                    name = toks[i - 2].text
+                    # `for (auto& s : arr_) s.set_rank(...)`: rank the array.
+                    for k in range(max(0, i - 20), i):
+                        if (
+                            toks[k].text == ":"
+                            and k + 2 < i
+                            and toks[k + 1].kind == "id"
+                            and toks[k + 2].text == ")"
+                        ):
+                            name = toks[k + 1].text
+                if name is not None:
+                    cls = next((n for k, n in reversed(scope) if k == "class"), None)
+                    env.add(cls, name, rankname, src.path)
+                i += 5
+                continue
+            # Scope bookkeeping (mirrors extract_functions' classifier, but
+            # descends into function bodies so locals are attributed too).
+            if t.text == ";":
+                stmt_start = i + 1
+            elif t.text == "}":
+                if scope:
+                    scope.pop()
+                stmt_start = i + 1
+            elif t.text == "{":
+                words = [x.text for x in toks[stmt_start:i]]
+                if "namespace" in words:
+                    scope.append(("namespace", "<ns>"))
+                elif {"class", "struct"} & set(words):
+                    names = [
+                        x.text
+                        for x in toks[stmt_start:i]
+                        if x.kind == "id"
+                        and x.text
+                        not in ("class", "struct", "final", "public",
+                                "private", "protected", "alignas")
+                    ]
+                    scope.append(("class", names[0] if names else "<anon>"))
+                else:
+                    scope.append(("block", "<anon>"))
+                stmt_start = i + 1
+            i += 1
+    # Accessors resolve once every declaration is known.
+    for fname, body_open, src in pending_accessors:
+        toks = src.toks
+        end = _match_pair(toks, body_open)
+        for k in range(body_open, end):
+            if toks[k].kind == "id" and toks[k].text == "return":
+                for j in range(k + 1, min(end, k + 12)):
+                    if toks[j].kind == "id" and toks[j].text in env.by_name:
+                        rnames = {r for _, r, _ in env.by_name[toks[j].text]}
+                        if len(rnames) == 1:
+                            env.accessors[fname] = rnames.pop()
+                        break
+                break
+    return env
+
+
+def _receiver_before(toks, dot_idx):
+    """Identifier naming the receiver of `<recv>.m(...)`, skipping one
+    subscript: `arr_[i].m(...)` -> arr_."""
+    j = dot_idx - 1
+    if j >= 0 and toks[j].text == "]":
+        depth = 0
+        while j >= 0:
+            if toks[j].text == "]":
+                depth += 1
+            elif toks[j].text == "[":
+                depth -= 1
+                if depth == 0:
+                    j -= 1
+                    break
+            j -= 1
+    if j >= 0 and toks[j].kind == "id":
+        return toks[j].text
+    return None
+
+
+def _resolve_expr(toks, lo, hi, cls, path, env):
+    """(display_name, rankname) for a lock expression: the first identifier
+    that resolves as a declared lock or a lock-returning accessor."""
+    last_id = None
+    for k in range(lo, hi):
+        if toks[k].kind != "id":
+            continue
+        last_id = toks[k].text
+        acc = env.accessors.get(toks[k].text)
+        if acc is not None:
+            return toks[k].text, acc
+        r = env.resolve(toks[k].text, cls, path)
+        if r is not None:
+            return toks[k].text, r
+    return last_id, None
+
+
+def _fn_cls(fn):
+    return fn.qualname[-2] if len(fn.qualname) >= 2 else None
+
+
+def _scan_fn_lock_events(fn, env):
+    """Token-ordered events: ('acq', idx, scope_end, name, rank, var,
+    guarded), ('rel', idx, name), ('call', idx, chain)."""
+    toks = fn.src.toks
+    cls = _fn_cls(fn)
+    path = fn.src.path
+    events = []
+    i = fn.body_start
+    while i < fn.body_end:
+        t = toks[i]
+        if t.kind != "id":
+            i += 1
+            continue
+        prev = toks[i - 1].text if i > 0 else ""
+        # Scoped guards: MutexLock g(mu); SpinLockGuard g(mu);
+        if (
+            t.text in GUARD_CLASSES
+            and i + 2 < len(toks)
+            and toks[i + 1].kind == "id"
+            and toks[i + 2].text == "("
+        ):
+            close = _match_pair(toks, i + 2)
+            name, rank = _resolve_expr(toks, i + 3, close, cls, path, env)
+            events.append(("acq", i, scope_close(toks, close, fn), name, rank,
+                           toks[i + 1].text, False))
+            i = close + 1
+            continue
+        # std wrappers over our locks (legacy spellings).
+        if t.text in LOCK_WRAPPERS and prev not in (".", "->"):
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                j = _match_pair_angle(toks, j)
+            if j + 1 < len(toks) and toks[j].kind == "id" and toks[j + 1].text == "(":
+                close = _match_pair(toks, j + 1)
+                arg_words = {toks[k].text for k in range(j + 2, close)}
+                if "try_to_lock" not in arg_words:
+                    name, rank = _resolve_expr(toks, j + 2, close, cls, path, env)
+                    events.append(("acq", i, scope_close(toks, close, fn), name,
+                                   rank, toks[j].text, False))
+                i = close + 1
+                continue
+        # GuardedLock<T> g(m, mu): managed acquisition; parks at a
+        # safepoint while holding mu, so mu must rank below kSafepoint.
+        if t.text == "GuardedLock":
+            j = i + 1
+            if j < len(toks) and toks[j].text == "<":
+                j = _match_pair_angle(toks, j)
+            if j + 1 < len(toks) and toks[j].kind == "id" and toks[j + 1].text == "(":
+                close = _match_pair(toks, j + 1)
+                comma = next(
+                    (k for k in range(j + 2, close) if toks[k].text == ","), j + 1
+                )
+                name, rank = _resolve_expr(toks, comma + 1, close, cls, path, env)
+                events.append(("acq", i, scope_close(toks, close, fn), name,
+                               rank, toks[j].text, True))
+                i = close + 1
+                continue
+        # Manual lock()/unlock() on a lock object.
+        if (
+            prev in (".", "->")
+            and t.text in ("lock", "unlock")
+            and i + 1 < len(toks)
+            and toks[i + 1].text == "("
+        ):
+            recv = _receiver_before(toks, i - 1)
+            if recv is not None:
+                if t.text == "lock":
+                    rank = env.resolve(recv, cls, path)
+                    events.append(("acq", i, None, recv, rank, recv, False))
+                else:
+                    events.append(("rel", i, recv))
+            i += 2
+            continue
+        if prev in (".", "->") and t.text == "try_lock":
+            i += 1  # exempt from ordering (a failed try just fails)
+            continue
+        # Calls, member and free, for the transitive closure.
+        if prev in (".", "->"):
+            if (
+                t.text not in CALL_IGNORE
+                and i + 1 < len(toks)
+                and toks[i + 1].text == "("
+            ):
+                events.append(("call", i, (t.text,)))
+            i += 1
+            continue
+        chain = [t.text]
+        j = i + 1
+        while j + 1 < len(toks) and toks[j].text == "::" and toks[j + 1].kind == "id":
+            chain.append(toks[j + 1].text)
+            j += 2
+        k = j
+        if k < len(toks) and toks[k].text == "<":
+            k2 = _match_pair_angle(toks, k)
+            if k2 > k:
+                k = k2
+        if k < len(toks) and toks[k].kind == "id" and k != i:
+            k += 1  # declaration form: Type var(args)
+        if k < len(toks) and toks[k].text == "(" and chain[-1] not in CALL_IGNORE:
+            events.append(("call", i, tuple(chain)))
+        i = j if j > i + 1 else i + 1
+    return events
+
+
+def _call_suffix_index(all_fns):
+    by_suffix = {}
+    for fn in all_fns:
+        parts = fn.qualname
+        for s in range(len(parts)):
+            by_suffix.setdefault(parts[s:], []).append(fn)
+    return by_suffix
+
+
+def check_lock_order(sources, per_src_fns, all_fns, env, findings):
+    if not env.ranks:
+        return
+    rv = env.ranks
+    safepoint = rv.get(SAFEPOINT_RANK)
+
+    def held_violation(held_rank, acq_rank):
+        if rv[held_rank] > rv[acq_rank]:
+            return True
+        return rv[held_rank] == rv[acq_rank] and acq_rank not in SAME_RANK_OK
+
+    info = {}
+    for fn in all_fns:
+        events = _scan_fn_lock_events(fn, env)
+        held = []  # (name, rankname, line, scope_end, var)
+        direct = set()
+        callsites = []
+        toks = fn.src.toks
+        for ev in events:
+            idx = ev[1]
+            held = [h for h in held if h[3] is None or idx <= h[3]]
+            if ev[0] == "acq":
+                _, _, scope_end, name, rank, var, guarded = ev
+                line = toks[idx].line
+                if rank is not None:
+                    for h in held:
+                        if held_violation(h[1], rank):
+                            if not fn.src.suppressed(line, CHECK_ORDER):
+                                findings.append(Finding(
+                                    fn.src.path, line, CHECK_ORDER,
+                                    f"acquires '{name}' ({rank}, rank "
+                                    f"{rv[rank]}) while holding '{h[0]}' "
+                                    f"({h[1]}, rank {rv[h[1]]}, line {h[2]}): "
+                                    f"inverts the declared order in "
+                                    f"support/lock_rank.h"))
+                            break
+                    direct.add(rank)
+                if guarded and safepoint is not None:
+                    if rank is not None and rv[rank] >= safepoint:
+                        if not fn.src.suppressed(line, CHECK_ORDER):
+                            findings.append(Finding(
+                                fn.src.path, line, CHECK_ORDER,
+                                f"GuardedLock over '{name}' ({rank}, rank "
+                                f"{rv[rank]}): leave_blocked takes the "
+                                f"safepoint lock (rank {safepoint}) while "
+                                f"holding it, so GuardedLock targets must "
+                                f"rank below kSafepoint"))
+                    direct.add(SAFEPOINT_RANK)
+                if rank is not None:
+                    held.append((name, rank, line, scope_end, var))
+            elif ev[0] == "rel":
+                name = ev[2]
+                for k in range(len(held) - 1, -1, -1):
+                    if held[k][4] == name or held[k][0] == name:
+                        held.pop(k)
+                        break
+            else:  # call
+                if held:
+                    callsites.append((idx, toks[idx].line, ev[2], list(held)))
+        info[fn] = (direct, callsites)
+
+    by_suffix = _call_suffix_index(all_fns)
+    closure = {fn: set(d) for fn, (d, _) in info.items()}
+    changed = True
+    while changed:
+        changed = False
+        for fn, (_, callsites) in info.items():
+            for _, _, chain, _ in callsites:
+                for callee in by_suffix.get(chain, []):
+                    add = closure[callee] - closure[fn]
+                    if add:
+                        closure[fn] |= add
+                        changed = True
+
+    reported = set()
+    for fn, (_, callsites) in info.items():
+        for idx, line, chain, held in callsites:
+            callee_ranks = set()
+            for callee in by_suffix.get(chain, []):
+                callee_ranks |= closure[callee]
+            for rank in sorted(callee_ranks, key=lambda r: rv[r]):
+                bad = next((h for h in held if held_violation(h[1], rank)), None)
+                if bad is None:
+                    continue
+                key = (fn.src.path, line, chain, rank)
+                if key in reported or fn.src.suppressed(line, CHECK_ORDER):
+                    break
+                reported.add(key)
+                findings.append(Finding(
+                    fn.src.path, line, CHECK_ORDER,
+                    f"call to {'::'.join(chain)}() may acquire {rank} (rank "
+                    f"{rv[rank]}) while holding '{bad[0]}' ({bad[1]}, rank "
+                    f"{rv[bad[1]]}, line {bad[2]}): inverts the declared "
+                    f"order in support/lock_rank.h"))
+                break
+
+
+def check_loop_purity(sources, per_src_fns, all_fns, findings):
+    by_suffix = _call_suffix_index(all_fns)
+    fn_calls = {
+        fn: [ev[2] for ev in _scan_fn_lock_events(fn, _EMPTY_ENV)
+             if ev[0] == "call"]
+        for fn in all_fns
+    }
+    loop_fns = set()
+    work = [fn for fn in all_fns
+            if any(fn.qualname[-len(r):] == r for r in LOOP_ROOTS)]
+    while work:
+        fn = work.pop()
+        if fn in loop_fns:
+            continue
+        loop_fns.add(fn)
+        for chain in fn_calls[fn]:
+            for callee in by_suffix.get(chain, []):
+                if callee not in loop_fns:
+                    work.append(callee)
+
+    for fn in loop_fns:
+        src = fn.src
+        toks = src.toks
+        muts = mutator_idents(src)
+        i = fn.body_start
+        while i < fn.body_end:
+            t = toks[i]
+            if t.kind != "id":
+                i += 1
+                continue
+            line = t.line
+            prev = toks[i - 1].text if i > 0 else ""
+            hit = None
+            if (
+                prev == "::"
+                and t.text in BLOCKING_SYSCALLS
+                and i + 1 < len(toks)
+                and toks[i + 1].text == "("
+                and (i < 2 or toks[i - 2].kind != "id")
+            ):
+                hit = (f"blocking syscall ::{t.text}() on the event-loop "
+                       f"thread stalls every connection on this loop; move "
+                       f"it to a worker, or suppress with a comment stating "
+                       f"why the fd cannot block")
+            elif t.text == "GuardedLock":
+                hit = ("GuardedLock on the event-loop thread parks it "
+                       "blocked at a safepoint: a GC pause would stall "
+                       "every connection on this loop")
+            elif (
+                prev in (".", "->")
+                and t.text == "wait"
+                and i + 1 < len(toks)
+                and toks[i + 1].text == "("
+            ):
+                hit = ("unbounded wait on the event-loop thread stalls "
+                       "every connection on this loop")
+            elif (
+                prev in (".", "->")
+                and t.text in POLLING_METHODS
+                and i >= 2
+                and toks[i - 2].kind == "id"
+                and toks[i - 2].text in muts
+            ):
+                hit = (f"managed-heap activity (Mutator::{t.text}) on the "
+                       f"event-loop thread: allocation can trigger a "
+                       f"collection and park the loop")
+            if hit is not None and not src.suppressed(line, CHECK_LOOP):
+                findings.append(Finding(src.path, line, CHECK_LOOP, hit))
+            i += 1
+
+
+def run_shared_passes(sources, per_src_fns, all_fns, root, findings):
+    env = collect_lock_decls(sources, load_rank_table(root))
+    check_lock_order(sources, per_src_fns, all_fns, env, findings)
+    check_loop_purity(sources, per_src_fns, all_fns, findings)
+
+
 # --- driver -----------------------------------------------------------------
 
 
@@ -976,6 +1607,12 @@ def main():
         "(default: <root>/build/compile_commands.json)",
     )
     ap.add_argument("--self-test", action="store_true", help="run the corpus")
+    ap.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a JSON array of {file, line, pass, message} "
+        "(for CI annotations)",
+    )
     args = ap.parse_args()
 
     engine = args.engine
@@ -999,7 +1636,18 @@ def main():
     if findings is None:
         print("gclint: engine unavailable", file=sys.stderr)
         sys.exit(2)
-    for f in sorted(findings, key=lambda x: (x.path, x.line)):
+    findings.sort(key=lambda x: (x.path, x.line, x.check))
+    if args.json:
+        print(json.dumps(
+            [
+                {"file": f.path, "line": f.line, "pass": f.check,
+                 "message": f.message}
+                for f in findings
+            ],
+            indent=2,
+        ))
+        sys.exit(1 if findings else 0)
+    for f in findings:
         print(f)
     if findings:
         print(f"gclint ({engine}): {len(findings)} violation(s)")
