@@ -1,0 +1,176 @@
+// Three-node replication smoke: loads a replicated kvstore through the
+// rotating client, then forces a leader failover — a stop-the-world pause
+// on the leader (the pump parks at the safepoint, exactly the GC sensor
+// the design hangs the failure detector off) with its heartbeats
+// deterministically suppressed so the detector must fire — and keeps
+// writing through the election. Every phase asserts it actually happened:
+// writes acked, an election won, the old leader deposed, client
+// redirects observed. Ends with the cluster-wide safety verifier and the
+// zero-lost-acked-writes check. Exits non-zero on any violation or on a
+// vacuous run.
+//
+//   repl_smoke [--quick]   (--quick: CI-sized run, ~200 keys)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include "replication/cluster.h"
+#include "replication/repl_client.h"
+#include "support/fault.h"
+#include "support/units.h"
+
+int main(int argc, char** argv) {
+  using namespace mgc;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::uint64_t keys = quick ? 200 : 2000;
+  const std::size_t vlen = 256;
+
+  repl::ClusterConfig cc;
+  cc.nodes = 3;
+  repl::NodeConfig& nc = cc.node;
+  nc.shards = 2;
+  nc.quorum = 2;
+  nc.heartbeat_every_ticks = 1;
+  nc.election_timeout_ticks = 8;
+  nc.vm.gc = GcKind::kSerial;
+  nc.vm.heap_bytes = 48 * MiB;
+  nc.vm.young_bytes = 12 * MiB;
+  nc.vm.gc_threads = 2;
+  nc.store = kv::StoreConfig::default_config(nc.vm.heap_bytes);
+  nc.store.value_len = vlen;
+
+  repl::Cluster cluster(cc);
+  cluster.start_ticker(/*interval_us=*/1000);
+
+  int leader = -1;
+  if (!cluster.wait_leader(&leader)) {
+    std::cerr << "FAIL: no leader after bootstrap\n";
+    return 2;
+  }
+
+  net::RetryPolicy policy;
+  policy.timeout_ms = 2000;
+  policy.backoff_initial_ms = 1;
+  policy.backoff_cap_ms = 50;
+  repl::ReplClient client(cluster.client_ports(), {policy, /*max_rounds=*/32});
+
+  // Phase 1: load. Every insert must come back kOk (acked by a quorum).
+  std::uint64_t failed = 0;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    kv::Request req;
+    req.op = kv::OpType::kInsert;
+    req.key = k;
+    req.value_len = vlen;
+    if (client.execute(req).status != kv::ExecStatus::kOk) ++failed;
+  }
+  if (failed != 0) {
+    std::cerr << "FAIL: " << failed << " of " << keys << " loads not acked\n";
+    return 1;
+  }
+  if (!cluster.wait_converged()) {
+    std::cerr << "FAIL: cluster did not converge after load\n";
+    return 1;
+  }
+
+  // Phase 2: forced failover. Suppress every heartbeat the leader sends
+  // (deterministic — the detector MUST fire) and park its pump in a forced
+  // full STW pause while the tick clock keeps running: the same silence a
+  // long collector pause inflicts, minus the luck about its length.
+  const int old_leader = leader;
+  {
+    char spec[64];
+    std::snprintf(spec, sizeof(spec), "repl-heartbeat-loss:scope=%d",
+                  old_leader);
+    std::string err;
+    if (!fault::parse_spec(spec, &err)) {
+      std::cerr << "bad fault spec: " << err << "\n";
+      return 2;
+    }
+    fault::set_seed(7);
+  }
+  {
+    // The pause itself: parks this thread AND the leader's pump/workers.
+    Vm::MutatorScope scope(cluster.node(static_cast<std::size_t>(old_leader)).vm(),
+                           "smoke-forced-pause");
+    scope.mutator().system_gc();
+  }
+  int new_leader = -1;
+  for (int waited = 0; waited < 5000; ++waited) {
+    new_leader = cluster.leader_index();
+    if (new_leader >= 0 && new_leader != old_leader) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  fault::disarm_all();
+  if (new_leader < 0 || new_leader == old_leader) {
+    std::cerr << "FAIL: no failover (leader still " << old_leader << ")\n";
+    return 1;
+  }
+
+  // Phase 3: keep writing through/after the election; the client must
+  // chase the leadership via kNotLeader redirects.
+  for (std::uint64_t k = keys; k < keys + keys / 2; ++k) {
+    kv::Request req;
+    req.op = kv::OpType::kInsert;
+    req.key = k;
+    req.value_len = vlen;
+    if (client.execute(req).status != kv::ExecStatus::kOk) ++failed;
+  }
+  if (failed != 0) {
+    std::cerr << "FAIL: " << failed << " post-failover writes not acked\n";
+    return 1;
+  }
+
+  // Phase 4: settle, then verify safety cluster-wide.
+  if (!cluster.wait_converged()) {
+    std::cerr << "FAIL: cluster did not re-converge after failover\n";
+    return 1;
+  }
+  const std::vector<std::string> bad = cluster.verify(&client.acked_keys());
+  for (const std::string& b : bad) std::cerr << "VERIFY: " << b << "\n";
+
+  // Non-vacuousness: the failover must have been real, observed end to end.
+  const repl::NodeStats old_stats =
+      cluster.node(static_cast<std::size_t>(old_leader)).stats();
+  const repl::NodeStats new_stats =
+      cluster.node(static_cast<std::size_t>(new_leader)).stats();
+  bool vacuous = false;
+  if (old_stats.heartbeats_lost == 0) {
+    std::cerr << "FAIL: heartbeat-loss fault never fired\n";
+    vacuous = true;
+  }
+  if (new_stats.elections_won == 0) {
+    std::cerr << "FAIL: new leader won no election\n";
+    vacuous = true;
+  }
+  if (old_stats.stepdowns == 0) {
+    std::cerr << "FAIL: old leader never stepped down\n";
+    vacuous = true;
+  }
+  if (client.rotations() == 0) {
+    std::cerr << "FAIL: client never redirected\n";
+    vacuous = true;
+  }
+  if (client.acked_keys().size() != keys + keys / 2) {
+    std::cerr << "FAIL: acked " << client.acked_keys().size() << " writes, "
+              << "expected " << (keys + keys / 2) << "\n";
+    vacuous = true;
+  }
+
+  cluster.shutdown();
+
+  std::cout << "repl smoke: " << client.acked_keys().size() << " acked writes, "
+            << "leader " << old_leader << " -> " << new_leader
+            << ", client rotations " << client.rotations() << ", backoffs "
+            << client.backoffs() << "\n";
+  if (!bad.empty() || vacuous) {
+    std::cerr << "FAIL: " << bad.size() << " safety violations, vacuous="
+              << (vacuous ? "yes" : "no") << "\n";
+    return 1;
+  }
+  std::cout << "repl smoke OK\n";
+  return 0;
+}

@@ -37,6 +37,23 @@ bool Memtable::get(Mutator& m, std::uint64_t key, char* out,
   return true;
 }
 
+bool Memtable::remove(Mutator& m, std::uint64_t key) {
+  GuardedLock<Mutex> g(m, stripe_for(key));
+  Obj* map = vm_.global_root(map_root_);
+  Obj* row = managed::hash_map::get(map, key);
+  if (row == nullptr) return false;
+  const std::size_t bytes = row_heap_bytes(row_value_len(row));
+  if (!managed::hash_map::remove(m, map, key)) return false;
+  // The accounting is approximate (put only adds on first insert, so an
+  // overwrite that changed the length skews it); clamp at zero instead of
+  // wrapping.
+  std::size_t cur = bytes_.load(std::memory_order_acquire);
+  while (!bytes_.compare_exchange_weak(
+      cur, cur - (bytes < cur ? bytes : cur), std::memory_order_acq_rel)) {
+  }
+  return true;
+}
+
 std::size_t Memtable::row_count() const {
   return managed::hash_map::size(vm_.global_root(map_root_));
 }

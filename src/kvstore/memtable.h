@@ -29,6 +29,10 @@ class Memtable {
   bool get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
            std::size_t* value_len, std::uint64_t* version);
 
+  // Unlinks the row for key, adjusting the byte accounting. Returns false
+  // when no row exists. Does not allocate (hash_map::remove only unlinks).
+  bool remove(Mutator& m, std::uint64_t key);
+
   std::size_t approx_bytes() const {
     return bytes_.load(std::memory_order_acquire);
   }

@@ -186,11 +186,10 @@ void Server::worker_main(Shard& s, int widx) {
         case OpType::kUpdate:
         case OpType::kInsert: {
           const std::size_t len = std::min(p->req.value_len, scratch.size());
-          // Deterministic value bytes derived from the key.
-          for (std::size_t i = 0; i < std::min<std::size_t>(len, 16); ++i) {
-            scratch[i] = static_cast<char>(p->req.key >> (i % 8));
-          }
-          resp.found = s.store->put(m, p->req.key, scratch.data(), len);
+          synth_value(p->req.key, scratch.data(), len);
+          std::uint64_t seq = 0;
+          resp.found = s.store->put(m, p->req.key, scratch.data(), len, &seq);
+          resp.seq = seq;
           if (!resp.found) resp.status = ExecStatus::kOverloaded;
           break;
         }

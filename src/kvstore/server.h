@@ -60,12 +60,30 @@ enum class ExecStatus : std::uint8_t {
   kOverloaded = 2,  // shed: queue full under GC pressure, or the request
                     // failed in a retryable way (commit-log write failure,
                     // worker OutOfMemoryError). Clients should back off.
+  kNotLeader = 3,   // write sent to a replication follower; retry against
+                    // another node (repl::ReplClient rotates on this)
 };
 
 struct Response {
   bool found = false;
   ExecStatus status = ExecStatus::kOk;
+  // Replication sequence number the write committed at (0 for reads,
+  // failures, and unreplicated stores). In-process only — the wire
+  // response does not carry it; repl::Node consumes it before the frame
+  // is encoded.
+  std::uint64_t seq = 0;
 };
+
+// Deterministic value bytes derived from the key — what the server workers
+// store for every write. Replication streams only {key, value_len}: every
+// replica regenerates identical value bytes from the key, so append frames
+// stay fixed-size regardless of row size.
+inline void synth_value(std::uint64_t key, char* out, std::size_t len) {
+  const std::size_t n = len < 16 ? len : 16;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(key >> (i % 8));
+  }
+}
 
 // Outcome of an asynchronous try_submit(). On kAccepted the completion runs
 // exactly once on a worker thread; on any rejection it never runs.
@@ -74,6 +92,21 @@ enum class SubmitResult : std::uint8_t {
   kShutdown = 1,    // server is stopping
   kOverloaded = 2,  // shed: the owning shard's queue is at capacity while
                     // the heap is near-full
+  kNotLeader = 3,   // replication follower rejecting a write (repl::Node)
+};
+
+// Abstract asynchronous submission surface: what the socket front-end
+// (net::NetServer) drives. kv::Server implements it directly; repl::Node
+// wraps a Server per replica to intercept writes for quorum replication
+// and gate follower reads on staleness, without the net layer knowing.
+class RequestSink {
+ public:
+  using CompletionFn = std::function<void(const Response&)>;
+  virtual ~RequestSink() = default;
+  // On kAccepted the completion runs exactly once on some non-event-loop
+  // thread; on any rejection it never runs. Must not block: event loops
+  // call this directly.
+  virtual SubmitResult try_submit(const Request& req, CompletionFn done) = 0;
 };
 
 // Sharded-mode tuning. The single-store constructor ignores it.
@@ -85,9 +118,9 @@ struct ServerConfig {
   bool pin_workers = false;
 };
 
-class Server {
+class Server : public RequestSink {
  public:
-  using CompletionFn = std::function<void(const Response&)>;
+  using CompletionFn = RequestSink::CompletionFn;
 
   // Single-shard server over an externally owned store (the pre-sharding
   // shape; every original call site still works).
@@ -97,7 +130,7 @@ class Server {
   // shard of `store`. The ShardedStore must outlive the server.
   Server(Vm& vm, ShardedStore& store, ServerConfig cfg = {});
 
-  ~Server();
+  ~Server() override;
 
   // Stops accepting work, wakes clients blocked on full queues (they get
   // ExecStatus::kShutdown), drains requests already queued, and joins the
@@ -123,7 +156,7 @@ class Server {
   // shard. On kAccepted, `done` is invoked exactly once on one of that
   // shard's worker threads after the request executes; on kShutdown /
   // kOverloaded it never runs.
-  SubmitResult try_submit(const Request& req, CompletionFn done);
+  SubmitResult try_submit(const Request& req, CompletionFn done) override;
 
   std::size_t shard_count() const { return shards_.size(); }
   // The shard execute()/try_submit() would route `key` to.

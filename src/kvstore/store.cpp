@@ -53,15 +53,27 @@ Store::Store(Vm& vm, const StoreConfig& cfg)
            cfg.fault_scope) {}
 
 bool Store::put(Mutator& m, std::uint64_t key, const char* value,
-                std::size_t value_len) {
+                std::size_t value_len, std::uint64_t* out_seq) {
   // Log first (write-ahead): a refused log write fails the whole put before
   // the memtable sees the row, preserving "memtable ⊆ log ∪ sstables".
   if (!log_.append(m, key, value, value_len)) return false;
   const std::uint64_t version =
       version_.fetch_add(1, std::memory_order_acq_rel);
   memtable_.put(m, key, version, value, value_len);
+  // Commit point: the row is durable and visible. The replication hook
+  // runs with no store locks held (the memtable stripe was released) so it
+  // may take the replication-log lock without ordering hazards.
+  std::uint64_t seq = 0;
+  if (commit_hook_) {
+    seq = commit_hook_(key, static_cast<std::uint32_t>(value_len));
+  }
+  if (out_seq != nullptr) *out_seq = seq;
   maybe_flush(m);
   return true;
+}
+
+bool Store::remove(Mutator& m, std::uint64_t key) {
+  return memtable_.remove(m, key);
 }
 
 bool Store::get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,

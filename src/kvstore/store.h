@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "kvstore/commit_log.h"
@@ -38,16 +39,38 @@ struct StoreConfig {
 
 class Store {
  public:
+  // Commit hook: invoked after a successful put has reached the memtable
+  // (commit log + memtable mutated, no store locks held), with the row's
+  // key and value length. Returns the replication sequence number assigned
+  // to the committed row (0 = unreplicated store). repl::Node installs one
+  // per shard to append committed writes to its replication log.
+  using CommitHook = std::function<std::uint64_t(std::uint64_t key,
+                                                 std::uint32_t value_len)>;
+
   Store(Vm& vm, const StoreConfig& cfg);
 
   // All operations run on a mutator (server worker) thread.
   // put() returns false — with neither the log nor the memtable mutated —
   // when the commit-log write is refused (injected device failure); the
-  // server maps that to ExecStatus::kOverloaded.
+  // server maps that to ExecStatus::kOverloaded. On success *out_seq (when
+  // given) holds the commit hook's sequence number, 0 if no hook is set.
   bool put(Mutator& m, std::uint64_t key, const char* value,
-           std::size_t value_len);
+           std::size_t value_len, std::uint64_t* out_seq = nullptr);
   bool get(Mutator& m, std::uint64_t key, char* out, std::size_t out_cap,
            std::size_t* value_len);
+
+  // Removes the row from the memtable (replication truncation repair: a
+  // rejoining ex-leader undoes rows its diverged log suffix applied).
+  // Rows already flushed to an sstable are beyond the repair window —
+  // sstables are immutable — so replication configs keep the flush
+  // threshold above the divergence window. Returns true if a row was
+  // removed.
+  bool remove(Mutator& m, std::uint64_t key);
+
+  // Install/clear the commit hook. Not thread-safe against concurrent
+  // puts: wire it before the serving threads start (repl::Node does this
+  // in its constructor).
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
   Memtable& memtable() { return memtable_; }
   CommitLog& commit_log() { return log_; }
@@ -64,6 +87,7 @@ class Store {
   Memtable memtable_;
   CommitLog log_;
   SsTableSet sstables_;
+  CommitHook commit_hook_;
   Mutex flush_mu_{LockRank::kStoreFlush, "store-flush"};
   std::atomic<std::uint64_t> version_{1};
   std::atomic<std::uint64_t> flushes_{0};

@@ -9,9 +9,33 @@ namespace mgc::net {
 
 BlockingClient::BlockingClient(const std::string& host, std::uint16_t port,
                                RetryPolicy policy)
-    : host_(host), port_(port), policy_(policy), next_tag_(1) {
+    : host_(host),
+      port_(port),
+      policy_(policy),
+      next_tag_(1),
+      jitter_rng_(policy.jitter_seed) {
   fd_ = connect_tcp(host_, port_);
   if (fd_.valid()) set_timeouts(fd_.get(), policy_.timeout_ms);
+}
+
+int BlockingClient::next_backoff_ms(int prev_ms) {
+  if (prev_ms < 0) prev_ms = 0;
+  if (!policy_.decorrelated_jitter) {
+    return std::min(prev_ms * 2, policy_.backoff_cap_ms);
+  }
+  const auto lo = static_cast<std::uint64_t>(
+      policy_.backoff_initial_ms > 0 ? policy_.backoff_initial_ms : 0);
+  const std::uint64_t hi =
+      std::max(lo, 3 * static_cast<std::uint64_t>(prev_ms));
+  const std::uint64_t d = jitter_rng_.in_range(lo, hi);
+  const auto cap = static_cast<std::uint64_t>(
+      policy_.backoff_cap_ms > 0 ? policy_.backoff_cap_ms : 0);
+  return static_cast<int>(std::min(d, cap));
+}
+
+bool BlockingClient::call_once(const kv::Request& req, ResponseFrame* out) {
+  if (!fd_.valid() && !reconnect()) return false;
+  return call(req, out);
 }
 
 bool BlockingClient::reconnect() {
@@ -174,7 +198,7 @@ std::vector<kv::Response> BlockingClient::execute_batch(
       if (delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       }
-      delay_ms = std::min(delay_ms * 2, policy_.backoff_cap_ms);
+      delay_ms = next_backoff_ms(delay_ms);
     }
     if (!fd_.valid() && !reconnect()) continue;
     std::vector<kv::Request> window;
@@ -208,7 +232,7 @@ kv::Response BlockingClient::execute(const kv::Request& req) {
       if (delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
       }
-      delay_ms = std::min(delay_ms * 2, policy_.backoff_cap_ms);
+      delay_ms = next_backoff_ms(delay_ms);
     }
     if (!fd_.valid() && !reconnect()) continue;
     ResponseFrame f;

@@ -24,6 +24,7 @@
 #include "kvstore/server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "support/rng.h"
 
 namespace mgc::net {
 
@@ -34,6 +35,15 @@ struct RetryPolicy {
   int timeout_ms = 2000;        // per-socket-op SO_RCVTIMEO/SO_SNDTIMEO
   int backoff_initial_ms = 10;  // delay before the first retry
   int backoff_cap_ms = 500;     // exponential backoff ceiling
+  // Decorrelated jitter: after the first retry each delay is drawn
+  // uniformly from [backoff_initial_ms, 3 * previous_delay], capped at
+  // backoff_cap_ms. Pure exponential backoff synchronizes the retry
+  // storms of every client that observed the same failover at the same
+  // moment; jitter spreads them out. The draw comes from a client-local
+  // RNG seeded with jitter_seed, so fault-replay runs that fix the seed
+  // reproduce the exact same retry schedule.
+  bool decorrelated_jitter = true;
+  std::uint64_t jitter_seed = 0x6d67632d6a697401ULL;
 };
 
 class BlockingClient {
@@ -53,6 +63,12 @@ class BlockingClient {
   // callers can verify responses are not cross-wired. No retries — this is
   // the single-attempt primitive execute() builds on.
   bool call(const kv::Request& req, ResponseFrame* out);
+
+  // Reconnects if the connection is down, then performs exactly one
+  // call(). For callers that run their own retry/redirect policy across
+  // several servers (repl::ReplClient rotating through a replica set) —
+  // execute() below retries against this one address only.
+  bool call_once(const kv::Request& req, ResponseFrame* out);
 
   // Retrying wrapper: reconnects and backs off on transport failure, backs
   // off and resends on kOverloaded. Returns the last server response, or a
@@ -82,6 +98,12 @@ class BlockingClient {
   std::uint64_t retries() const { return retries_; }
   std::uint64_t reconnects() const { return reconnects_; }
 
+  // The delay to sleep before the retry after one that slept `prev_ms`
+  // (pass backoff_initial_ms for the first). Public so tests can check
+  // the jittered schedule is deterministic and bounded without timing
+  // real sleeps.
+  int next_backoff_ms(int prev_ms);
+
  private:
   // Drops the current connection (and any half-read response bytes) and
   // dials a new one. False if the server is unreachable.
@@ -97,6 +119,7 @@ class BlockingClient {
   std::size_t roff_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t reconnects_ = 0;
+  Rng jitter_rng_;
 };
 
 }  // namespace mgc::net

@@ -71,7 +71,7 @@ struct NetServer::CompletionSink {
   }
 };
 
-NetServer::NetServer(kv::Server& backend, NetServerConfig cfg)
+NetServer::NetServer(kv::RequestSink& backend, NetServerConfig cfg)
     : backend_(backend), cfg_(cfg) {
   const int nloops = std::max(1, cfg_.loops);
   loops_.reserve(static_cast<std::size_t>(nloops));
@@ -453,13 +453,22 @@ void NetServer::submit_one(Loop& lp, Conn* c, std::uint64_t tag,
       });
   if (sr != kv::SubmitResult::kAccepted) {
     // Rejected without executing: answer directly with the typed status —
-    // kShutdown (backend stopping under us) or kOverloaded (load shed
-    // under GC pressure; the client backs off and retries).
+    // kShutdown (backend stopping under us), kOverloaded (load shed under
+    // GC pressure; the client backs off and retries), or kNotLeader (a
+    // replication follower refusing a write; the client re-routes).
     c->inflight--;
     kv::Response resp;
-    resp.status = sr == kv::SubmitResult::kShutdown
-                      ? kv::ExecStatus::kShutdown
-                      : kv::ExecStatus::kOverloaded;
+    switch (sr) {
+      case kv::SubmitResult::kShutdown:
+        resp.status = kv::ExecStatus::kShutdown;
+        break;
+      case kv::SubmitResult::kNotLeader:
+        resp.status = kv::ExecStatus::kNotLeader;
+        break;
+      default:
+        resp.status = kv::ExecStatus::kOverloaded;
+        break;
+    }
     enqueue_response(lp, c, tag, resp);
   }
 }
@@ -479,7 +488,7 @@ void NetServer::enqueue_response(Loop& lp, Conn* c, std::uint64_t tag,
   flush_out(lp, c);
 }
 
-void NetServer::flush_out(Loop& lp, Conn* c) {
+void NetServer::flush_out(Loop& /*lp*/, Conn* c) {
   while (c->out_pending() > 0 && !c->broken) {
     if (fault::should_fire(fault::Site::kNetEpipe)) {
       // Injected EPIPE: the peer reset mid-write. Same path as a real send

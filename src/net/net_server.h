@@ -81,8 +81,10 @@ struct NetServerStats {
 class NetServer {
  public:
   // Binds and starts the event loops; aborts (MGC_CHECK) if no loopback
-  // listen socket can be created — tests and benches cannot proceed.
-  explicit NetServer(kv::Server& backend, NetServerConfig cfg = {});
+  // listen socket can be created — tests and benches cannot proceed. The
+  // backend is any RequestSink: a kv::Server directly, or a repl::Node
+  // interposing replication in front of one.
+  explicit NetServer(kv::RequestSink& backend, NetServerConfig cfg = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -158,7 +160,7 @@ class NetServer {
   void enqueue_response(Loop& lp, Conn* c, std::uint64_t tag,
                         const kv::Response& r);
 
-  kv::Server& backend_;
+  kv::RequestSink& backend_;
   NetServerConfig cfg_;
   std::uint16_t port_ = 0;
   bool reuseport_ = false;

@@ -153,7 +153,7 @@ bool decode_response_body(const std::uint8_t* p, std::size_t found_off,
   // carries found at offset 9, the batch entry packs it at offset 9 too;
   // the offset parameter keeps the two layouts honest if they diverge.
   const std::uint8_t status = p[0];
-  if (status > static_cast<std::uint8_t>(kv::ExecStatus::kOverloaded))
+  if (status > static_cast<std::uint8_t>(kv::ExecStatus::kNotLeader))
     return false;
   const std::uint8_t found = p[found_off];
   if (found > 1) return false;

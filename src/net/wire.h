@@ -67,6 +67,17 @@ enum class MsgKind : std::uint8_t {
   kResponse = 1,
   kBatchRequest = 2,
   kBatchResponse = 3,
+  // Replication-plane frames (version 2). Client-facing decoders reject
+  // them: decode_any's header check recognizes only the four kinds above,
+  // so a replication frame arriving on a client connection is a protocol
+  // error, exactly like any other unknown kind. The strict codec for these
+  // lives in replication/repl_wire.{h,cpp}.
+  kReplAppend = 4,
+  kReplAck = 5,
+  kReplHeartbeat = 6,
+  kReplVoteReq = 7,
+  kReplVoteResp = 8,
+  kReplHello = 9,
 };
 
 struct RequestFrame {

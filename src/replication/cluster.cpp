@@ -1,0 +1,263 @@
+#include "replication/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+
+#include "kvstore/server.h"
+#include "support/check.h"
+
+namespace mgc::repl {
+
+namespace {
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool entries_equal(const ReplLog::Entry& a, const ReplLog::Entry& b) {
+  // Terms are excluded: a new leader re-streams inherited entries under
+  // its own term, so replicas legitimately disagree on an entry's term
+  // while agreeing on its content and position.
+  return a.seq == b.seq && a.key == b.key && a.value_len == b.value_len &&
+         a.shard == b.shard && a.shard_seq == b.shard_seq;
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& cfg) {
+  MGC_CHECK(cfg.nodes >= 1 && cfg.nodes <= 64);
+  MGC_CHECK(cfg.node.quorum >= 1 && cfg.node.quorum <= cfg.nodes);
+  nodes_.reserve(cfg.nodes);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    NodeConfig nc = cfg.node;
+    nc.id = static_cast<std::uint32_t>(i);
+    nc.repl_port = 0;
+    nc.net.port = 0;
+    nc.start_as_leader = (i == 0);
+    nodes_.push_back(std::make_unique<Node>(nc));
+  }
+  // Every listener is bound; wire the full mesh.
+  std::vector<PeerAddr> addrs;
+  addrs.reserve(cfg.nodes);
+  for (const auto& n : nodes_) addrs.push_back({n->id(), n->repl_port()});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::vector<PeerAddr> peers;
+    for (std::size_t j = 0; j < addrs.size(); ++j) {
+      if (j != i) peers.push_back(addrs[j]);
+    }
+    nodes_[i]->connect_peers(peers);
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+std::vector<std::uint16_t> Cluster::client_ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->client_port());
+  return out;
+}
+
+void Cluster::tick(std::uint64_t n) {
+  for (auto& node : nodes_) node->advance_ticks(n);
+}
+
+void Cluster::start_ticker(int interval_us) {
+  if (ticker_running_) return;
+  ticker_stop_.store(false, std::memory_order_release);
+  ticker_ = std::thread([this, interval_us] {
+    while (!ticker_stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(interval_us));
+      tick(1);
+    }
+  });
+  ticker_running_ = true;
+}
+
+void Cluster::stop_ticker() {
+  if (!ticker_running_) return;
+  ticker_stop_.store(true, std::memory_order_release);
+  ticker_.join();
+  ticker_running_ = false;
+}
+
+int Cluster::leader_index() const {
+  int best = -1;
+  std::uint64_t best_term = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->role() != Role::kLeader) continue;
+    const std::uint64_t t = nodes_[i]->term();
+    if (best < 0 || t > best_term) {
+      best = static_cast<int>(i);
+      best_term = t;
+    } else if (t == best_term) {
+      return -1;  // two leaders in one term: election safety violated
+    }
+  }
+  return best;
+}
+
+bool Cluster::wait_leader(int* idx, int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; ++waited) {
+    const int li = leader_index();
+    if (li >= 0) {
+      if (idx != nullptr) *idx = li;
+      return true;
+    }
+    sleep_ms(1);
+  }
+  return false;
+}
+
+bool Cluster::wait_commit_at_least(std::uint64_t seq, int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; ++waited) {
+    const int li = leader_index();
+    if (li >= 0 && nodes_[static_cast<std::size_t>(li)]->commit_seq() >= seq) {
+      return true;
+    }
+    sleep_ms(1);
+  }
+  return false;
+}
+
+bool Cluster::wait_converged(int timeout_ms) {
+  for (int waited = 0; waited <= timeout_ms; ++waited) {
+    bool ok = leader_index() >= 0;
+    const std::uint64_t last0 = nodes_[0]->log().last_seq();
+    const std::uint64_t commit0 = nodes_[0]->commit_seq();
+    ok = ok && (commit0 == last0);
+    for (std::size_t i = 1; ok && i < nodes_.size(); ++i) {
+      ok = nodes_[i]->log().last_seq() == last0 &&
+           nodes_[i]->commit_seq() == commit0;
+    }
+    if (ok) return true;
+    sleep_ms(1);
+  }
+  return false;
+}
+
+std::vector<std::string> Cluster::verify(
+    const std::vector<std::uint64_t>* acked_keys) {
+  std::vector<std::string> bad;
+  char buf[256];
+  auto fail = [&](const char* fmt, auto... args) {
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    bad.emplace_back(buf);
+  };
+
+  // At most one leader per term, ever observed at this instant.
+  {
+    std::unordered_map<std::uint64_t, int> leaders_by_term;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->role() != Role::kLeader) continue;
+      auto [it, fresh] =
+          leaders_by_term.emplace(nodes_[i]->term(), static_cast<int>(i));
+      if (!fresh) {
+        fail("nodes %d and %zu both lead term %llu", it->second, i,
+             static_cast<unsigned long long>(nodes_[i]->term()));
+      }
+    }
+  }
+
+  std::vector<std::vector<ReplLog::Entry>> logs;
+  logs.reserve(nodes_.size());
+  for (auto& n : nodes_) logs.push_back(n->log().entries());
+
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Commit never runs past the log.
+    if (nodes_[i]->commit_seq() > logs[i].size()) {
+      fail("node %zu commit %llu past log end %zu", i,
+           static_cast<unsigned long long>(nodes_[i]->commit_seq()),
+           logs[i].size());
+    }
+    // Global seqs dense from 1; per-shard seqs dense from 1 per shard.
+    std::vector<std::uint64_t> shard_next(
+        nodes_[i]->store().shard_count(), 1);
+    for (std::size_t k = 0; k < logs[i].size(); ++k) {
+      const ReplLog::Entry& e = logs[i][k];
+      if (e.seq != k + 1) {
+        fail("node %zu log position %zu has seq %llu", i, k,
+             static_cast<unsigned long long>(e.seq));
+        break;
+      }
+      if (e.shard >= shard_next.size()) {
+        fail("node %zu seq %zu routed to bad shard %u", i, k + 1, e.shard);
+        break;
+      }
+      if (e.shard_seq != shard_next[e.shard]) {
+        fail("node %zu seq %zu shard %u shard_seq %llu, want %llu", i, k + 1,
+             e.shard, static_cast<unsigned long long>(e.shard_seq),
+             static_cast<unsigned long long>(shard_next[e.shard]));
+        break;
+      }
+      ++shard_next[e.shard];
+    }
+  }
+
+  // Logs are pairwise prefix-consistent: the shorter log is a prefix of
+  // the longer. (Committed prefixes therefore agree everywhere.)
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    const auto& a = logs[0];
+    const auto& b = logs[i];
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!entries_equal(a[k], b[k])) {
+        fail("node 0 / node %zu diverge at seq %zu "
+             "(keys %llu vs %llu, shards %u vs %u)",
+             i, k + 1, static_cast<unsigned long long>(a[k].key),
+             static_cast<unsigned long long>(b[k].key), a[k].shard,
+             b[k].shard);
+        break;
+      }
+    }
+  }
+
+  // Every acked write is durable on every replica with the value length
+  // the log records — zero lost acked writes.
+  if (acked_keys != nullptr && !acked_keys->empty()) {
+    // Expected value length per key = the latest entry for the key in the
+    // longest log.
+    std::size_t longest = 0;
+    for (std::size_t i = 1; i < logs.size(); ++i) {
+      if (logs[i].size() > logs[longest].size()) longest = i;
+    }
+    std::unordered_map<std::uint64_t, std::uint32_t> want_len;
+    for (const ReplLog::Entry& e : logs[longest]) want_len[e.key] = e.value_len;
+
+    std::vector<char> value(1u << 20);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      Vm::MutatorScope scope(nodes_[i]->vm(), "cluster-verify");
+      Mutator& m = scope.mutator();
+      for (std::uint64_t key : *acked_keys) {
+        std::size_t len = 0;
+        if (!nodes_[i]->store().get(m, key, value.data(), value.size(),
+                                    &len)) {
+          fail("node %zu lost acked key %llu", i,
+               static_cast<unsigned long long>(key));
+          continue;
+        }
+        auto it = want_len.find(key);
+        if (it == want_len.end()) {
+          fail("acked key %llu absent from every log",
+               static_cast<unsigned long long>(key));
+        } else if (len != it->second) {
+          fail("node %zu key %llu has %zu bytes, log says %u", i,
+               static_cast<unsigned long long>(key), len, it->second);
+        }
+      }
+    }
+  }
+
+  return bad;
+}
+
+void Cluster::shutdown() {
+  stop_ticker();
+  for (auto& n : nodes_) {
+    if (n) n->shutdown();
+  }
+}
+
+}  // namespace mgc::repl

@@ -1,0 +1,85 @@
+// In-process replication cluster harness: N repl::Nodes on loopback, each
+// with its own VM (so each replica's collector pauses independently — the
+// point of the study), wired into a full mesh.
+//
+// Time is explicit: tick() advances every node's failure-detector clock by
+// the same amount (tests drive it manually for determinism), or
+// start_ticker() runs a background wall-clock ticker (benches). The pumps
+// exchange frames continuously either way — ticks only gate heartbeats,
+// election timeouts, retransmits, and pending-write age-out.
+//
+// verify() is the cluster-wide safety check the acceptance criteria hang
+// off: prefix-consistent logs, commit never past the log, contiguous
+// per-shard sequence numbers, and — when the caller passes the keys its
+// clients saw acked — every acknowledged write present on every live
+// replica with the right value length. It returns human-readable
+// violations; tests assert the list is empty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "replication/node.h"
+
+namespace mgc::repl {
+
+struct ClusterConfig {
+  std::size_t nodes = 3;
+  // Template for every node; id, ports, and start_as_leader are overridden
+  // per replica. Node 0 bootstraps as leader of term 1.
+  NodeConfig node;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  std::vector<std::uint16_t> client_ports() const;
+
+  // Advance every node's detector clock by n ticks.
+  void tick(std::uint64_t n = 1);
+  // Background ticker: one tick on every node each interval. Idempotent.
+  void start_ticker(int interval_us);
+  void stop_ticker();
+
+  // Index of the unique highest-term leader; -1 when there is none (or
+  // two nodes claim the same term — a safety violation verify() reports).
+  int leader_index() const;
+
+  // Bounded waits (wall clock; the pumps run continuously). Each returns
+  // false on timeout. wait_leader and wait_commit assume ticks are being
+  // driven (manually or by the ticker) when progress needs them.
+  bool wait_leader(int* idx, int timeout_ms = 5000);
+  bool wait_commit_at_least(std::uint64_t seq, int timeout_ms = 5000);
+  // Quiesce: every node's log and commit index agree (requires a live
+  // leader and no in-flight writes).
+  bool wait_converged(int timeout_ms = 5000);
+
+  // Cluster-wide safety check; empty result = clean. When acked_keys is
+  // given, every key must be present (found, correct length) on every
+  // node's store.
+  std::vector<std::string> verify(
+      const std::vector<std::uint64_t>* acked_keys = nullptr);
+
+  // Stops the ticker, then shuts every node down. Idempotent; the
+  // destructor calls it.
+  void shutdown();
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::thread ticker_;
+  std::atomic<bool> ticker_stop_{false};
+  bool ticker_running_ = false;
+};
+
+}  // namespace mgc::repl

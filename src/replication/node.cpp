@@ -1,0 +1,1044 @@
+#include "replication/node.h"
+
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "net/wire.h"
+#include "support/check.h"
+#include "support/fault.h"
+
+namespace mgc::repl {
+namespace {
+
+// Set while the pump applies a replicated entry (or repairs a truncated
+// row): the commit hook must echo the stream's sequence number back
+// instead of appending a fresh log entry.
+struct ApplyCtx {
+  bool active = false;
+  std::uint64_t seq = 0;
+};
+thread_local ApplyCtx t_apply_ctx;
+
+NodeConfig normalize(NodeConfig c) {
+  if (c.shards < 1) c.shards = 1;
+  if (c.quorum < 1) c.quorum = 1;
+  if (c.heartbeat_every_ticks < 1) c.heartbeat_every_ticks = 1;
+  if (c.retransmit_ticks < 1) c.retransmit_ticks = 1;
+  if (c.append_batch < 1) c.append_batch = 1;
+  if (c.append_batch > kMaxReplAppendCount) c.append_batch = kMaxReplAppendCount;
+  // One worker per shard: the commit hook assigns sequence numbers in
+  // memtable-application order, and followers replay the stream in
+  // sequence order. A second worker on the same shard could invert the
+  // memtable order of two same-key writes relative to their log order.
+  c.server.workers_per_shard = 1;
+  return c;
+}
+
+}  // namespace
+
+struct Node::InConn {
+  net::UniqueFd fd;
+  std::vector<std::uint8_t> buf;
+  std::size_t off = 0;
+  bool dead = false;
+};
+
+struct Node::Link {
+  PeerAddr peer;
+  net::UniqueFd fd;
+  std::vector<std::uint8_t> out;
+  std::size_t off = 0;
+  std::uint64_t last_attempt = ~0ULL;  // pump iteration of the last connect
+  std::atomic<std::uint64_t>* reset_counter = nullptr;
+
+  void reset() {
+    if (fd.valid() && reset_counter) {
+      reset_counter->fetch_add(1, std::memory_order_acq_rel);
+    }
+    fd.reset();
+    out.clear();
+    off = 0;
+  }
+
+  // Non-blocking flush of whatever is queued; a hard send error resets
+  // the link (the next tick reconnects).
+  void flush() {
+    if (!fd.valid()) return;
+    while (off < out.size()) {
+      const ssize_t n = ::send(fd.get(), out.data() + off, out.size() - off,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      reset();
+      return;
+    }
+    out.clear();
+    off = 0;
+  }
+};
+
+// All sockets and buffers the pump thread owns. Nothing here is touched
+// by any other thread.
+struct Node::PumpIo {
+  std::vector<std::unique_ptr<InConn>> ins;
+  std::vector<Link> links;
+  std::vector<char> value_buf;
+  std::uint64_t iter = 0;  // pump_io iterations; throttles reconnects
+  bool peers_loaded = false;
+};
+
+Node::Node(const NodeConfig& cfg)
+    : cfg_(normalize(cfg)),
+      vm_(cfg_.vm),
+      store_(vm_, cfg_.store, cfg_.shards),
+      log_(cfg_.shards) {
+  MGC_CHECK(cfg_.shards + 1 <= kMaxReplShards);
+  shard_committed_.assign(cfg_.shards, 0);
+  leader_shard_last_.assign(cfg_.shards, 0);
+
+  listen_fd_ = net::listen_loopback(cfg_.repl_port, 16, &repl_port_, false);
+  MGC_CHECK(listen_fd_.valid());
+  wake_fd_ = net::UniqueFd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  MGC_CHECK(wake_fd_.valid());
+
+  // Hooks must be wired before the server's workers exist (set_commit_hook
+  // is not safe against concurrent puts).
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    store_.shard(s).set_commit_hook(
+        [this, s](std::uint64_t key, std::uint32_t len) {
+          return on_commit(static_cast<std::uint32_t>(s), key, len);
+        });
+  }
+  server_ = std::make_unique<kv::Server>(vm_, store_, cfg_.server);
+
+  if (cfg_.start_as_leader) {
+    MutexLock l(state_mu_);
+    role_ = Role::kLeader;
+    role_relaxed_.store(static_cast<std::uint8_t>(Role::kLeader),
+                        std::memory_order_release);
+    leader_hint_ = cfg_.id;
+    term_.store(1, std::memory_order_release);
+  }
+
+  pump_ = std::thread(&Node::pump_main, this);
+  net_ = std::make_unique<net::NetServer>(*this, cfg_.net);
+}
+
+Node::~Node() { shutdown(); }
+
+void Node::shutdown() {
+  bool expected = false;
+  if (!shutting_down_.compare_exchange_strong(expected, true)) return;
+
+  // Fail held writes first — their responses flush through the still-live
+  // front-end, so net shutdown's drain doesn't wait on writes that will
+  // never reach quorum. New registrations are cut off by the flag (checked
+  // under state_mu_ in on_local_write_done).
+  std::vector<PendingWrite> failed;
+  {
+    MutexLock l(state_mu_);
+    failed.swap(pending_);
+  }
+  for (PendingWrite& pw : failed) {
+    pw.resp.status = kv::ExecStatus::kShutdown;
+    pw.done(pw.resp);
+  }
+  net_->shutdown();
+  stop_.store(true, std::memory_order_release);
+  prod();
+  if (pump_.joinable()) pump_.join();
+  server_->shutdown();
+}
+
+Role Node::role() const {
+  return static_cast<Role>(role_relaxed_.load(std::memory_order_acquire));
+}
+
+NodeStats Node::stats() const {
+  NodeStats s;
+  s.elections_started = elections_started_.load(std::memory_order_acquire);
+  s.elections_won = elections_won_.load(std::memory_order_acquire);
+  s.stepdowns = stepdowns_.load(std::memory_order_acquire);
+  s.truncated_entries = truncated_entries_.load(std::memory_order_acquire);
+  s.entries_applied = entries_applied_.load(std::memory_order_acquire);
+  s.heartbeats_sent = heartbeats_sent_.load(std::memory_order_acquire);
+  s.heartbeats_lost = heartbeats_lost_.load(std::memory_order_acquire);
+  s.acks_sent = acks_sent_.load(std::memory_order_acquire);
+  s.acks_lost = acks_lost_.load(std::memory_order_acquire);
+  s.append_batches_sent = append_batches_sent_.load(std::memory_order_acquire);
+  s.append_batches_lost = append_batches_lost_.load(std::memory_order_acquire);
+  s.writes_acked = writes_acked_.load(std::memory_order_acquire);
+  s.writes_shed = writes_shed_.load(std::memory_order_acquire);
+  s.writes_aged_out = writes_aged_out_.load(std::memory_order_acquire);
+  s.writes_failed_stepdown =
+      writes_failed_stepdown_.load(std::memory_order_acquire);
+  s.not_leader_rejects = not_leader_rejects_.load(std::memory_order_acquire);
+  s.stale_reads_shed = stale_reads_shed_.load(std::memory_order_acquire);
+  s.follower_stalls = follower_stalls_.load(std::memory_order_acquire);
+  s.stream_gaps = stream_gaps_.load(std::memory_order_acquire);
+  s.links_reset = links_reset_.load(std::memory_order_acquire);
+  s.connect_failures = connect_failures_.load(std::memory_order_acquire);
+  return s;
+}
+
+void Node::connect_peers(const std::vector<PeerAddr>& peers) {
+  {
+    MutexLock l(state_mu_);
+    peers_.clear();
+    for (const PeerAddr& p : peers) {
+      if (p.id != cfg_.id) peers_.push_back(p);
+    }
+    MGC_CHECK(peers_.size() < 64);  // votes_mask_ is a u64 by peer index
+    peer_state_.assign(peers_.size(), PeerState{});
+  }
+  have_peers_.store(true, std::memory_order_release);
+  prod();
+}
+
+void Node::advance_ticks(std::uint64_t n) {
+  tick_target_.fetch_add(n, std::memory_order_acq_rel);
+  prod();
+}
+
+void Node::prod() {
+  const std::uint64_t one = 1;
+  // gclint: suppress(loop-purity) eventfd is EFD_NONBLOCK; write never stalls
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+int Node::peer_index(std::uint32_t peer_id) const {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].id == peer_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// --- client request path ----------------------------------------------------
+
+std::uint64_t Node::on_commit(std::uint32_t shard, std::uint64_t key,
+                              std::uint32_t value_len) {
+  if (t_apply_ctx.active) return t_apply_ctx.seq;
+  return log_.append(shard, key, value_len,
+                     term_.load(std::memory_order_relaxed));
+}
+
+bool Node::read_is_fresh(std::uint64_t key) {
+  if (role() == Role::kLeader) return true;
+  const std::size_t s = store_.shard_of(key);
+  std::uint64_t leader_last = 0;
+  {
+    MutexLock l(state_mu_);
+    leader_last = leader_shard_last_[s];
+  }
+  const std::uint64_t mine = log_.shard_last(static_cast<std::uint32_t>(s));
+  return leader_last <= mine + cfg_.staleness_bound;
+}
+
+kv::SubmitResult Node::try_submit(const kv::Request& req, CompletionFn done) {
+  if (shutting_down_.load(std::memory_order_acquire)) {
+    return kv::SubmitResult::kShutdown;
+  }
+  if (req.op == kv::OpType::kRead) {
+    if (!read_is_fresh(req.key)) {
+      stale_reads_shed_.fetch_add(1, std::memory_order_acq_rel);
+      return kv::SubmitResult::kOverloaded;
+    }
+    return server_->try_submit(req, std::move(done));
+  }
+  {
+    MutexLock l(state_mu_);
+    if (role_ != Role::kLeader) {
+      not_leader_rejects_.fetch_add(1, std::memory_order_acq_rel);
+      return kv::SubmitResult::kNotLeader;
+    }
+    if (pending_.size() >= cfg_.max_pending_writes) {
+      writes_shed_.fetch_add(1, std::memory_order_acq_rel);
+      return kv::SubmitResult::kOverloaded;
+    }
+  }
+  return server_->try_submit(
+      req, [this, cb = std::move(done)](const kv::Response& r) {
+        on_local_write_done(r, cb);
+      });
+}
+
+void Node::on_local_write_done(const kv::Response& r,
+                               const CompletionFn& done) {
+  // Failed puts (commit-log fault, OOM shed) and unsequenced rows pass
+  // straight through — nothing was replicated.
+  if (r.status != kv::ExecStatus::kOk || r.seq == 0) {
+    done(r);
+    return;
+  }
+  kv::Response resp = r;
+  bool fire = false;
+  {
+    MutexLock l(state_mu_);
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      resp.status = kv::ExecStatus::kOverloaded;
+      fire = true;
+    } else if (role_ != Role::kLeader) {
+      // Stepped down between enqueue and execution: this row is part of
+      // the diverged suffix the new leader will truncate. The client
+      // retries against the new leader.
+      writes_failed_stepdown_.fetch_add(1, std::memory_order_acq_rel);
+      resp.status = kv::ExecStatus::kOverloaded;
+      fire = true;
+    } else if (cfg_.quorum <= 1) {
+      advance_commit_locked(r.seq);
+      fire = true;
+    } else if (commit_.load(std::memory_order_relaxed) >= r.seq) {
+      // The pump streamed and quorum-acked this row before the worker's
+      // completion ran.
+      fire = true;
+    } else {
+      PendingWrite pw;
+      pw.seq = r.seq;
+      pw.enq_tick = now_tick_;
+      pw.resp = r;
+      pw.done = done;
+      pending_.push_back(std::move(pw));
+    }
+  }
+  if (fire) {
+    if (resp.status == kv::ExecStatus::kOk) {
+      writes_acked_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    done(resp);
+  } else {
+    prod();  // new log tail: stream it now, don't wait for a tick
+  }
+}
+
+// --- commit bookkeeping (state_mu_ held) ------------------------------------
+
+void Node::advance_commit_locked(std::uint64_t to) {
+  const std::uint64_t cur = commit_.load(std::memory_order_relaxed);
+  const std::uint64_t last = log_.last_seq();
+  if (to > last) to = last;
+  if (to <= cur) return;
+  // Walk the entries crossing the commit threshold to keep the per-shard
+  // committed counts (heartbeat payload) in step.
+  std::vector<ReplLog::Entry> es;
+  log_.read_from(cur + 1, static_cast<std::size_t>(to - cur), &es);
+  for (const ReplLog::Entry& e : es) shard_committed_[e.shard] = e.shard_seq;
+  commit_.store(to, std::memory_order_release);
+}
+
+void Node::take_committed_locked(std::vector<PendingWrite>* out) {
+  const std::uint64_t c = commit_.load(std::memory_order_relaxed);
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->seq <= c) {
+      out->push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- role transitions (state_mu_ held) --------------------------------------
+
+void Node::adopt_term_locked(std::uint64_t term,
+                             std::vector<PendingWrite>* failed) {
+  if (role_ == Role::kLeader) {
+    stepdowns_.fetch_add(1, std::memory_order_acq_rel);
+    failed->insert(failed->end(),
+                   std::make_move_iterator(pending_.begin()),
+                   std::make_move_iterator(pending_.end()));
+    pending_.clear();
+  }
+  role_ = Role::kFollower;
+  role_relaxed_.store(static_cast<std::uint8_t>(Role::kFollower),
+                      std::memory_order_release);
+  term_.store(term, std::memory_order_release);
+  voted_for_ = kNoNode;
+  votes_mask_ = 0;
+  leader_hint_ = kNoNode;
+  ticks_since_hb_ = 0;
+}
+
+void Node::become_leader_locked() {
+  role_ = Role::kLeader;
+  role_relaxed_.store(static_cast<std::uint8_t>(Role::kLeader),
+                      std::memory_order_release);
+  leader_hint_ = cfg_.id;
+  elections_won_.fetch_add(1, std::memory_order_acq_rel);
+  const std::uint64_t last = log_.last_seq();
+  for (PeerState& ps : peer_state_) {
+    ps.match = -1;  // unknown until the peer's first ack anchors it
+    ps.next_send = last + 1;
+    ps.stall_ticks = 0;
+  }
+}
+
+void Node::start_election_locked(PumpIo& io) {
+  role_ = Role::kCandidate;
+  role_relaxed_.store(static_cast<std::uint8_t>(Role::kCandidate),
+                      std::memory_order_release);
+  term_.store(term_.load(std::memory_order_relaxed) + 1,
+              std::memory_order_release);
+  voted_for_ = cfg_.id;
+  votes_mask_ = 0;
+  ticks_since_hb_ = 0;
+  elections_started_.fetch_add(1, std::memory_order_acq_rel);
+  if (cfg_.quorum <= 1) {
+    become_leader_locked();
+    return;
+  }
+  Frame vr;
+  vr.kind = FrameKind::kVoteReq;
+  vr.node = cfg_.id;
+  vr.term = term_.load(std::memory_order_relaxed);
+  vr.last_seqs.push_back(log_.last_seq());  // entry 0: the election rule
+  for (std::uint64_t c : log_.shard_lasts()) vr.last_seqs.push_back(c);
+  for (const PeerAddr& p : peers_) send_to_peer(io, p.id, vr);
+}
+
+// --- pump -------------------------------------------------------------------
+
+void Node::pump_main() {
+  Vm::MutatorScope scope(vm_, "repl-pump");
+  Mutator& m = scope.mutator();
+  PumpIo io;
+  io.value_buf.resize(net::kMaxValueLen);
+  while (!stop_.load(std::memory_order_acquire)) {
+    m.poll();
+    if (role() != Role::kLeader &&
+        fault::should_fire(fault::Site::kReplFollowerStall, cfg_.id)) {
+      // The stalled replica neither observes ticks nor touches its
+      // sockets this iteration — frames pile up in kernel buffers and the
+      // detector clock runs without it.
+      follower_stalls_.fetch_add(1, std::memory_order_acq_rel);
+      m.enter_blocked();
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+      m.leave_blocked();
+      continue;
+    }
+    process_ticks(m, io);
+    pump_io(m, io);
+  }
+}
+
+void Node::process_ticks(Mutator& m, PumpIo& io) {
+  const std::uint64_t target = tick_target_.load(std::memory_order_acquire);
+  std::uint64_t done = ticks_done_.load(std::memory_order_relaxed);
+  while (done < target && !stop_.load(std::memory_order_acquire)) {
+    on_tick(m, io);
+    ticks_done_.store(++done, std::memory_order_release);
+    m.poll();
+  }
+}
+
+void Node::on_tick(Mutator& m, PumpIo& io) {
+  (void)m;
+  bool send_hb = false;
+  std::vector<PendingWrite> expired;
+  {
+    MutexLock l(state_mu_);
+    ++now_tick_;
+    if (role_ == Role::kLeader) {
+      if (now_tick_ %
+              static_cast<std::uint64_t>(cfg_.heartbeat_every_ticks) ==
+          0) {
+        send_hb = true;
+      }
+      // A peer whose ack has stagnated behind the log for
+      // retransmit_ticks gets its stream rewound to the acked position —
+      // dropped batches are the only way it falls behind for good.
+      const std::uint64_t last = log_.last_seq();
+      for (PeerState& ps : peer_state_) {
+        if (ps.match >= 0 && static_cast<std::uint64_t>(ps.match) < last) {
+          if (++ps.stall_ticks >= cfg_.retransmit_ticks) {
+            ps.next_send = static_cast<std::uint64_t>(ps.match) + 1;
+            ps.stall_ticks = 0;
+          }
+        } else {
+          ps.stall_ticks = 0;
+        }
+      }
+      auto it = pending_.begin();
+      while (it != pending_.end()) {
+        if (now_tick_ - it->enq_tick >
+            static_cast<std::uint64_t>(cfg_.pending_timeout_ticks)) {
+          expired.push_back(std::move(*it));
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      // The deterministic failure detector: a missed-heartbeat COUNT, not
+      // a wall-clock timeout, with the node id staggering rivals.
+      if (++ticks_since_hb_ >=
+          cfg_.election_timeout_ticks + static_cast<int>(cfg_.id)) {
+        start_election_locked(io);
+      }
+    }
+  }
+  if (send_hb) send_heartbeats(io);
+  for (PendingWrite& pw : expired) {
+    writes_aged_out_.fetch_add(1, std::memory_order_acq_rel);
+    pw.resp.status = kv::ExecStatus::kOverloaded;
+    pw.done(pw.resp);
+  }
+}
+
+void Node::load_peers(PumpIo& io) {
+  if (io.peers_loaded || !have_peers_.load(std::memory_order_acquire)) {
+    return;
+  }
+  MutexLock l(state_mu_);
+  for (const PeerAddr& p : peers_) {
+    Link link;
+    link.peer = p;
+    link.reset_counter = &links_reset_;
+    io.links.push_back(std::move(link));
+  }
+  io.peers_loaded = true;
+}
+
+void Node::try_connect(PumpIo& io) {
+  // Retry throttled by pump iterations (~1ms each), NOT by ticks: link
+  // liveness must not depend on anyone advancing the detector clock, or a
+  // connect that fails before the first tick leaves the stream down for
+  // good in a tick-free cluster.
+  constexpr std::uint64_t kRetryEveryIters = 32;
+  for (Link& link : io.links) {
+    if (link.fd.valid()) continue;
+    if (link.last_attempt != ~0ULL &&
+        io.iter - link.last_attempt < kRetryEveryIters) {
+      continue;
+    }
+    link.last_attempt = io.iter;
+    link.fd = net::connect_tcp("127.0.0.1", link.peer.port);
+    if (!link.fd.valid()) {
+      connect_failures_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    net::set_nonblocking(link.fd.get());
+    Frame hello;
+    hello.kind = FrameKind::kHello;
+    hello.node = cfg_.id;
+    hello.term = term_.load(std::memory_order_acquire);
+    encode(hello, link.out);
+    // A follower re-anchors the leader's ack cursor as soon as the link is
+    // back: any ack lost while the link was down would otherwise only be
+    // re-solicited by a (tick-driven) heartbeat. Non-leaders ignore acks,
+    // so this is harmless when the peer isn't the leader.
+    if (role() == Role::kFollower) send_ack(io, link.peer.id);
+  }
+}
+
+void Node::send_to_peer(PumpIo& io, std::uint32_t peer_id, const Frame& f) {
+  for (Link& link : io.links) {
+    if (link.peer.id != peer_id) continue;
+    if (!link.fd.valid()) return;  // lost in flight; retransmit recovers
+    if (link.out.size() > (8u << 20)) {
+      link.reset();  // peer wedged long enough to back up 8 MB
+      return;
+    }
+    encode(f, link.out);
+    return;
+  }
+}
+
+void Node::send_heartbeats(PumpIo& io) {
+  Frame hb;
+  {
+    MutexLock l(state_mu_);
+    if (role_ != Role::kLeader) return;
+    hb.kind = FrameKind::kHeartbeat;
+    hb.node = cfg_.id;
+    hb.term = term_.load(std::memory_order_relaxed);
+    hb.shards.push_back(ShardSeqs{commit_.load(std::memory_order_relaxed),
+                                  log_.last_seq()});
+    const std::vector<std::uint64_t> lasts = log_.shard_lasts();
+    for (std::size_t s = 0; s < lasts.size(); ++s) {
+      hb.shards.push_back(ShardSeqs{shard_committed_[s], lasts[s]});
+    }
+  }
+  for (Link& link : io.links) {
+    if (fault::should_fire(fault::Site::kReplHeartbeatLoss, cfg_.id)) {
+      heartbeats_lost_.fetch_add(1, std::memory_order_acq_rel);
+      continue;
+    }
+    send_to_peer(io, link.peer.id, hb);
+    heartbeats_sent_.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void Node::send_pending_appends(PumpIo& io) {
+  if (role() != Role::kLeader) return;
+  const auto link_up = [&io](std::uint32_t peer_id) {
+    for (const Link& link : io.links) {
+      if (link.peer.id == peer_id) return link.fd.valid();
+    }
+    return false;
+  };
+  MutexLock l(state_mu_);
+  if (role_ != Role::kLeader) return;
+  const std::uint64_t last = log_.last_seq();
+  const std::uint64_t commit = commit_.load(std::memory_order_relaxed);
+  const std::uint64_t term = term_.load(std::memory_order_relaxed);
+  std::vector<ReplLog::Entry> es;
+  for (std::size_t i = 0; i < peer_state_.size(); ++i) {
+    PeerState& ps = peer_state_[i];
+    // A down link holds the stream where it is: advancing next_send past
+    // entries nobody could carry would strand them until a (tick-driven)
+    // retransmit rewind — a liveness hole in a tick-free cluster. The
+    // injected append-drop below is different by design: that batch IS
+    // sent and lost, and the retransmit timer is its recovery path.
+    if (!link_up(peers_[i].id)) continue;
+    // next_send governs the stream even before the peer's first ack
+    // anchors match: a peer that is actually elsewhere answers with its
+    // real position (gap ack or conflict truncation) and the retransmit
+    // timer rewinds to it. Waiting for an ack here would deadlock a
+    // tick-free cluster, since only heartbeats (tick-driven) solicit acks.
+    int batches = 0;
+    while (ps.next_send <= last && batches < 4) {
+      const std::size_t n = log_.read_from(ps.next_send, cfg_.append_batch, &es);
+      if (n == 0) break;
+      ps.next_send += n;
+      ++batches;
+      if (fault::should_fire(fault::Site::kReplAppendDrop, cfg_.id)) {
+        // The batch is "sent" and lost on the wire: the peer's ack
+        // stagnates and the retransmit timer rewinds next_send to it.
+        append_batches_lost_.fetch_add(1, std::memory_order_acq_rel);
+        continue;
+      }
+      Frame ap;
+      ap.kind = FrameKind::kAppend;
+      ap.node = cfg_.id;
+      ap.term = term;
+      ap.shard = 0;  // entries route by key; see repl_wire.h
+      ap.commit_seq = commit;
+      ap.entries.reserve(n);
+      for (const ReplLog::Entry& e : es) {
+        ap.entries.push_back(AppendEntry{e.seq, e.key, e.value_len});
+      }
+      send_to_peer(io, peers_[i].id, ap);
+      append_batches_sent_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void Node::send_ack(PumpIo& io, std::uint32_t to_peer) {
+  if (fault::should_fire(fault::Site::kReplAckDrop, cfg_.id)) {
+    acks_lost_.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  Frame a;
+  a.kind = FrameKind::kAck;
+  a.node = cfg_.id;
+  a.term = term_.load(std::memory_order_acquire);
+  a.shard = 0;
+  a.ack_seq = log_.last_seq();  // highest contiguous applied seq
+  send_to_peer(io, to_peer, a);
+  acks_sent_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Node::pump_io(Mutator& m, PumpIo& io) {
+  ++io.iter;
+  load_peers(io);
+  try_connect(io);
+
+  // Poll-set layout: [wake, listener, ins..., valid links...]. Connections
+  // accepted while handling this poll join the set next iteration.
+  const std::size_t n_ins = io.ins.size();
+  std::vector<pollfd> fds;
+  fds.reserve(2 + n_ins + io.links.size());
+  fds.push_back(pollfd{wake_fd_.get(), POLLIN, 0});
+  fds.push_back(pollfd{listen_fd_.get(), POLLIN, 0});
+  for (const auto& c : io.ins) {
+    fds.push_back(pollfd{c->fd.get(), POLLIN, 0});
+  }
+  for (const Link& link : io.links) {
+    if (!link.fd.valid()) continue;
+    short ev = POLLIN;  // peers never write here; POLLIN detects close
+    if (link.off < link.out.size()) ev |= POLLOUT;
+    fds.push_back(pollfd{link.fd.get(), ev, 0});
+  }
+
+  // The failure detector's sensor: a stop-the-world pause on this VM
+  // parks the pump right here (leave_blocked waits out the pause), so a
+  // leader pausing longer than the heartbeat budget goes silent exactly
+  // like a JVM-hosted replica would.
+  m.enter_blocked();
+  const int nready = ::poll(fds.data(), fds.size(), 1);
+  m.leave_blocked();
+  if (nready < 0 && errno != EINTR) return;
+
+  // wake eventfd
+  if (fds[0].revents & POLLIN) {
+    std::uint64_t v = 0;
+    while (::read(wake_fd_.get(), &v, sizeof(v)) > 0) {
+    }
+  }
+  // listener
+  if (fds[1].revents & POLLIN) {
+    for (;;) {
+      const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (cfd < 0) break;
+      net::set_nonblocking(cfd);
+      auto conn = std::make_unique<InConn>();
+      conn->fd = net::UniqueFd(cfd);
+      io.ins.push_back(std::move(conn));
+    }
+  }
+
+  // Inbound frames (index-aligned with the poll-set prefix).
+  for (std::size_t i = 0; i < n_ins; ++i) {
+    if (fds[2 + i].revents & (POLLIN | POLLERR | POLLHUP)) {
+      read_inbound(m, io, *io.ins[i]);
+    }
+  }
+  io.ins.erase(std::remove_if(io.ins.begin(), io.ins.end(),
+                              [](const std::unique_ptr<InConn>& c) {
+                                return c->dead;
+                              }),
+               io.ins.end());
+
+  // Outbound links: detect closes (flush happens below regardless).
+  for (std::size_t fi = 2 + n_ins; fi < fds.size(); ++fi) {
+    for (Link& link : io.links) {
+      if (!link.fd.valid() || link.fd.get() != fds[fi].fd) continue;
+      if (fds[fi].revents & (POLLERR | POLLHUP)) {
+        link.reset();
+      } else if (fds[fi].revents & POLLIN) {
+        std::uint8_t junk[256];
+        const ssize_t n = ::recv(link.fd.get(), junk, sizeof(junk), 0);
+        if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          link.reset();
+        }
+      }
+      break;
+    }
+  }
+
+  send_pending_appends(io);
+  for (Link& link : io.links) link.flush();
+}
+
+void Node::read_inbound(Mutator& m, PumpIo& io, InConn& c) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      c.buf.insert(c.buf.end(), chunk, chunk + n);
+      if (c.buf.size() > (16u << 20)) {
+        c.dead = true;  // runaway peer
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      c.dead = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    c.dead = true;
+    break;
+  }
+  // Decode every complete frame buffered so far, even on a dying
+  // connection — the bytes already arrived.
+  for (;;) {
+    Frame f;
+    std::size_t consumed = 0;
+    const DecodeResult r =
+        decode(c.buf.data() + c.off, c.buf.size() - c.off, &consumed, &f);
+    if (r == DecodeResult::kFrame) {
+      c.off += consumed;
+      dispatch(m, io, f);
+      continue;
+    }
+    if (r == DecodeResult::kError) {
+      c.dead = true;
+    }
+    break;
+  }
+  if (c.off > 0) {
+    c.buf.erase(c.buf.begin(),
+                c.buf.begin() + static_cast<std::ptrdiff_t>(c.off));
+    c.off = 0;
+  }
+}
+
+// --- protocol ----------------------------------------------------------------
+
+void Node::dispatch(Mutator& m, PumpIo& io, const Frame& f) {
+  if (f.kind == FrameKind::kHello) return;  // every frame carries its sender
+
+  // Term preamble: a higher term converts anyone to follower (an
+  // ex-leader fails its held writes — the client retry path); a lower
+  // term is stale and ignored, except that a stale candidate is told the
+  // current term so it catches up.
+  std::vector<PendingWrite> failed;
+  bool stale = false;
+  {
+    MutexLock l(state_mu_);
+    const std::uint64_t mine = term_.load(std::memory_order_relaxed);
+    if (f.term > mine) {
+      adopt_term_locked(f.term, &failed);
+    } else if (f.term < mine) {
+      stale = true;
+    }
+  }
+  for (PendingWrite& pw : failed) {
+    writes_failed_stepdown_.fetch_add(1, std::memory_order_acq_rel);
+    pw.resp.status = kv::ExecStatus::kOverloaded;
+    pw.done(pw.resp);
+  }
+  if (stale) {
+    if (f.kind == FrameKind::kVoteReq) {
+      Frame resp;
+      resp.kind = FrameKind::kVoteResp;
+      resp.node = cfg_.id;
+      resp.term = term_.load(std::memory_order_acquire);
+      resp.granted = false;
+      send_to_peer(io, f.node, resp);
+    }
+    return;
+  }
+
+  switch (f.kind) {
+    case FrameKind::kHeartbeat: on_heartbeat(m, io, f); break;
+    case FrameKind::kAppend: on_append(m, io, f); break;
+    case FrameKind::kAck: on_ack(f); break;
+    case FrameKind::kVoteReq: on_vote_req(io, f); break;
+    case FrameKind::kVoteResp: on_vote_resp(io, f); break;
+    case FrameKind::kHello: break;
+  }
+}
+
+void Node::on_heartbeat(Mutator& m, PumpIo& io, const Frame& f) {
+  if (f.shards.empty()) return;
+  bool need_trunc = false;
+  std::uint64_t trunc_to = 0;
+  {
+    MutexLock l(state_mu_);
+    if (role_ == Role::kLeader) return;  // same term: impossible sender
+    role_ = Role::kFollower;
+    role_relaxed_.store(static_cast<std::uint8_t>(Role::kFollower),
+                        std::memory_order_release);
+    leader_hint_ = f.node;
+    ticks_since_hb_ = 0;
+    const ShardSeqs& g = f.shards[0];
+    if (g.commit_seq > leader_commit_seen_) {
+      leader_commit_seen_ = g.commit_seq;
+    }
+    for (std::size_t i = 1;
+         i < f.shards.size() && i - 1 < leader_shard_last_.size(); ++i) {
+      leader_shard_last_[i - 1] = f.shards[i].last_seq;
+    }
+    if (log_.last_seq() > g.last_seq) {
+      // Our log extends past the leader's: the unacked suffix a dead
+      // leader left behind. The live leader is authoritative.
+      need_trunc = true;
+      trunc_to = g.last_seq;
+    }
+  }
+  if (need_trunc) truncate_to(m, trunc_to);
+  {
+    MutexLock l(state_mu_);
+    advance_commit_locked(leader_commit_seen_);
+  }
+  send_ack(io, f.node);
+}
+
+void Node::on_append(Mutator& m, PumpIo& io, const Frame& f) {
+  {
+    MutexLock l(state_mu_);
+    if (role_ == Role::kLeader) return;
+    role_ = Role::kFollower;
+    role_relaxed_.store(static_cast<std::uint8_t>(Role::kFollower),
+                        std::memory_order_release);
+    leader_hint_ = f.node;
+    ticks_since_hb_ = 0;
+    if (f.commit_seq > leader_commit_seen_) {
+      leader_commit_seen_ = f.commit_seq;
+    }
+  }
+  for (const AppendEntry& ae : f.entries) {
+    ReplLog::Entry le;
+    le.seq = ae.seq;
+    le.key = ae.key;
+    le.value_len = ae.value_len;
+    le.shard = static_cast<std::uint32_t>(store_.shard_of(ae.key));
+    le.term = f.term;
+    ReplLog::AppendAt r = log_.append_at(&le);
+    if (r == ReplLog::AppendAt::kGap) {
+      // A batch ahead of us was dropped; everything further in this frame
+      // is also past the gap. The ack below tells the leader where we
+      // really are, and its retransmit timer rewinds.
+      stream_gaps_.fetch_add(1, std::memory_order_acq_rel);
+      break;
+    }
+    if (r == ReplLog::AppendAt::kDuplicate) continue;
+    if (r == ReplLog::AppendAt::kConflict) {
+      // A different record at this seq: a dead leader's suffix. Truncate
+      // it (repairing rows) and take the live leader's record instead.
+      truncate_to(m, ae.seq - 1);
+      r = log_.append_at(&le);
+      if (r != ReplLog::AppendAt::kAppended) break;
+    }
+    kv::synth_value(le.key, io.value_buf.data(), le.value_len);
+    t_apply_ctx = ApplyCtx{true, le.seq};
+    const bool ok = store_.shard(le.shard).put(m, le.key, io.value_buf.data(),
+                                               le.value_len);
+    t_apply_ctx = ApplyCtx{};
+    if (!ok) {
+      // Injected commit-log failure on this replica: keep log == store by
+      // undoing the append; the leader retransmits from our ack.
+      log_.truncate_above(le.seq - 1, nullptr);
+      break;
+    }
+    entries_applied_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  {
+    MutexLock l(state_mu_);
+    advance_commit_locked(leader_commit_seen_);
+  }
+  send_ack(io, f.node);
+}
+
+void Node::on_ack(const Frame& f) {
+  std::vector<PendingWrite> fire;
+  {
+    MutexLock l(state_mu_);
+    if (role_ != Role::kLeader) return;
+    const int idx = peer_index(f.node);
+    if (idx < 0) return;
+    PeerState& ps = peer_state_[static_cast<std::size_t>(idx)];
+    if (static_cast<std::int64_t>(f.ack_seq) > ps.match) {
+      ps.match = static_cast<std::int64_t>(f.ack_seq);
+      ps.stall_ticks = 0;
+      if (ps.next_send < f.ack_seq + 1) ps.next_send = f.ack_seq + 1;
+    } else if (ps.match < 0) {
+      ps.match = static_cast<std::int64_t>(f.ack_seq);
+    }
+    // Quorum rule: a seq is committed once quorum members' logs (ours
+    // counts) contain it. Sort acked positions descending; the
+    // (quorum-1)th peerless value is the frontier.
+    std::vector<std::uint64_t> acked;
+    acked.reserve(peer_state_.size() + 1);
+    acked.push_back(log_.last_seq());
+    for (const PeerState& p : peer_state_) {
+      acked.push_back(p.match < 0 ? 0
+                                  : static_cast<std::uint64_t>(p.match));
+    }
+    std::sort(acked.begin(), acked.end(), std::greater<std::uint64_t>());
+    if (cfg_.quorum <= acked.size()) {
+      advance_commit_locked(acked[cfg_.quorum - 1]);
+    }
+    take_committed_locked(&fire);
+  }
+  for (PendingWrite& pw : fire) {
+    writes_acked_.fetch_add(1, std::memory_order_acq_rel);
+    pw.resp.status = kv::ExecStatus::kOk;
+    pw.done(pw.resp);
+  }
+}
+
+void Node::on_vote_req(PumpIo& io, const Frame& f) {
+  bool grant = false;
+  std::uint64_t myterm = 0;
+  {
+    MutexLock l(state_mu_);
+    myterm = term_.load(std::memory_order_relaxed);
+    if (f.term == myterm && role_ != Role::kLeader) {
+      const std::uint64_t cand_last =
+          f.last_seqs.empty() ? 0 : f.last_seqs[0];
+      // One vote per term, and only for a log at least as long as ours —
+      // the highest-acked-sequence replica wins.
+      if ((voted_for_ == kNoNode || voted_for_ == f.node) &&
+          cand_last >= log_.last_seq()) {
+        grant = true;
+        voted_for_ = f.node;
+        ticks_since_hb_ = 0;  // granting resets our own election timer
+      }
+    }
+  }
+  Frame resp;
+  resp.kind = FrameKind::kVoteResp;
+  resp.node = cfg_.id;
+  resp.term = myterm;
+  resp.granted = grant;
+  send_to_peer(io, f.node, resp);
+}
+
+void Node::on_vote_resp(PumpIo& io, const Frame& f) {
+  bool lead_now = false;
+  {
+    MutexLock l(state_mu_);
+    if (role_ != Role::kCandidate ||
+        f.term != term_.load(std::memory_order_relaxed) || !f.granted) {
+      return;
+    }
+    const int idx = peer_index(f.node);
+    if (idx < 0) return;
+    const std::uint64_t bit = 1ULL << static_cast<unsigned>(idx);
+    if (votes_mask_ & bit) return;
+    votes_mask_ |= bit;
+    if (1 + std::popcount(votes_mask_) >=
+        static_cast<int>(cfg_.quorum)) {
+      become_leader_locked();
+      lead_now = true;
+    }
+  }
+  if (lead_now) send_heartbeats(io);  // announce immediately
+}
+
+// --- truncation repair -------------------------------------------------------
+
+void Node::truncate_to(Mutator& m, std::uint64_t upto) {
+  std::vector<ReplLog::Entry> removed;
+  log_.truncate_above(upto, &removed);
+  repair_rows(m, removed);
+}
+
+void Node::repair_rows(Mutator& m,
+                       const std::vector<ReplLog::Entry>& removed) {
+  if (removed.empty()) return;
+  truncated_entries_.fetch_add(removed.size(), std::memory_order_acq_rel);
+  // For each removed key: if a surviving prefix entry also wrote it,
+  // restore that version (synthesized values depend only on the key, so
+  // only the length differs); otherwise the key never legitimately
+  // existed — remove the row.
+  const std::vector<ReplLog::Entry> snap = log_.entries();
+  std::unordered_map<std::uint64_t, const ReplLog::Entry*> latest;
+  for (const ReplLog::Entry& e : snap) latest[e.key] = &e;  // last wins
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<char> buf(net::kMaxValueLen);
+  for (const ReplLog::Entry& r : removed) {
+    if (!seen.insert(r.key).second) continue;
+    const auto it = latest.find(r.key);
+    if (it == latest.end()) {
+      store_.shard(r.shard).remove(m, r.key);
+      continue;
+    }
+    const ReplLog::Entry& e = *it->second;
+    kv::synth_value(e.key, buf.data(), e.value_len);
+    t_apply_ctx = ApplyCtx{true, e.seq};
+    store_.shard(e.shard).put(m, e.key, buf.data(), e.value_len);
+    t_apply_ctx = ApplyCtx{};
+  }
+}
+
+}  // namespace mgc::repl

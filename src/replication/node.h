@@ -1,0 +1,308 @@
+// One replica of the replicated kvstore: a full node — its own managed
+// VM (the collector under test), sharded store, kv::Server worker pools,
+// and net::NetServer client front-end — plus the replication plane that
+// makes a handful of such nodes a single-leader cluster.
+//
+// Data path. The node interposes on the client request path as the
+// net front-end's kv::RequestSink:
+//
+//   * leader write  — forwarded to the local kv::Server; the store's
+//     commit hook appends the committed row to the ReplLog (assigning the
+//     global sequence number), and the completion is *held* until a
+//     quorum of replicas (counting the leader) has acked that sequence.
+//     Only then does the client see kOk: an acknowledged write survives
+//     any single node failing.
+//   * follower write — rejected with kNotLeader; ReplClient rotates.
+//   * read — served locally on any node. A follower first checks its
+//     staleness: if the leader's last-known per-shard sequence number is
+//     more than staleness_bound entries ahead of the local shard, the
+//     read is shed (kOverloaded) rather than served arbitrarily stale.
+//
+// Replication plane. A single "pump" thread per node owns all replication
+// I/O: a loopback listener, inbound peer connections, and one outbound
+// link per peer, multiplexed with poll(2). The pump is a registered VM
+// mutator and wraps its poll wait in enter_blocked()/leave_blocked() —
+// deliberately, because that is the failure detector's sensor: during a
+// stop-the-world pause on this node the pump parks at the safepoint, its
+// heartbeats stop, and peers observe exactly the silence a GC pause
+// inflicts on a JVM-hosted replica.
+//
+// Failure detection is counted in ticks, not wall time: an external
+// ticker (repl::Cluster) advances every node's tick target, the leader
+// heartbeats every heartbeat_every_ticks, and a follower that misses
+// election_timeout_ticks + id (the id staggers rivals) starts an
+// election. Tests drive ticks manually, so fault-armed runs replay the
+// same detector decisions regardless of machine speed.
+//
+// Elections are Raft-shaped over the single global log: candidate
+// increments the term and requests votes; a voter grants at most one vote
+// per term and only to a candidate whose log is at least as long as its
+// own, so the replica with the highest acked sequence wins; a quorum of
+// grants makes the leader. Any frame with a higher term converts the
+// receiver to a follower (an ex-leader rejoining this way fails its
+// still-pending writes with kOverloaded — the client retry path). A
+// follower whose log extends past the leader's (the ex-leader's unacked
+// suffix) truncates the surplus and repairs the memtable rows.
+//
+// Fault sites (all scoped by this node's id): repl-append-drop loses an
+// outgoing append batch, repl-ack-drop suppresses an outgoing ack,
+// repl-heartbeat-loss loses an outgoing heartbeat, repl-follower-stall
+// makes the pump skip iterations while the node is not leader.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "kvstore/server.h"
+#include "kvstore/sharded_store.h"
+#include "net/net_server.h"
+#include "net/socket.h"
+#include "replication/repl_log.h"
+#include "replication/repl_wire.h"
+#include "runtime/vm.h"
+#include "support/mutex.h"
+
+namespace mgc::repl {
+
+enum class Role : std::uint8_t { kFollower, kCandidate, kLeader };
+
+struct PeerAddr {
+  std::uint32_t id = 0;
+  std::uint16_t port = 0;  // replication-plane loopback port
+};
+
+struct NodeConfig {
+  std::uint32_t id = 0;
+  std::size_t shards = 2;
+  // Acks (counting the leader's own log) required to commit a write and
+  // to win an election. 2 of 3 tolerates one lost replica.
+  std::size_t quorum = 2;
+
+  int heartbeat_every_ticks = 1;
+  // Missed-heartbeat budget before a follower starts an election. The
+  // node id is added as a deterministic stagger so rivals don't tie.
+  int election_timeout_ticks = 8;
+  // Ticks a peer's ack may stagnate behind the log before the leader
+  // rewinds its stream to the acked position and resends.
+  int retransmit_ticks = 2;
+
+  // Follower reads are shed once the leader is known to be more than this
+  // many entries ahead on the key's shard.
+  std::uint64_t staleness_bound = 64;
+  // Writes held for quorum; past the cap new writes shed (kOverloaded).
+  std::size_t max_pending_writes = 256;
+  // A held write that cannot reach quorum (followers stalled/partitioned)
+  // is failed with kOverloaded after this many ticks — bounded latency,
+  // never a hang.
+  int pending_timeout_ticks = 64;
+
+  std::size_t append_batch = 256;  // entries per append frame (<= codec max)
+  bool start_as_leader = false;    // bootstrap: node 0 leads term 1
+  std::uint16_t repl_port = 0;     // 0 = kernel-assigned
+
+  VmConfig vm;              // this replica's collector + heap
+  kv::StoreConfig store;    // whole-node budgets, sliced per shard
+  kv::ServerConfig server;  // workers_per_shard is forced to 1 (see .cpp)
+  net::NetServerConfig net; // client-facing front-end
+};
+
+// Counter snapshot (all monotone; readable while running).
+struct NodeStats {
+  std::uint64_t elections_started = 0;
+  std::uint64_t elections_won = 0;
+  std::uint64_t stepdowns = 0;
+  std::uint64_t truncated_entries = 0;
+  std::uint64_t entries_applied = 0;
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_lost = 0;   // suppressed by repl-heartbeat-loss
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_lost = 0;         // suppressed by repl-ack-drop
+  std::uint64_t append_batches_sent = 0;
+  std::uint64_t append_batches_lost = 0;  // suppressed by repl-append-drop
+  std::uint64_t writes_acked = 0;      // completed kOk after quorum
+  std::uint64_t writes_shed = 0;       // pending cap hit at submit
+  std::uint64_t writes_aged_out = 0;   // quorum never reached in time
+  std::uint64_t writes_failed_stepdown = 0;
+  std::uint64_t not_leader_rejects = 0;
+  std::uint64_t stale_reads_shed = 0;
+  std::uint64_t follower_stalls = 0;   // repl-follower-stall fires
+  std::uint64_t stream_gaps = 0;       // out-of-order append frames seen
+  std::uint64_t links_reset = 0;       // live outbound links torn down
+  std::uint64_t connect_failures = 0;  // failed peer connect attempts
+};
+
+class Node : public kv::RequestSink {
+ public:
+  explicit Node(const NodeConfig& cfg);
+  ~Node() override;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Wire the full mesh. Call once, after every node's constructor has
+  // bound its replication listener (repl_port()), before ticking.
+  void connect_peers(const std::vector<PeerAddr>& peers);
+
+  // Advance the failure-detector clock by n ticks (the pump catches up
+  // asynchronously; it wakes immediately).
+  void advance_ticks(std::uint64_t n);
+
+  // Client request entry point (the net front-end calls this; in-process
+  // tests may too). Never blocks.
+  kv::SubmitResult try_submit(const kv::Request& req,
+                              CompletionFn done) override;
+
+  // Graceful stop: client front-end, then the pump, then the kv workers.
+  // Held writes fail with kShutdown. Idempotent; the destructor calls it.
+  void shutdown();
+
+  std::uint32_t id() const { return cfg_.id; }
+  std::uint16_t client_port() const { return net_->port(); }
+  std::uint16_t repl_port() const { return repl_port_; }
+
+  Role role() const;
+  std::uint64_t term() const { return term_.load(std::memory_order_acquire); }
+  bool is_leader() const { return role() == Role::kLeader; }
+  std::uint64_t commit_seq() const {
+    return commit_.load(std::memory_order_acquire);
+  }
+  std::uint64_t ticks_processed() const {
+    return ticks_done_.load(std::memory_order_acquire);
+  }
+
+  Vm& vm() { return vm_; }
+  kv::ShardedStore& store() { return store_; }
+  ReplLog& log() { return log_; }
+  NodeStats stats() const;
+
+ private:
+  struct PeerState {
+    std::int64_t match = -1;      // highest acked seq; -1 = unknown
+    std::uint64_t next_send = 1;  // next seq to stream
+    int stall_ticks = 0;
+  };
+  struct PendingWrite {
+    std::uint64_t seq = 0;
+    std::uint64_t enq_tick = 0;
+    kv::Response resp;
+    CompletionFn done;
+  };
+  // Pump-thread-local sockets and buffers (all defined in node.cpp).
+  struct PumpIo;
+  struct InConn;  // one inbound peer connection
+  struct Link;    // one outbound peer link
+
+  void pump_main();
+  void load_peers(PumpIo& io);
+  void try_connect(PumpIo& io);
+  void process_ticks(Mutator& m, PumpIo& io);
+  void on_tick(Mutator& m, PumpIo& io);
+  void pump_io(Mutator& m, PumpIo& io);
+  void read_inbound(Mutator& m, PumpIo& io, InConn& c);
+  void dispatch(Mutator& m, PumpIo& io, const Frame& f);
+  void on_heartbeat(Mutator& m, PumpIo& io, const Frame& f);
+  void on_append(Mutator& m, PumpIo& io, const Frame& f);
+  void on_ack(const Frame& f);
+  void on_vote_req(PumpIo& io, const Frame& f);
+  void on_vote_resp(PumpIo& io, const Frame& f);
+  void send_to_peer(PumpIo& io, std::uint32_t peer_id, const Frame& f);
+  void send_heartbeats(PumpIo& io);
+  void send_pending_appends(PumpIo& io);
+  void send_ack(PumpIo& io, std::uint32_t to_peer);
+  void start_election_locked(PumpIo& io) MGC_REQUIRES(state_mu_);
+  void become_leader_locked() MGC_REQUIRES(state_mu_);
+  // Adopt a higher term: step down to follower; returns the pending
+  // writes to fail (fired by the caller outside the lock).
+  void adopt_term_locked(std::uint64_t term,
+                         std::vector<PendingWrite>* failed)
+      MGC_REQUIRES(state_mu_);
+  // Raise commit_ to min(to, log last), updating per-shard committed
+  // counts from the entries crossing the threshold.
+  void advance_commit_locked(std::uint64_t to) MGC_REQUIRES(state_mu_);
+  void take_committed_locked(std::vector<PendingWrite>* out)
+      MGC_REQUIRES(state_mu_);
+  // Undo truncated entries in the memtable: re-put the latest surviving
+  // write of each removed key, or remove the row if the key only ever
+  // existed in the truncated suffix.
+  void repair_rows(Mutator& m, const std::vector<ReplLog::Entry>& removed);
+  void truncate_to(Mutator& m, std::uint64_t upto);
+  std::uint64_t on_commit(std::uint32_t shard, std::uint64_t key,
+                          std::uint32_t value_len);
+  void on_local_write_done(const kv::Response& r, const CompletionFn& done);
+  bool read_is_fresh(std::uint64_t key);
+  int peer_index(std::uint32_t peer_id) const;  // -1 when unknown
+  void prod();  // wake the pump (eventfd)
+
+  NodeConfig cfg_;
+  Vm vm_;
+  kv::ShardedStore store_;
+  ReplLog log_;
+  std::unique_ptr<kv::Server> server_;
+
+  std::uint16_t repl_port_ = 0;
+  net::UniqueFd listen_fd_;
+  net::UniqueFd wake_fd_;
+
+  mutable Mutex state_mu_{LockRank::kReplState, "repl-state"};
+  Role role_ MGC_GUARDED_BY(state_mu_) = Role::kFollower;
+  std::uint32_t voted_for_ MGC_GUARDED_BY(state_mu_) = kNoNode;
+  std::uint64_t votes_mask_ MGC_GUARDED_BY(state_mu_) = 0;  // by peer index
+  std::uint32_t leader_hint_ MGC_GUARDED_BY(state_mu_) = kNoNode;
+  int ticks_since_hb_ MGC_GUARDED_BY(state_mu_) = 0;
+  std::uint64_t now_tick_ MGC_GUARDED_BY(state_mu_) = 0;
+  std::vector<PeerAddr> peers_ MGC_GUARDED_BY(state_mu_);
+  std::vector<PeerState> peer_state_ MGC_GUARDED_BY(state_mu_);
+  std::vector<PendingWrite> pending_ MGC_GUARDED_BY(state_mu_);
+  // Leader: per-shard committed counts (heartbeat payload). Follower:
+  // leader's last-known per-shard counts (staleness gate).
+  std::vector<std::uint64_t> shard_committed_ MGC_GUARDED_BY(state_mu_);
+  std::vector<std::uint64_t> leader_shard_last_ MGC_GUARDED_BY(state_mu_);
+  std::uint64_t leader_commit_seen_ MGC_GUARDED_BY(state_mu_) = 0;
+
+  // term_/commit_ are written under state_mu_ but read lock-free (commit
+  // hook, stats, tests).
+  std::atomic<std::uint64_t> term_{0};
+  std::atomic<std::uint64_t> commit_{0};
+  std::atomic<std::uint8_t> role_relaxed_{0};  // mirrors role_ for readers
+
+  std::atomic<bool> have_peers_{false};
+  std::atomic<std::uint64_t> tick_target_{0};
+  std::atomic<std::uint64_t> ticks_done_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shutting_down_{false};
+
+  // stats
+  std::atomic<std::uint64_t> elections_started_{0};
+  std::atomic<std::uint64_t> elections_won_{0};
+  std::atomic<std::uint64_t> stepdowns_{0};
+  std::atomic<std::uint64_t> truncated_entries_{0};
+  std::atomic<std::uint64_t> entries_applied_{0};
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+  std::atomic<std::uint64_t> heartbeats_lost_{0};
+  std::atomic<std::uint64_t> acks_sent_{0};
+  std::atomic<std::uint64_t> acks_lost_{0};
+  std::atomic<std::uint64_t> append_batches_sent_{0};
+  std::atomic<std::uint64_t> append_batches_lost_{0};
+  std::atomic<std::uint64_t> writes_acked_{0};
+  std::atomic<std::uint64_t> writes_shed_{0};
+  std::atomic<std::uint64_t> writes_aged_out_{0};
+  std::atomic<std::uint64_t> writes_failed_stepdown_{0};
+  std::atomic<std::uint64_t> not_leader_rejects_{0};
+  std::atomic<std::uint64_t> stale_reads_shed_{0};
+  std::atomic<std::uint64_t> follower_stalls_{0};
+  std::atomic<std::uint64_t> stream_gaps_{0};
+  std::atomic<std::uint64_t> links_reset_{0};
+  std::atomic<std::uint64_t> connect_failures_{0};
+
+  std::thread pump_;
+  // Declared last: destroyed first, so client traffic stops before the
+  // replication plane and the kv workers do.
+  std::unique_ptr<net::NetServer> net_;
+
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+};
+
+}  // namespace mgc::repl

@@ -1,0 +1,78 @@
+#include "replication/repl_client.h"
+
+#include <chrono>
+#include <thread>
+
+#include "support/check.h"
+
+namespace mgc::repl {
+
+ReplClient::ReplClient(std::vector<std::uint16_t> ports, ReplClientConfig cfg)
+    : cfg_(cfg) {
+  MGC_CHECK(!ports.empty());
+  targets_.resize(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) targets_[i].port = ports[i];
+}
+
+ReplClient::~ReplClient() = default;
+
+net::BlockingClient& ReplClient::client_at(std::size_t i) {
+  Target& t = targets_[i];
+  if (!t.client) {
+    net::RetryPolicy p = cfg_.policy;
+    // Spread the jitter streams: clones of one config must not draw the
+    // identical backoff schedule for every replica.
+    p.jitter_seed = cfg_.policy.jitter_seed + i;
+    t.client =
+        std::make_unique<net::BlockingClient>("127.0.0.1", t.port, p);
+  }
+  return *t.client;
+}
+
+void ReplClient::backoff(std::size_t i) {
+  Target& t = targets_[i];
+  const int prev =
+      t.prev_delay_ms > 0 ? t.prev_delay_ms : cfg_.policy.backoff_initial_ms;
+  const int delay = client_at(i).next_backoff_ms(prev);
+  t.prev_delay_ms = delay;
+  ++backoffs_;
+  backoff_ms_total_ += static_cast<std::uint64_t>(delay);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+kv::Response ReplClient::execute(const kv::Request& req) {
+  kv::Response last;
+  last.status = kv::ExecStatus::kShutdown;  // if no replica ever answers
+  const std::size_t attempts = targets_.size() *
+                               static_cast<std::size_t>(cfg_.max_rounds);
+  for (std::size_t a = 0; a < attempts; ++a) {
+    const std::size_t i = cur_;
+    net::ResponseFrame f;
+    if (!client_at(i).call_once(req, &f)) {
+      // Replica unreachable or mid-pause past the socket timeout.
+      backoff(i);
+      rotate();
+      continue;
+    }
+    last.found = f.found;
+    last.status = f.status;
+    switch (f.status) {
+      case kv::ExecStatus::kOk:
+        targets_[i].prev_delay_ms = 0;
+        last_node_ = static_cast<int>(i);
+        if (req.op != kv::OpType::kRead) acked_.push_back(req.key);
+        return last;
+      case kv::ExecStatus::kNotLeader:
+        rotate();  // redirect, not pressure: no backoff
+        break;
+      case kv::ExecStatus::kOverloaded:
+      case kv::ExecStatus::kShutdown:
+        backoff(i);
+        rotate();
+        break;
+    }
+  }
+  return last;
+}
+
+}  // namespace mgc::repl

@@ -1,0 +1,86 @@
+// Cluster-aware client: one net::BlockingClient per replica, rotated on
+// redirect. The paper's interest is the CLIENT-visible latency of a GC
+// pause or failover, so this client behaves like a real driver would:
+//
+//   * kNotLeader       — the write hit a follower; rotate to the next
+//     replica immediately (no backoff — the leader is elsewhere, not
+//     overloaded).
+//   * transport failure — the replica is down or mid-pause; rotate, and
+//     back off with the same decorrelated jitter schedule the underlying
+//     BlockingClient uses, so a fleet of these clients does not stampede
+//     the new leader in lockstep after a failover.
+//   * kOverloaded      — load shed (pending-quorum cap, stale follower
+//     read, aged-out write); back off with jitter and rotate.
+//
+// Every write the cluster acknowledged (kOk) is recorded in acked_keys():
+// tests hand that set to Cluster::verify() to prove zero acked writes were
+// lost across pauses, drops, and elections. Single-threaded, like one
+// YCSB driver thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kvstore/server.h"
+#include "net/blocking_client.h"
+
+namespace mgc::repl {
+
+struct ReplClientConfig {
+  net::RetryPolicy policy;  // per-replica connection policy (incl. jitter)
+  // Full rotations through the replica set before execute() gives up and
+  // returns the last rejection. Bounds worst-case latency during an
+  // election when no replica leads.
+  int max_rounds = 16;
+};
+
+class ReplClient {
+ public:
+  // `ports`: client-facing loopback ports, one per replica (index-aligned
+  // with the cluster's node indices).
+  explicit ReplClient(std::vector<std::uint16_t> ports,
+                      ReplClientConfig cfg = {});
+  ~ReplClient();
+
+  ReplClient(const ReplClient&) = delete;
+  ReplClient& operator=(const ReplClient&) = delete;
+
+  // One operation against the cluster, rotating per the policy above.
+  // Returns the final response (kOk, or the last rejection after
+  // max_rounds full rotations).
+  kv::Response execute(const kv::Request& req);
+
+  // Replica index that served the last successful response.
+  int last_node() const { return last_node_; }
+
+  // Keys of every write the cluster acked with kOk, in ack order.
+  const std::vector<std::uint64_t>& acked_keys() const { return acked_; }
+
+  std::uint64_t rotations() const { return rotations_; }
+  std::uint64_t backoffs() const { return backoffs_; }
+  // Total jittered backoff the client actually slept, in milliseconds —
+  // the retry tax a pause/failover imposed on this driver.
+  std::uint64_t backoff_ms_total() const { return backoff_ms_total_; }
+
+ private:
+  void rotate() { cur_ = (cur_ + 1) % targets_.size(); ++rotations_; }
+  net::BlockingClient& client_at(std::size_t i);
+  void backoff(std::size_t i);
+
+  ReplClientConfig cfg_;
+  struct Target {
+    std::uint16_t port = 0;
+    std::unique_ptr<net::BlockingClient> client;  // dialed lazily
+    int prev_delay_ms = 0;  // decorrelated-jitter chain state
+  };
+  std::vector<Target> targets_;
+  std::size_t cur_ = 0;
+  int last_node_ = -1;
+  std::vector<std::uint64_t> acked_;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t backoffs_ = 0;
+  std::uint64_t backoff_ms_total_ = 0;
+};
+
+}  // namespace mgc::repl

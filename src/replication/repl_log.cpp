@@ -1,0 +1,103 @@
+#include "replication/repl_log.h"
+
+#include "support/check.h"
+
+namespace mgc::repl {
+
+ReplLog::ReplLog(std::size_t shards) : shard_counts_cap_(shards) {
+  MGC_CHECK(shards >= 1);
+  MutexLock l(mu_);
+  shard_counts_.assign(shards, 0);
+}
+
+std::uint64_t ReplLog::append(std::uint32_t shard, std::uint64_t key,
+                              std::uint32_t value_len, std::uint64_t term) {
+  MutexLock l(mu_);
+  MGC_CHECK(shard < shard_counts_.size());
+  Entry e;
+  e.seq = entries_.size() + 1;
+  e.key = key;
+  e.value_len = value_len;
+  e.shard = shard;
+  e.shard_seq = ++shard_counts_[shard];
+  e.term = term;
+  entries_.push_back(e);
+  return e.seq;
+}
+
+ReplLog::AppendAt ReplLog::append_at(Entry* e) {
+  MGC_CHECK(e->seq >= 1);
+  MutexLock l(mu_);
+  MGC_CHECK(e->shard < shard_counts_.size());
+  const std::uint64_t last = entries_.size();
+  if (e->seq > last + 1) return AppendAt::kGap;
+  if (e->seq == last + 1) {
+    e->shard_seq = ++shard_counts_[e->shard];
+    entries_.push_back(*e);
+    return AppendAt::kAppended;
+  }
+  const Entry& have = entries_[e->seq - 1];
+  // Entries carry no per-entry term on the wire, so identity is
+  // {key, value_len, shard}: the only writer of a given seq is the leader
+  // of the term that created it, and retransmits resend the identical
+  // record.
+  if (have.key == e->key && have.value_len == e->value_len &&
+      have.shard == e->shard) {
+    return AppendAt::kDuplicate;
+  }
+  return AppendAt::kConflict;
+}
+
+std::uint64_t ReplLog::last_seq() const {
+  MutexLock l(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ReplLog::shard_last(std::uint32_t shard) const {
+  MutexLock l(mu_);
+  MGC_CHECK(shard < shard_counts_.size());
+  return shard_counts_[shard];
+}
+
+std::vector<std::uint64_t> ReplLog::shard_lasts() const {
+  MutexLock l(mu_);
+  return shard_counts_;
+}
+
+std::size_t ReplLog::read_from(std::uint64_t from_seq, std::size_t max,
+                               std::vector<Entry>* out) const {
+  MGC_CHECK(from_seq >= 1);
+  out->clear();
+  MutexLock l(mu_);
+  const std::uint64_t last = entries_.size();
+  if (from_seq > last) return 0;
+  std::size_t n = static_cast<std::size_t>(last - from_seq + 1);
+  if (n > max) n = max;
+  out->assign(entries_.begin() + static_cast<std::ptrdiff_t>(from_seq - 1),
+              entries_.begin() +
+                  static_cast<std::ptrdiff_t>(from_seq - 1 + n));
+  return n;
+}
+
+std::size_t ReplLog::truncate_above(std::uint64_t upto,
+                                    std::vector<Entry>* removed) {
+  MutexLock l(mu_);
+  const std::uint64_t last = entries_.size();
+  if (upto >= last) return 0;
+  const std::size_t n = static_cast<std::size_t>(last - upto);
+  for (std::uint64_t i = upto; i < last; ++i) {
+    const Entry& e = entries_[i];
+    if (removed != nullptr) removed->push_back(e);
+    MGC_CHECK(shard_counts_[e.shard] > 0);
+    --shard_counts_[e.shard];
+  }
+  entries_.resize(static_cast<std::size_t>(upto));
+  return n;
+}
+
+std::vector<ReplLog::Entry> ReplLog::entries() const {
+  MutexLock l(mu_);
+  return entries_;
+}
+
+}  // namespace mgc::repl

@@ -1,0 +1,106 @@
+// Replication log: one totally-ordered array of committed {seq, key,
+// value_len} records per node — the stream the leader replays to
+// followers. Global sequence numbers are contiguous and start at 1, so
+// entry seq s lives at index s-1, lookup is O(1), and a gap is
+// structurally impossible.
+//
+// Why one global log and not one log per store shard: elections pick the
+// replica whose log is the longest (highest acked sequence). With
+// independent per-shard logs there is no total order to compare — a
+// candidate can be ahead on shard B but behind on shard A, and any
+// aggregate rule (sum, max) can elect a replica that is *missing* a
+// quorum-committed entry, whose truncation repair would then delete an
+// acknowledged write. A single stream makes "my log is a prefix of yours"
+// a total order, so the Raft-style longest-log vote rule is sound.
+// Shard-per-core parallelism is unaffected: each entry records the store
+// shard that owns its key (a pure function of the key), and carries that
+// shard's own monotone, contiguous *shard sequence number* — assigned from
+// the stream order, so every replica derives identical per-shard numbering
+// without it appearing on the wire.
+//
+// The log lives in plain (unmanaged) memory on purpose: it is replication
+// metadata, not application data, so it must survive — and not distort —
+// the managed-heap GC behavior the benches measure. Value bytes are not
+// stored at all; every replica regenerates them from the key
+// (kv::synth_value), which keeps entries fixed-size regardless of row
+// size.
+//
+// Thread model: the leader's commit hook appends from kv worker threads;
+// the replication pump reads ranges, force-appends follower streams, and
+// truncates diverged suffixes; follower read gating peeks at per-shard
+// counts from net loop threads. One LockRank::kReplLog mutex guards it
+// all; critical sections never allocate on the managed heap and never
+// nest other locks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/mutex.h"
+
+namespace mgc::repl {
+
+class ReplLog {
+ public:
+  struct Entry {
+    std::uint64_t seq = 0;        // global stream position (1-based)
+    std::uint64_t key = 0;
+    std::uint32_t value_len = 0;
+    std::uint32_t shard = 0;      // store shard owning the key
+    std::uint64_t shard_seq = 0;  // monotone per-shard number (derived)
+    std::uint64_t term = 0;       // term of the leader that appended it
+  };
+
+  explicit ReplLog(std::size_t shards);
+
+  ReplLog(const ReplLog&) = delete;
+  ReplLog& operator=(const ReplLog&) = delete;
+
+  std::size_t shard_count() const { return shard_counts_cap_; }
+
+  // Leader path: assigns and returns the next global sequence number
+  // (last + 1); the entry's shard_seq becomes that shard's count.
+  std::uint64_t append(std::uint32_t shard, std::uint64_t key,
+                       std::uint32_t value_len, std::uint64_t term);
+
+  // Follower path: append the replicated entry at its forced global
+  // sequence number, idempotently. On kAppended, e->shard_seq is filled
+  // with the derived per-shard number.
+  enum class AppendAt {
+    kAppended,   // e.seq == last+1: appended
+    kDuplicate,  // e.seq <= last and the stored entry matches: ignored
+    kConflict,   // e.seq <= last but key/len/shard differ: caller truncates
+    kGap,        // e.seq > last+1: out of order (a dropped batch upstream)
+  };
+  AppendAt append_at(Entry* e);
+
+  std::uint64_t last_seq() const;
+
+  // Per-shard entry counts == each shard's highest shard_seq. The follower
+  // staleness gate compares these against the leader's heartbeat.
+  std::uint64_t shard_last(std::uint32_t shard) const;
+  std::vector<std::uint64_t> shard_lasts() const;
+
+  // Copies up to `max` entries starting at global seq from_seq into *out
+  // (cleared first). Returns the number copied (0 when past the end).
+  std::size_t read_from(std::uint64_t from_seq, std::size_t max,
+                        std::vector<Entry>* out) const;
+
+  // Drops every entry with seq > upto (the rejoining ex-leader's diverged
+  // unacked suffix) and rewinds the per-shard counts. The removed entries
+  // are appended to *removed (when given) so the caller can repair the
+  // memtable. Returns the number of entries removed.
+  std::size_t truncate_above(std::uint64_t upto, std::vector<Entry>* removed);
+
+  // Full copy of the log (determinism tests compare these across replicas
+  // and across same-seed runs).
+  std::vector<Entry> entries() const;
+
+ private:
+  mutable Mutex mu_{LockRank::kReplLog, "repl-log"};
+  std::vector<Entry> entries_ MGC_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> shard_counts_ MGC_GUARDED_BY(mu_);
+  std::size_t shard_counts_cap_ = 0;
+};
+
+}  // namespace mgc::repl

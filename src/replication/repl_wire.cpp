@@ -1,0 +1,269 @@
+#include "replication/repl_wire.h"
+
+#include "net/wire.h"
+#include "support/check.h"
+
+namespace mgc::repl {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+net::MsgKind wire_kind(FrameKind k) {
+  switch (k) {
+    case FrameKind::kHello: return net::MsgKind::kReplHello;
+    case FrameKind::kHeartbeat: return net::MsgKind::kReplHeartbeat;
+    case FrameKind::kAppend: return net::MsgKind::kReplAppend;
+    case FrameKind::kAck: return net::MsgKind::kReplAck;
+    case FrameKind::kVoteReq: return net::MsgKind::kReplVoteReq;
+    case FrameKind::kVoteResp: return net::MsgKind::kReplVoteResp;
+  }
+  MGC_CHECK(false);
+  return net::MsgKind::kReplHello;
+}
+
+std::size_t payload_size(const Frame& f) {
+  switch (f.kind) {
+    case FrameKind::kHello: return kReplHeaderSize;
+    case FrameKind::kHeartbeat:
+      return kReplHeaderSize + 4 + f.shards.size() * kHeartbeatEntrySize;
+    case FrameKind::kAppend:
+      return kAppendHeaderSize + f.entries.size() * kAppendEntrySize;
+    case FrameKind::kAck: return kAckPayloadSize;
+    case FrameKind::kVoteReq:
+      return kReplHeaderSize + 4 + f.last_seqs.size() * kVoteReqEntrySize;
+    case FrameKind::kVoteResp: return kReplHeaderSize + 1;
+  }
+  MGC_CHECK(false);
+  return 0;
+}
+
+// Validates (magic, version, kind, payload_len) coherence with only the
+// header bytes visible; variable-count kinds get their exact-length check
+// once the count is read.
+bool check_header(const std::uint8_t* p, std::uint32_t payload_len,
+                  FrameKind* kind_out) {
+  if (p[0] != net::kMagic) return false;
+  if (p[1] != net::kBatchVersion) return false;
+  switch (static_cast<net::MsgKind>(p[2])) {
+    case net::MsgKind::kReplHello:
+      if (payload_len != kReplHeaderSize) return false;
+      *kind_out = FrameKind::kHello;
+      return true;
+    case net::MsgKind::kReplHeartbeat:
+      if (payload_len < kReplHeaderSize + 4 + kHeartbeatEntrySize ||
+          (payload_len - kReplHeaderSize - 4) % kHeartbeatEntrySize != 0) {
+        return false;
+      }
+      *kind_out = FrameKind::kHeartbeat;
+      return true;
+    case net::MsgKind::kReplAppend:
+      if (payload_len < kAppendHeaderSize + kAppendEntrySize ||
+          (payload_len - kAppendHeaderSize) % kAppendEntrySize != 0) {
+        return false;
+      }
+      *kind_out = FrameKind::kAppend;
+      return true;
+    case net::MsgKind::kReplAck:
+      if (payload_len != kAckPayloadSize) return false;
+      *kind_out = FrameKind::kAck;
+      return true;
+    case net::MsgKind::kReplVoteReq:
+      if (payload_len < kReplHeaderSize + 4 + kVoteReqEntrySize ||
+          (payload_len - kReplHeaderSize - 4) % kVoteReqEntrySize != 0) {
+        return false;
+      }
+      *kind_out = FrameKind::kVoteReq;
+      return true;
+    case net::MsgKind::kReplVoteResp:
+      if (payload_len != kReplHeaderSize + 1) return false;
+      *kind_out = FrameKind::kVoteResp;
+      return true;
+    default:
+      // Client kinds (and garbage) do not belong on the replication plane.
+      return false;
+  }
+}
+
+}  // namespace
+
+void encode(const Frame& f, std::vector<std::uint8_t>& out) {
+  MGC_CHECK(f.shards.size() <= kMaxReplShards);
+  MGC_CHECK(f.last_seqs.size() <= kMaxReplShards);
+  MGC_CHECK(f.entries.size() <= kMaxReplAppendCount);
+  if (f.kind == FrameKind::kHeartbeat) MGC_CHECK(!f.shards.empty());
+  if (f.kind == FrameKind::kAppend) MGC_CHECK(!f.entries.empty());
+  if (f.kind == FrameKind::kVoteReq) MGC_CHECK(!f.last_seqs.empty());
+
+  const std::size_t payload = payload_size(f);
+  out.reserve(out.size() + net::kLenPrefixSize + payload);
+  put_u32(out, static_cast<std::uint32_t>(payload));
+  put_u8(out, net::kMagic);
+  put_u8(out, net::kBatchVersion);
+  put_u8(out, static_cast<std::uint8_t>(wire_kind(f.kind)));
+  put_u8(out, 0);  // reserved
+  put_u32(out, f.node);
+  put_u64(out, f.term);
+  switch (f.kind) {
+    case FrameKind::kHello:
+      break;
+    case FrameKind::kHeartbeat:
+      put_u32(out, static_cast<std::uint32_t>(f.shards.size()));
+      for (const ShardSeqs& s : f.shards) {
+        put_u64(out, s.commit_seq);
+        put_u64(out, s.last_seq);
+      }
+      break;
+    case FrameKind::kAppend:
+      put_u32(out, f.shard);
+      put_u64(out, f.commit_seq);
+      put_u32(out, static_cast<std::uint32_t>(f.entries.size()));
+      for (const AppendEntry& e : f.entries) {
+        MGC_CHECK(e.value_len <= net::kMaxValueLen);
+        put_u64(out, e.seq);
+        put_u64(out, e.key);
+        put_u32(out, e.value_len);
+      }
+      break;
+    case FrameKind::kAck:
+      put_u32(out, f.shard);
+      put_u64(out, f.ack_seq);
+      break;
+    case FrameKind::kVoteReq:
+      put_u32(out, static_cast<std::uint32_t>(f.last_seqs.size()));
+      for (std::uint64_t s : f.last_seqs) put_u64(out, s);
+      break;
+    case FrameKind::kVoteResp:
+      put_u8(out, f.granted ? 1 : 0);
+      break;
+  }
+}
+
+DecodeResult decode(const std::uint8_t* data, std::size_t len,
+                    std::size_t* consumed, Frame* out) {
+  if (len < net::kLenPrefixSize) return DecodeResult::kNeedMore;
+  const std::uint32_t payload_len = get_u32(data);
+  if (payload_len < kReplHeaderSize || payload_len > kMaxReplPayload) {
+    return DecodeResult::kError;
+  }
+  if (len < net::kLenPrefixSize + 3) return DecodeResult::kNeedMore;
+  const std::uint8_t* p = data + net::kLenPrefixSize;
+  FrameKind kind;
+  if (!check_header(p, payload_len, &kind)) return DecodeResult::kError;
+  if (len < net::kLenPrefixSize + payload_len) return DecodeResult::kNeedMore;
+  if (p[3] != 0) return DecodeResult::kError;  // reserved byte
+
+  *out = Frame{};
+  out->kind = kind;
+  out->node = get_u32(p + 4);
+  out->term = get_u64(p + 8);
+  const std::uint8_t* b = p + kReplHeaderSize;
+  switch (kind) {
+    case FrameKind::kHello:
+      break;
+    case FrameKind::kHeartbeat: {
+      const std::uint32_t count = get_u32(b);
+      if (count == 0 || count > kMaxReplShards ||
+          payload_len !=
+              kReplHeaderSize + 4 + count * kHeartbeatEntrySize) {
+        return DecodeResult::kError;
+      }
+      out->shards.reserve(count);
+      const std::uint8_t* e = b + 4;
+      for (std::uint32_t i = 0; i < count; ++i, e += kHeartbeatEntrySize) {
+        ShardSeqs s;
+        s.commit_seq = get_u64(e);
+        s.last_seq = get_u64(e + 8);
+        // A commit ahead of the log it commits is incoherent.
+        if (s.commit_seq > s.last_seq) return DecodeResult::kError;
+        out->shards.push_back(s);
+      }
+      break;
+    }
+    case FrameKind::kAppend: {
+      out->shard = get_u32(b);
+      if (out->shard >= kMaxReplShards) return DecodeResult::kError;
+      out->commit_seq = get_u64(b + 4);
+      const std::uint32_t count = get_u32(b + 12);
+      if (count == 0 || count > kMaxReplAppendCount ||
+          payload_len != kAppendHeaderSize + count * kAppendEntrySize) {
+        return DecodeResult::kError;
+      }
+      out->entries.reserve(count);
+      const std::uint8_t* e = b + 16;
+      std::uint64_t prev_seq = 0;
+      for (std::uint32_t i = 0; i < count; ++i, e += kAppendEntrySize) {
+        AppendEntry a;
+        a.seq = get_u64(e);
+        a.key = get_u64(e + 8);
+        a.value_len = get_u32(e + 16);
+        if (a.value_len > net::kMaxValueLen) return DecodeResult::kError;
+        // Entries must be a contiguous ascending run — the apply loop
+        // depends on it, so enforce it at the trust boundary.
+        if (a.seq == 0 || (i > 0 && a.seq != prev_seq + 1)) {
+          return DecodeResult::kError;
+        }
+        prev_seq = a.seq;
+        out->entries.push_back(a);
+      }
+      break;
+    }
+    case FrameKind::kAck:
+      out->shard = get_u32(b);
+      if (out->shard >= kMaxReplShards) return DecodeResult::kError;
+      out->ack_seq = get_u64(b + 4);
+      break;
+    case FrameKind::kVoteReq: {
+      const std::uint32_t count = get_u32(b);
+      if (count == 0 || count > kMaxReplShards ||
+          payload_len != kReplHeaderSize + 4 + count * kVoteReqEntrySize) {
+        return DecodeResult::kError;
+      }
+      out->last_seqs.reserve(count);
+      const std::uint8_t* e = b + 4;
+      for (std::uint32_t i = 0; i < count; ++i, e += kVoteReqEntrySize) {
+        out->last_seqs.push_back(get_u64(e));
+      }
+      break;
+    }
+    case FrameKind::kVoteResp: {
+      const std::uint8_t granted = b[0];
+      if (granted > 1) return DecodeResult::kError;
+      out->granted = granted != 0;
+      break;
+    }
+  }
+  *consumed = net::kLenPrefixSize + payload_len;
+  return DecodeResult::kFrame;
+}
+
+}  // namespace mgc::repl

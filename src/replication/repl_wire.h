@@ -1,0 +1,117 @@
+// Replication-plane wire codec (protocol version 2, kinds 4..9 of
+// net::MsgKind). Same framing discipline as the client batch frames: a
+// little-endian u32 payload length, a fixed header validated as soon as
+// its bytes are visible, bounded counts, and an exact payload-length ==
+// header + count * entry check — a malformed or adversarial frame is
+// rejected before the decoder buffers toward its claimed length.
+//
+// Frame layouts (all little-endian; common 16-byte header first):
+//
+//   header: u8 magic=0xC5, u8 version=2, u8 kind, u8 reserved=0,
+//           u32 node (sender id), u64 term
+//
+//   kReplHello     (9): header only — first frame on every outbound link,
+//                       binds the connection to the sender's node id.
+//   kReplHeartbeat (6): header, u32 count,
+//                       count x { u64 commit_seq, u64 last_seq }
+//                       Entry 0 is the global stream {commit, last}; entries
+//                       1..n are the per-shard monotone sequence numbers
+//                       {committed count, appended count} of store shard
+//                       i-1, which drive the follower read staleness gate.
+//   kReplAppend    (4): header, u32 shard (reserved, 0 — entries route by
+//                       key), u64 commit_seq, u32 count,
+//                       count x { u64 seq, u64 key, u32 value_len }
+//   kReplAck       (5): header, u32 shard (reserved, 0), u64 ack_seq
+//                       (highest contiguous global seq applied)
+//   kReplVoteReq   (7): header, u32 count, count x u64 last_seq
+//                       Entry 0 is the candidate's global last_seq (the
+//                       longest-log election rule compares exactly this);
+//                       any further entries are informational per-shard
+//                       counts.
+//   kReplVoteResp  (8): header, u8 granted
+//
+// Append entries carry no value bytes: the kv workers synthesize every
+// row's value deterministically from its key (kv::synth_value), so a
+// follower regenerates identical bytes and the stream stays fixed-size.
+//
+// These kinds share the magic and version space with net/wire.h but NOT
+// the decoder: net::decode_any recognizes only the client kinds, so a
+// replication frame arriving on a client connection is a protocol error,
+// and this decoder rejects client kinds the same way.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mgc::repl {
+
+// A cluster is a handful of replicas with a few shards each; the bounds
+// exist so a bit-flipped count cannot make the decoder allocate.
+inline constexpr std::uint32_t kMaxReplShards = 64;
+inline constexpr std::uint32_t kMaxReplAppendCount = 512;
+
+inline constexpr std::size_t kReplHeaderSize = 16;
+inline constexpr std::size_t kHeartbeatEntrySize = 16;
+inline constexpr std::size_t kAppendHeaderSize = kReplHeaderSize + 16;
+inline constexpr std::size_t kAppendEntrySize = 20;
+inline constexpr std::size_t kAckPayloadSize = kReplHeaderSize + 12;
+inline constexpr std::size_t kVoteReqEntrySize = 8;
+inline constexpr std::uint32_t kMaxReplPayload = static_cast<std::uint32_t>(
+    kAppendHeaderSize + kMaxReplAppendCount * kAppendEntrySize);
+
+enum class FrameKind : std::uint8_t {
+  kHello,
+  kHeartbeat,
+  kAppend,
+  kAck,
+  kVoteReq,
+  kVoteResp,
+};
+
+struct AppendEntry {
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;
+  std::uint32_t value_len = 0;
+};
+
+// One {committed, appended} high-water pair in a heartbeat: the global
+// stream in entry 0, per-shard monotone counts after it.
+struct ShardSeqs {
+  std::uint64_t commit_seq = 0;  // highest quorum-committed seq
+  std::uint64_t last_seq = 0;    // highest appended seq
+};
+
+// One decoded frame of any kind; only the members of the matching kind
+// are meaningful.
+struct Frame {
+  FrameKind kind = FrameKind::kHello;
+  std::uint32_t node = 0;  // sender id
+  std::uint64_t term = 0;
+
+  std::uint32_t shard = 0;                // kAppend / kAck
+  std::uint64_t commit_seq = 0;           // kAppend
+  std::vector<AppendEntry> entries;       // kAppend
+  std::uint64_t ack_seq = 0;              // kAck
+  std::vector<ShardSeqs> shards;          // kHeartbeat
+  std::vector<std::uint64_t> last_seqs;   // kVoteReq
+  bool granted = false;                   // kVoteResp
+};
+
+// Appends one encoded frame (length prefix included). Counts are
+// MGC_CHECKed against the bounds above — callers batch within them.
+void encode(const Frame& f, std::vector<std::uint8_t>& out);
+
+enum class DecodeResult {
+  kNeedMore,  // keep buffering
+  kFrame,     // *out filled, *consumed bytes eaten
+  kError,     // malformed — the connection must be dropped
+};
+
+// Attempts to decode one replication frame from [data, data+len). On
+// kFrame sets *consumed and fills *out; on kNeedMore / kError nothing is
+// consumed. Never reads outside [data, data+len).
+DecodeResult decode(const std::uint8_t* data, std::size_t len,
+                    std::size_t* consumed, Frame* out);
+
+}  // namespace mgc::repl

@@ -51,6 +51,8 @@ const char* const kSiteNames[kNumSites] = {
     "heap-expand",    "promotion-fail", "g1-evac-fail",       "cms-concurrent-fail",
     "gc-worker-stall","commitlog-write","kv-queue-full",      "shard-queue-full",
     "net-accept",     "net-read-short", "net-write-short",    "net-epipe",
+    "repl-append-drop", "repl-ack-drop", "repl-heartbeat-loss",
+    "repl-follower-stall",
 };
 
 }  // namespace

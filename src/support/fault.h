@@ -69,6 +69,12 @@ enum class Site : std::uint8_t {
   kNetReadShort,     // recv() capped to 1 byte (short-count)
   kNetWriteShort,    // send() capped to 1 byte (short-count)
   kNetEpipe,         // send() fails as if the peer vanished (EPIPE)
+  // replication (scoped: the node id of the node performing the action, so
+  // a spec can break exactly one replica while the rest stay healthy)
+  kReplAppendDrop,    // leader drops an outgoing append batch to one peer
+  kReplAckDrop,       // follower drops its outgoing append/heartbeat ack
+  kReplHeartbeatLoss, // leader's outgoing heartbeat to one peer is lost
+  kReplFollowerStall, // follower's replication pump skips an iteration
   kNumSites,
 };
 

@@ -81,6 +81,8 @@ const char* rank_name(LockRank r) {
     case LockRank::kKvShutdown: return "kv-shutdown";
     case LockRank::kKvShard: return "kv-shard";
     case LockRank::kAppData: return "app-data";
+    case LockRank::kReplState: return "repl-state";
+    case LockRank::kReplLog: return "repl-log";
     case LockRank::kStoreFlush: return "store-flush";
     case LockRank::kCommitLog: return "commit-log";
     case LockRank::kMemtableStripe: return "memtable-stripe";

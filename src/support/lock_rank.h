@@ -39,6 +39,11 @@ enum class LockRank : std::uint16_t {
   kKvShutdown = 20,     // kv::Server shutdown_mu_
   kKvShard = 30,        // kv::Server per-shard queue mutex
   kAppData = 40,        // dacapo kernel table/store mutexes
+  // replication (between the kv front-end and the storage layers: the
+  // pump takes repl-state, then repl-log, then — with neither held — the
+  // store path below; the Store::put commit hook takes repl-log alone)
+  kReplState = 44,      // repl::Node state_mu_ (role/term/pending writes)
+  kReplLog = 46,        // repl::ReplLog mu_ (per-shard entry vectors)
   // kvstore storage layers
   kStoreFlush = 50,     // kv::Store flush_mu_
   kCommitLog = 60,      // kv::CommitLog mu_ (replay puts rows under it)

@@ -245,5 +245,13 @@ TEST(PerfTrajectoryTest, Scaling) {
   run_trajectory("bench_scaling", "scaling", 25.0);
 }
 
+// Replication safety fingerprints: zero verifier violations (includes
+// zero lost acked writes), zero unacked writes, the forced failover
+// actually electing, and Epsilon's zero-pause invariant — all "_exact",
+// so the threshold only covers incidental counters.
+TEST(PerfTrajectoryTest, ReplFailover) {
+  run_trajectory("bench_repl_failover", "repl", 500.0);
+}
+
 }  // namespace
 }  // namespace mgc::bench

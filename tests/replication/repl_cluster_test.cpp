@@ -1,0 +1,326 @@
+// Replicated-cluster integration: quorum commit on the happy path, the
+// quorum edge cases the design promises bounded behavior for (one
+// follower stalled — progress; a lost quorum — typed shedding, never a
+// hang), follower read staleness gating, recovery from dropped append
+// batches via the tick-counted retransmit, dropped acks, and the
+// ex-leader rejoin that truncates a diverged suffix and repairs the
+// memtable. Every scenario ends with the cluster-wide safety verifier.
+//
+// All four replication fault sites are armed here: Site::kReplFollowerStall,
+// Site::kReplAppendDrop, Site::kReplAckDrop (Site::kReplHeartbeatLoss is
+// armed by the failover tests).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "replication/cluster.h"
+#include "repl_test_util.h"
+#include "support/fault.h"
+
+namespace mgc::repl {
+namespace {
+
+using testutil::insert;
+using testutil::read;
+using testutil::small_node_config;
+using testutil::submit_sync;
+using testutil::tick_slowly;
+using testutil::wait_logs_at;
+using testutil::wait_until;
+
+ClusterConfig three_nodes() {
+  ClusterConfig cc;
+  cc.nodes = 3;
+  cc.node = small_node_config();
+  return cc;
+}
+
+void expect_verify_clean(Cluster& c,
+                         const std::vector<std::uint64_t>* acked = nullptr) {
+  const std::vector<std::string> bad = c.verify(acked);
+  for (const std::string& b : bad) ADD_FAILURE() << "verify: " << b;
+}
+
+TEST(ReplCluster, QuorumCommitReplicatesToAllFollowers) {
+  Cluster c(three_nodes());
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    const kv::Response r = submit_sync(c.node(0), insert(k));
+    ASSERT_EQ(r.status, kv::ExecStatus::kOk) << "key " << k;
+    acked.push_back(k);
+  }
+  EXPECT_EQ(c.node(0).commit_seq(), 50u);
+  EXPECT_EQ(c.node(0).stats().writes_acked, 50u);
+
+  // Quorum needs one follower; the stream still reaches both.
+  ASSERT_TRUE(wait_logs_at(c, 50));
+  tick_slowly(c, 2);  // heartbeats carry the commit index to the followers
+  ASSERT_TRUE(wait_until([&] {
+    return c.node(1).commit_seq() == 50 && c.node(2).commit_seq() == 50;
+  }));
+  expect_verify_clean(c, &acked);
+
+  // A write sent to a follower is a typed redirect, not an ack.
+  EXPECT_EQ(submit_sync(c.node(1), insert(999)).status,
+            kv::ExecStatus::kNotLeader);
+  EXPECT_GE(c.node(1).stats().not_leader_rejects, 1u);
+}
+
+TEST(ReplCluster, OneFollowerStalledStillCommitsAtQuorum) {
+  Cluster c(three_nodes());
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // Freeze node 2's replication pump (scoped: only that node stalls).
+  fault::ScopedSpec guard("repl-follower-stall:scope=2", 11);
+  ASSERT_TRUE(wait_until([&] {
+    return c.node(2).stats().follower_stalls > 0;
+  }));
+
+  // Writes still reach quorum 2 via node 1 — one lost replica costs
+  // nothing but redundancy.
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 30; ++k) {
+    const kv::Response r = submit_sync(c.node(0), insert(k));
+    ASSERT_EQ(r.status, kv::ExecStatus::kOk) << "key " << k;
+    acked.push_back(k);
+  }
+  EXPECT_EQ(c.node(2).log().last_seq(), 0u);
+
+  // Unfreeze: the stalled follower drains the buffered stream and
+  // catches up without a retransmit (nothing was lost, only unread).
+  fault::disarm_all();
+  ASSERT_TRUE(wait_logs_at(c, 30));
+  expect_verify_clean(c, &acked);
+}
+
+TEST(ReplCluster, QuorumLossShedsTypedAndNeverHangs) {
+  ClusterConfig cc = three_nodes();
+  cc.node.max_pending_writes = 4;
+  cc.node.pending_timeout_ticks = 6;
+  Cluster c(cc);
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // Freeze BOTH followers (unscoped; the site is role-gated, so the
+  // leader keeps running). No quorum exists now.
+  fault::ScopedSpec guard("repl-follower-stall", 12);
+  ASSERT_TRUE(wait_until([&] {
+    return c.node(1).stats().follower_stalls > 0 &&
+           c.node(2).stats().follower_stalls > 0;
+  }));
+
+  // Fill the pending window (the cap check races the asynchronous
+  // registration, so keep submitting until the leader sheds): every
+  // accepted write is held for a quorum that cannot form, and once the
+  // window is full the next submit is rejected kOverloaded on the spot.
+  std::vector<std::future<kv::Response>> futs;
+  bool shed_at_submit = false;
+  for (std::uint64_t k = 0; k < 64 && !shed_at_submit; ++k) {
+    auto prom = std::make_shared<std::promise<kv::Response>>();
+    const kv::SubmitResult sr = c.node(0).try_submit(
+        insert(100 + k), [prom](const kv::Response& r) { prom->set_value(r); });
+    if (sr == kv::SubmitResult::kAccepted) {
+      futs.push_back(prom->get_future());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } else {
+      ASSERT_EQ(sr, kv::SubmitResult::kOverloaded);
+      shed_at_submit = true;
+    }
+  }
+  EXPECT_TRUE(shed_at_submit) << "pending window never filled";
+  EXPECT_GE(futs.size(), cc.node.max_pending_writes);
+  EXPECT_GE(c.node(0).stats().writes_shed, 1u);
+
+  // Age the held writes out: every completion fires with a typed
+  // kOverloaded within the tick budget — bounded latency, no hang.
+  tick_slowly(c, cc.node.pending_timeout_ticks + 3);
+  for (auto& f : futs) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "a held write never resolved";
+    EXPECT_EQ(f.get().status, kv::ExecStatus::kOverloaded);
+  }
+  EXPECT_GE(c.node(0).stats().writes_aged_out, 1u);
+
+  // Heal: followers drain the buffered stream, quorum returns, and new
+  // writes ack again.
+  fault::disarm_all();
+  std::vector<std::uint64_t> acked;
+  ASSERT_TRUE(wait_until([&] {
+    return submit_sync(c.node(0), insert(500)).status ==
+           kv::ExecStatus::kOk;
+  }));
+  acked.push_back(500);
+  ASSERT_TRUE(wait_logs_at(c, c.node(0).log().last_seq()));
+  expect_verify_clean(c, &acked);
+}
+
+TEST(ReplCluster, StaleFollowerReadsShedThenRecoverViaRetransmit) {
+  ClusterConfig cc = three_nodes();
+  cc.node.quorum = 1;  // leader commits alone: appends can lag acks
+  cc.node.staleness_bound = 4;
+  Cluster c(cc);
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // A heartbeat first: followers learn the leader exists and ack, fixing
+  // match so the retransmit timer has a rewind target.
+  tick_slowly(c, 2);
+
+  // Drop every append batch the leader sends; heartbeats still flow, so
+  // the followers KNOW how far behind they are.
+  fault::ScopedSpec guard("repl-append-drop:scope=0", 13);
+
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    ASSERT_EQ(submit_sync(c.node(0), insert(k)).status,
+              kv::ExecStatus::kOk);
+    acked.push_back(k);
+  }
+  // With quorum 1 the ack is local — the pump streams (and drops) the
+  // append batches asynchronously, after submit_sync already returned.
+  ASSERT_TRUE(wait_until([&] {
+    return c.node(0).stats().append_batches_lost >= 1;
+  }));
+  EXPECT_EQ(c.node(1).log().last_seq(), 0u);
+
+  // Let a heartbeat advertise the leader's per-shard positions.
+  tick_slowly(c, 2);
+  ASSERT_TRUE(wait_until([&] {
+    // Knowledge gap visible: a read on the follower sheds as stale.
+    return submit_sync(c.node(1), read(5)).status ==
+           kv::ExecStatus::kOverloaded;
+  }));
+  EXPECT_GE(c.node(1).stats().stale_reads_shed, 1u);
+
+  // The leader, meanwhile, serves the same read fresh.
+  {
+    const kv::Response r = submit_sync(c.node(0), read(5));
+    EXPECT_EQ(r.status, kv::ExecStatus::kOk);
+    EXPECT_TRUE(r.found);
+  }
+
+  // Heal the link: the stalled acks trip the retransmit rewind and the
+  // followers replay the whole stream.
+  fault::disarm_all();
+  tick_slowly(c, cc.node.retransmit_ticks + 4);
+  ASSERT_TRUE(wait_logs_at(c, 20));
+  ASSERT_TRUE(wait_until([&] {
+    const kv::Response r = submit_sync(c.node(1), read(5));
+    return r.status == kv::ExecStatus::kOk && r.found;
+  }));
+  expect_verify_clean(c, &acked);
+}
+
+TEST(ReplCluster, DroppedAcksDelayNothingWithAHealthyQuorum) {
+  Cluster c(three_nodes());
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // Node 1 loses most of its outgoing acks; node 2 supplies the quorum.
+  fault::ScopedSpec guard("repl-ack-drop=0.7:scope=1", 14);
+
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    const kv::Response r = submit_sync(c.node(0), insert(k));
+    ASSERT_EQ(r.status, kv::ExecStatus::kOk) << "key " << k;
+    acked.push_back(k);
+  }
+  EXPECT_GE(c.node(1).stats().acks_lost, 1u);
+
+  fault::disarm_all();
+  ASSERT_TRUE(wait_logs_at(c, 40));
+  expect_verify_clean(c, &acked);
+}
+
+TEST(ReplCluster, ExLeaderRejoinTruncatesDivergedSuffix) {
+  ClusterConfig cc = three_nodes();
+  cc.node.pending_timeout_ticks = 6;
+  Cluster c(cc);
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // Common prefix, committed everywhere.
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    ASSERT_EQ(submit_sync(c.node(0), insert(k)).status,
+              kv::ExecStatus::kOk);
+    acked.push_back(k);
+  }
+  ASSERT_TRUE(wait_logs_at(c, 10));
+
+  // Partition the leader's OUTBOUND plane: appends and heartbeats from
+  // node 0 vanish. Its next writes append locally but can never reach a
+  // quorum — the diverged suffix.
+  fault::ScopedSpec guard(
+      "repl-append-drop:scope=0;repl-heartbeat-loss:scope=0", 15);
+
+  std::vector<std::future<kv::Response>> doomed;
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    auto prom = std::make_shared<std::promise<kv::Response>>();
+    doomed.push_back(prom->get_future());
+    ASSERT_EQ(c.node(0).try_submit(
+                  insert(100 + k),
+                  [prom](const kv::Response& r) { prom->set_value(r); }),
+              kv::SubmitResult::kAccepted);
+  }
+  ASSERT_TRUE(wait_until([&] { return c.node(0).log().last_seq() == 13; }));
+
+  // The silent leader trips the followers' detectors; node 1 (smallest
+  // stagger) elects itself for term 2. Slow ticks: the one-tick stagger
+  // must be wall-clock wide enough for node 1's election to finish
+  // before node 2's budget expires, even under sanitizer slowdown.
+  tick_slowly(c, cc.node.election_timeout_ticks + 4, /*gap_ms=*/10);
+  ASSERT_TRUE(wait_until([&] { return c.node(1).is_leader(); }));
+  EXPECT_EQ(c.node(1).stats().elections_won, 1u);
+
+  // The doomed writes must resolve as a typed failure (stepdown on the
+  // rival's higher term, or age-out), never hang, and never claim kOk.
+  for (auto& f : doomed) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "a diverged write never resolved";
+    EXPECT_EQ(f.get().status, kv::ExecStatus::kOverloaded);
+  }
+
+  // New leadership writes new history over the suffix's positions.
+  ASSERT_TRUE(wait_until([&] {
+    return submit_sync(c.node(1), insert(200)).status == kv::ExecStatus::kOk;
+  }));
+  acked.push_back(200);
+  for (std::uint64_t k = 1; k < 5; ++k) {
+    ASSERT_EQ(submit_sync(c.node(1), insert(200 + k)).status,
+              kv::ExecStatus::kOk);
+    acked.push_back(200 + k);
+  }
+
+  // Heal the partition: node 0 adopts term 2, truncates seqs 11..13 and
+  // repairs its memtable, then catches up on the new history.
+  fault::disarm_all();
+  tick_slowly(c, 4);
+  ASSERT_TRUE(wait_logs_at(c, c.node(1).log().last_seq()));
+  const NodeStats s0 = c.node(0).stats();
+  EXPECT_GE(s0.stepdowns, 1u);
+  EXPECT_GE(s0.truncated_entries, 3u);
+  EXPECT_EQ(c.node(0).role(), Role::kFollower);
+
+  // The truncated keys only ever existed in the diverged suffix: the
+  // repair must have removed their rows.
+  {
+    Vm::MutatorScope scope(c.node(0).vm(), "test-probe");
+    char buf[256];
+    std::size_t len = 0;
+    for (std::uint64_t k = 0; k < 3; ++k) {
+      EXPECT_FALSE(
+          c.node(0).store().get(scope.mutator(), 100 + k, buf, sizeof(buf),
+                                &len))
+          << "diverged key " << (100 + k) << " survived truncation";
+    }
+  }
+  expect_verify_clean(c, &acked);
+}
+
+}  // namespace
+}  // namespace mgc::repl

@@ -1,0 +1,238 @@
+// GC-pause-driven failover and its determinism. The failure detector is a
+// missed-heartbeat COUNT on an externally ticked clock, so a scripted
+// scenario — load, silence the leader (Site::kReplHeartbeatLoss), tick the
+// detectors past threshold, elect, keep writing, heal — must produce the
+// SAME final state every run under the same MGC_FAULT seed: same leader,
+// byte-identical logs, same client-visible acked-write set. The wall-clock
+// interleaving of pump threads may differ; the OUTCOME may not.
+//
+// Also covered: the detector threshold itself (one tick short of the
+// budget must NOT elect), and a real stop-the-world pause parking the
+// leader's pump — the sensor the whole design rides on — observed as
+// missed heartbeats.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "replication/cluster.h"
+#include "repl_test_util.h"
+#include "support/fault.h"
+
+namespace mgc::repl {
+namespace {
+
+using testutil::insert;
+using testutil::small_node_config;
+using testutil::submit_sync;
+using testutil::tick_slowly;
+using testutil::wait_logs_at;
+using testutil::wait_until;
+
+ClusterConfig three_nodes() {
+  ClusterConfig cc;
+  cc.nodes = 3;
+  cc.node = small_node_config();
+  return cc;
+}
+
+// Everything that must be identical across same-seed runs.
+struct Outcome {
+  int leader = -1;
+  std::uint64_t term = 0;
+  std::vector<ReplLog::Entry> log;  // converged — identical on all nodes
+  std::vector<std::uint64_t> acked;
+  std::vector<std::string> violations;
+  std::string stalled_at;  // which phase gave up, when !converged
+  bool converged = false;
+};
+
+bool outcome_equal(const Outcome& a, const Outcome& b) {
+  if (a.leader != b.leader || a.term != b.term || a.acked != b.acked ||
+      a.log.size() != b.log.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.log.size(); ++i) {
+    const ReplLog::Entry& x = a.log[i];
+    const ReplLog::Entry& y = b.log[i];
+    if (x.seq != y.seq || x.key != y.key || x.value_len != y.value_len ||
+        x.shard != y.shard || x.shard_seq != y.shard_seq ||
+        x.term != y.term) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// One line per node: enough state to see which hop of the
+// write→append→ack→commit chain broke when a phase stalls.
+std::string cluster_state(Cluster& c) {
+  std::string s;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const NodeStats st = c.node(i).stats();
+    s += " n" + std::to_string(i) +
+         "{role=" + std::to_string(static_cast<int>(c.node(i).role())) +
+         " term=" + std::to_string(c.node(i).term()) +
+         " last=" + std::to_string(c.node(i).log().last_seq()) +
+         " commit=" + std::to_string(c.node(i).commit_seq()) +
+         " ap_sent=" + std::to_string(st.append_batches_sent) +
+         " acks=" + std::to_string(st.acks_sent) +
+         " applied=" + std::to_string(st.entries_applied) +
+         " gaps=" + std::to_string(st.stream_gaps) +
+         " resets=" + std::to_string(st.links_reset) +
+         " cfail=" + std::to_string(st.connect_failures) + "}";
+  }
+  return s;
+}
+
+Outcome run_failover_scenario(std::uint64_t seed) {
+  Outcome out;
+  out.stalled_at = "initial-leader";
+  ClusterConfig cc = three_nodes();
+  cc.node.pending_timeout_ticks = 6;
+  Cluster c(cc);
+  if (!c.node(0).is_leader()) return out;
+
+  // Phase 1: committed prefix.
+  for (std::uint64_t k = 0; k < 12; ++k) {
+    if (submit_sync(c.node(0), insert(k)).status != kv::ExecStatus::kOk) {
+      out.stalled_at =
+          "prefix-write-" + std::to_string(k) + cluster_state(c);
+      return out;
+    }
+    out.acked.push_back(k);
+  }
+  out.stalled_at = "prefix-replication";
+  if (!wait_logs_at(c, 12)) return out;
+
+  // Phase 2: silence the leader and tick the detectors past threshold.
+  // Node 1 has the smallest stagger, so it must win term 2 — every run.
+  // The 10ms tick gap gives node 1's election a full stagger tick of
+  // wall time to complete before node 2's budget would also expire —
+  // under sanitizer slowdown a 2ms gap lets a rival candidacy race it.
+  {
+    out.stalled_at = "election";
+    fault::ScopedSpec guard("repl-heartbeat-loss:scope=0", seed);
+    tick_slowly(c, cc.node.election_timeout_ticks + 4, /*gap_ms=*/10);
+    if (!wait_until([&] { return c.node(1).is_leader(); })) return out;
+  }
+
+  // Phase 3: write through the new leader, then heal. The deposed leader
+  // adopts term 2 from the new leader's heartbeats and catches up.
+  for (std::uint64_t k = 100; k < 108; ++k) {
+    out.stalled_at = "post-failover-write-" + std::to_string(k);
+    if (!wait_until([&] {
+          return submit_sync(c.node(1), insert(k)).status ==
+                 kv::ExecStatus::kOk;
+        })) {
+      return out;
+    }
+    out.acked.push_back(k);
+  }
+  tick_slowly(c, 4);
+  out.stalled_at = "log-convergence";
+  if (!wait_logs_at(c, c.node(1).log().last_seq())) return out;
+  out.stalled_at = "ex-leader-demotion";
+  if (!wait_until([&] { return c.node(0).role() == Role::kFollower; })) {
+    return out;
+  }
+
+  out.leader = c.leader_index();
+  out.term = c.node(1).term();
+  out.log = c.node(1).log().entries();
+  out.violations = c.verify(&out.acked);
+  out.stalled_at.clear();
+  out.converged = true;
+  return out;
+}
+
+TEST(ReplFailover, SameSeedSameFinalState) {
+  const Outcome a = run_failover_scenario(21);
+  ASSERT_TRUE(a.converged)
+      << "first run did not converge (stalled at " << a.stalled_at << ")";
+  for (const std::string& v : a.violations) ADD_FAILURE() << "run A: " << v;
+  EXPECT_EQ(a.leader, 1);
+  EXPECT_EQ(a.term, 2u);
+  EXPECT_EQ(a.log.size(), 20u);  // 12 prefix + 8 post-failover
+
+  const Outcome b = run_failover_scenario(21);
+  ASSERT_TRUE(b.converged)
+      << "second run did not converge (stalled at " << b.stalled_at << ")";
+  for (const std::string& v : b.violations) ADD_FAILURE() << "run B: " << v;
+
+  EXPECT_TRUE(outcome_equal(a, b))
+      << "same seed produced different final states: leader " << a.leader
+      << "/" << b.leader << ", log " << a.log.size() << "/" << b.log.size()
+      << ", acked " << a.acked.size() << "/" << b.acked.size();
+}
+
+TEST(ReplFailover, DetectorHoldsOneTickShortOfThreshold) {
+  ClusterConfig cc = three_nodes();
+  Cluster c(cc);
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  // Silence the leader, but tick only to one short of node 1's budget
+  // (election_timeout_ticks + id). No election may start.
+  {
+    fault::ScopedSpec guard("repl-heartbeat-loss:scope=0", 22);
+    tick_slowly(c, cc.node.election_timeout_ticks + 1 - 1);
+    EXPECT_EQ(c.node(1).stats().elections_started, 0u);
+    EXPECT_EQ(c.node(2).stats().elections_started, 0u);
+    EXPECT_TRUE(c.node(0).is_leader());
+
+    // The next tick crosses the threshold: exactly node 1 fires.
+    tick_slowly(c, 1);
+    ASSERT_TRUE(wait_until([&] {
+      return c.node(1).stats().elections_started == 1;
+    }));
+  }
+  ASSERT_TRUE(wait_until([&] { return c.node(1).is_leader(); }));
+  EXPECT_EQ(c.node(2).stats().elections_started, 0u);
+}
+
+TEST(ReplFailover, StwPauseParksThePumpAndSuppressesHeartbeats) {
+  // The sensor itself: a forced full collection on the leader's VM parks
+  // its pump at the safepoint. Heartbeats sent before and after the pause
+  // bracket a gap — the pump sent nothing while the world was stopped.
+  Cluster c(three_nodes());
+  ASSERT_TRUE(c.node(0).is_leader());
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    ASSERT_EQ(submit_sync(c.node(0), insert(k, 512)).status,
+              kv::ExecStatus::kOk);
+  }
+
+  tick_slowly(c, 2);
+  const std::uint64_t before = c.node(0).stats().heartbeats_sent;
+
+  // Tick WHILE the world is stopped: the pump cannot process these until
+  // the collector releases it.
+  std::thread ticker([&] {
+    for (int t = 0; t < 6; ++t) {
+      c.tick(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  {
+    Vm::MutatorScope scope(c.node(0).vm(), "test-forced-pause");
+    scope.mutator().system_gc();
+  }
+  ticker.join();
+
+  // The backlog drains now — the ticks all get processed, late.
+  ASSERT_TRUE(wait_until([&] {
+    return c.node(0).stats().heartbeats_sent >= before + 1;
+  }));
+  EXPECT_GE(c.node(0).vm().full_gc_epoch(), 1u)
+      << "forced collection did not run";
+
+  // Cluster is intact either way: if the pause outlasted the detector the
+  // followers elected, otherwise node 0 still leads — both are legal; lost
+  // acked writes are not.
+  ASSERT_TRUE(wait_until([&] { return c.leader_index() >= 0; }));
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 64; ++k) acked.push_back(k);
+  for (const std::string& v : c.verify(&acked)) ADD_FAILURE() << v;
+}
+
+}  // namespace
+}  // namespace mgc::repl

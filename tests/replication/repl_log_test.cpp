@@ -1,0 +1,113 @@
+// ReplLog unit tests: the single totally-ordered log with derived
+// per-shard sequence annotations. Covers dense global/per-shard numbering,
+// the idempotent follower append (duplicate / conflict / gap), windowed
+// reads, and truncation rewinding the per-shard counts — the operation a
+// rejoining ex-leader's divergence repair rides on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "replication/repl_log.h"
+
+namespace mgc::repl {
+namespace {
+
+TEST(ReplLog, AppendAssignsDenseGlobalAndPerShardSeqs) {
+  ReplLog log(2);
+  EXPECT_EQ(log.append(0, 100, 64, 1), 1u);
+  EXPECT_EQ(log.append(1, 200, 64, 1), 2u);
+  EXPECT_EQ(log.append(0, 101, 32, 1), 3u);
+  EXPECT_EQ(log.last_seq(), 3u);
+  EXPECT_EQ(log.shard_last(0), 2u);
+  EXPECT_EQ(log.shard_last(1), 1u);
+
+  const auto snap = log.entries();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].shard_seq, 1u);  // shard 0's first
+  EXPECT_EQ(snap[1].shard_seq, 1u);  // shard 1's first
+  EXPECT_EQ(snap[2].shard_seq, 2u);  // shard 0's second
+  EXPECT_EQ(snap[2].key, 101u);
+  EXPECT_EQ(snap[2].term, 1u);
+}
+
+TEST(ReplLog, AppendAtIsIdempotentAndDetectsDivergence) {
+  ReplLog log(2);
+  log.append(0, 100, 64, 1);
+  log.append(1, 200, 64, 1);
+
+  // Next-in-line entry appends and gets its shard_seq filled in.
+  ReplLog::Entry e;
+  e.seq = 3;
+  e.key = 300;
+  e.value_len = 16;
+  e.shard = 1;
+  EXPECT_EQ(log.append_at(&e), ReplLog::AppendAt::kAppended);
+  EXPECT_EQ(e.shard_seq, 2u);
+
+  // The identical record again: duplicate (a retransmit), not an error.
+  ReplLog::Entry dup = e;
+  EXPECT_EQ(log.append_at(&dup), ReplLog::AppendAt::kDuplicate);
+  EXPECT_EQ(log.last_seq(), 3u);
+
+  // Same position, different content: divergence.
+  ReplLog::Entry conflict = e;
+  conflict.key = 999;
+  EXPECT_EQ(log.append_at(&conflict), ReplLog::AppendAt::kConflict);
+
+  // A seq past the end of the log: gap (the stream lost a frame).
+  ReplLog::Entry gap;
+  gap.seq = 9;
+  gap.key = 1;
+  gap.shard = 0;
+  EXPECT_EQ(log.append_at(&gap), ReplLog::AppendAt::kGap);
+  EXPECT_EQ(log.last_seq(), 3u);
+}
+
+TEST(ReplLog, ReadFromWindows) {
+  ReplLog log(1);
+  for (std::uint64_t k = 0; k < 10; ++k) log.append(0, k, 8, 1);
+
+  std::vector<ReplLog::Entry> out;
+  EXPECT_EQ(log.read_from(1, 4, &out), 4u);
+  EXPECT_EQ(out.front().seq, 1u);
+  EXPECT_EQ(out.back().seq, 4u);
+
+  EXPECT_EQ(log.read_from(8, 100, &out), 3u);
+  EXPECT_EQ(out.front().seq, 8u);
+  EXPECT_EQ(out.back().seq, 10u);
+
+  EXPECT_EQ(log.read_from(11, 4, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ReplLog, TruncateRewindsPerShardCounts) {
+  ReplLog log(2);
+  log.append(0, 100, 8, 1);  // seq 1, shard 0 #1
+  log.append(1, 200, 8, 1);  // seq 2, shard 1 #1
+  log.append(0, 101, 8, 1);  // seq 3, shard 0 #2
+  log.append(0, 102, 8, 1);  // seq 4, shard 0 #3
+
+  std::vector<ReplLog::Entry> removed;
+  EXPECT_EQ(log.truncate_above(2, &removed), 2u);
+  ASSERT_EQ(removed.size(), 2u);
+  EXPECT_EQ(removed[0].seq, 3u);
+  EXPECT_EQ(removed[1].seq, 4u);
+  EXPECT_EQ(log.last_seq(), 2u);
+  EXPECT_EQ(log.shard_last(0), 1u);
+  EXPECT_EQ(log.shard_last(1), 1u);
+
+  // Truncating at or past the end is a no-op.
+  EXPECT_EQ(log.truncate_above(2, nullptr), 0u);
+  EXPECT_EQ(log.truncate_above(99, nullptr), 0u);
+
+  // A fresh append after the rewind re-uses the freed numbering — the
+  // replacement entry occupies the same global and per-shard positions the
+  // truncated one did.
+  EXPECT_EQ(log.append(0, 777, 8, 2), 3u);
+  const auto snap = log.entries();
+  EXPECT_EQ(snap.back().shard_seq, 2u);
+  EXPECT_EQ(snap.back().term, 2u);
+}
+
+}  // namespace
+}  // namespace mgc::repl

@@ -1,0 +1,106 @@
+// Shared rig for the replication tests: a small-heap NodeConfig the
+// in-process cluster tests can tick deterministically, a synchronous
+// submit wrapper over the asynchronous RequestSink surface, and a bounded
+// condition spin.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <future>
+#include <thread>
+
+#include "replication/cluster.h"
+#include "support/units.h"
+
+namespace mgc::repl::testutil {
+
+inline NodeConfig small_node_config() {
+  NodeConfig nc;
+  nc.shards = 2;
+  nc.quorum = 2;
+  nc.heartbeat_every_ticks = 1;
+  nc.election_timeout_ticks = 8;
+  nc.retransmit_ticks = 2;
+  nc.vm.gc = GcKind::kSerial;
+  nc.vm.heap_bytes = 32 * MiB;
+  nc.vm.young_bytes = 8 * MiB;
+  nc.vm.gc_threads = 2;
+  nc.store = kv::StoreConfig::default_config(nc.vm.heap_bytes);
+  return nc;
+}
+
+// Submits one request and waits for its completion. Rejections (which by
+// contract never run the completion) are mapped onto the response status —
+// the SubmitResult and ExecStatus enumerators share values by design. A
+// completion that never fires within the deadline reports kShutdown with
+// found=false; the caller's expectation then fails loudly rather than the
+// test hanging.
+inline kv::Response submit_sync(Node& n, const kv::Request& req,
+                                int timeout_ms = 10000) {
+  auto prom = std::make_shared<std::promise<kv::Response>>();
+  auto fut = prom->get_future();
+  const kv::SubmitResult sr = n.try_submit(
+      req, [prom](const kv::Response& r) { prom->set_value(r); });
+  if (sr != kv::SubmitResult::kAccepted) {
+    kv::Response r;
+    r.status = static_cast<kv::ExecStatus>(sr);
+    return r;
+  }
+  if (fut.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+      std::future_status::ready) {
+    kv::Response r;
+    r.status = kv::ExecStatus::kShutdown;
+    return r;
+  }
+  return fut.get();
+}
+
+inline kv::Request insert(std::uint64_t key, std::size_t len = 64) {
+  kv::Request req;
+  req.op = kv::OpType::kInsert;
+  req.key = key;
+  req.value_len = len;
+  return req;
+}
+
+inline kv::Request read(std::uint64_t key) {
+  kv::Request req;
+  req.op = kv::OpType::kRead;
+  req.key = key;
+  return req;
+}
+
+inline bool wait_until(const std::function<bool()>& pred,
+                       int timeout_ms = 10000) {
+  for (int waited = 0; waited <= timeout_ms; ++waited) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+// All live nodes hold the same log length.
+inline bool wait_logs_at(Cluster& c, std::uint64_t seq,
+                         int timeout_ms = 10000) {
+  return wait_until(
+      [&] {
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          if (c.node(i).log().last_seq() != seq) return false;
+        }
+        return true;
+      },
+      timeout_ms);
+}
+
+// Ticks the whole cluster one tick at a time with a small settle gap, so
+// pumps process each tick (heartbeats, detector counts) in order. The
+// stagger between rival candidates only works if ticks arrive roughly one
+// at a time.
+inline void tick_slowly(Cluster& c, int ticks, int gap_ms = 2) {
+  for (int t = 0; t < ticks; ++t) {
+    c.tick(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
+  }
+}
+
+}  // namespace mgc::repl::testutil

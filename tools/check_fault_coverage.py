@@ -8,6 +8,10 @@ table against the test tree and fails if any site is orphaned:
 
   * the enum in src/support/fault.h and kSiteNames in src/support/fault.cpp
     must agree on the site count, and names must be unique;
+  * each spec name must be the kebab-case derivation of its enumerator
+    (Site::kReplAppendDrop <-> "repl-append-drop"), so a table row pasted
+    against the wrong enumerator fails loudly instead of silently renaming
+    a site; two grandfathered names predate the rule (LEGACY_NAMES);
   * every site must be armed by at least one test, either programmatically
     (a `Site::kFoo` token) or through a spec string (its "kebab-name", the
     MGC_FAULT syntax) somewhere under tests/.
@@ -23,6 +27,21 @@ import sys
 
 ENUM_RE = re.compile(r"enum\s+class\s+Site[^{]*\{(.*?)\}", re.S)
 NAMES_RE = re.compile(r"kSiteNames\[[^\]]*\]\s*=\s*\{(.*?)\};", re.S)
+
+# Names that predate the kebab-derivation rule and are baked into saved
+# MGC_FAULT specs and docs; everything added later must derive.
+LEGACY_NAMES = {
+    "kCommitLogWrite": "commitlog-write",
+    "kKvShardQueueFull": "shard-queue-full",
+}
+
+
+def kebab_of(enumerator):
+    """Site::kReplAppendDrop -> repl-append-drop (digits bind left: kG1EvacFail
+    -> g1-evac-fail)."""
+    body = enumerator[1:] if enumerator.startswith("k") else enumerator
+    words = re.findall(r"[A-Z][a-z0-9]*", body)
+    return "-".join(w.lower() for w in words)
 
 
 def strip_comments(text):
@@ -79,6 +98,15 @@ def main():
     dupes = {n for n in names if names.count(n) > 1}
     if dupes:
         failures.append(f"duplicate kSiteNames entries: {sorted(dupes)}")
+
+    for enumr, name in zip(enumerators, names):
+        want = LEGACY_NAMES.get(enumr, kebab_of(enumr))
+        if name != want:
+            failures.append(
+                f"name/enum mismatch: Site::{enumr} maps to \"{name}\" in "
+                f"kSiteNames but the kebab derivation is \"{want}\" — fix "
+                f"the table row (or, for a pre-rule name, add it to "
+                f"LEGACY_NAMES in this checker)")
 
     tests = gather_test_text(args.root, ["tests"])
     for enumr, name in zip(enumerators, names):
