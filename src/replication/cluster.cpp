@@ -17,11 +17,13 @@ void sleep_ms(int ms) {
 }
 
 bool entries_equal(const ReplLog::Entry& a, const ReplLog::Entry& b) {
-  // Terms are excluded: a new leader re-streams inherited entries under
-  // its own term, so replicas legitimately disagree on an entry's term
-  // while agreeing on its content and position.
+  // Terms are included: entries keep the term of the leader that CREATED
+  // them across re-streaming (the wire carries per-entry terms), so
+  // converged replicas must agree on terms too — a term mismatch at the
+  // same seq is exactly the divergence the protocol repairs.
   return a.seq == b.seq && a.key == b.key && a.value_len == b.value_len &&
-         a.shard == b.shard && a.shard_seq == b.shard_seq;
+         a.shard == b.shard && a.shard_seq == b.shard_seq &&
+         a.term == b.term;
 }
 
 }  // namespace

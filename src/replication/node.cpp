@@ -406,7 +406,9 @@ void Node::start_election_locked(PumpIo& io) {
   vr.kind = FrameKind::kVoteReq;
   vr.node = cfg_.id;
   vr.term = term_.load(std::memory_order_relaxed);
-  vr.last_seqs.push_back(log_.last_seq());  // entry 0: the election rule
+  std::uint64_t last_seq = 0;
+  log_.last(&last_seq, &vr.last_term);  // the (term, seq) election rule
+  vr.last_seqs.push_back(last_seq);
   for (std::uint64_t c : log_.shard_lasts()) vr.last_seqs.push_back(c);
   for (const PeerAddr& p : peers_) send_to_peer(io, p.id, vr);
 }
@@ -613,7 +615,8 @@ void Node::send_pending_appends(PumpIo& io) {
     // tick-free cluster, since only heartbeats (tick-driven) solicit acks.
     int batches = 0;
     while (ps.next_send <= last && batches < 4) {
-      const std::size_t n = log_.read_from(ps.next_send, cfg_.append_batch, &es);
+      const std::uint64_t first = ps.next_send;
+      const std::size_t n = log_.read_from(first, cfg_.append_batch, &es);
       if (n == 0) break;
       ps.next_send += n;
       ++batches;
@@ -629,9 +632,12 @@ void Node::send_pending_appends(PumpIo& io) {
       ap.term = term;
       ap.shard = 0;  // entries route by key; see repl_wire.h
       ap.commit_seq = commit;
+      // The Raft consistency check: the follower compares this against
+      // its own entry just before the batch to detect a diverged prefix.
+      ap.prev_term = first >= 2 ? log_.term_at(first - 1) : 0;
       ap.entries.reserve(n);
       for (const ReplLog::Entry& e : es) {
-        ap.entries.push_back(AppendEntry{e.seq, e.key, e.value_len});
+        ap.entries.push_back(AppendEntry{e.seq, e.key, e.term, e.value_len});
       }
       send_to_peer(io, peers_[i].id, ap);
       append_batches_sent_.fetch_add(1, std::memory_order_acq_rel);
@@ -649,7 +655,9 @@ void Node::send_ack(PumpIo& io, std::uint32_t to_peer) {
   a.node = cfg_.id;
   a.term = term_.load(std::memory_order_acquire);
   a.shard = 0;
-  a.ack_seq = log_.last_seq();  // highest contiguous applied seq
+  // Highest contiguous applied {seq, term}, snapshotted together: the
+  // term lets the leader verify the ack names ITS entry at that position.
+  log_.last(&a.ack_seq, &a.ack_term);
   send_to_peer(io, to_peer, a);
   acks_sent_.fetch_add(1, std::memory_order_acq_rel);
 }
@@ -849,9 +857,14 @@ void Node::on_heartbeat(Mutator& m, PumpIo& io, const Frame& f) {
     }
     if (log_.last_seq() > g.last_seq) {
       // Our log extends past the leader's: the unacked suffix a dead
-      // leader left behind. The live leader is authoritative.
+      // leader left behind. The live leader is authoritative — but never
+      // below our own commit point: a stale heartbeat (buffered on an old
+      // connection, drained late) must not delete quorum-committed
+      // entries, and leader completeness guarantees the live leader holds
+      // everything we committed.
       need_trunc = true;
-      trunc_to = g.last_seq;
+      trunc_to = std::max(g.last_seq,
+                          commit_.load(std::memory_order_relaxed));
     }
   }
   if (need_trunc) truncate_to(m, trunc_to);
@@ -875,13 +888,24 @@ void Node::on_append(Mutator& m, PumpIo& io, const Frame& f) {
       leader_commit_seen_ = f.commit_seq;
     }
   }
+  // Prev-entry consistency check (Raft's prevLogTerm): if our entry just
+  // before the batch carries a different term than the leader says it
+  // should, our prefix has diverged there — truncate past it and ack the
+  // rewound position so the leader probes further back.
+  const std::uint64_t first = f.entries.front().seq;
+  if (first >= 2 && first - 1 <= log_.last_seq() &&
+      log_.term_at(first - 1) != f.prev_term) {
+    truncate_to(m, first - 2);
+    send_ack(io, f.node);
+    return;
+  }
   for (const AppendEntry& ae : f.entries) {
     ReplLog::Entry le;
     le.seq = ae.seq;
     le.key = ae.key;
     le.value_len = ae.value_len;
     le.shard = static_cast<std::uint32_t>(store_.shard_of(ae.key));
-    le.term = f.term;
+    le.term = ae.term;  // the CREATING leader's term, not the streamer's
     ReplLog::AppendAt r = log_.append_at(&le);
     if (r == ReplLog::AppendAt::kGap) {
       // A batch ahead of us was dropped; everything further in this frame
@@ -926,26 +950,56 @@ void Node::on_ack(const Frame& f) {
     const int idx = peer_index(f.node);
     if (idx < 0) return;
     PeerState& ps = peer_state_[static_cast<std::size_t>(idx)];
-    if (static_cast<std::int64_t>(f.ack_seq) > ps.match) {
-      ps.match = static_cast<std::int64_t>(f.ack_seq);
-      ps.stall_ticks = 0;
+    const std::uint64_t mylast = log_.last_seq();
+    // Trust the ack — advance the peer's match point — only when the
+    // peer's entry at ack_seq has the same term as OURS at ack_seq: the
+    // Log Matching property then makes its whole prefix identical to
+    // ours. An unverified ack (position we don't hold, or a different
+    // term there) comes from a diverged suffix; counting it toward
+    // quorum would commit entries the peer does not actually have.
+    const bool verified =
+        f.ack_seq == 0 ||
+        (f.ack_seq <= mylast && log_.term_at(f.ack_seq) == f.ack_term);
+    if (verified) {
+      if (static_cast<std::int64_t>(f.ack_seq) > ps.match) {
+        ps.match = static_cast<std::int64_t>(f.ack_seq);
+        ps.stall_ticks = 0;
+      }
       if (ps.next_send < f.ack_seq + 1) ps.next_send = f.ack_seq + 1;
-    } else if (ps.match < 0) {
-      ps.match = static_cast<std::int64_t>(f.ack_seq);
+    } else if (f.ack_seq >= 1 && ps.next_send > f.ack_seq) {
+      // Diverged peer: probe backward without touching match. Streaming
+      // from its claimed position makes the next batch carry prev_term
+      // for ack_seq-1 (or conflict at ack_seq itself), truncating the
+      // divergence one round at a time until its acks verify again.
+      ps.next_send = f.ack_seq;
     }
     // Quorum rule: a seq is committed once quorum members' logs (ours
     // counts) contain it. Sort acked positions descending; the
-    // (quorum-1)th peerless value is the frontier.
+    // (quorum-1)th value is the frontier.
     std::vector<std::uint64_t> acked;
     acked.reserve(peer_state_.size() + 1);
-    acked.push_back(log_.last_seq());
+    acked.push_back(mylast);
     for (const PeerState& p : peer_state_) {
       acked.push_back(p.match < 0 ? 0
                                   : static_cast<std::uint64_t>(p.match));
     }
     std::sort(acked.begin(), acked.end(), std::greater<std::uint64_t>());
     if (cfg_.quorum <= acked.size()) {
-      advance_commit_locked(acked[cfg_.quorum - 1]);
+      const std::uint64_t frontier = acked[cfg_.quorum - 1];
+      // Raft §5.4.2: only an entry of the CURRENT term may be counted
+      // toward commitment (earlier entries then commit transitively with
+      // it). A quorum-replicated entry from an older term can still be
+      // overwritten by a later leader until a current-term entry sits
+      // committed above it. Liveness note: inherited entries stay
+      // uncommitted until the first current-term write lands — this
+      // harness always writes through a new leader, so no no-op entry is
+      // appended on election.
+      if (frontier >= 1 &&
+          frontier > commit_.load(std::memory_order_relaxed) &&
+          log_.term_at(frontier) ==
+              term_.load(std::memory_order_relaxed)) {
+        advance_commit_locked(frontier);
+      }
     }
     take_committed_locked(&fire);
   }
@@ -965,10 +1019,19 @@ void Node::on_vote_req(PumpIo& io, const Frame& f) {
     if (f.term == myterm && role_ != Role::kLeader) {
       const std::uint64_t cand_last =
           f.last_seqs.empty() ? 0 : f.last_seqs[0];
-      // One vote per term, and only for a log at least as long as ours —
-      // the highest-acked-sequence replica wins.
-      if ((voted_for_ == kNoNode || voted_for_ == f.node) &&
-          cand_last >= log_.last_seq()) {
+      std::uint64_t my_last = 0;
+      std::uint64_t my_last_term = 0;
+      log_.last(&my_last, &my_last_term);
+      // One vote per term, and only for a candidate at least as up to
+      // date as us: higher last-entry term wins outright; equal terms
+      // compare by length (Raft §5.4.1). Length alone is NOT enough — a
+      // deposed leader's long unacked suffix must not outrank a shorter
+      // log holding newer-term quorum-committed entries (the fig-8
+      // lost-write scenario).
+      const bool up_to_date =
+          f.last_term > my_last_term ||
+          (f.last_term == my_last_term && cand_last >= my_last);
+      if ((voted_for_ == kNoNode || voted_for_ == f.node) && up_to_date) {
         grant = true;
         voted_for_ = f.node;
         ticks_since_hb_ = 0;  // granting resets our own election timer
@@ -1008,6 +1071,12 @@ void Node::on_vote_resp(PumpIo& io, const Frame& f) {
 // --- truncation repair -------------------------------------------------------
 
 void Node::truncate_to(Mutator& m, std::uint64_t upto) {
+  // Truncating at or below the commit point would delete quorum-committed
+  // (client-acknowledged) entries. Every caller floors at commit_ — by
+  // construction (heartbeat floor) or by leader completeness (conflict
+  // and prev-term repair only fire above the committed prefix) — so a
+  // breach here is protocol corruption, not a recoverable state.
+  MGC_CHECK(upto >= commit_.load(std::memory_order_acquire));
   std::vector<ReplLog::Entry> removed;
   log_.truncate_above(upto, &removed);
   repair_rows(m, removed);

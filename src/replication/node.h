@@ -17,6 +17,15 @@
 //     staleness: if the leader's last-known per-shard sequence number is
 //     more than staleness_bound entries ahead of the local shard, the
 //     read is shed (kOverloaded) rather than served arbitrarily stale.
+//     Reads are READ-UNCOMMITTED by design: every node applies entries to
+//     its memtable before they are quorum-committed (the leader on local
+//     commit, a follower on append), so a read can observe a value whose
+//     write later fails (pending age-out, stepdown) or is truncated away
+//     during divergence repair. This is deliberate for the GC-research
+//     harness — the measured workload is memtable pressure, and gating
+//     reads on commit_ would add a coordination hop the paper's workloads
+//     don't have. The durability contract covers acknowledged WRITES
+//     only; see DESIGN.md §14.
 //
 // Replication plane. A single "pump" thread per node owns all replication
 // I/O: a loopback listener, inbound peer connections, and one outbound
@@ -36,13 +45,18 @@
 //
 // Elections are Raft-shaped over the single global log: candidate
 // increments the term and requests votes; a voter grants at most one vote
-// per term and only to a candidate whose log is at least as long as its
-// own, so the replica with the highest acked sequence wins; a quorum of
-// grants makes the leader. Any frame with a higher term converts the
-// receiver to a follower (an ex-leader rejoining this way fails its
-// still-pending writes with kOverloaded — the client retry path). A
-// follower whose log extends past the leader's (the ex-leader's unacked
-// suffix) truncates the surplus and repairs the memtable rows.
+// per term and only to a candidate whose log is at least as UP TO DATE as
+// its own — higher (last entry term, last seq) lexicographically, the
+// Raft §5.4.1 rule; length alone would let a deposed leader's long
+// unacked suffix outrank newer committed entries. A quorum of grants
+// makes the leader. Any frame with a higher term converts the receiver to
+// a follower (an ex-leader rejoining this way fails its still-pending
+// writes with kOverloaded — the client retry path). Divergence repair is
+// term-driven: appends carry the term before the batch (prevLogTerm) and
+// each entry's creating term, a follower truncates where terms disagree
+// (never at or below its commit point), the leader trusts an ack only
+// when the acked term matches its own log, and commit only advances at a
+// current-term entry (Raft §5.4.2).
 //
 // Fault sites (all scoped by this node's id): repl-append-drop loses an
 // outgoing append batch, repl-ack-drop suppresses an outgoing ack,

@@ -37,15 +37,32 @@ ReplLog::AppendAt ReplLog::append_at(Entry* e) {
     return AppendAt::kAppended;
   }
   const Entry& have = entries_[e->seq - 1];
-  // Entries carry no per-entry term on the wire, so identity is
-  // {key, value_len, shard}: the only writer of a given seq is the leader
-  // of the term that created it, and retransmits resend the identical
-  // record.
-  if (have.key == e->key && have.value_len == e->value_len &&
-      have.shard == e->shard) {
+  // Identity is {term, key, value_len, shard}. The term is what actually
+  // decides (Raft's Log Matching property: same seq + same term ⇒ same
+  // entry); the content fields are a cross-check that the invariant holds.
+  if (have.term == e->term && have.key == e->key &&
+      have.value_len == e->value_len && have.shard == e->shard) {
     return AppendAt::kDuplicate;
   }
   return AppendAt::kConflict;
+}
+
+std::uint64_t ReplLog::term_at(std::uint64_t seq) const {
+  MGC_CHECK(seq >= 1);
+  MutexLock l(mu_);
+  MGC_CHECK(seq <= entries_.size());
+  return entries_[seq - 1].term;
+}
+
+void ReplLog::last(std::uint64_t* seq, std::uint64_t* term) const {
+  MutexLock l(mu_);
+  if (entries_.empty()) {
+    *seq = 0;
+    *term = 0;
+  } else {
+    *seq = entries_.size();
+    *term = entries_.back().term;
+  }
 }
 
 std::uint64_t ReplLog::last_seq() const {

@@ -5,13 +5,14 @@
 // structurally impossible.
 //
 // Why one global log and not one log per store shard: elections pick the
-// replica whose log is the longest (highest acked sequence). With
-// independent per-shard logs there is no total order to compare — a
-// candidate can be ahead on shard B but behind on shard A, and any
-// aggregate rule (sum, max) can elect a replica that is *missing* a
-// quorum-committed entry, whose truncation repair would then delete an
-// acknowledged write. A single stream makes "my log is a prefix of yours"
-// a total order, so the Raft-style longest-log vote rule is sound.
+// replica whose log is most up to date — highest (last term, last seq)
+// lexicographically, the Raft rule. With independent per-shard logs there
+// is no total order to compare — a candidate can be ahead on shard B but
+// behind on shard A, and any aggregate rule (sum, max) can elect a
+// replica that is *missing* a quorum-committed entry, whose truncation
+// repair would then delete an acknowledged write. A single stream makes
+// "my log is a prefix of yours" a total order, so the Raft vote rule is
+// sound.
 // Shard-per-core parallelism is unaffected: each entry records the store
 // shard that owns its key (a pure function of the key), and carries that
 // shard's own monotone, contiguous *shard sequence number* — assigned from
@@ -75,6 +76,14 @@ class ReplLog {
   AppendAt append_at(Entry* e);
 
   std::uint64_t last_seq() const;
+
+  // Term of the entry at global seq (1-based). seq must be within the log.
+  std::uint64_t term_at(std::uint64_t seq) const;
+
+  // Atomic snapshot of {last seq, last term} — {0, 0} for an empty log.
+  // Election and ack paths need the pair coherent; two separate reads
+  // could straddle a concurrent append.
+  void last(std::uint64_t* seq, std::uint64_t* term) const;
 
   // Per-shard entry counts == each shard's highest shard_seq. The follower
   // staleness gate compares these against the leader's heartbeat.

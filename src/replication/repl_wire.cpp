@@ -60,7 +60,7 @@ std::size_t payload_size(const Frame& f) {
       return kAppendHeaderSize + f.entries.size() * kAppendEntrySize;
     case FrameKind::kAck: return kAckPayloadSize;
     case FrameKind::kVoteReq:
-      return kReplHeaderSize + 4 + f.last_seqs.size() * kVoteReqEntrySize;
+      return kVoteReqHeaderSize + f.last_seqs.size() * kVoteReqEntrySize;
     case FrameKind::kVoteResp: return kReplHeaderSize + 1;
   }
   MGC_CHECK(false);
@@ -98,8 +98,8 @@ bool check_header(const std::uint8_t* p, std::uint32_t payload_len,
       *kind_out = FrameKind::kAck;
       return true;
     case net::MsgKind::kReplVoteReq:
-      if (payload_len < kReplHeaderSize + 4 + kVoteReqEntrySize ||
-          (payload_len - kReplHeaderSize - 4) % kVoteReqEntrySize != 0) {
+      if (payload_len < kVoteReqHeaderSize + kVoteReqEntrySize ||
+          (payload_len - kVoteReqHeaderSize) % kVoteReqEntrySize != 0) {
         return false;
       }
       *kind_out = FrameKind::kVoteReq;
@@ -146,19 +146,23 @@ void encode(const Frame& f, std::vector<std::uint8_t>& out) {
     case FrameKind::kAppend:
       put_u32(out, f.shard);
       put_u64(out, f.commit_seq);
+      put_u64(out, f.prev_term);
       put_u32(out, static_cast<std::uint32_t>(f.entries.size()));
       for (const AppendEntry& e : f.entries) {
         MGC_CHECK(e.value_len <= net::kMaxValueLen);
         put_u64(out, e.seq);
         put_u64(out, e.key);
+        put_u64(out, e.term);
         put_u32(out, e.value_len);
       }
       break;
     case FrameKind::kAck:
       put_u32(out, f.shard);
       put_u64(out, f.ack_seq);
+      put_u64(out, f.ack_term);
       break;
     case FrameKind::kVoteReq:
+      put_u64(out, f.last_term);
       put_u32(out, static_cast<std::uint32_t>(f.last_seqs.size()));
       for (std::uint64_t s : f.last_seqs) put_u64(out, s);
       break;
@@ -213,27 +217,43 @@ DecodeResult decode(const std::uint8_t* data, std::size_t len,
       out->shard = get_u32(b);
       if (out->shard >= kMaxReplShards) return DecodeResult::kError;
       out->commit_seq = get_u64(b + 4);
-      const std::uint32_t count = get_u32(b + 12);
+      out->prev_term = get_u64(b + 12);
+      const std::uint32_t count = get_u32(b + 20);
       if (count == 0 || count > kMaxReplAppendCount ||
           payload_len != kAppendHeaderSize + count * kAppendEntrySize) {
         return DecodeResult::kError;
       }
       out->entries.reserve(count);
-      const std::uint8_t* e = b + 16;
+      const std::uint8_t* e = b + 24;
       std::uint64_t prev_seq = 0;
+      std::uint64_t prev_entry_term = out->prev_term;
       for (std::uint32_t i = 0; i < count; ++i, e += kAppendEntrySize) {
         AppendEntry a;
         a.seq = get_u64(e);
         a.key = get_u64(e + 8);
-        a.value_len = get_u32(e + 16);
+        a.term = get_u64(e + 16);
+        a.value_len = get_u32(e + 24);
         if (a.value_len > net::kMaxValueLen) return DecodeResult::kError;
         // Entries must be a contiguous ascending run — the apply loop
-        // depends on it, so enforce it at the trust boundary.
+        // depends on it, so enforce it at the trust boundary. Entry terms
+        // must likewise be coherent: nonzero, non-decreasing across the
+        // batch (and from prev_term into it), and never ahead of the
+        // streaming leader's own term.
         if (a.seq == 0 || (i > 0 && a.seq != prev_seq + 1)) {
           return DecodeResult::kError;
         }
+        if (a.term == 0 || a.term < prev_entry_term ||
+            a.term > out->term) {
+          return DecodeResult::kError;
+        }
         prev_seq = a.seq;
+        prev_entry_term = a.term;
         out->entries.push_back(a);
+      }
+      // prev_term == 0 means "nothing before the batch", which is only
+      // coherent when the batch starts the log.
+      if ((out->prev_term == 0) != (out->entries[0].seq == 1)) {
+        return DecodeResult::kError;
       }
       break;
     }
@@ -241,17 +261,31 @@ DecodeResult decode(const std::uint8_t* data, std::size_t len,
       out->shard = get_u32(b);
       if (out->shard >= kMaxReplShards) return DecodeResult::kError;
       out->ack_seq = get_u64(b + 4);
+      out->ack_term = get_u64(b + 12);
+      // An empty log has no last term; a non-empty one must name the term
+      // of its last entry, which cannot be ahead of the acker's own term.
+      if ((out->ack_seq == 0) != (out->ack_term == 0)) {
+        return DecodeResult::kError;
+      }
+      if (out->ack_term > out->term) return DecodeResult::kError;
       break;
     case FrameKind::kVoteReq: {
-      const std::uint32_t count = get_u32(b);
+      out->last_term = get_u64(b);
+      const std::uint32_t count = get_u32(b + 8);
       if (count == 0 || count > kMaxReplShards ||
-          payload_len != kReplHeaderSize + 4 + count * kVoteReqEntrySize) {
+          payload_len != kVoteReqHeaderSize + count * kVoteReqEntrySize) {
         return DecodeResult::kError;
       }
       out->last_seqs.reserve(count);
-      const std::uint8_t* e = b + 4;
+      const std::uint8_t* e = b + 12;
       for (std::uint32_t i = 0; i < count; ++i, e += kVoteReqEntrySize) {
         out->last_seqs.push_back(get_u64(e));
+      }
+      // A candidate campaigns at term > every entry it holds, and an
+      // empty log (global last_seq 0) cannot name a last term.
+      if (out->last_term >= out->term) return DecodeResult::kError;
+      if ((out->last_seqs[0] == 0) != (out->last_term == 0)) {
+        return DecodeResult::kError;
       }
       break;
     }

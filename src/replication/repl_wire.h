@@ -19,15 +19,28 @@
 //                       {committed count, appended count} of store shard
 //                       i-1, which drive the follower read staleness gate.
 //   kReplAppend    (4): header, u32 shard (reserved, 0 — entries route by
-//                       key), u64 commit_seq, u32 count,
-//                       count x { u64 seq, u64 key, u32 value_len }
+//                       key), u64 commit_seq, u64 prev_term, u32 count,
+//                       count x { u64 seq, u64 key, u64 term, u32 value_len }
+//                       prev_term is the term of the leader's entry just
+//                       before the batch (0 when the batch starts at seq 1):
+//                       the Raft consistency check a follower uses to detect
+//                       that its own entry at that position diverges. Each
+//                       entry carries the term of the leader that CREATED it
+//                       (not the streaming leader's term), so same-seq
+//                       conflicts are detected by term, never by content.
 //   kReplAck       (5): header, u32 shard (reserved, 0), u64 ack_seq
-//                       (highest contiguous global seq applied)
-//   kReplVoteReq   (7): header, u32 count, count x u64 last_seq
-//                       Entry 0 is the candidate's global last_seq (the
-//                       longest-log election rule compares exactly this);
-//                       any further entries are informational per-shard
-//                       counts.
+//                       (highest contiguous global seq applied), u64 ack_term
+//                       (term of the acker's entry at ack_seq; 0 iff
+//                       ack_seq == 0). The leader trusts an ack — advances
+//                       the peer's match point — only when ack_term equals
+//                       its own entry's term at ack_seq (Log Matching).
+//   kReplVoteReq   (7): header, u64 last_term, u32 count,
+//                       count x u64 last_seq
+//                       last_term is the term of the candidate's last log
+//                       entry (0 for an empty log); entry 0 of the array is
+//                       its global last_seq. The election rule compares
+//                       (last_term, last_seq) lexicographically; any further
+//                       entries are informational per-shard counts.
 //   kReplVoteResp  (8): header, u8 granted
 //
 // Append entries carry no value bytes: the kv workers synthesize every
@@ -53,9 +66,10 @@ inline constexpr std::uint32_t kMaxReplAppendCount = 512;
 
 inline constexpr std::size_t kReplHeaderSize = 16;
 inline constexpr std::size_t kHeartbeatEntrySize = 16;
-inline constexpr std::size_t kAppendHeaderSize = kReplHeaderSize + 16;
-inline constexpr std::size_t kAppendEntrySize = 20;
-inline constexpr std::size_t kAckPayloadSize = kReplHeaderSize + 12;
+inline constexpr std::size_t kAppendHeaderSize = kReplHeaderSize + 24;
+inline constexpr std::size_t kAppendEntrySize = 28;
+inline constexpr std::size_t kAckPayloadSize = kReplHeaderSize + 20;
+inline constexpr std::size_t kVoteReqHeaderSize = kReplHeaderSize + 12;
 inline constexpr std::size_t kVoteReqEntrySize = 8;
 inline constexpr std::uint32_t kMaxReplPayload = static_cast<std::uint32_t>(
     kAppendHeaderSize + kMaxReplAppendCount * kAppendEntrySize);
@@ -72,6 +86,7 @@ enum class FrameKind : std::uint8_t {
 struct AppendEntry {
   std::uint64_t seq = 0;
   std::uint64_t key = 0;
+  std::uint64_t term = 0;  // term of the leader that created the entry
   std::uint32_t value_len = 0;
 };
 
@@ -91,9 +106,12 @@ struct Frame {
 
   std::uint32_t shard = 0;                // kAppend / kAck
   std::uint64_t commit_seq = 0;           // kAppend
+  std::uint64_t prev_term = 0;            // kAppend: term before the batch
   std::vector<AppendEntry> entries;       // kAppend
   std::uint64_t ack_seq = 0;              // kAck
+  std::uint64_t ack_term = 0;             // kAck: term at ack_seq
   std::vector<ShardSeqs> shards;          // kHeartbeat
+  std::uint64_t last_term = 0;            // kVoteReq: candidate's last term
   std::vector<std::uint64_t> last_seqs;   // kVoteReq
   bool granted = false;                   // kVoteResp
 };

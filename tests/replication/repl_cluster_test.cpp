@@ -322,5 +322,93 @@ TEST(ReplCluster, ExLeaderRejoinTruncatesDivergedSuffix) {
   expect_verify_clean(c, &acked);
 }
 
+TEST(ReplCluster, StaleLongerLogCannotOutrankNewerTerms) {
+  // The fig-8 shape: the deposed leader's diverged suffix is LONGER than
+  // the new history written over it. Length-only rules break here twice —
+  // the stale log outranks the new leader's in elections, and its acks
+  // (positions past the new leader's log) would anchor replication
+  // progress it doesn't have. Healing must come entirely through the
+  // term-driven paths: unverified acks probing backward, the prev-term
+  // consistency check, and conflict truncation — heartbeat last-seq
+  // truncation never fires, since the stale log is never the shorter one
+  // until it is already repaired.
+  ClusterConfig cc = three_nodes();
+  cc.node.pending_timeout_ticks = 6;
+  Cluster c(cc);
+  ASSERT_TRUE(c.node(0).is_leader());
+
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    ASSERT_EQ(submit_sync(c.node(0), insert(k)).status,
+              kv::ExecStatus::kOk);
+    acked.push_back(k);
+  }
+  ASSERT_TRUE(wait_logs_at(c, 5));
+
+  // Partition node 0's outbound plane and pile on a LONG doomed suffix:
+  // five term-1 entries (seqs 6..10) nobody else will ever hold.
+  fault::ScopedSpec guard(
+      "repl-append-drop:scope=0;repl-heartbeat-loss:scope=0", 31);
+  std::vector<std::future<kv::Response>> doomed;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    auto prom = std::make_shared<std::promise<kv::Response>>();
+    doomed.push_back(prom->get_future());
+    ASSERT_EQ(c.node(0).try_submit(
+                  insert(100 + k),
+                  [prom](const kv::Response& r) { prom->set_value(r); }),
+              kv::SubmitResult::kAccepted);
+  }
+  ASSERT_TRUE(wait_until([&] { return c.node(0).log().last_seq() == 10; }));
+
+  tick_slowly(c, cc.node.election_timeout_ticks + 4, /*gap_ms=*/10);
+  ASSERT_TRUE(wait_until([&] { return c.node(1).is_leader(); }));
+  for (auto& f : doomed) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "a diverged write never resolved";
+    EXPECT_EQ(f.get().status, kv::ExecStatus::kOverloaded);
+  }
+
+  // New history SHORTER than the stale suffix: two term-2 entries, seqs
+  // 6..7, quorum-committed by nodes 1 and 2. Node 0's log (10 entries,
+  // last term 1) now strictly outranks the cluster's (7 entries, last
+  // term 2) on length — and must lose on term.
+  ASSERT_TRUE(wait_until([&] {
+    return submit_sync(c.node(1), insert(200)).status == kv::ExecStatus::kOk;
+  }));
+  acked.push_back(200);
+  ASSERT_EQ(submit_sync(c.node(1), insert(201)).status, kv::ExecStatus::kOk);
+  acked.push_back(201);
+
+  // Heal. Node 0's acks name term-1 entries the leader doesn't hold, so
+  // the leader probes backward instead of trusting them, finds the last
+  // agreed position (seq 5), and overwrites the five stale entries with
+  // the two-entry term-2 history.
+  fault::disarm_all();
+  tick_slowly(c, 6);
+  ASSERT_TRUE(wait_logs_at(c, c.node(1).log().last_seq()));
+  EXPECT_EQ(c.node(1).log().last_seq(), 7u);
+  const NodeStats s0 = c.node(0).stats();
+  EXPECT_GE(s0.truncated_entries, 5u);
+  EXPECT_EQ(c.node(0).role(), Role::kFollower);
+  EXPECT_TRUE(c.node(1).is_leader());
+  EXPECT_EQ(c.node(1).term(), 2u)
+      << "the stale-but-longer log forced extra elections";
+
+  // The doomed keys only ever existed in the stale suffix.
+  {
+    Vm::MutatorScope scope(c.node(0).vm(), "test-probe");
+    char buf[256];
+    std::size_t len = 0;
+    for (std::uint64_t k = 0; k < 5; ++k) {
+      EXPECT_FALSE(
+          c.node(0).store().get(scope.mutator(), 100 + k, buf, sizeof(buf),
+                                &len))
+          << "stale key " << (100 + k) << " survived repair";
+    }
+  }
+  expect_verify_clean(c, &acked);
+}
+
 }  // namespace
 }  // namespace mgc::repl

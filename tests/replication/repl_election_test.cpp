@@ -1,0 +1,342 @@
+// Protocol-level election-safety and divergence-repair tests: one real
+// Node against scripted fake peers speaking raw replication frames. The
+// cluster tests exercise these paths end-to-end but cannot force the
+// precise adversarial frame sequences that distinguish the Raft rules
+// from their unsound shortcuts — a fake peer can. Covered here:
+//
+//   * the vote rule compares (last term, last seq) lexicographically —
+//     a longer log with an older last term is DENIED (the fig-8
+//     lost-write hole), a shorter log with a newer last term is granted,
+//     and a term gets at most one vote;
+//   * a prev_term mismatch truncates the follower back to the last
+//     agreed position and acks it, so the leader's probe converges;
+//   * a stale same-term heartbeat can never truncate at or below the
+//     follower's commit point;
+//   * a new leader does not commit inherited entries on quorum acks
+//     alone — only a current-term entry moves the frontier (§5.4.2),
+//     committing earlier entries transitively.
+//
+// Wiring: the node dials each fake peer's listener (that outbound link
+// is where its acks, vote responses, and append streams arrive), and the
+// fake peer dials the node's replication port to inject frames. No pump,
+// no log on the fake side — every byte is the test's choice.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "replication/node.h"
+#include "replication/repl_wire.h"
+#include "repl_test_util.h"
+
+namespace mgc::repl {
+namespace {
+
+using testutil::insert;
+using testutil::small_node_config;
+using testutil::wait_until;
+
+class FakePeer {
+ public:
+  explicit FakePeer(std::uint32_t id) : id_(id) {
+    listener_ = net::listen_loopback(0, 4, &port_);
+  }
+
+  std::uint32_t id() const { return id_; }
+  std::uint16_t port() const { return port_; }
+
+  // Accepts the node's outbound link and dials its replication port.
+  bool attach(std::uint16_t node_repl_port) {
+    if (!listener_.valid()) return false;
+    if (!wait_until([&] {
+          const int fd = ::accept(listener_.get(), nullptr, nullptr);
+          if (fd < 0) return false;
+          net::set_nonblocking(fd);
+          from_node_ = net::UniqueFd(fd);
+          return true;
+        })) {
+      return false;
+    }
+    to_node_ = net::connect_tcp("127.0.0.1", node_repl_port);
+    return from_node_.valid() && to_node_.valid();
+  }
+
+  void send(const Frame& f) {
+    std::vector<std::uint8_t> buf;
+    encode(f, buf);
+    EXPECT_TRUE(net::send_all(to_node_.get(), buf.data(), buf.size()));
+  }
+
+  // Waits for the next frame of `kind` from the node, preserving queued
+  // frames of other kinds (hellos are discarded).
+  bool wait_for(FrameKind kind, Frame* out, int timeout_ms = 10000) {
+    return wait_until(
+        [&] {
+          drain();
+          for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+            if (it->kind == kind) {
+              *out = *it;
+              pending_.erase(it);
+              return true;
+            }
+          }
+          return false;
+        },
+        timeout_ms);
+  }
+
+ private:
+  void drain() {
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const ssize_t n =
+          net::recv_some(from_node_.get(), chunk, sizeof(chunk));
+      if (n <= 0) break;  // EAGAIN (nonblocking) or EOF
+      buf_.insert(buf_.end(), chunk, chunk + n);
+    }
+    for (;;) {
+      Frame f;
+      std::size_t consumed = 0;
+      if (decode(buf_.data(), buf_.size(), &consumed, &f) !=
+          DecodeResult::kFrame) {
+        break;
+      }
+      buf_.erase(buf_.begin(),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(consumed));
+      if (f.kind != FrameKind::kHello) pending_.push_back(f);
+    }
+  }
+
+  std::uint32_t id_;
+  std::uint16_t port_ = 0;
+  net::UniqueFd listener_;
+  net::UniqueFd from_node_;  // the node's outbound link: we read it
+  net::UniqueFd to_node_;    // our injection channel into the node
+  std::vector<std::uint8_t> buf_;
+  std::deque<Frame> pending_;
+};
+
+// One real node wired to two scripted peers (ids 1 and 2), matching the
+// 3-node quorum-of-2 shape the cluster tests use.
+struct Rig {
+  NodeConfig cfg;
+  FakePeer p1{1};
+  FakePeer p2{2};
+  std::unique_ptr<Node> node;
+
+  Rig() {
+    cfg = small_node_config();
+    cfg.id = 0;
+    cfg.start_as_leader = false;
+    cfg.repl_port = 0;
+    cfg.net.port = 0;
+    node = std::make_unique<Node>(cfg);
+    node->connect_peers({{1, p1.port()}, {2, p2.port()}});
+  }
+
+  bool attach() {
+    return p1.attach(node->repl_port()) && p2.attach(node->repl_port());
+  }
+};
+
+// A contiguous batch starting at first_seq whose entry terms are given in
+// order; keys are synthesized from the seq.
+Frame make_append(std::uint32_t from, std::uint64_t term,
+                  std::uint64_t prev_term, std::uint64_t commit,
+                  std::uint64_t first_seq,
+                  const std::vector<std::uint64_t>& entry_terms) {
+  Frame f;
+  f.kind = FrameKind::kAppend;
+  f.node = from;
+  f.term = term;
+  f.commit_seq = commit;
+  f.prev_term = prev_term;
+  std::uint64_t seq = first_seq;
+  for (std::uint64_t t : entry_terms) {
+    f.entries.push_back(AppendEntry{seq, seq * 10, t, 64});
+    ++seq;
+  }
+  return f;
+}
+
+TEST(ReplElection, VoteRuleComparesTermBeforeLength) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  Node& n = *rig.node;
+
+  // Seed: an acting leader (peer 1, term 2) streams five entries.
+  rig.p1.send(make_append(1, 2, 0, 0, 1, {2, 2, 2, 2, 2}));
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 5; }));
+
+  // A candidate with a LONGER log whose last entry is OLDER. Under the
+  // length-only rule this won (10 >= 5) and its stale suffix would then
+  // overwrite newer entries; the (term, seq) rule denies it.
+  Frame vr;
+  vr.kind = FrameKind::kVoteReq;
+  vr.node = 2;
+  vr.term = 3;
+  vr.last_term = 1;
+  vr.last_seqs = {10};
+  rig.p2.send(vr);
+  Frame resp;
+  ASSERT_TRUE(rig.p2.wait_for(FrameKind::kVoteResp, &resp));
+  EXPECT_FALSE(resp.granted);
+  EXPECT_EQ(resp.term, 3u);
+  EXPECT_EQ(n.term(), 3u);  // the term still advances
+
+  // A candidate with a SHORTER log but a NEWER last term is granted.
+  vr.term = 4;
+  vr.last_term = 3;
+  vr.last_seqs = {3};
+  rig.p2.send(vr);
+  ASSERT_TRUE(rig.p2.wait_for(FrameKind::kVoteResp, &resp));
+  EXPECT_TRUE(resp.granted);
+
+  // One vote per term: a rival with an even better log is refused.
+  vr.node = 1;
+  vr.last_seqs = {100};
+  rig.p1.send(vr);
+  ASSERT_TRUE(rig.p1.wait_for(FrameKind::kVoteResp, &resp));
+  EXPECT_FALSE(resp.granted);
+  EXPECT_EQ(resp.term, 4u);
+}
+
+TEST(ReplElection, PrevTermMismatchTruncatesBackToAgreement) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  Node& n = *rig.node;
+
+  // Old leader (term 2) streams five entries.
+  rig.p1.send(make_append(1, 2, 0, 0, 1, {2, 2, 2, 2, 2}));
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 5; }));
+
+  // New leader (peer 2, term 3) holds [2,2,2,2,3,3]: its entry at seq 5
+  // was created in term 3, the node's in term 2. Streaming from seq 6
+  // with prev_term 3 must expose the divergence at seq 5: the node
+  // truncates to 4 and acks the rewound position — without ever applying
+  // the batch past the mismatch.
+  rig.p2.send(make_append(2, 3, 3, 0, 6, {3}));
+  Frame ack;
+  // Skip the empty-log anchor ack the node sent when its outbound link
+  // to peer 2 first came up — only the post-truncation ack matters.
+  do {
+    ASSERT_TRUE(rig.p2.wait_for(FrameKind::kAck, &ack));
+  } while (ack.ack_seq == 0);
+  EXPECT_EQ(ack.ack_seq, 4u);
+  EXPECT_EQ(ack.ack_term, 2u);
+  EXPECT_EQ(n.log().last_seq(), 4u);
+  EXPECT_EQ(n.stats().truncated_entries, 1u);
+
+  // The probe from the acked position now agrees (seq 4 was created in
+  // term 2) and the term-3 suffix lands.
+  rig.p2.send(make_append(2, 3, 2, 0, 5, {3, 3}));
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 6; }));
+  const std::vector<ReplLog::Entry> snap = n.log().entries();
+  EXPECT_EQ(snap[3].term, 2u);
+  EXPECT_EQ(snap[4].term, 3u);
+  EXPECT_EQ(snap[5].term, 3u);
+}
+
+TEST(ReplElection, StaleHeartbeatCannotTruncateCommittedEntries) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  Node& n = *rig.node;
+
+  // Leader streams eight entries and declares commit 6.
+  rig.p1.send(make_append(1, 2, 0, 0, 1, {2, 2, 2, 2, 2, 2, 2, 2}));
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 8; }));
+  Frame hb;
+  hb.kind = FrameKind::kHeartbeat;
+  hb.node = 1;
+  hb.term = 2;
+  hb.shards = {{6, 8}};
+  rig.p1.send(hb);
+  ASSERT_TRUE(wait_until([&] { return n.commit_seq() == 6; }));
+
+  // A stale same-term heartbeat claiming last 4 — the shape a buffered
+  // old-connection frame takes. Without the floor this truncated to 4,
+  // deleting two quorum-committed entries and stranding commit_ past the
+  // log end; the floor stops the cut at the commit point.
+  hb.shards = {{4, 4}};
+  rig.p1.send(hb);
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 6; }));
+  EXPECT_EQ(n.commit_seq(), 6u);
+  EXPECT_EQ(n.stats().truncated_entries, 2u);  // only the uncommitted tail
+}
+
+TEST(ReplElection, CommitWaitsForACurrentTermEntry) {
+  Rig rig;
+  ASSERT_TRUE(rig.attach());
+  Node& n = *rig.node;
+
+  // An old leader (term 1) streams three entries, never committing them.
+  rig.p1.send(make_append(1, 1, 0, 0, 1, {1, 1, 1}));
+  ASSERT_TRUE(wait_until([&] { return n.log().last_seq() == 3; }));
+
+  // Silence past the detector budget: the node campaigns for term 2
+  // (advertising its last entry's term) and wins with peer 1's grant.
+  n.advance_ticks(
+      static_cast<std::uint64_t>(rig.cfg.election_timeout_ticks) + 1);
+  Frame vreq;
+  ASSERT_TRUE(rig.p1.wait_for(FrameKind::kVoteReq, &vreq));
+  EXPECT_EQ(vreq.term, 2u);
+  EXPECT_EQ(vreq.last_term, 1u);
+  ASSERT_GE(vreq.last_seqs.size(), 1u);
+  EXPECT_EQ(vreq.last_seqs[0], 3u);
+  Frame grant;
+  grant.kind = FrameKind::kVoteResp;
+  grant.node = 1;
+  grant.term = 2;
+  grant.granted = true;
+  rig.p1.send(grant);
+  ASSERT_TRUE(wait_until([&] { return n.is_leader(); }));
+
+  // Quorum replication of the inherited term-1 entries alone must NOT
+  // commit them (§5.4.2): the verified ack anchors the peer's match at
+  // 3, but the frontier entry is not of the current term — a later
+  // leader could still legally overwrite it.
+  Frame ack;
+  ack.kind = FrameKind::kAck;
+  ack.node = 1;
+  ack.term = 2;
+  ack.ack_seq = 3;
+  ack.ack_term = 1;
+  rig.p1.send(ack);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(n.commit_seq(), 0u);
+
+  // The first current-term write commits, and everything below it
+  // transitively. The append must name prev_term 1 and carry the new
+  // entry under term 2.
+  auto prom = std::make_shared<std::promise<kv::Response>>();
+  auto fut = prom->get_future();
+  ASSERT_EQ(n.try_submit(insert(500),
+                         [prom](const kv::Response& r) {
+                           prom->set_value(r);
+                         }),
+            kv::SubmitResult::kAccepted);
+  Frame ap;
+  ASSERT_TRUE(rig.p1.wait_for(FrameKind::kAppend, &ap));
+  EXPECT_EQ(ap.prev_term, 1u);
+  ASSERT_EQ(ap.entries.size(), 1u);
+  EXPECT_EQ(ap.entries[0].seq, 4u);
+  EXPECT_EQ(ap.entries[0].term, 2u);
+  ack.ack_seq = 4;
+  ack.ack_term = 2;
+  rig.p1.send(ack);
+  ASSERT_TRUE(wait_until([&] { return n.commit_seq() == 4; }));
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(fut.get().status, kv::ExecStatus::kOk);
+}
+
+}  // namespace
+}  // namespace mgc::repl

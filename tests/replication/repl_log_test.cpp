@@ -14,12 +14,22 @@ namespace {
 
 TEST(ReplLog, AppendAssignsDenseGlobalAndPerShardSeqs) {
   ReplLog log(2);
+  std::uint64_t seq = 0;
+  std::uint64_t term = 0;
+  log.last(&seq, &term);
+  EXPECT_EQ(seq, 0u);  // empty log: {0, 0}
+  EXPECT_EQ(term, 0u);
   EXPECT_EQ(log.append(0, 100, 64, 1), 1u);
   EXPECT_EQ(log.append(1, 200, 64, 1), 2u);
-  EXPECT_EQ(log.append(0, 101, 32, 1), 3u);
+  EXPECT_EQ(log.append(0, 101, 32, 2), 3u);
   EXPECT_EQ(log.last_seq(), 3u);
   EXPECT_EQ(log.shard_last(0), 2u);
   EXPECT_EQ(log.shard_last(1), 1u);
+  EXPECT_EQ(log.term_at(1), 1u);
+  EXPECT_EQ(log.term_at(3), 2u);
+  log.last(&seq, &term);
+  EXPECT_EQ(seq, 3u);
+  EXPECT_EQ(term, 2u);
 
   const auto snap = log.entries();
   ASSERT_EQ(snap.size(), 3u);
@@ -27,7 +37,7 @@ TEST(ReplLog, AppendAssignsDenseGlobalAndPerShardSeqs) {
   EXPECT_EQ(snap[1].shard_seq, 1u);  // shard 1's first
   EXPECT_EQ(snap[2].shard_seq, 2u);  // shard 0's second
   EXPECT_EQ(snap[2].key, 101u);
-  EXPECT_EQ(snap[2].term, 1u);
+  EXPECT_EQ(snap[2].term, 2u);
 }
 
 TEST(ReplLog, AppendAtIsIdempotentAndDetectsDivergence) {
@@ -53,6 +63,12 @@ TEST(ReplLog, AppendAtIsIdempotentAndDetectsDivergence) {
   ReplLog::Entry conflict = e;
   conflict.key = 999;
   EXPECT_EQ(log.append_at(&conflict), ReplLog::AppendAt::kConflict);
+
+  // Same position, identical content, different TERM: still divergence —
+  // identity is Raft's (seq, term), content matching is coincidence.
+  ReplLog::Entry term_conflict = e;
+  term_conflict.term = e.term + 1;
+  EXPECT_EQ(log.append_at(&term_conflict), ReplLog::AppendAt::kConflict);
 
   // A seq past the end of the log: gap (the stream lost a frame).
   ReplLog::Entry gap;

@@ -51,7 +51,10 @@ Frame append() {
   f.node = 1;
   f.term = 5;
   f.commit_seq = 41;
-  f.entries = {{42, 0xdeadbeef, 256}, {43, 0xfeedface, 128}, {44, 9, 0}};
+  f.prev_term = 4;  // the entry just before seq 42 was created in term 4
+  f.entries = {{42, 0xdeadbeef, 4, 256},
+               {43, 0xfeedface, 5, 128},
+               {44, 9, 5, 0}};
   return f;
 }
 
@@ -71,9 +74,12 @@ TEST(ReplWire, RoundTripsEveryKind) {
 
   EXPECT_EQ(dec(enc(append()), &out), DecodeResult::kFrame);
   EXPECT_EQ(out.commit_seq, 41u);
+  EXPECT_EQ(out.prev_term, 4u);
   ASSERT_EQ(out.entries.size(), 3u);
   EXPECT_EQ(out.entries[0].seq, 42u);
+  EXPECT_EQ(out.entries[0].term, 4u);
   EXPECT_EQ(out.entries[1].key, 0xfeedfaceu);
+  EXPECT_EQ(out.entries[1].term, 5u);
   EXPECT_EQ(out.entries[2].value_len, 0u);
 
   Frame ack;
@@ -81,15 +87,19 @@ TEST(ReplWire, RoundTripsEveryKind) {
   ack.node = 2;
   ack.term = 5;
   ack.ack_seq = 44;
+  ack.ack_term = 4;
   EXPECT_EQ(dec(enc(ack), &out), DecodeResult::kFrame);
   EXPECT_EQ(out.ack_seq, 44u);
+  EXPECT_EQ(out.ack_term, 4u);
 
   Frame vr;
   vr.kind = FrameKind::kVoteReq;
   vr.node = 1;
   vr.term = 6;
+  vr.last_term = 5;
   vr.last_seqs = {44, 30, 14};
   EXPECT_EQ(dec(enc(vr), &out), DecodeResult::kFrame);
+  EXPECT_EQ(out.last_term, 5u);
   ASSERT_EQ(out.last_seqs.size(), 3u);
   EXPECT_EQ(out.last_seqs[0], 44u);
 
@@ -175,7 +185,7 @@ TEST(ReplWire, RejectsLengthAndCountIncoherence) {
   EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
   // Append count zeroed.
   buf = enc(append());
-  buf[net::kLenPrefixSize + kReplHeaderSize + 12] = 0;
+  buf[net::kLenPrefixSize + kReplHeaderSize + 20] = 0;
   EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
 }
 
@@ -195,17 +205,87 @@ TEST(ReplWire, RejectsSemanticViolations) {
 
   // Append entry with seq 0 (sequences start at 1).
   ap = append();
-  ap.entries = {{0, 1, 8}};
+  ap.entries = {{0, 1, 4, 8}};
   buf = enc(ap);
   EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
 
   // Append value_len past the value cap.
   ap = append();
-  ap.entries = {{1, 1, 8}};
+  ap.prev_term = 0;
+  ap.entries = {{1, 1, 1, 8}};
   buf = enc(ap);
   const std::uint32_t bad_len = net::kMaxValueLen + 1;
-  std::memcpy(buf.data() + net::kLenPrefixSize + kAppendHeaderSize + 16,
+  std::memcpy(buf.data() + net::kLenPrefixSize + kAppendHeaderSize + 24,
               &bad_len, 4);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // Append entry with term 0 (terms start at 1).
+  ap = append();
+  ap.entries[0].term = 0;
+  buf = enc(ap);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // Append entry terms decreasing across the batch.
+  ap = append();
+  ap.entries[1].term = 3;  // below entry 0's term 4
+  buf = enc(ap);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // Append entry term ahead of the streaming leader's own term.
+  ap = append();
+  ap.entries[2].term = 6;  // frame term is 5
+  buf = enc(ap);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // First entry's term below prev_term (log terms are non-decreasing).
+  ap = append();
+  ap.entries[0].term = 3;  // prev_term is 4
+  buf = enc(ap);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // prev_term claimed for a batch that starts the log (seq 1 has no
+  // predecessor), and the converse: no prev_term past the log start.
+  ap = append();
+  ap.prev_term = 2;
+  ap.entries = {{1, 1, 4, 8}};
+  buf = enc(ap);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+  ap = append();
+  ap.prev_term = 0;
+  buf = enc(ap);  // entries still start at seq 42
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // Ack naming a term for an empty log, an empty term for a non-empty
+  // one, and a term ahead of the acker's own.
+  Frame ack;
+  ack.kind = FrameKind::kAck;
+  ack.node = 2;
+  ack.term = 5;
+  ack.ack_seq = 0;
+  ack.ack_term = 3;
+  buf = enc(ack);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+  ack.ack_seq = 44;
+  ack.ack_term = 0;
+  buf = enc(ack);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+  ack.ack_term = 6;  // frame term is 5
+  buf = enc(ack);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+
+  // Vote request whose last term is not behind its campaign term, and an
+  // empty log claiming a last term.
+  Frame vr;
+  vr.kind = FrameKind::kVoteReq;
+  vr.node = 1;
+  vr.term = 6;
+  vr.last_term = 6;
+  vr.last_seqs = {44};
+  buf = enc(vr);
+  EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
+  vr.last_term = 2;
+  vr.last_seqs = {0};
+  buf = enc(vr);
   EXPECT_EQ(dec(buf, &out), DecodeResult::kError);
 
   // Vote response with granted byte neither 0 nor 1.
